@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure reproduction benches.
+ *
+ * Every bench binary regenerates one table or figure of the paper.
+ * They share: command-line parsing for the simulation window, a
+ * memoised Characterizer over the seven Table IV machines, and small
+ * printing conventions.
+ */
+
+#ifndef SPECLENS_BENCH_BENCH_COMMON_H
+#define SPECLENS_BENCH_BENCH_COMMON_H
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/characterization.h"
+#include "suites/machines.h"
+
+namespace speclens {
+namespace bench {
+
+/** Options shared by all reproduction benches. */
+struct BenchOptions
+{
+    /** Measured instructions per (benchmark, machine) pair. */
+    std::uint64_t instructions = 150'000;
+
+    /** Warm-up instructions. */
+    std::uint64_t warmup = 40'000;
+};
+
+/** Parse --instructions/--warmup; exits on --help. */
+inline BenchOptions
+parseOptions(int argc, char **argv)
+{
+    BenchOptions opts;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--help") == 0) {
+            std::printf(
+                "usage: %s [--instructions N] [--warmup N]\n"
+                "  --instructions  measured instructions per pair "
+                "(default %llu)\n"
+                "  --warmup        warm-up instructions (default %llu)\n",
+                argv[0],
+                static_cast<unsigned long long>(opts.instructions),
+                static_cast<unsigned long long>(opts.warmup));
+            std::exit(0);
+        }
+        auto take_value = [&](const char *flag, std::uint64_t &out) {
+            if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
+                out = std::strtoull(argv[++i], nullptr, 10);
+                return true;
+            }
+            return false;
+        };
+        if (take_value("--instructions", opts.instructions))
+            continue;
+        if (take_value("--warmup", opts.warmup))
+            continue;
+        std::fprintf(stderr, "unknown option: %s (try --help)\n",
+                     argv[i]);
+        std::exit(1);
+    }
+    return opts;
+}
+
+/** Characterizer over the seven Table IV machines. */
+inline core::Characterizer
+makeCharacterizer(const BenchOptions &opts)
+{
+    core::CharacterizationConfig config;
+    config.instructions = opts.instructions;
+    config.warmup = opts.warmup;
+    return core::Characterizer(suites::profilingMachines(), config);
+}
+
+/** Section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+} // namespace bench
+} // namespace speclens
+
+#endif // SPECLENS_BENCH_BENCH_COMMON_H

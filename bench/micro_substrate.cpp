@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the SpecLens substrate: cache
+ * and TLB simulation throughput, branch predictors, trace generation,
+ * PCA and clustering.  These size the cost of a full characterization
+ * campaign (43 benchmarks x 7 machines).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "stats/clustering.h"
+#include "stats/pca.h"
+#include "stats/rng.h"
+#include "suites/machines.h"
+#include "suites/spec2017.h"
+#include "trace/trace_generator.h"
+#include "uarch/branch_predictor.h"
+#include "uarch/cache.h"
+#include "uarch/simulation.h"
+
+using namespace speclens;
+
+namespace {
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    uarch::CacheConfig config;
+    config.size_bytes = 32 * 1024;
+    config.associativity = 8;
+    config.policy = static_cast<uarch::ReplacementPolicy>(state.range(0));
+    uarch::Cache cache(config);
+    stats::Rng rng(7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(rng.below(1 << 20) * 64));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccess)
+    ->Arg(static_cast<int>(uarch::ReplacementPolicy::Lru))
+    ->Arg(static_cast<int>(uarch::ReplacementPolicy::TreePlru))
+    ->Arg(static_cast<int>(uarch::ReplacementPolicy::Fifo))
+    ->Arg(static_cast<int>(uarch::ReplacementPolicy::Random));
+
+void
+BM_BranchPredictor(benchmark::State &state)
+{
+    auto predictor = uarch::makePredictor(
+        static_cast<uarch::PredictorKind>(state.range(0)), 12);
+    stats::Rng rng(11);
+    std::uint32_t id = 0;
+    for (auto _ : state) {
+        bool taken = rng.bernoulli(0.6);
+        benchmark::DoNotOptimize(predictor->predict(0, id));
+        predictor->update(0, id, taken);
+        id = (id + 1) & 255;
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BranchPredictor)
+    ->Arg(static_cast<int>(uarch::PredictorKind::Bimodal))
+    ->Arg(static_cast<int>(uarch::PredictorKind::Gshare))
+    ->Arg(static_cast<int>(uarch::PredictorKind::Tournament))
+    ->Arg(static_cast<int>(uarch::PredictorKind::Perceptron))
+    ->Arg(static_cast<int>(uarch::PredictorKind::TageLite));
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const auto &profile =
+        suites::spec2017Benchmark("505.mcf_r").profile;
+    trace::TraceGenerator generator(profile);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(generator.next());
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_FullSimulation(benchmark::State &state)
+{
+    const auto &benchmark_info = suites::spec2017Benchmark("502.gcc_r");
+    const auto &machine = suites::skylakeMachine();
+    uarch::SimulationConfig config;
+    config.instructions = static_cast<std::uint64_t>(state.range(0));
+    config.warmup = config.instructions / 4;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            uarch::simulate(benchmark_info.profile, machine, config));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * state.range(0));
+}
+BENCHMARK(BM_FullSimulation)->Arg(50'000)->Arg(150'000);
+
+void
+BM_Pca(benchmark::State &state)
+{
+    std::size_t rows = 43, cols = static_cast<std::size_t>(state.range(0));
+    stats::Matrix m(rows, cols);
+    stats::Rng rng(3);
+    for (std::size_t r = 0; r < rows; ++r)
+        for (std::size_t c = 0; c < cols; ++c)
+            m(r, c) = rng.gaussian();
+    for (auto _ : state)
+        benchmark::DoNotOptimize(stats::fitPca(m));
+}
+BENCHMARK(BM_Pca)->Arg(20)->Arg(140);
+
+void
+BM_Clustering(benchmark::State &state)
+{
+    std::size_t n = static_cast<std::size_t>(state.range(0));
+    stats::Matrix points(n, 6);
+    stats::Rng rng(5);
+    for (std::size_t r = 0; r < n; ++r)
+        for (std::size_t c = 0; c < 6; ++c)
+            points(r, c) = rng.gaussian();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            stats::clusterPoints(points, stats::Linkage::Ward));
+    }
+}
+BENCHMARK(BM_Clustering)->Arg(10)->Arg(43)->Arg(100);
+
+} // namespace
+
+BENCHMARK_MAIN();

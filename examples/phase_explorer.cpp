@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Phase-level simulation budgeting: how many execution phases does a
+ * workload really have, and how cheaply can they stand in for the
+ * whole run?
+ *
+ * The example derives a phased version of 502.gcc_r (parse / optimise
+ * / emit -style behaviour drift), then sweeps the number of SimPoint
+ * clusters from 1 to the phase count and reports the accuracy /
+ * simulation-cost trade-off — the within-benchmark counterpart of the
+ * subset-size sweep in subset_selection.cpp.
+ */
+
+#include <cstdio>
+
+#include "core/phase_analysis.h"
+#include "core/report.h"
+#include "suites/machines.h"
+#include "suites/spec2017.h"
+#include "trace/phased_workload.h"
+
+using namespace speclens;
+
+int
+main(int argc, char **argv)
+{
+    const char *benchmark = argc > 1 ? argv[1] : "502.gcc_r";
+    const std::size_t num_phases = 8;
+
+    const auto &base = suites::spec2017Benchmark(benchmark);
+    trace::PhasedWorkload workload =
+        trace::derivePhases(base.profile, num_phases, 0.35);
+
+    std::printf("%s modelled as %zu phases (weights:", benchmark,
+                num_phases);
+    for (const trace::Phase &phase : workload.phases)
+        std::printf(" %.0f%%", 100.0 * phase.weight);
+    std::printf(")\n\n");
+
+    core::TextTable table({"Clusters", "Estimated CPI", "Full CPI",
+                           "CPI error (%)", "L1D error (%)",
+                           "Simulated share"});
+    for (std::size_t k = 1; k <= num_phases; ++k) {
+        core::SimPointConfig config;
+        config.clusters = k;
+        core::SimPointResult result = core::simpointEstimate(
+            workload, suites::skylakeMachine(), config);
+        table.addRow(
+            {std::to_string(k),
+             core::TextTable::num(result.estimated_cpi),
+             core::TextTable::num(result.full_cpi),
+             core::TextTable::num(result.cpi_error_pct, 1),
+             core::TextTable::num(result.l1d_error_pct, 1),
+             core::TextTable::num(100.0 * result.simulated_fraction,
+                                  0) +
+                 "%"});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf(
+        "\nRead the elbow: past a handful of clusters the metric "
+        "errors stop improving —\nthat is the workload's true phase "
+        "count.  A residual CPI gap that does not\nclose with more "
+        "clusters is phase-transition warm-up cost: the full run pays\n"
+        "for refilling caches at every phase switch, which isolated "
+        "phase probes never\nsee.  Real SimPoint deployments amortise "
+        "it with much longer intervals;\nhere it is visible because "
+        "the demo windows are tiny.\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * SpecLens quickstart: characterize a handful of benchmarks on the
+ * seven Table IV machines, run the PCA + clustering similarity
+ * pipeline, print the dendrogram and pick a 2-benchmark subset.
+ *
+ * Build and run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/characterization.h"
+#include "core/similarity.h"
+#include "core/subsetting.h"
+#include "suites/machines.h"
+#include "suites/spec2017.h"
+
+using namespace speclens;
+
+int
+main()
+{
+    // 1. Pick some benchmarks.  The full CPU2017 database is built in;
+    //    here we take five with very different personalities.
+    std::vector<suites::BenchmarkInfo> benchmarks = {
+        suites::spec2017Benchmark("505.mcf_r"),      // memory monster
+        suites::spec2017Benchmark("541.leela_r"),    // branch-limited
+        suites::spec2017Benchmark("548.exchange2_r"), // core-bound
+        suites::spec2017Benchmark("519.lbm_r"),      // FP streaming
+        suites::spec2017Benchmark("507.cactuBSSN_r"), // L1/TLB hostile
+    };
+
+    // 2. "Measure" them: each benchmark runs on all seven machines and
+    //    yields 20 metrics per machine (cache/TLB/branch/mix/power).
+    core::Characterizer characterizer(suites::profilingMachines());
+    stats::Matrix features = characterizer.featureMatrix(benchmarks);
+    std::printf("Feature matrix: %zu benchmarks x %zu metrics\n",
+                features.rows(), features.cols());
+
+    // 3. Similarity pipeline: z-score, PCA (Kaiser criterion),
+    //    hierarchical clustering in PC space.
+    core::SimilarityResult sim = core::analyzeSimilarity(
+        features, suites::benchmarkNames(benchmarks));
+    std::printf("PCA retained %zu components covering %.1f%% of "
+                "variance\n\n",
+                sim.pca.retained, 100.0 * sim.pca.variance_covered);
+    std::fputs(sim.renderDendrogram().c_str(), stdout);
+
+    // 4. Which benchmark is the odd one out?
+    std::printf("\nMost distinct benchmark: %s\n",
+                sim.labels[sim.mostDistinct()].c_str());
+
+    // 5. Subset selection: cut the dendrogram into two clusters and
+    //    keep one representative per cluster.
+    core::SubsetResult subset = core::selectSubset(
+        sim, 2, core::RepresentativeRule::ShortestLinkage, benchmarks);
+    std::printf("\n2-benchmark subset (cut at linkage distance %.2f, "
+                "%.1fx less simulation):\n",
+                subset.cut_height, subset.simulation_time_reduction);
+    for (const std::string &name : subset.representatives)
+        std::printf("  %s\n", name.c_str());
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Full subset-selection workflow for a simulation-time budget:
+ * given a sub-suite and the number of benchmarks you can afford to
+ * simulate, derive the representative subset, report the clusters, and
+ * validate the subset's score-prediction accuracy against the
+ * commercial-system database — the complete Section IV loop of the
+ * paper as a library user would run it.
+ *
+ * Usage: subset_selection [speed-int|rate-int|speed-fp|rate-fp] [k]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/characterization.h"
+#include "core/report.h"
+#include "core/similarity.h"
+#include "core/subsetting.h"
+#include "core/validation.h"
+#include "suites/machines.h"
+#include "suites/score_database.h"
+#include "suites/spec2017.h"
+
+using namespace speclens;
+
+int
+main(int argc, char **argv)
+{
+    std::string category = argc > 1 ? argv[1] : "rate-int";
+    std::size_t budget =
+        argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 3;
+
+    std::vector<suites::BenchmarkInfo> suite;
+    suites::Category cat;
+    if (category == "speed-int") {
+        suite = suites::spec2017SpeedInt();
+        cat = suites::Category::SpeedInt;
+    } else if (category == "rate-int") {
+        suite = suites::spec2017RateInt();
+        cat = suites::Category::RateInt;
+    } else if (category == "speed-fp") {
+        suite = suites::spec2017SpeedFp();
+        cat = suites::Category::SpeedFp;
+    } else if (category == "rate-fp") {
+        suite = suites::spec2017RateFp();
+        cat = suites::Category::RateFp;
+    } else {
+        std::fprintf(stderr,
+                     "usage: %s [speed-int|rate-int|speed-fp|rate-fp] "
+                     "[subset-size]\n",
+                     argv[0]);
+        return 1;
+    }
+    if (budget < 1 || budget > suite.size()) {
+        std::fprintf(stderr, "subset size must be in [1, %zu]\n",
+                     suite.size());
+        return 1;
+    }
+
+    std::printf("Selecting %zu of %zu %s benchmarks...\n\n", budget,
+                suite.size(), category.c_str());
+
+    core::Characterizer characterizer(suites::profilingMachines());
+    core::SimilarityResult sim = core::analyzeSimilarity(
+        characterizer.featureMatrix(suite),
+        suites::benchmarkNames(suite));
+    core::SubsetResult subset = core::selectSubset(
+        sim, budget, core::RepresentativeRule::ShortestLinkage, suite);
+
+    for (std::size_t c = 0; c < subset.clusters.size(); ++c) {
+        std::printf("cluster %zu -> representative %s\n", c + 1,
+                    subset.representatives[c].c_str());
+        for (const std::string &name : subset.clusters[c])
+            std::printf("    %s%s\n", name.c_str(),
+                        name == subset.representatives[c] ? "  (*)"
+                                                          : "");
+    }
+    std::printf("\nSimulation-time reduction: %.1fx\n",
+                subset.simulation_time_reduction);
+
+    // How well does the subset predict full-suite scores?
+    suites::ScoreDatabase db;
+    core::ValidationResult validation =
+        core::validateSubset(suite, subset.representatives, cat, db);
+    core::TextTable table(
+        {"System", "Full score", "Subset score", "Error (%)"});
+    for (const core::SystemValidation &v : validation.per_system)
+        table.addRow({v.system, core::TextTable::num(v.full_score),
+                      core::TextTable::num(v.subset_score),
+                      core::TextTable::num(v.error_pct, 1)});
+    std::printf("\n%s", table.render().c_str());
+    std::printf("Average error %.1f%% (accuracy %.1f%%)\n",
+                validation.avg_error_pct,
+                100.0 - validation.avg_error_pct);
+    return 0;
+}

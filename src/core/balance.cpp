@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Suite-balance analyses implementation.
+ */
+
+#include "balance.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "stats/descriptive.h"
+
+namespace speclens {
+namespace core {
+
+namespace {
+
+/** Project selected rows of the score matrix onto a PC plane. */
+std::vector<stats::Point2>
+planePoints(const stats::Matrix &scores,
+            const std::vector<std::size_t> &rows, std::size_t pc_x,
+            std::size_t pc_y)
+{
+    std::vector<stats::Point2> out;
+    out.reserve(rows.size());
+    for (std::size_t r : rows) {
+        stats::Point2 p;
+        p.x = scores(r, pc_x);
+        p.y = pc_y < scores.cols() ? scores(r, pc_y) : 0.0;
+        out.push_back(p);
+    }
+    return out;
+}
+
+PlaneCoverage
+planeCoverage(const stats::Matrix &scores,
+              const std::vector<std::size_t> &rows_a,
+              const std::vector<std::size_t> &rows_b, std::size_t pc_x,
+              std::size_t pc_y)
+{
+    PlaneCoverage out;
+    out.pc_x = pc_x;
+    out.pc_y = pc_y;
+
+    auto points_a = planePoints(scores, rows_a, pc_x, pc_y);
+    auto points_b = planePoints(scores, rows_b, pc_x, pc_y);
+    out.area_a = stats::hullArea(points_a);
+    out.area_b = stats::hullArea(points_b);
+    out.area_ratio = out.area_b > 0.0 ? out.area_a / out.area_b : 0.0;
+
+    auto hull_b = stats::convexHull(points_b);
+    std::size_t outside = 0;
+    for (const stats::Point2 &p : points_a)
+        if (!stats::pointInConvexPolygon(p, hull_b))
+            ++outside;
+    out.a_outside_b = points_a.empty()
+                          ? 0.0
+                          : static_cast<double>(outside) /
+                                static_cast<double>(points_a.size());
+    return out;
+}
+
+} // namespace
+
+SuiteComparison
+compareSuites(Characterizer &characterizer,
+              const std::vector<suites::BenchmarkInfo> &suite_a,
+              const std::vector<suites::BenchmarkInfo> &suite_b,
+              MetricSelection selection,
+              const std::vector<std::size_t> &machine_indices,
+              const SimilarityConfig &config)
+{
+    std::vector<suites::BenchmarkInfo> joint = suite_a;
+    for (const suites::BenchmarkInfo &b : suite_b)
+        joint.push_back(b);
+
+    std::vector<std::size_t> machines = machine_indices;
+    if (machines.empty()) {
+        machines.resize(characterizer.machines().size());
+        for (std::size_t i = 0; i < machines.size(); ++i)
+            machines[i] = i;
+    }
+
+    SuiteComparison out;
+    out.similarity = analyzeSimilarity(
+        characterizer.featureMatrix(joint, selection, machines),
+        suites::benchmarkNames(joint), config);
+
+    for (std::size_t i = 0; i < suite_a.size(); ++i)
+        out.rows_a.push_back(i);
+    for (std::size_t i = 0; i < suite_b.size(); ++i)
+        out.rows_b.push_back(suite_a.size() + i);
+
+    const stats::Matrix &scores = out.similarity.scores;
+    out.pc12 = planeCoverage(scores, out.rows_a, out.rows_b, 0, 1);
+    std::size_t pc3 = std::min<std::size_t>(2, scores.cols() - 1);
+    std::size_t pc4 = std::min<std::size_t>(3, scores.cols() - 1);
+    out.pc34 = planeCoverage(scores, out.rows_a, out.rows_b, pc3, pc4);
+    return out;
+}
+
+std::vector<CoverageVerdict>
+coverageAnalysis(Characterizer &characterizer,
+                 const std::vector<suites::BenchmarkInfo> &reference,
+                 const std::vector<suites::BenchmarkInfo> &candidates,
+                 double threshold_factor, const SimilarityConfig &config)
+{
+    std::vector<suites::BenchmarkInfo> joint = reference;
+    for (const suites::BenchmarkInfo &b : candidates)
+        joint.push_back(b);
+
+    SimilarityResult sim = analyzeSimilarity(
+        characterizer.featureMatrix(joint),
+        suites::benchmarkNames(joint), config);
+
+    std::size_t n_ref = reference.size();
+
+    // Scale: median nearest-neighbour distance within the reference
+    // suite.
+    std::vector<double> ref_nn;
+    for (std::size_t i = 0; i < n_ref; ++i) {
+        double nearest = std::numeric_limits<double>::infinity();
+        for (std::size_t j = 0; j < n_ref; ++j) {
+            if (i == j)
+                continue;
+            nearest = std::min(nearest, sim.pcDistance(i, j));
+        }
+        ref_nn.push_back(nearest);
+    }
+    double threshold = threshold_factor * stats::median(ref_nn);
+
+    std::vector<CoverageVerdict> out;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+        std::size_t row = n_ref + c;
+        CoverageVerdict v;
+        v.benchmark = candidates[c].name;
+        double nearest = std::numeric_limits<double>::infinity();
+        for (std::size_t j = 0; j < n_ref; ++j) {
+            double d = sim.pcDistance(row, j);
+            if (d < nearest) {
+                nearest = d;
+                v.nearest = reference[j].name;
+            }
+        }
+        v.nn_distance = nearest;
+        v.covered = nearest <= threshold;
+        out.push_back(std::move(v));
+    }
+    return out;
+}
+
+} // namespace core
+} // namespace speclens

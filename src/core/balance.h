@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Suite-balance analyses (Section V): CPU2017-vs-CPU2006 coverage,
+ * removed-benchmark coverage, power-spectrum comparison and the
+ * emerging-workload case studies.
+ */
+
+#ifndef SPECLENS_CORE_BALANCE_H
+#define SPECLENS_CORE_BALANCE_H
+
+#include <string>
+#include <vector>
+
+#include "core/characterization.h"
+#include "core/similarity.h"
+#include "stats/geometry.h"
+
+namespace speclens {
+namespace core {
+
+/** Coverage of one PC plane by two suites (Fig. 11 / Fig. 12). */
+struct PlaneCoverage
+{
+    std::size_t pc_x = 0;    //!< PC index on the x axis (0-based).
+    std::size_t pc_y = 1;    //!< PC index on the y axis.
+    double area_a = 0.0;     //!< Convex-hull area of suite A.
+    double area_b = 0.0;     //!< Convex-hull area of suite B.
+    double area_ratio = 0.0; //!< area_a / area_b.
+
+    /** Fraction of suite-A points outside suite B's hull. */
+    double a_outside_b = 0.0;
+};
+
+/** Two-suite comparison in a joint PC space. */
+struct SuiteComparison
+{
+    /** Joint similarity analysis over both suites. */
+    SimilarityResult similarity;
+
+    /** Row indices of suite A / suite B in the joint analysis. */
+    std::vector<std::size_t> rows_a;
+    std::vector<std::size_t> rows_b;
+
+    /** Coverage of the PC1-PC2 and PC3-PC4 planes (paper's Fig. 11). */
+    PlaneCoverage pc12;
+    PlaneCoverage pc34;
+};
+
+/**
+ * Compare two benchmark sets in a joint feature space.
+ *
+ * @param characterizer Shared measurement campaign.
+ * @param suite_a First suite (e.g. CPU2017; numerator of ratios).
+ * @param suite_b Second suite (e.g. CPU2006).
+ * @param selection Metric subset (Canonical for Fig. 11, Power for
+ *        Fig. 12).
+ * @param machine_indices Machines to use (all by default; the three
+ *        RAPL machines for the power study).
+ * @param config Similarity pipeline configuration.
+ */
+SuiteComparison
+compareSuites(Characterizer &characterizer,
+              const std::vector<suites::BenchmarkInfo> &suite_a,
+              const std::vector<suites::BenchmarkInfo> &suite_b,
+              MetricSelection selection = MetricSelection::Canonical,
+              const std::vector<std::size_t> &machine_indices = {},
+              const SimilarityConfig &config = {});
+
+/** Coverage verdict for one candidate benchmark. */
+struct CoverageVerdict
+{
+    std::string benchmark;      //!< Candidate (e.g. a removed CPU2006
+                                //!< benchmark or an emerging workload).
+    double nn_distance = 0.0;   //!< Distance to nearest reference point.
+    std::string nearest;        //!< Nearest reference benchmark.
+    bool covered = false;       //!< nn_distance within the threshold.
+};
+
+/**
+ * Test which of @p candidates are covered by the @p reference suite:
+ * a candidate is covered when its nearest reference neighbour in the
+ * joint PC space is no further than @p threshold_factor times the
+ * median nearest-neighbour distance within the reference suite itself.
+ *
+ * This operationalises the paper's "performance characteristics are
+ * not covered by the CPU2017 benchmarks" judgement (Sections V-B,
+ * V-D/E/F).
+ */
+std::vector<CoverageVerdict>
+coverageAnalysis(Characterizer &characterizer,
+                 const std::vector<suites::BenchmarkInfo> &reference,
+                 const std::vector<suites::BenchmarkInfo> &candidates,
+                 double threshold_factor = 3.0,
+                 const SimilarityConfig &config = {});
+
+} // namespace core
+} // namespace speclens
+
+#endif // SPECLENS_CORE_BALANCE_H

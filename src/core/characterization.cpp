@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Measurement campaign implementation.
+ */
+
+#include "characterization.h"
+
+#include <stdexcept>
+
+namespace speclens {
+namespace core {
+
+Characterizer::Characterizer(std::vector<uarch::MachineConfig> machines,
+                             CharacterizationConfig config)
+    : machines_(std::move(machines)), config_(config)
+{
+    if (machines_.empty())
+        throw std::invalid_argument("Characterizer: no machines");
+}
+
+const uarch::SimulationResult &
+Characterizer::simulation(const suites::BenchmarkInfo &benchmark,
+                          std::size_t machine_index)
+{
+    if (machine_index >= machines_.size())
+        throw std::out_of_range("Characterizer: machine index");
+
+    auto key = std::make_pair(benchmark.profile.name, machine_index);
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+
+    uarch::SimulationConfig sim;
+    sim.instructions = config_.instructions;
+    sim.warmup = config_.warmup;
+    sim.seed_salt = config_.seed_salt;
+    uarch::SimulationResult result =
+        uarch::simulate(benchmark.profile, machines_[machine_index], sim);
+    return cache_.emplace(key, std::move(result)).first->second;
+}
+
+MetricVector
+Characterizer::metrics(const suites::BenchmarkInfo &benchmark,
+                       std::size_t machine_index)
+{
+    return extractMetrics(simulation(benchmark, machine_index));
+}
+
+stats::Matrix
+Characterizer::featureMatrix(
+    const std::vector<suites::BenchmarkInfo> &benchmarks,
+    MetricSelection selection)
+{
+    std::vector<std::size_t> all(machines_.size());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        all[i] = i;
+    return featureMatrix(benchmarks, selection, all);
+}
+
+stats::Matrix
+Characterizer::featureMatrix(
+    const std::vector<suites::BenchmarkInfo> &benchmarks,
+    MetricSelection selection,
+    const std::vector<std::size_t> &machine_indices)
+{
+    std::vector<Metric> selected = metricsFor(selection);
+    stats::Matrix out(benchmarks.size(),
+                      machine_indices.size() * selected.size());
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        std::size_t col = 0;
+        for (std::size_t mi : machine_indices) {
+            MetricVector mv = metrics(benchmarks[b], mi);
+            for (Metric metric : selected)
+                out(b, col++) = mv.get(metric);
+        }
+    }
+    return out;
+}
+
+std::vector<std::string>
+Characterizer::featureNames(MetricSelection selection) const
+{
+    std::vector<std::size_t> all(machines_.size());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        all[i] = i;
+    return featureNames(selection, all);
+}
+
+std::vector<std::string>
+Characterizer::featureNames(
+    MetricSelection selection,
+    const std::vector<std::size_t> &machine_indices) const
+{
+    std::vector<Metric> selected = metricsFor(selection);
+    std::vector<std::string> names;
+    names.reserve(machine_indices.size() * selected.size());
+    for (std::size_t mi : machine_indices) {
+        if (mi >= machines_.size())
+            throw std::out_of_range("featureNames: machine index");
+        for (Metric metric : selected) {
+            names.push_back(machines_[mi].short_name + "." +
+                            metricName(metric));
+        }
+    }
+    return names;
+}
+
+} // namespace core
+} // namespace speclens

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The measurement campaign: every benchmark on every machine.
+ *
+ * This is the SpecLens equivalent of the paper's perf-counter
+ * experiments — each (benchmark, machine) pair is simulated once and
+ * its metric vector memoised, then feature matrices for any analysis
+ * (full suite, sub-suite, metric subset, machine subset) are assembled
+ * from the cache.  Treating each performance-counter/machine pair as a
+ * distinct feature reproduces the paper's 20 x 7 = 140-metric design.
+ */
+
+#ifndef SPECLENS_CORE_CHARACTERIZATION_H
+#define SPECLENS_CORE_CHARACTERIZATION_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stats/matrix.h"
+#include "suites/benchmark_info.h"
+#include "core/metrics.h"
+#include "uarch/machine.h"
+#include "uarch/simulation.h"
+
+namespace speclens {
+namespace core {
+
+/** Measurement-campaign parameters. */
+struct CharacterizationConfig
+{
+    /** Measured instructions per (benchmark, machine) simulation. */
+    std::uint64_t instructions = 120'000;
+
+    /** Warm-up instructions excluded from the counters. */
+    std::uint64_t warmup = 30'000;
+
+    /** Seed salt forwarded to the trace generator. */
+    std::uint64_t seed_salt = 0;
+};
+
+/** Runs and memoises benchmark-on-machine measurements. */
+class Characterizer
+{
+  public:
+    /**
+     * @param machines Machines to measure on (order defines feature
+     *        layout).
+     * @param config Simulation window parameters.
+     */
+    explicit Characterizer(std::vector<uarch::MachineConfig> machines,
+                           CharacterizationConfig config = {});
+
+    /** Machines in feature order. */
+    const std::vector<uarch::MachineConfig> &machines() const
+    {
+        return machines_;
+    }
+
+    /** Full simulation result for one pair (memoised). */
+    const uarch::SimulationResult &
+    simulation(const suites::BenchmarkInfo &benchmark,
+               std::size_t machine_index);
+
+    /** Metric vector for one pair (memoised). */
+    MetricVector metrics(const suites::BenchmarkInfo &benchmark,
+                         std::size_t machine_index);
+
+    /**
+     * Assemble the observations-by-features matrix for @p benchmarks:
+     * row b holds, for each machine in order, the selected metrics in
+     * metricsFor() order.  With the canonical selection and seven
+     * machines this is the paper's 140-column matrix.
+     */
+    stats::Matrix
+    featureMatrix(const std::vector<suites::BenchmarkInfo> &benchmarks,
+                  MetricSelection selection = MetricSelection::Canonical);
+
+    /**
+     * Same, but restricted to a subset of machines given by index
+     * (e.g. the three RAPL machines for the power analysis).
+     */
+    stats::Matrix
+    featureMatrix(const std::vector<suites::BenchmarkInfo> &benchmarks,
+                  MetricSelection selection,
+                  const std::vector<std::size_t> &machine_indices);
+
+    /** Feature names matching featureMatrix columns. */
+    std::vector<std::string>
+    featureNames(MetricSelection selection = MetricSelection::Canonical)
+        const;
+
+    /** Feature names for a machine subset. */
+    std::vector<std::string>
+    featureNames(MetricSelection selection,
+                 const std::vector<std::size_t> &machine_indices) const;
+
+    /** Number of memoised (benchmark, machine) measurements. */
+    std::size_t cachedMeasurements() const { return cache_.size(); }
+
+  private:
+    std::vector<uarch::MachineConfig> machines_;
+    CharacterizationConfig config_;
+    std::map<std::pair<std::string, std::size_t>, uarch::SimulationResult>
+        cache_;
+};
+
+} // namespace core
+} // namespace speclens
+
+#endif // SPECLENS_CORE_CHARACTERIZATION_H

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * CSV export implementation.
+ */
+
+#include "csv_export.h"
+
+#include <stdexcept>
+
+namespace speclens {
+namespace core {
+
+std::string
+csvQuote(const std::string &field)
+{
+    bool needs_quotes = field.find_first_of(",\"\n\r") !=
+                        std::string::npos;
+    if (!needs_quotes)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void
+writeCsv(std::ostream &out, const std::vector<std::string> &labels,
+         const std::vector<std::string> &feature_names,
+         const stats::Matrix &features)
+{
+    if (labels.size() != features.rows())
+        throw std::invalid_argument("writeCsv: label count");
+    if (feature_names.size() != features.cols())
+        throw std::invalid_argument("writeCsv: feature-name count");
+
+    out << "benchmark";
+    for (const std::string &name : feature_names)
+        out << "," << csvQuote(name);
+    out << "\n";
+
+    for (std::size_t r = 0; r < features.rows(); ++r) {
+        out << csvQuote(labels[r]);
+        for (std::size_t c = 0; c < features.cols(); ++c)
+            out << "," << features(r, c);
+        out << "\n";
+    }
+}
+
+void
+writeSimilarityCsv(std::ostream &out, const SimilarityResult &analysis)
+{
+    out << "benchmark";
+    for (std::size_t pc = 0; pc < analysis.pca.retained; ++pc)
+        out << ",pc" << (pc + 1);
+    out << ",join_height\n";
+
+    for (std::size_t r = 0; r < analysis.labels.size(); ++r) {
+        out << csvQuote(analysis.labels[r]);
+        for (std::size_t pc = 0; pc < analysis.scores.cols(); ++pc)
+            out << "," << analysis.scores(r, pc);
+        out << "," << analysis.dendrogram.leafJoinHeight(r) << "\n";
+    }
+}
+
+} // namespace core
+} // namespace speclens

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Representative input-set selection (Section IV-C, Table VII).
+ *
+ * For every multi-input benchmark the paper picks the input whose
+ * characteristics sit closest to the aggregate (all-inputs) behaviour.
+ * The analysis here reproduces that: input variants are characterized
+ * alongside their parent benchmarks, a joint PCA space is fitted, and
+ * for each group the variant nearest the group centroid (the aggregate
+ * benchmark) is selected.
+ */
+
+#ifndef SPECLENS_CORE_INPUT_SET_ANALYSIS_H
+#define SPECLENS_CORE_INPUT_SET_ANALYSIS_H
+
+#include <string>
+#include <vector>
+
+#include "core/characterization.h"
+#include "core/similarity.h"
+#include "suites/input_sets.h"
+
+namespace speclens {
+namespace core {
+
+/** Selection result for one multi-input benchmark. */
+struct RepresentativeInput
+{
+    std::string benchmark;        //!< Parent benchmark name.
+    int input_index = 1;          //!< Chosen input set (1-based).
+    std::string variant_name;     //!< "<benchmark>#<k>".
+    double distance_to_aggregate = 0.0; //!< PC-space distance.
+
+    /**
+     * Tightness of the group: largest pairwise PC-space distance
+     * among the benchmark's inputs.  Small values are the paper's
+     * "input sets have very similar characteristics" finding.
+     */
+    double group_spread = 0.0;
+};
+
+/** Full input-set study over a set of groups. */
+struct InputSetAnalysis
+{
+    /** Joint similarity analysis over all variants (Figs. 7/8). */
+    SimilarityResult similarity;
+
+    /** One selection per multi-input benchmark (Table VII). */
+    std::vector<RepresentativeInput> representatives;
+
+    /**
+     * Largest pairwise PC-space distance between variants of the same
+     * benchmark, over all groups — used to verify that same-benchmark
+     * inputs cluster tightly relative to cross-benchmark distances.
+     */
+    double max_within_group_spread = 0.0;
+
+    /** Median PC-space distance between different benchmarks. */
+    double median_cross_benchmark_distance = 0.0;
+};
+
+/**
+ * Run the input-set study.
+ *
+ * @param characterizer Measurement campaign (shared cache).
+ * @param groups Benchmark groups with variants (from
+ *        suites::inputSetGroupsInt()/Fp()).
+ * @param config Similarity pipeline configuration.
+ */
+InputSetAnalysis
+analyzeInputSets(Characterizer &characterizer,
+                 const std::vector<suites::InputSetGroup> &groups,
+                 const SimilarityConfig &config = {});
+
+} // namespace core
+} // namespace speclens
+
+#endif // SPECLENS_CORE_INPUT_SET_ANALYSIS_H

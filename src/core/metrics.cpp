@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Metric extraction and selection.
+ */
+
+#include "metrics.h"
+
+#include <stdexcept>
+
+namespace speclens {
+namespace core {
+
+std::string
+metricName(Metric metric)
+{
+    switch (metric) {
+      case Metric::L1dMpki: return "l1d_mpki";
+      case Metric::L1iMpki: return "l1i_mpki";
+      case Metric::L2dMpki: return "l2d_mpki";
+      case Metric::L2iMpki: return "l2i_mpki";
+      case Metric::L3Mpki: return "l3_mpki";
+      case Metric::DtlbMpmi: return "dtlb_mpmi";
+      case Metric::ItlbMpmi: return "itlb_mpmi";
+      case Metric::L2tlbMpmi: return "l2tlb_mpmi";
+      case Metric::PageWalkMpmi: return "pagewalk_mpmi";
+      case Metric::BranchMpki: return "branch_mpki";
+      case Metric::BranchTakenMpki: return "taken_mpki";
+      case Metric::PctLoad: return "pct_load";
+      case Metric::PctStore: return "pct_store";
+      case Metric::PctBranch: return "pct_branch";
+      case Metric::PctFp: return "pct_fp";
+      case Metric::PctSimd: return "pct_simd";
+      case Metric::PctKernel: return "pct_kernel";
+      case Metric::CorePower: return "core_power";
+      case Metric::LlcPower: return "llc_power";
+      case Metric::DramPower: return "dram_power";
+      case Metric::L1dApki: return "l1d_apki";
+      case Metric::L1iApki: return "l1i_apki";
+      case Metric::Count: break;
+    }
+    throw std::invalid_argument("metricName: bad metric");
+}
+
+MetricVector
+extractMetrics(const uarch::SimulationResult &result)
+{
+    const uarch::PerfCounters &c = result.counters;
+    MetricVector m;
+    m.set(Metric::L1dMpki, c.l1dMpki());
+    m.set(Metric::L1iMpki, c.l1iMpki());
+    m.set(Metric::L2dMpki, c.l2dMpki());
+    m.set(Metric::L2iMpki, c.l2iMpki());
+    m.set(Metric::L3Mpki, c.l3Mpki());
+    m.set(Metric::DtlbMpmi, c.dtlbMpmi());
+    m.set(Metric::ItlbMpmi, c.itlbMpmi());
+    m.set(Metric::L2tlbMpmi, c.l2tlbMpmi());
+    m.set(Metric::PageWalkMpmi, c.pageWalksPerMi());
+    m.set(Metric::BranchMpki, c.branchMpki());
+    m.set(Metric::BranchTakenMpki, c.takenMpki());
+    m.set(Metric::PctLoad, 100.0 * c.loadFraction());
+    m.set(Metric::PctStore, 100.0 * c.storeFraction());
+    m.set(Metric::PctBranch, 100.0 * c.branchFraction());
+    m.set(Metric::PctFp, 100.0 * c.fpFraction());
+    m.set(Metric::PctSimd, 100.0 * c.simdFraction());
+    m.set(Metric::PctKernel, 100.0 * c.kernelFraction());
+    m.set(Metric::CorePower, result.power.core_watts);
+    m.set(Metric::LlcPower, result.power.llc_watts);
+    m.set(Metric::DramPower, result.power.dram_watts);
+    m.set(Metric::L1dApki, c.perKilo(c.l1d_accesses));
+    m.set(Metric::L1iApki, c.perKilo(c.l1i_accesses));
+    return m;
+}
+
+std::vector<Metric>
+metricsFor(MetricSelection selection)
+{
+    switch (selection) {
+      case MetricSelection::Canonical:
+        return {Metric::L1dMpki,       Metric::L1iMpki,
+                Metric::L2dMpki,       Metric::L2iMpki,
+                Metric::L3Mpki,        Metric::DtlbMpmi,
+                Metric::ItlbMpmi,      Metric::L2tlbMpmi,
+                Metric::PageWalkMpmi,  Metric::BranchMpki,
+                Metric::BranchTakenMpki, Metric::PctLoad,
+                Metric::PctStore,      Metric::PctBranch,
+                Metric::PctFp,         Metric::PctSimd,
+                Metric::PctKernel,     Metric::CorePower,
+                Metric::LlcPower,      Metric::DramPower};
+      case MetricSelection::Branch:
+        return {Metric::BranchMpki, Metric::BranchTakenMpki,
+                Metric::PctBranch};
+      case MetricSelection::DataCache:
+        return {Metric::L1dMpki, Metric::L2dMpki, Metric::L3Mpki,
+                Metric::L1dApki};
+      case MetricSelection::InstrCache:
+        return {Metric::L1iMpki, Metric::L2iMpki, Metric::L1iApki};
+      case MetricSelection::CacheAll:
+        return {Metric::L1dMpki, Metric::L1iMpki, Metric::L2dMpki,
+                Metric::L2iMpki, Metric::L3Mpki, Metric::L1dApki,
+                Metric::L1iApki};
+      case MetricSelection::Tlb:
+        return {Metric::DtlbMpmi, Metric::ItlbMpmi, Metric::L2tlbMpmi,
+                Metric::PageWalkMpmi};
+      case MetricSelection::Power:
+        return {Metric::CorePower, Metric::LlcPower, Metric::DramPower};
+    }
+    throw std::invalid_argument("metricsFor: bad selection");
+}
+
+std::string
+metricSelectionName(MetricSelection selection)
+{
+    switch (selection) {
+      case MetricSelection::Canonical: return "canonical";
+      case MetricSelection::Branch: return "branch";
+      case MetricSelection::DataCache: return "data-cache";
+      case MetricSelection::InstrCache: return "instr-cache";
+      case MetricSelection::CacheAll: return "cache-all";
+      case MetricSelection::Tlb: return "tlb";
+      case MetricSelection::Power: return "power";
+    }
+    throw std::invalid_argument("metricSelectionName: bad selection");
+}
+
+} // namespace core
+} // namespace speclens

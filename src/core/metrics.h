@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The performance-metric vector measured per (benchmark, machine) pair.
+ *
+ * Table III of the paper fixes the metric families: cache MPKI, TLB
+ * misses per million instructions, branch behaviour, instruction mix
+ * and power.  Twenty metrics per machine across seven machines yield
+ * the 140-dimensional feature vectors the PCA pipeline consumes
+ * (Section III).  Two auxiliary access-rate metrics back the Fig. 10
+ * cache study ("PC2 is dominated by data cache accesses") and are not
+ * part of the canonical twenty.
+ */
+
+#ifndef SPECLENS_CORE_METRICS_H
+#define SPECLENS_CORE_METRICS_H
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "uarch/simulation.h"
+
+namespace speclens {
+namespace core {
+
+/** Indices of the metrics in a MetricVector. */
+enum class Metric : std::size_t {
+    L1dMpki = 0,
+    L1iMpki,
+    L2dMpki,
+    L2iMpki,
+    L3Mpki,
+    DtlbMpmi,
+    ItlbMpmi,
+    L2tlbMpmi,
+    PageWalkMpmi,
+    BranchMpki,
+    BranchTakenMpki,
+    PctLoad,
+    PctStore,
+    PctBranch,
+    PctFp,
+    PctSimd,
+    PctKernel,
+    CorePower,
+    LlcPower,
+    DramPower,
+    // Auxiliary (not part of the canonical 20):
+    L1dApki,
+    L1iApki,
+    Count,
+};
+
+/** Number of canonical metrics per machine (Table III). */
+constexpr std::size_t kCanonicalMetricCount = 20;
+
+/** Total stored metrics including auxiliary access rates. */
+constexpr std::size_t kTotalMetricCount =
+    static_cast<std::size_t>(Metric::Count);
+
+/** Short name of a metric ("l1d_mpki", "core_power", ...). */
+std::string metricName(Metric metric);
+
+/** Metric values for one (benchmark, machine) measurement. */
+struct MetricVector
+{
+    std::array<double, kTotalMetricCount> values{};
+
+    double
+    get(Metric metric) const
+    {
+        return values[static_cast<std::size_t>(metric)];
+    }
+
+    void
+    set(Metric metric, double value)
+    {
+        values[static_cast<std::size_t>(metric)] = value;
+    }
+};
+
+/** Extract the metric vector from a simulation result. */
+MetricVector extractMetrics(const uarch::SimulationResult &result);
+
+/**
+ * Metric subsets used by the different analyses:
+ *  - Canonical: all 20 Table III metrics (main similarity pipeline).
+ *  - Branch: branch MPKI / taken MPKI / branch share (Fig. 9).
+ *  - DataCache: data-side MPKI + access rates (Fig. 10 left).
+ *  - InstrCache: instruction-side MPKI + access rates (Fig. 10 right).
+ *  - CacheAll: all cache metrics (Sec. IV-E).
+ *  - Tlb: TLB metrics (case studies).
+ *  - Power: core/LLC/DRAM power (Fig. 12).
+ */
+enum class MetricSelection {
+    Canonical,
+    Branch,
+    DataCache,
+    InstrCache,
+    CacheAll,
+    Tlb,
+    Power,
+};
+
+/** Metrics included in a selection, in a fixed order. */
+std::vector<Metric> metricsFor(MetricSelection selection);
+
+/** Human-readable selection name. */
+std::string metricSelectionName(MetricSelection selection);
+
+} // namespace core
+} // namespace speclens
+
+#endif // SPECLENS_CORE_METRICS_H

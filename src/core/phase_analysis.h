@@ -1,0 +1,93 @@
+/**
+ * @file
+ * SimPoint-style phase analysis.
+ *
+ * The paper cuts simulation cost *across* benchmarks (subsetting);
+ * SimPoints (Sherwood et al., ref [32]; Nair & John, ref [33]) cut it
+ * *within* a benchmark by clustering execution phases and simulating
+ * one representative per cluster.  This module implements that
+ * complementary technique on SpecLens phased workloads: measure every
+ * phase briefly, cluster phase metric vectors, pick the medoid of
+ * each cluster, and estimate whole-run behaviour as the
+ * cluster-weighted combination of the representatives.
+ */
+
+#ifndef SPECLENS_CORE_PHASE_ANALYSIS_H
+#define SPECLENS_CORE_PHASE_ANALYSIS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/phased_workload.h"
+#include "uarch/machine.h"
+
+namespace speclens {
+namespace core {
+
+/** Phase-analysis parameters. */
+struct SimPointConfig
+{
+    /** Phase clusters (representatives) to keep. */
+    std::size_t clusters = 3;
+
+    /** Measured instructions for the *full-run* reference. */
+    std::uint64_t instructions = 120'000;
+
+    /** Warm-up for the full-run reference. */
+    std::uint64_t warmup = 30'000;
+
+    /**
+     * Measured instructions per phase probe (the short profiling pass
+     * SimPoints affords because it only needs metric vectors, not
+     * precise performance).
+     */
+    std::uint64_t probe_instructions = 30'000;
+
+    /** Warm-up per phase probe. */
+    std::uint64_t probe_warmup = 8'000;
+};
+
+/** Result of a SimPoint-style estimation. */
+struct SimPointResult
+{
+    /** Phase indices chosen as representatives (medoid per cluster). */
+    std::vector<std::size_t> representatives;
+
+    /** Execution weight carried by each representative's cluster. */
+    std::vector<double> weights;
+
+    /** Whole-run CPI from the full phased simulation (ground truth). */
+    double full_cpi = 0.0;
+
+    /** CPI estimated from representatives only. */
+    double estimated_cpi = 0.0;
+
+    /** 100 * |estimated - full| / full. */
+    double cpi_error_pct = 0.0;
+
+    /** Same comparison for L1D MPKI. */
+    double full_l1d_mpki = 0.0;
+    double estimated_l1d_mpki = 0.0;
+    double l1d_error_pct = 0.0;
+
+    /**
+     * Fraction of the whole run's instructions the representative
+     * phases account for — simulating only those phases at full
+     * fidelity costs roughly this share of a complete run.
+     */
+    double simulated_fraction = 0.0;
+};
+
+/**
+ * Run the SimPoint-style estimation of @p workload on @p machine.
+ *
+ * @throws std::invalid_argument when clusters exceeds the phase count.
+ */
+SimPointResult simpointEstimate(const trace::PhasedWorkload &workload,
+                                const uarch::MachineConfig &machine,
+                                const SimPointConfig &config = {});
+
+} // namespace core
+} // namespace speclens
+
+#endif // SPECLENS_CORE_PHASE_ANALYSIS_H

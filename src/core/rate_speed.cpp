@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Rate-vs-speed analysis implementation.
+ */
+
+#include "rate_speed.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+#include "suites/spec2017.h"
+
+namespace speclens {
+namespace core {
+
+RateSpeedAnalysis
+analyzeRateSpeed(Characterizer &characterizer, bool fp,
+                 const SimilarityConfig &config)
+{
+    std::vector<suites::BenchmarkInfo> benchmarks =
+        fp ? suites::spec2017RateFp() : suites::spec2017RateInt();
+    std::vector<suites::BenchmarkInfo> speed =
+        fp ? suites::spec2017SpeedFp() : suites::spec2017SpeedInt();
+    for (const suites::BenchmarkInfo &b : speed)
+        benchmarks.push_back(b);
+
+    RateSpeedAnalysis out;
+    out.similarity = analyzeSimilarity(
+        characterizer.featureMatrix(benchmarks),
+        suites::benchmarkNames(benchmarks), config);
+
+    const SimilarityResult &sim = out.similarity;
+    for (const suites::BenchmarkInfo &b : benchmarks) {
+        // Walk rate benchmarks only; partner links the speed version.
+        if (b.category != suites::Category::RateInt &&
+            b.category != suites::Category::RateFp) {
+            continue;
+        }
+        if (b.partner.empty())
+            continue;
+
+        RateSpeedPair pair;
+        pair.rate = b.name;
+        pair.speed = b.partner;
+        std::size_t ri = sim.indexOf(pair.rate);
+        std::size_t si = sim.indexOf(pair.speed);
+        pair.pc_distance = sim.pcDistance(ri, si);
+        pair.cophenetic = sim.dendrogram.copheneticDistance(ri, si);
+        out.pairs.push_back(std::move(pair));
+    }
+
+    std::sort(out.pairs.begin(), out.pairs.end(),
+              [](const RateSpeedPair &a, const RateSpeedPair &b) {
+                  return a.pc_distance > b.pc_distance;
+              });
+
+    std::vector<double> distances;
+    distances.reserve(out.pairs.size());
+    for (const RateSpeedPair &p : out.pairs)
+        distances.push_back(p.pc_distance);
+    if (!distances.empty())
+        out.median_distance = stats::median(distances);
+    return out;
+}
+
+} // namespace core
+} // namespace speclens

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Rate-vs-speed comparison (Section IV-D).
+ *
+ * SPEC CPU2017 ships most benchmarks in both a rate and a speed
+ * version that differ in input size, compilation flags and runtime.
+ * The paper asks whether those differences show up at the
+ * micro-architectural level and finds that most pairs are nearly
+ * identical, with a handful of exceptions (imagick and bwaves most
+ * prominently in FP; omnetpp, xalancbmk and x264 in INT).  This module
+ * measures every pair's distance in a joint PC space and ranks them.
+ */
+
+#ifndef SPECLENS_CORE_RATE_SPEED_H
+#define SPECLENS_CORE_RATE_SPEED_H
+
+#include <string>
+#include <vector>
+
+#include "core/characterization.h"
+#include "core/similarity.h"
+
+namespace speclens {
+namespace core {
+
+/** One rate/speed pair's comparison. */
+struct RateSpeedPair
+{
+    std::string rate;      //!< Rate-version name (5xx).
+    std::string speed;     //!< Speed-version name (6xx).
+    double pc_distance = 0.0;   //!< Euclidean distance in PC space.
+    double cophenetic = 0.0;    //!< Dendrogram linkage distance.
+};
+
+/** Comparison over the whole suite. */
+struct RateSpeedAnalysis
+{
+    /** Joint similarity analysis over all rate + speed benchmarks. */
+    SimilarityResult similarity;
+
+    /** All pairs, sorted by descending PC distance (most different
+     *  first). */
+    std::vector<RateSpeedPair> pairs;
+
+    /** Median pair distance, the "most pairs are similar" yardstick. */
+    double median_distance = 0.0;
+};
+
+/**
+ * Compare all rate/speed pairs of CPU2017 under one of the two
+ * category groupings the paper uses.
+ *
+ * @param characterizer Shared measurement campaign.
+ * @param fp true compares the FP pairs, false the INT pairs.
+ * @param config Similarity pipeline configuration.
+ */
+RateSpeedAnalysis analyzeRateSpeed(Characterizer &characterizer, bool fp,
+                                   const SimilarityConfig &config = {});
+
+} // namespace core
+} // namespace speclens
+
+#endif // SPECLENS_CORE_RATE_SPEED_H

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Sensitivity classification implementation.
+ */
+
+#include "sensitivity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace speclens {
+namespace core {
+
+std::string
+sensitivityClassName(SensitivityClass cls)
+{
+    switch (cls) {
+      case SensitivityClass::Low: return "Low";
+      case SensitivityClass::Medium: return "Medium";
+      case SensitivityClass::High: return "High";
+    }
+    return "unknown";
+}
+
+std::vector<std::string>
+SensitivityReport::names(SensitivityClass cls) const
+{
+    std::vector<std::string> out;
+    for (const SensitivityEntry &e : entries)
+        if (e.cls == cls)
+            out.push_back(e.benchmark);
+    return out;
+}
+
+SensitivityReport
+classifySensitivity(Characterizer &characterizer,
+                    const std::vector<suites::BenchmarkInfo> &benchmarks,
+                    Metric metric, double high_fraction,
+                    double medium_fraction)
+{
+    std::size_t n = benchmarks.size();
+    std::size_t n_machines = characterizer.machines().size();
+
+    // Metric values: per machine, per benchmark.
+    std::vector<std::vector<double>> values(n_machines,
+                                            std::vector<double>(n));
+    for (std::size_t m = 0; m < n_machines; ++m)
+        for (std::size_t b = 0; b < n; ++b)
+            values[m][b] = characterizer.metrics(benchmarks[b], m)
+                               .get(metric);
+
+    // Per-machine fractional ranks, then per-benchmark spread.
+    std::vector<std::vector<double>> rank_by_machine(n_machines);
+    for (std::size_t m = 0; m < n_machines; ++m)
+        rank_by_machine[m] = stats::ranks(values[m]);
+
+    SensitivityReport report;
+    report.metric = metric;
+    for (std::size_t b = 0; b < n; ++b) {
+        SensitivityEntry e;
+        e.benchmark = benchmarks[b].name;
+        double lo = rank_by_machine[0][b], hi = lo;
+        double sum = 0.0;
+        for (std::size_t m = 0; m < n_machines; ++m) {
+            lo = std::min(lo, rank_by_machine[m][b]);
+            hi = std::max(hi, rank_by_machine[m][b]);
+            sum += values[m][b];
+        }
+        e.rank_spread = hi - lo;
+        e.mean_value = sum / static_cast<double>(n_machines);
+        report.entries.push_back(std::move(e));
+    }
+
+    std::stable_sort(report.entries.begin(), report.entries.end(),
+                     [](const SensitivityEntry &a,
+                        const SensitivityEntry &b) {
+                         return a.rank_spread > b.rank_spread;
+                     });
+
+    auto count_for = [n](double fraction) {
+        return static_cast<std::size_t>(
+            std::ceil(fraction * static_cast<double>(n)));
+    };
+    std::size_t n_high = count_for(high_fraction);
+    std::size_t n_medium = count_for(medium_fraction);
+    for (std::size_t i = 0; i < report.entries.size(); ++i) {
+        if (i < n_high)
+            report.entries[i].cls = SensitivityClass::High;
+        else if (i < n_high + n_medium)
+            report.entries[i].cls = SensitivityClass::Medium;
+        else
+            report.entries[i].cls = SensitivityClass::Low;
+    }
+    return report;
+}
+
+} // namespace core
+} // namespace speclens

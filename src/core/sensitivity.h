@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Configuration-sensitivity classification (Section V-G, Table IX).
+ *
+ * The paper ranks every CPU2017 benchmark on each machine by a metric
+ * of interest (branch MPKI, L1D MPKI, D-TLB MPMI) and uses the
+ * variation of a benchmark's rank across machines as its sensitivity
+ * to that structure: a benchmark whose rank swings widely is strongly
+ * affected by predictor/cache/TLB sizing, while one whose rank is
+ * stable behaves the same everywhere — note that stable can mean
+ * "uniformly bad", as for leela's branches.
+ */
+
+#ifndef SPECLENS_CORE_SENSITIVITY_H
+#define SPECLENS_CORE_SENSITIVITY_H
+
+#include <string>
+#include <vector>
+
+#include "core/characterization.h"
+
+namespace speclens {
+namespace core {
+
+/** Sensitivity class of Table IX. */
+enum class SensitivityClass { Low, Medium, High };
+
+/** Human-readable class name. */
+std::string sensitivityClassName(SensitivityClass cls);
+
+/** One benchmark's sensitivity verdict. */
+struct SensitivityEntry
+{
+    std::string benchmark;
+    double rank_spread = 0.0;  //!< Max - min rank across machines.
+    double mean_value = 0.0;   //!< Mean metric value across machines.
+    SensitivityClass cls = SensitivityClass::Low;
+};
+
+/** Full classification for one metric. */
+struct SensitivityReport
+{
+    Metric metric = Metric::BranchMpki;
+    std::vector<SensitivityEntry> entries; //!< Descending rank spread.
+
+    /** Entries of a class, in descending rank-spread order. */
+    std::vector<std::string> names(SensitivityClass cls) const;
+};
+
+/**
+ * Classify @p benchmarks by their sensitivity of @p metric across the
+ * characterizer's machines.  The top @p high_fraction of rank spreads
+ * is High, the next @p medium_fraction Medium, the rest Low (the
+ * paper's three-way split).
+ */
+SensitivityReport
+classifySensitivity(Characterizer &characterizer,
+                    const std::vector<suites::BenchmarkInfo> &benchmarks,
+                    Metric metric, double high_fraction = 0.1,
+                    double medium_fraction = 0.3);
+
+} // namespace core
+} // namespace speclens
+
+#endif // SPECLENS_CORE_SENSITIVITY_H

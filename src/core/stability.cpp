@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Stability analysis implementation.
+ */
+
+#include "stability.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+#include "uarch/simulation.h"
+
+namespace speclens {
+namespace core {
+
+double
+StabilityReport::worstSnr() const
+{
+    double worst = std::numeric_limits<double>::infinity();
+    for (const MetricStability &m : metrics) {
+        if (!m.informative())
+            continue;
+        worst = std::min(worst, m.snr());
+    }
+    return worst;
+}
+
+StabilityReport
+analyzeStability(const std::vector<suites::BenchmarkInfo> &benchmarks,
+                 const uarch::MachineConfig &machine, std::size_t trials,
+                 std::uint64_t instructions, std::uint64_t warmup)
+{
+    if (benchmarks.size() < 2)
+        throw std::invalid_argument("analyzeStability: >= 2 benchmarks");
+    if (trials < 2)
+        throw std::invalid_argument("analyzeStability: >= 2 trials");
+
+    std::vector<Metric> canonical = metricsFor(MetricSelection::Canonical);
+
+    // values[metric][benchmark][trial]
+    std::vector<std::vector<std::vector<double>>> values(
+        canonical.size(),
+        std::vector<std::vector<double>>(benchmarks.size()));
+
+    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+        for (std::size_t t = 0; t < trials; ++t) {
+            uarch::SimulationConfig config;
+            config.instructions = instructions;
+            config.warmup = warmup;
+            config.seed_salt = t;
+            MetricVector mv = extractMetrics(uarch::simulate(
+                benchmarks[b].profile, machine, config));
+            for (std::size_t m = 0; m < canonical.size(); ++m)
+                values[m][b].push_back(mv.get(canonical[m]));
+        }
+    }
+
+    StabilityReport report;
+    report.trials = trials;
+    for (std::size_t m = 0; m < canonical.size(); ++m) {
+        MetricStability entry;
+        entry.metric = canonical[m];
+
+        std::vector<double> means;
+        std::vector<double> noises;
+        double magnitude = 0.0;
+        for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+            means.push_back(stats::mean(values[m][b]));
+            noises.push_back(stats::stddev(values[m][b]));
+            magnitude += std::fabs(means.back());
+        }
+        entry.noise = stats::mean(noises);
+        entry.signal = stats::stddev(means);
+        entry.scale = magnitude / static_cast<double>(benchmarks.size());
+        report.metrics.push_back(entry);
+    }
+    return report;
+}
+
+} // namespace core
+} // namespace speclens

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Measurement-stability analysis: noise versus signal.
+ *
+ * The paper's entire methodology rests on an implicit premise: the
+ * per-benchmark metric vectors are stable enough that clustering them
+ * reflects benchmark identity rather than measurement noise.  On real
+ * hardware that is argued from long runs; in SpecLens, where a
+ * "measurement" is a finite synthetic-trace simulation, it must be
+ * demonstrated.  This module re-measures each benchmark under
+ * independent trace seeds and compares the within-benchmark metric
+ * variation against the across-benchmark variation — the clustering
+ * signal-to-noise ratio.
+ */
+
+#ifndef SPECLENS_CORE_STABILITY_H
+#define SPECLENS_CORE_STABILITY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "suites/benchmark_info.h"
+#include "uarch/machine.h"
+
+namespace speclens {
+namespace core {
+
+/** Stability of one metric across re-measurements. */
+struct MetricStability
+{
+    Metric metric = Metric::L1dMpki;
+
+    /** Mean within-benchmark standard deviation across seeds. */
+    double noise = 0.0;
+
+    /** Across-benchmark standard deviation of per-benchmark means. */
+    double signal = 0.0;
+
+    /** Mean magnitude of the metric over all runs (scale reference). */
+    double scale = 0.0;
+
+    /** signal / noise; large values justify clustering on the metric. */
+    double
+    snr() const
+    {
+        return noise > 0.0 ? signal / noise : 0.0;
+    }
+
+    /**
+     * A metric is informative when benchmarks actually differ on it:
+     * the across-benchmark spread must be a visible fraction of the
+     * metric's own scale.  Metrics that are ~constant across the
+     * studied benchmarks (e.g. pct_fp within an INT-only suite) carry
+     * no clustering weight after z-scoring, so their SNR is
+     * irrelevant.
+     */
+    bool
+    informative() const
+    {
+        return signal > 0.02 * scale && signal > 0.0;
+    }
+};
+
+/** Full stability study. */
+struct StabilityReport
+{
+    /** One entry per canonical metric, in metricsFor() order. */
+    std::vector<MetricStability> metrics;
+
+    /** Seeds (re-measurements) per benchmark. */
+    std::size_t trials = 0;
+
+    /** Smallest SNR across informative metrics. */
+    double worstSnr() const;
+};
+
+/**
+ * Measure @p benchmarks on @p machine under @p trials independent
+ * trace seeds and report per-metric signal-to-noise.
+ *
+ * @param benchmarks At least two benchmarks.
+ * @param machine Machine model to measure on.
+ * @param trials Independent seeds (>= 2).
+ * @param instructions Measured window per run.
+ * @param warmup Warm-up window per run.
+ */
+StabilityReport
+analyzeStability(const std::vector<suites::BenchmarkInfo> &benchmarks,
+                 const uarch::MachineConfig &machine,
+                 std::size_t trials = 5,
+                 std::uint64_t instructions = 60'000,
+                 std::uint64_t warmup = 15'000);
+
+} // namespace core
+} // namespace speclens
+
+#endif // SPECLENS_CORE_STABILITY_H

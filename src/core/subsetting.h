@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Representative-subset selection (Section IV-A, Table V).
+ *
+ * The paper draws a vertical line through a sub-suite's dendrogram at
+ * the linkage distance that yields the desired number of clusters, then
+ * picks one representative per cluster — "the benchmark with the
+ * shortest linkage distance" for clusters of more than two members.
+ * Both that rule and a medoid rule (closest to the cluster centroid in
+ * PC space) are implemented; the methodology-ablation bench compares
+ * them.
+ */
+
+#ifndef SPECLENS_CORE_SUBSETTING_H
+#define SPECLENS_CORE_SUBSETTING_H
+
+#include <string>
+#include <vector>
+
+#include "core/similarity.h"
+#include "suites/benchmark_info.h"
+
+namespace speclens {
+namespace core {
+
+/** How to pick the representative inside a cluster. */
+enum class RepresentativeRule {
+    ShortestLinkage, //!< Earliest-merging member (the paper's rule).
+    Medoid,          //!< Member closest to the cluster centroid.
+};
+
+/** Human-readable rule name. */
+std::string representativeRuleName(RepresentativeRule rule);
+
+/** A selected subset. */
+struct SubsetResult
+{
+    /** One representative per cluster, in cluster order. */
+    std::vector<std::string> representatives;
+
+    /** Full clusters (benchmark names), aligned with representatives. */
+    std::vector<std::vector<std::string>> clusters;
+
+    /** Linkage distance at which the dendrogram was cut. */
+    double cut_height = 0.0;
+
+    /**
+     * Simulation-time reduction factor: total dynamic instruction
+     * count of the whole sub-suite divided by that of the subset
+     * (the "5.6x for SPECspeed INT" numbers of Section IV-A).
+     * Zero when instruction counts were not supplied.
+     */
+    double simulation_time_reduction = 0.0;
+};
+
+/**
+ * Select @p subset_size representatives from a similarity analysis.
+ *
+ * @param analysis Clustered sub-suite.
+ * @param subset_size Number of clusters / representatives (3 in the
+ *        paper's Table V).
+ * @param rule In-cluster representative selection rule.
+ * @param benchmarks Optional benchmark records (matched by name) used
+ *        to compute the simulation-time reduction; pass an empty list
+ *        to skip.
+ */
+SubsetResult
+selectSubset(const SimilarityResult &analysis, std::size_t subset_size,
+             RepresentativeRule rule = RepresentativeRule::ShortestLinkage,
+             const std::vector<suites::BenchmarkInfo> &benchmarks = {});
+
+/**
+ * Alternative subsetting via k-means in PC space (the other common
+ * choice in the workload-similarity literature); each cluster is
+ * represented by the member closest to its centroid.  cut_height is 0
+ * in the result (no dendrogram is involved).  Used by the clustering-
+ * method ablation.
+ */
+SubsetResult selectSubsetKmeans(
+    const SimilarityResult &analysis, std::size_t subset_size,
+    std::uint64_t seed = 1,
+    const std::vector<suites::BenchmarkInfo> &benchmarks = {});
+
+} // namespace core
+} // namespace speclens
+
+#endif // SPECLENS_CORE_SUBSETTING_H

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Suite report implementation.
+ */
+
+#include "suite_report.h"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/similarity.h"
+#include "core/subsetting.h"
+#include "core/validation.h"
+
+namespace speclens {
+namespace core {
+
+namespace {
+
+void
+markdownRow(std::ostream &out, const std::vector<std::string> &cells)
+{
+    out << "|";
+    for (const std::string &cell : cells)
+        out << " " << cell << " |";
+    out << "\n";
+}
+
+std::string
+num(double value, int precision = 2)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << value;
+    return os.str();
+}
+
+} // namespace
+
+void
+writeSuiteReport(std::ostream &out, Characterizer &characterizer,
+                 const std::vector<suites::BenchmarkInfo> &suite,
+                 const SuiteReportOptions &options)
+{
+    if (suite.size() < 2)
+        throw std::invalid_argument("writeSuiteReport: need >= 2 "
+                                    "benchmarks");
+    if (options.subset_size < 1 || options.subset_size > suite.size())
+        throw std::invalid_argument("writeSuiteReport: subset size");
+
+    out << "# " << options.title << "\n\n";
+    out << suite.size() << " benchmarks measured on "
+        << characterizer.machines().size()
+        << " machine models ("
+        << characterizer.featureNames().size()
+        << " metrics per benchmark).\n\n";
+
+    // ----- Characterization (reference machine = first) -----
+    out << "## Characterization ("
+        << characterizer.machines().front().name << ")\n\n";
+    markdownRow(out, {"Benchmark", "CPI", "L1D MPKI", "L1I MPKI",
+                      "L3 MPKI", "Branch MPKI", "D-TLB MPMI"});
+    markdownRow(out, {"---", "---", "---", "---", "---", "---", "---"});
+    for (const suites::BenchmarkInfo &b : suite) {
+        const auto &sim = characterizer.simulation(b, 0);
+        MetricVector mv = extractMetrics(sim);
+        markdownRow(out,
+                    {b.name, num(sim.cpi()),
+                     num(mv.get(Metric::L1dMpki), 1),
+                     num(mv.get(Metric::L1iMpki), 1),
+                     num(mv.get(Metric::L3Mpki), 1),
+                     num(mv.get(Metric::BranchMpki), 1),
+                     num(mv.get(Metric::DtlbMpmi), 0)});
+    }
+
+    // ----- Similarity -----
+    SimilarityResult sim = analyzeSimilarity(
+        characterizer.featureMatrix(suite),
+        suites::benchmarkNames(suite));
+    out << "\n## Similarity\n\n";
+    out << "PCA retained " << sim.pca.retained
+        << " components covering "
+        << num(100.0 * sim.pca.variance_covered, 1)
+        << "% of variance (Kaiser criterion).\n\n";
+    out << "Most distinct benchmark: **"
+        << sim.labels[sim.mostDistinct()] << "**\n\n";
+    out << "```\n" << sim.renderDendrogram() << "```\n";
+
+    // ----- Subset -----
+    SubsetResult subset = selectSubset(
+        sim, options.subset_size, RepresentativeRule::ShortestLinkage,
+        suite);
+    out << "\n## Representative subset (" << options.subset_size
+        << " of " << suite.size() << ")\n\n";
+    for (std::size_t c = 0; c < subset.clusters.size(); ++c) {
+        out << "* **" << subset.representatives[c] << "** represents:";
+        for (const std::string &name : subset.clusters[c])
+            out << " " << name;
+        out << "\n";
+    }
+    out << "\nSimulation-time reduction: "
+        << num(subset.simulation_time_reduction, 1) << "x\n";
+
+    // ----- Validation -----
+    if (options.validation_category != suites::Category::Other) {
+        suites::ScoreDatabase db;
+        ValidationResult validation =
+            validateSubset(suite, subset.representatives,
+                           options.validation_category, db);
+        out << "\n## Score-prediction accuracy\n\n";
+        markdownRow(out, {"System", "Full score", "Subset score",
+                          "Error (%)"});
+        markdownRow(out, {"---", "---", "---", "---"});
+        for (const SystemValidation &v : validation.per_system)
+            markdownRow(out, {v.system, num(v.full_score),
+                              num(v.subset_score),
+                              num(v.error_pct, 1)});
+        out << "\nAverage error " << num(validation.avg_error_pct, 1)
+            << "% — accuracy "
+            << num(100.0 - validation.avg_error_pct, 1) << "%.\n";
+    }
+}
+
+} // namespace core
+} // namespace speclens

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * One-call markdown report over a benchmark suite: the paper's whole
+ * analysis pipeline condensed into a document a performance team can
+ * circulate.
+ *
+ * The report contains: the characterization table (Skylake reference),
+ * the similarity dendrogram, the representative subset with its
+ * score-prediction accuracy, and the most/least distinct benchmarks.
+ */
+
+#ifndef SPECLENS_CORE_SUITE_REPORT_H
+#define SPECLENS_CORE_SUITE_REPORT_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/characterization.h"
+#include "suites/benchmark_info.h"
+#include "suites/score_database.h"
+
+namespace speclens {
+namespace core {
+
+/** Report options. */
+struct SuiteReportOptions
+{
+    /** Representative-subset size (the paper's 3). */
+    std::size_t subset_size = 3;
+
+    /**
+     * Category used for score-database validation; Category::Other
+     * skips the validation section (no published scores exist).
+     */
+    suites::Category validation_category = suites::Category::Other;
+
+    /** Title printed at the top. */
+    std::string title = "SpecLens suite report";
+};
+
+/**
+ * Write a markdown report for @p suite to @p out.
+ *
+ * @param characterizer Measurement campaign (results are memoised, so
+ *        sharing one across reports is cheap).
+ * @param suite At least two benchmarks.
+ * @param options See SuiteReportOptions.
+ */
+void writeSuiteReport(std::ostream &out, Characterizer &characterizer,
+                      const std::vector<suites::BenchmarkInfo> &suite,
+                      const SuiteReportOptions &options = {});
+
+} // namespace core
+} // namespace speclens
+
+#endif // SPECLENS_CORE_SUITE_REPORT_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Subset validation implementation.
+ */
+
+#include "validation.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+
+namespace speclens {
+namespace core {
+
+ValidationResult
+validateSubset(const std::vector<suites::BenchmarkInfo> &suite,
+               const std::vector<std::string> &subset,
+               suites::Category category, const suites::ScoreDatabase &db)
+{
+    if (subset.empty())
+        throw std::invalid_argument("validateSubset: empty subset");
+
+    std::vector<suites::BenchmarkInfo> members;
+    members.reserve(subset.size());
+    for (const std::string &name : subset)
+        members.push_back(suites::findBenchmark(suite, name));
+
+    ValidationResult out;
+    std::vector<double> errors;
+    for (const suites::CommercialSystem &system : db.systemsFor(category)) {
+        SystemValidation v;
+        v.system = system.name;
+        v.full_score = db.suiteScore(system, suite);
+        v.subset_score = db.suiteScore(system, members);
+        v.error_pct =
+            100.0 * stats::relativeError(v.subset_score, v.full_score);
+        errors.push_back(v.error_pct);
+        out.per_system.push_back(std::move(v));
+    }
+    out.avg_error_pct = stats::mean(errors);
+    out.max_error_pct = stats::maxValue(errors);
+    return out;
+}
+
+std::vector<std::string>
+randomSubset(const std::vector<suites::BenchmarkInfo> &suite,
+             std::size_t size, std::uint64_t seed)
+{
+    if (size > suite.size())
+        throw std::invalid_argument("randomSubset: size > suite");
+
+    // Fisher-Yates over the index vector, take the prefix.
+    std::vector<std::size_t> indices(suite.size());
+    for (std::size_t i = 0; i < indices.size(); ++i)
+        indices[i] = i;
+    stats::Rng rng(seed);
+    for (std::size_t i = 0; i < size; ++i) {
+        std::size_t j = i + rng.below(indices.size() - i);
+        std::swap(indices[i], indices[j]);
+    }
+
+    std::vector<std::string> out;
+    out.reserve(size);
+    for (std::size_t i = 0; i < size; ++i)
+        out.push_back(suite[indices[i]].name);
+    return out;
+}
+
+double
+averageRandomSubsetError(const std::vector<suites::BenchmarkInfo> &suite,
+                         std::size_t size, suites::Category category,
+                         const suites::ScoreDatabase &db,
+                         std::size_t trials, std::uint64_t seed)
+{
+    std::vector<double> errors;
+    errors.reserve(trials);
+    for (std::size_t t = 0; t < trials; ++t) {
+        auto subset =
+            randomSubset(suite, size, stats::combineSeeds(seed, t));
+        errors.push_back(
+            validateSubset(suite, subset, category, db).avg_error_pct);
+    }
+    return stats::mean(errors);
+}
+
+} // namespace core
+} // namespace speclens

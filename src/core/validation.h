@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Subset representativeness validation (Section IV-B, Figs. 5-6,
+ * Table VI).
+ *
+ * A subset is validated by comparing the geometric-mean speedup of its
+ * members against the geometric-mean speedup of the full sub-suite on
+ * each commercial system in the score database; the per-system relative
+ * error and its average/maximum are the numbers Figs. 5-6 plot and
+ * Table VI summarises against random subsets.
+ */
+
+#ifndef SPECLENS_CORE_VALIDATION_H
+#define SPECLENS_CORE_VALIDATION_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "suites/benchmark_info.h"
+#include "suites/score_database.h"
+
+namespace speclens {
+namespace core {
+
+/** One system's subset-vs-full comparison. */
+struct SystemValidation
+{
+    std::string system;
+    double full_score = 0.0;    //!< Geomean speedup of all benchmarks.
+    double subset_score = 0.0;  //!< Geomean speedup of the subset.
+    double error_pct = 0.0;     //!< 100 * |subset - full| / full.
+};
+
+/** Validation across all systems of a category. */
+struct ValidationResult
+{
+    std::vector<SystemValidation> per_system;
+    double avg_error_pct = 0.0;
+    double max_error_pct = 0.0;
+};
+
+/**
+ * Validate @p subset against the full @p suite on every system with
+ * submissions for @p category.
+ *
+ * @param suite Full sub-suite.
+ * @param subset Names of the subset members (must be in @p suite).
+ * @param category Determines which systems have submissions.
+ * @param db Score database.
+ */
+ValidationResult
+validateSubset(const std::vector<suites::BenchmarkInfo> &suite,
+               const std::vector<std::string> &subset,
+               suites::Category category,
+               const suites::ScoreDatabase &db);
+
+/**
+ * Uniformly random subset of @p size benchmark names (deterministic in
+ * @p seed); the Table VI baseline.
+ */
+std::vector<std::string>
+randomSubset(const std::vector<suites::BenchmarkInfo> &suite,
+             std::size_t size, std::uint64_t seed);
+
+/**
+ * Average validation error over @p trials random subsets — an
+ * extension of Table VI's two fixed random sets that characterises the
+ * whole random-subset distribution.
+ */
+double
+averageRandomSubsetError(const std::vector<suites::BenchmarkInfo> &suite,
+                         std::size_t size, suites::Category category,
+                         const suites::ScoreDatabase &db,
+                         std::size_t trials, std::uint64_t seed);
+
+} // namespace core
+} // namespace speclens
+
+#endif // SPECLENS_CORE_VALIDATION_H

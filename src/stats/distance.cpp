@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Distance metric implementations.
+ */
+
+#include "distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace speclens {
+namespace stats {
+
+double
+squaredEuclidean(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        throw std::invalid_argument("squaredEuclidean: length mismatch");
+    double acc = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        double d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+double
+distance(const std::vector<double> &a, const std::vector<double> &b,
+         DistanceMetric metric)
+{
+    if (a.size() != b.size())
+        throw std::invalid_argument("distance: length mismatch");
+
+    switch (metric) {
+      case DistanceMetric::Euclidean:
+        return std::sqrt(squaredEuclidean(a, b));
+      case DistanceMetric::Manhattan: {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < a.size(); ++i)
+            acc += std::fabs(a[i] - b[i]);
+        return acc;
+      }
+      case DistanceMetric::Chebyshev: {
+        double best = 0.0;
+        for (std::size_t i = 0; i < a.size(); ++i)
+            best = std::max(best, std::fabs(a[i] - b[i]));
+        return best;
+      }
+    }
+    throw std::invalid_argument("distance: unknown metric");
+}
+
+Matrix
+pairwiseDistances(const Matrix &points, DistanceMetric metric)
+{
+    std::size_t n = points.rows();
+    Matrix out(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        auto ri = points.row(i);
+        for (std::size_t j = i + 1; j < n; ++j) {
+            double d = distance(ri, points.row(j), metric);
+            out(i, j) = d;
+            out(j, i) = d;
+        }
+    }
+    return out;
+}
+
+} // namespace stats
+} // namespace speclens

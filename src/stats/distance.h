@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Distance metrics over feature vectors.
+ *
+ * The paper measures benchmark similarity as the Euclidean distance
+ * between PCA-space coordinates (Section III).  Alternative metrics are
+ * provided for the methodology-ablation benchmarks.
+ */
+
+#ifndef SPECLENS_STATS_DISTANCE_H
+#define SPECLENS_STATS_DISTANCE_H
+
+#include <vector>
+
+#include "matrix.h"
+
+namespace speclens {
+namespace stats {
+
+/** Supported point-to-point distance metrics. */
+enum class DistanceMetric {
+    Euclidean, //!< L2 distance; the paper's choice.
+    Manhattan, //!< L1 distance.
+    Chebyshev, //!< L-infinity distance.
+};
+
+/** Distance between two equal-length vectors under @p metric. */
+double distance(const std::vector<double> &a, const std::vector<double> &b,
+                DistanceMetric metric = DistanceMetric::Euclidean);
+
+/** Squared Euclidean distance (no sqrt; used by Ward linkage). */
+double squaredEuclidean(const std::vector<double> &a,
+                        const std::vector<double> &b);
+
+/**
+ * Symmetric pairwise distance matrix between the rows of @p points.
+ * Entry (i, j) is the distance between row i and row j.
+ */
+Matrix pairwiseDistances(const Matrix &points,
+                         DistanceMetric metric = DistanceMetric::Euclidean);
+
+} // namespace stats
+} // namespace speclens
+
+#endif // SPECLENS_STATS_DISTANCE_H

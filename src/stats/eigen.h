@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Symmetric eigen-decomposition via the cyclic Jacobi rotation method.
+ *
+ * PCA (Section III of the paper) requires the eigenvalues and
+ * eigenvectors of the feature covariance/correlation matrix.  The Jacobi
+ * method is simple, numerically robust for symmetric matrices, and more
+ * than fast enough for the <= few-hundred dimensional matrices the
+ * workload-similarity analyses produce.
+ */
+
+#ifndef SPECLENS_STATS_EIGEN_H
+#define SPECLENS_STATS_EIGEN_H
+
+#include <vector>
+
+#include "matrix.h"
+
+namespace speclens {
+namespace stats {
+
+/** Result of a symmetric eigen-decomposition. */
+struct EigenDecomposition
+{
+    /** Eigenvalues sorted in descending order. */
+    std::vector<double> values;
+
+    /**
+     * Eigenvectors as matrix columns; column k corresponds to values[k].
+     * The matrix is orthonormal: V^T V = I.
+     */
+    Matrix vectors;
+};
+
+/**
+ * Eigen-decomposition of a symmetric matrix using cyclic Jacobi sweeps.
+ *
+ * @param m Symmetric matrix (validated; throws std::invalid_argument
+ *          otherwise).
+ * @param tol Convergence threshold on the largest absolute off-diagonal
+ *            element of the rotated matrix.
+ * @param max_sweeps Safety bound on the number of full sweeps.
+ * @return Eigenvalues (descending) and matching orthonormal eigenvectors.
+ * @throws std::runtime_error when convergence is not reached within
+ *         max_sweeps (does not happen for well-formed symmetric input).
+ */
+EigenDecomposition symmetricEigen(const Matrix &m, double tol = 1e-12,
+                                  int max_sweeps = 100);
+
+} // namespace stats
+} // namespace speclens
+
+#endif // SPECLENS_STATS_EIGEN_H

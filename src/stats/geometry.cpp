@@ -1,0 +1,112 @@
+/**
+ * @file
+ * 2-D geometry implementation.
+ */
+
+#include "geometry.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace speclens {
+namespace stats {
+
+namespace {
+
+double
+cross(const Point2 &o, const Point2 &a, const Point2 &b)
+{
+    return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+} // namespace
+
+std::vector<Point2>
+convexHull(std::vector<Point2> points)
+{
+    std::sort(points.begin(), points.end(),
+              [](const Point2 &a, const Point2 &b) {
+                  return a.x < b.x || (a.x == b.x && a.y < b.y);
+              });
+    points.erase(std::unique(points.begin(), points.end(),
+                             [](const Point2 &a, const Point2 &b) {
+                                 return a.x == b.x && a.y == b.y;
+                             }),
+                 points.end());
+
+    std::size_t n = points.size();
+    if (n < 3)
+        return points;
+
+    std::vector<Point2> hull(2 * n);
+    std::size_t k = 0;
+
+    // Lower hull.
+    for (std::size_t i = 0; i < n; ++i) {
+        while (k >= 2 &&
+               cross(hull[k - 2], hull[k - 1], points[i]) <= 0.0)
+            --k;
+        hull[k++] = points[i];
+    }
+    // Upper hull.
+    for (std::size_t i = n - 1, t = k + 1; i-- > 0;) {
+        while (k >= t &&
+               cross(hull[k - 2], hull[k - 1], points[i]) <= 0.0)
+            --k;
+        hull[k++] = points[i];
+    }
+
+    hull.resize(k - 1); // last point repeats the first
+    return hull;
+}
+
+double
+polygonArea(const std::vector<Point2> &polygon)
+{
+    if (polygon.size() < 3)
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < polygon.size(); ++i) {
+        const Point2 &a = polygon[i];
+        const Point2 &b = polygon[(i + 1) % polygon.size()];
+        acc += a.x * b.y - b.x * a.y;
+    }
+    return 0.5 * acc;
+}
+
+double
+hullArea(const std::vector<Point2> &points)
+{
+    return std::fabs(polygonArea(convexHull(points)));
+}
+
+bool
+pointInConvexPolygon(const Point2 &p, const std::vector<Point2> &hull)
+{
+    if (hull.empty())
+        return false;
+    if (hull.size() == 1)
+        return p.x == hull[0].x && p.y == hull[0].y;
+    if (hull.size() == 2) {
+        // On-segment test with a small tolerance.
+        double c = cross(hull[0], hull[1], p);
+        if (std::fabs(c) > 1e-9)
+            return false;
+        double min_x = std::min(hull[0].x, hull[1].x);
+        double max_x = std::max(hull[0].x, hull[1].x);
+        double min_y = std::min(hull[0].y, hull[1].y);
+        double max_y = std::max(hull[0].y, hull[1].y);
+        return p.x >= min_x - 1e-9 && p.x <= max_x + 1e-9 &&
+               p.y >= min_y - 1e-9 && p.y <= max_y + 1e-9;
+    }
+    for (std::size_t i = 0; i < hull.size(); ++i) {
+        const Point2 &a = hull[i];
+        const Point2 &b = hull[(i + 1) % hull.size()];
+        if (cross(a, b, p) < -1e-9)
+            return false;
+    }
+    return true;
+}
+
+} // namespace stats
+} // namespace speclens

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * 2-D computational geometry for workload-space coverage analysis.
+ *
+ * Section V-A of the paper compares how much of the PC1-PC2 and
+ * PC3-PC4 planes each suite covers ("the 2017 benchmarks cover twice
+ * as much area...") and how many CPU2017 points fall outside the
+ * CPU2006 region.  Convex hulls, polygon areas and point-in-polygon
+ * tests make those statements computable.
+ */
+
+#ifndef SPECLENS_STATS_GEOMETRY_H
+#define SPECLENS_STATS_GEOMETRY_H
+
+#include <vector>
+
+namespace speclens {
+namespace stats {
+
+/** 2-D point. */
+struct Point2
+{
+    double x = 0.0;
+    double y = 0.0;
+};
+
+/**
+ * Convex hull (Andrew's monotone chain), returned in counter-clockwise
+ * order without a repeated first vertex.  Degenerate inputs (fewer
+ * than 3 distinct points, collinear sets) return the distinct points.
+ */
+std::vector<Point2> convexHull(std::vector<Point2> points);
+
+/** Signed area of a polygon (positive for counter-clockwise order). */
+double polygonArea(const std::vector<Point2> &polygon);
+
+/** Absolute area of the convex hull of a point set. */
+double hullArea(const std::vector<Point2> &points);
+
+/**
+ * True when @p p lies inside or on the boundary of convex polygon
+ * @p hull (counter-clockwise order).
+ */
+bool pointInConvexPolygon(const Point2 &p,
+                          const std::vector<Point2> &hull);
+
+} // namespace stats
+} // namespace speclens
+
+#endif // SPECLENS_STATS_GEOMETRY_H

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * K-means and silhouette implementation.
+ */
+
+#include "kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "distance.h"
+#include "rng.h"
+
+namespace speclens {
+namespace stats {
+
+std::vector<std::size_t>
+KmeansResult::members(std::size_t c) const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < assignment.size(); ++i)
+        if (assignment[i] == c)
+            out.push_back(i);
+    return out;
+}
+
+namespace {
+
+/** Squared distance from a row of @p points to a row of @p centroids. */
+double
+squaredTo(const Matrix &points, std::size_t row, const Matrix &centroids,
+          std::size_t centroid)
+{
+    double acc = 0.0;
+    for (std::size_t d = 0; d < points.cols(); ++d) {
+        double diff = points(row, d) - centroids(centroid, d);
+        acc += diff * diff;
+    }
+    return acc;
+}
+
+/** k-means++ seeding: spread initial centroids by D^2 sampling. */
+Matrix
+seedCentroids(const Matrix &points, std::size_t k, Rng &rng)
+{
+    std::size_t n = points.rows();
+    Matrix centroids(k, points.cols());
+    std::size_t first = static_cast<std::size_t>(rng.below(n));
+    centroids.setRow(0, points.row(first));
+
+    std::vector<double> best_sq(n,
+                                std::numeric_limits<double>::infinity());
+    for (std::size_t c = 1; c < k; ++c) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            best_sq[i] = std::min(best_sq[i],
+                                  squaredTo(points, i, centroids, c - 1));
+            total += best_sq[i];
+        }
+        std::size_t chosen = 0;
+        if (total > 0.0) {
+            double target = rng.uniform() * total;
+            double acc = 0.0;
+            for (std::size_t i = 0; i < n; ++i) {
+                acc += best_sq[i];
+                if (acc >= target) {
+                    chosen = i;
+                    break;
+                }
+            }
+        } else {
+            // All points coincide with existing centroids.
+            chosen = static_cast<std::size_t>(rng.below(n));
+        }
+        centroids.setRow(c, points.row(chosen));
+    }
+    return centroids;
+}
+
+} // namespace
+
+KmeansResult
+kmeans(const Matrix &points, std::size_t k, std::uint64_t seed,
+       int max_iterations)
+{
+    std::size_t n = points.rows();
+    if (n == 0 || k < 1 || k > n)
+        throw std::invalid_argument("kmeans: bad k or empty input");
+
+    Rng rng(seed);
+    KmeansResult result;
+    result.centroids = seedCentroids(points, k, rng);
+    result.assignment.assign(n, 0);
+
+    for (result.iterations = 0; result.iterations < max_iterations;
+         ++result.iterations) {
+        // Assignment step.
+        bool changed = false;
+        for (std::size_t i = 0; i < n; ++i) {
+            std::size_t best = 0;
+            double best_sq = squaredTo(points, i, result.centroids, 0);
+            for (std::size_t c = 1; c < k; ++c) {
+                double sq = squaredTo(points, i, result.centroids, c);
+                if (sq < best_sq) {
+                    best_sq = sq;
+                    best = c;
+                }
+            }
+            if (result.assignment[i] != best) {
+                result.assignment[i] = best;
+                changed = true;
+            }
+        }
+        if (!changed && result.iterations > 0)
+            break;
+
+        // Update step; empty clusters are re-seeded from the point
+        // furthest from its centroid, the standard repair.
+        Matrix sums(k, points.cols());
+        std::vector<std::size_t> counts(k, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            ++counts[result.assignment[i]];
+            for (std::size_t d = 0; d < points.cols(); ++d)
+                sums(result.assignment[i], d) += points(i, d);
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            if (counts[c] == 0) {
+                std::size_t worst = 0;
+                double worst_sq = -1.0;
+                for (std::size_t i = 0; i < n; ++i) {
+                    double sq = squaredTo(points, i, result.centroids,
+                                          result.assignment[i]);
+                    if (sq > worst_sq) {
+                        worst_sq = sq;
+                        worst = i;
+                    }
+                }
+                result.centroids.setRow(c, points.row(worst));
+                continue;
+            }
+            for (std::size_t d = 0; d < points.cols(); ++d)
+                result.centroids(c, d) =
+                    sums(c, d) / static_cast<double>(counts[c]);
+        }
+    }
+
+    result.inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        result.inertia +=
+            squaredTo(points, i, result.centroids, result.assignment[i]);
+    return result;
+}
+
+double
+silhouetteScore(const Matrix &points,
+                const std::vector<std::size_t> &assignment)
+{
+    std::size_t n = points.rows();
+    if (assignment.size() != n)
+        throw std::invalid_argument("silhouetteScore: length mismatch");
+    if (n < 2)
+        return 0.0;
+
+    std::size_t k = 0;
+    for (std::size_t c : assignment)
+        k = std::max(k, c + 1);
+
+    Matrix d = pairwiseDistances(points);
+    std::vector<std::size_t> sizes(k, 0);
+    for (std::size_t c : assignment)
+        ++sizes[c];
+
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t own = assignment[i];
+        if (sizes[own] <= 1)
+            continue; // singleton contributes 0
+
+        // a(i): mean distance within the own cluster.
+        // b(i): smallest mean distance to another cluster.
+        std::vector<double> sum_to(k, 0.0);
+        for (std::size_t j = 0; j < n; ++j)
+            if (j != i)
+                sum_to[assignment[j]] += d(i, j);
+
+        double a = sum_to[own] / static_cast<double>(sizes[own] - 1);
+        double b = std::numeric_limits<double>::infinity();
+        for (std::size_t c = 0; c < k; ++c) {
+            if (c == own || sizes[c] == 0)
+                continue;
+            b = std::min(b, sum_to[c] / static_cast<double>(sizes[c]));
+        }
+        if (std::isinf(b))
+            continue; // only one non-empty cluster
+        double denom = std::max(a, b);
+        if (denom > 0.0)
+            total += (b - a) / denom;
+    }
+    return total / static_cast<double>(n);
+}
+
+} // namespace stats
+} // namespace speclens

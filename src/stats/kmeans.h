@@ -1,0 +1,68 @@
+/**
+ * @file
+ * K-means clustering and silhouette scoring.
+ *
+ * The paper uses hierarchical clustering; k-means is the standard
+ * alternative in the workload-similarity literature (Eeckhout et al.,
+ * Phansalkar et al. compare both).  SpecLens provides it for the
+ * methodology-ablation benches, together with silhouette scores to
+ * compare clustering quality across methods and cluster counts.
+ */
+
+#ifndef SPECLENS_STATS_KMEANS_H
+#define SPECLENS_STATS_KMEANS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "matrix.h"
+
+namespace speclens {
+namespace stats {
+
+/** K-means clustering result. */
+struct KmeansResult
+{
+    /** Cluster index per observation, in [0, k). */
+    std::vector<std::size_t> assignment;
+
+    /** Cluster centroids (k rows). */
+    Matrix centroids;
+
+    /** Sum of squared distances to assigned centroids. */
+    double inertia = 0.0;
+
+    /** Lloyd iterations executed. */
+    int iterations = 0;
+
+    /** Observations of cluster @p c, ascending. */
+    std::vector<std::size_t> members(std::size_t c) const;
+};
+
+/**
+ * Lloyd's k-means with k-means++ seeding (deterministic in @p seed).
+ *
+ * @param points Observations x dimensions.
+ * @param k Number of clusters, 1 <= k <= points.rows().
+ * @param seed Seeding RNG seed.
+ * @param max_iterations Upper bound on Lloyd iterations.
+ * @throws std::invalid_argument for degenerate input.
+ */
+KmeansResult kmeans(const Matrix &points, std::size_t k,
+                    std::uint64_t seed = 1, int max_iterations = 100);
+
+/**
+ * Mean silhouette coefficient of a clustering, in [-1, 1]; larger is
+ * better-separated.  Observations in singleton clusters contribute 0
+ * (the standard convention).
+ *
+ * @param points Observations x dimensions.
+ * @param assignment Cluster index per observation.
+ */
+double silhouetteScore(const Matrix &points,
+                       const std::vector<std::size_t> &assignment);
+
+} // namespace stats
+} // namespace speclens
+
+#endif // SPECLENS_STATS_KMEANS_H

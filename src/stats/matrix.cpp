@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Implementation of the dense matrix type.
+ */
+
+#include "matrix.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace speclens {
+namespace stats {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0)
+{
+}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill)
+{
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows)
+{
+    rows_ = rows.size();
+    cols_ = rows_ ? rows.begin()->size() : 0;
+    data_.reserve(rows_ * cols_);
+    for (const auto &r : rows) {
+        if (r.size() != cols_)
+            throw std::invalid_argument("Matrix: ragged initializer list");
+        data_.insert(data_.end(), r.begin(), r.end());
+    }
+}
+
+Matrix
+Matrix::identity(std::size_t n)
+{
+    Matrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i)
+        m(i, i) = 1.0;
+    return m;
+}
+
+double &
+Matrix::operator()(std::size_t r, std::size_t c)
+{
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+}
+
+double
+Matrix::operator()(std::size_t r, std::size_t c) const
+{
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+}
+
+std::vector<double>
+Matrix::row(std::size_t r) const
+{
+    assert(r < rows_);
+    return std::vector<double>(data_.begin() + r * cols_,
+                               data_.begin() + (r + 1) * cols_);
+}
+
+std::vector<double>
+Matrix::col(std::size_t c) const
+{
+    assert(c < cols_);
+    std::vector<double> out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        out[r] = data_[r * cols_ + c];
+    return out;
+}
+
+void
+Matrix::setRow(std::size_t r, const std::vector<double> &values)
+{
+    if (values.size() != cols_)
+        throw std::invalid_argument("Matrix::setRow: length mismatch");
+    assert(r < rows_);
+    std::copy(values.begin(), values.end(), data_.begin() + r * cols_);
+}
+
+void
+Matrix::setCol(std::size_t c, const std::vector<double> &values)
+{
+    if (values.size() != rows_)
+        throw std::invalid_argument("Matrix::setCol: length mismatch");
+    assert(c < cols_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        data_[r * cols_ + c] = values[r];
+}
+
+Matrix
+Matrix::transposed() const
+{
+    Matrix out(cols_, rows_);
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            out(c, r) = (*this)(r, c);
+    return out;
+}
+
+Matrix
+Matrix::multiply(const Matrix &rhs) const
+{
+    if (cols_ != rhs.rows_)
+        throw std::invalid_argument("Matrix::multiply: dimension mismatch");
+    Matrix out(rows_, rhs.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+        for (std::size_t k = 0; k < cols_; ++k) {
+            double a = (*this)(i, k);
+            if (a == 0.0)
+                continue;
+            for (std::size_t j = 0; j < rhs.cols_; ++j)
+                out(i, j) += a * rhs(k, j);
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+Matrix::multiply(const std::vector<double> &v) const
+{
+    if (v.size() != cols_)
+        throw std::invalid_argument("Matrix::multiply: vector length");
+    std::vector<double> out(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        for (std::size_t c = 0; c < cols_; ++c)
+            acc += (*this)(r, c) * v[c];
+        out[r] = acc;
+    }
+    return out;
+}
+
+Matrix
+Matrix::add(const Matrix &rhs) const
+{
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+        throw std::invalid_argument("Matrix::add: shape mismatch");
+    Matrix out = *this;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] += rhs.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::subtract(const Matrix &rhs) const
+{
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+        throw std::invalid_argument("Matrix::subtract: shape mismatch");
+    Matrix out = *this;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        out.data_[i] -= rhs.data_[i];
+    return out;
+}
+
+Matrix
+Matrix::scaled(double factor) const
+{
+    Matrix out = *this;
+    for (double &v : out.data_)
+        v *= factor;
+    return out;
+}
+
+Matrix
+Matrix::selectRows(const std::vector<std::size_t> &indices) const
+{
+    Matrix out(indices.size(), cols_);
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+        if (indices[i] >= rows_)
+            throw std::out_of_range("Matrix::selectRows: index");
+        out.setRow(i, row(indices[i]));
+    }
+    return out;
+}
+
+Matrix
+Matrix::selectCols(const std::vector<std::size_t> &indices) const
+{
+    Matrix out(rows_, indices.size());
+    for (std::size_t j = 0; j < indices.size(); ++j) {
+        if (indices[j] >= cols_)
+            throw std::out_of_range("Matrix::selectCols: index");
+        out.setCol(j, col(indices[j]));
+    }
+    return out;
+}
+
+bool
+Matrix::approxEquals(const Matrix &rhs, double tol) const
+{
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_)
+        return false;
+    for (std::size_t i = 0; i < data_.size(); ++i)
+        if (std::fabs(data_[i] - rhs.data_[i]) > tol)
+            return false;
+    return true;
+}
+
+double
+Matrix::frobeniusNorm() const
+{
+    double acc = 0.0;
+    for (double v : data_)
+        acc += v * v;
+    return std::sqrt(acc);
+}
+
+double
+Matrix::maxOffDiagonal() const
+{
+    if (rows_ != cols_)
+        throw std::invalid_argument("Matrix::maxOffDiagonal: not square");
+    double best = 0.0;
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = 0; c < cols_; ++c)
+            if (r != c)
+                best = std::max(best, std::fabs((*this)(r, c)));
+    return best;
+}
+
+bool
+Matrix::isSymmetric(double tol) const
+{
+    if (rows_ != cols_)
+        return false;
+    for (std::size_t r = 0; r < rows_; ++r)
+        for (std::size_t c = r + 1; c < cols_; ++c)
+            if (std::fabs((*this)(r, c) - (*this)(c, r)) > tol)
+                return false;
+    return true;
+}
+
+std::string
+Matrix::toString(int precision) const
+{
+    std::ostringstream os;
+    os.precision(precision);
+    os << std::fixed;
+    for (std::size_t r = 0; r < rows_; ++r) {
+        os << "[";
+        for (std::size_t c = 0; c < cols_; ++c)
+            os << (c ? ", " : " ") << (*this)(r, c);
+        os << " ]\n";
+    }
+    return os.str();
+}
+
+} // namespace stats
+} // namespace speclens

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Dense row-major matrix used throughout the statistics pipeline.
+ *
+ * The analyses in this toolkit operate on small matrices (at most a few
+ * hundred benchmarks by a few hundred metrics), so the implementation
+ * favours clarity and strong invariant checking over blocked/vectorised
+ * kernels.  All element access is bounds-checked in debug builds.
+ */
+
+#ifndef SPECLENS_STATS_MATRIX_H
+#define SPECLENS_STATS_MATRIX_H
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace speclens {
+namespace stats {
+
+/**
+ * Dense row-major matrix of doubles.
+ *
+ * Rows conventionally index observations (benchmarks) and columns index
+ * features (performance metrics).
+ */
+class Matrix
+{
+  public:
+    /** Empty 0x0 matrix. */
+    Matrix() = default;
+
+    /** rows x cols matrix, zero-initialised. */
+    Matrix(std::size_t rows, std::size_t cols);
+
+    /** rows x cols matrix with every element set to @p fill. */
+    Matrix(std::size_t rows, std::size_t cols, double fill);
+
+    /**
+     * Construct from nested initializer lists, e.g.
+     * `Matrix m{{1.0, 2.0}, {3.0, 4.0}};`.  All rows must have equal
+     * length.
+     */
+    Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+    /** Identity matrix of dimension n. */
+    static Matrix identity(std::size_t n);
+
+    /** Number of rows. */
+    std::size_t rows() const { return rows_; }
+
+    /** Number of columns. */
+    std::size_t cols() const { return cols_; }
+
+    /** True when the matrix has no elements. */
+    bool empty() const { return data_.empty(); }
+
+    /** Element access (bounds-checked via assert in debug builds). */
+    double &operator()(std::size_t r, std::size_t c);
+
+    /** Element access, const overload. */
+    double operator()(std::size_t r, std::size_t c) const;
+
+    /** Copy of row @p r as a vector. */
+    std::vector<double> row(std::size_t r) const;
+
+    /** Copy of column @p c as a vector. */
+    std::vector<double> col(std::size_t c) const;
+
+    /** Overwrite row @p r.  The vector length must equal cols(). */
+    void setRow(std::size_t r, const std::vector<double> &values);
+
+    /** Overwrite column @p c.  The vector length must equal rows(). */
+    void setCol(std::size_t c, const std::vector<double> &values);
+
+    /** Transposed copy. */
+    Matrix transposed() const;
+
+    /** Matrix product this * rhs.  Inner dimensions must agree. */
+    Matrix multiply(const Matrix &rhs) const;
+
+    /** Matrix-vector product.  v.size() must equal cols(). */
+    std::vector<double> multiply(const std::vector<double> &v) const;
+
+    /** Elementwise sum.  Shapes must match. */
+    Matrix add(const Matrix &rhs) const;
+
+    /** Elementwise difference.  Shapes must match. */
+    Matrix subtract(const Matrix &rhs) const;
+
+    /** Copy scaled by a scalar. */
+    Matrix scaled(double factor) const;
+
+    /**
+     * Submatrix consisting of the given rows (in the given order).
+     * Row indices must be in range.
+     */
+    Matrix selectRows(const std::vector<std::size_t> &indices) const;
+
+    /**
+     * Submatrix consisting of the given columns (in the given order).
+     * Column indices must be in range.
+     */
+    Matrix selectCols(const std::vector<std::size_t> &indices) const;
+
+    /** True when shapes match and all elements differ by <= tol. */
+    bool approxEquals(const Matrix &rhs, double tol = 1e-9) const;
+
+    /** Frobenius norm (sqrt of sum of squared elements). */
+    double frobeniusNorm() const;
+
+    /** Largest absolute off-diagonal element (square matrices only). */
+    double maxOffDiagonal() const;
+
+    /** True when the matrix is square and symmetric to within tol. */
+    bool isSymmetric(double tol = 1e-9) const;
+
+    /** Human-readable rendering, mainly for test failure messages. */
+    std::string toString(int precision = 4) const;
+
+    /** Raw storage, row-major.  Exposed for tests and serialisation. */
+    const std::vector<double> &data() const { return data_; }
+
+  private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<double> data_;
+};
+
+} // namespace stats
+} // namespace speclens
+
+#endif // SPECLENS_STATS_MATRIX_H

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Implementation of feature normalization.
+ */
+
+#include "normalize.h"
+
+#include <stdexcept>
+
+#include "descriptive.h"
+
+namespace speclens {
+namespace stats {
+
+ColumnStats
+columnStats(const Matrix &m)
+{
+    ColumnStats out;
+    out.means.resize(m.cols());
+    out.stddevs.resize(m.cols());
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+        auto column = m.col(c);
+        out.means[c] = mean(column);
+        out.stddevs[c] = stddev(column);
+    }
+    return out;
+}
+
+Matrix
+zscore(const Matrix &m)
+{
+    return zscoreWith(m, columnStats(m));
+}
+
+Matrix
+zscoreWith(const Matrix &m, const ColumnStats &stats)
+{
+    if (stats.means.size() != m.cols() || stats.stddevs.size() != m.cols())
+        throw std::invalid_argument("zscoreWith: stats dimension mismatch");
+
+    Matrix out(m.rows(), m.cols());
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+        double mu = stats.means[c];
+        double sd = stats.stddevs[c];
+        for (std::size_t r = 0; r < m.rows(); ++r)
+            out(r, c) = sd > 0.0 ? (m(r, c) - mu) / sd : 0.0;
+    }
+    return out;
+}
+
+Matrix
+covarianceMatrix(const Matrix &m)
+{
+    if (m.rows() < 2)
+        throw std::invalid_argument("covarianceMatrix: need >= 2 rows");
+
+    ColumnStats stats = columnStats(m);
+    std::size_t n = m.rows(), d = m.cols();
+    Matrix cov(d, d);
+    for (std::size_t i = 0; i < d; ++i) {
+        for (std::size_t j = i; j < d; ++j) {
+            double acc = 0.0;
+            for (std::size_t r = 0; r < n; ++r) {
+                acc += (m(r, i) - stats.means[i]) *
+                       (m(r, j) - stats.means[j]);
+            }
+            double v = acc / static_cast<double>(n - 1);
+            cov(i, j) = v;
+            cov(j, i) = v;
+        }
+    }
+    return cov;
+}
+
+} // namespace stats
+} // namespace speclens

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Feature normalization for the similarity pipeline.
+ *
+ * Performance metrics live on wildly different scales (MPKI in units,
+ * instruction-mix fractions in [0, 1], power in watts).  PCA on raw
+ * metrics would be dominated by whichever metric happens to have the
+ * largest numeric range, so the paper's methodology — like the CPU2006
+ * analysis it follows (Phansalkar et al., ISCA'07) — standardises each
+ * metric to zero mean and unit variance before extracting components.
+ */
+
+#ifndef SPECLENS_STATS_NORMALIZE_H
+#define SPECLENS_STATS_NORMALIZE_H
+
+#include <vector>
+
+#include "matrix.h"
+
+namespace speclens {
+namespace stats {
+
+/** Per-column standardisation parameters captured from a training matrix. */
+struct ColumnStats
+{
+    std::vector<double> means;   //!< Column means.
+    std::vector<double> stddevs; //!< Column sample standard deviations.
+};
+
+/** Compute per-column mean and standard deviation of @p m. */
+ColumnStats columnStats(const Matrix &m);
+
+/**
+ * Z-score standardise every column of @p m in place semantics (returns a
+ * copy).  Columns with zero variance are mapped to all-zeros rather than
+ * dividing by zero; such columns carry no discriminating information.
+ */
+Matrix zscore(const Matrix &m);
+
+/**
+ * Standardise @p m using externally supplied statistics, e.g. to project
+ * new workloads into a feature space fitted on a reference suite.
+ */
+Matrix zscoreWith(const Matrix &m, const ColumnStats &stats);
+
+/**
+ * Covariance matrix of the columns of @p m (sample covariance, n - 1
+ * denominator).  For a z-scored input this is the correlation matrix.
+ */
+Matrix covarianceMatrix(const Matrix &m);
+
+} // namespace stats
+} // namespace speclens
+
+#endif // SPECLENS_STATS_NORMALIZE_H

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * PCA implementation.
+ */
+
+#include "pca.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "eigen.h"
+
+namespace speclens {
+namespace stats {
+
+Matrix
+PcaResult::project(const Matrix &raw) const
+{
+    Matrix standardized = zscoreWith(raw, training_stats);
+    return standardized.multiply(loadings);
+}
+
+std::size_t
+PcaResult::dominantMetric(std::size_t pc) const
+{
+    if (pc >= retained)
+        throw std::out_of_range("PcaResult::dominantMetric: pc index");
+    std::size_t best = 0;
+    double best_mag = -1.0;
+    for (std::size_t m = 0; m < loadings.rows(); ++m) {
+        double mag = std::fabs(loadings(m, pc));
+        if (mag > best_mag) {
+            best_mag = mag;
+            best = m;
+        }
+    }
+    return best;
+}
+
+namespace {
+
+std::size_t
+retainCount(const std::vector<double> &eigenvalues,
+            const RetentionPolicy &policy)
+{
+    double total = std::accumulate(eigenvalues.begin(), eigenvalues.end(),
+                                   0.0);
+    std::size_t n = eigenvalues.size();
+
+    switch (policy.mode) {
+      case RetentionPolicy::Mode::Kaiser: {
+        std::size_t k = 0;
+        while (k < n && eigenvalues[k] >= policy.kaiser_threshold)
+            ++k;
+        // Always keep at least one component so downstream consumers
+        // (clustering, scatter plots) have a non-empty space.
+        return std::max<std::size_t>(k, 1);
+      }
+      case RetentionPolicy::Mode::FixedCount:
+        return std::min<std::size_t>(std::max<std::size_t>(policy.count, 1),
+                                     n);
+      case RetentionPolicy::Mode::VarianceCovered: {
+        double covered = 0.0;
+        std::size_t k = 0;
+        while (k < n && covered < policy.variance_fraction * total) {
+            covered += eigenvalues[k];
+            ++k;
+        }
+        return std::max<std::size_t>(k, 1);
+      }
+    }
+    return 1;
+}
+
+} // namespace
+
+PcaResult
+fitPca(const Matrix &raw, const RetentionPolicy &policy)
+{
+    if (raw.rows() < 2 || raw.cols() < 1)
+        throw std::invalid_argument("fitPca: need >= 2 rows and >= 1 col");
+
+    PcaResult out;
+    out.training_stats = columnStats(raw);
+
+    Matrix standardized = zscoreWith(raw, out.training_stats);
+    Matrix corr = covarianceMatrix(standardized);
+    EigenDecomposition eig = symmetricEigen(corr);
+
+    // Numerical noise can produce tiny negative eigenvalues on
+    // rank-deficient correlation matrices; clamp them for the variance
+    // bookkeeping.
+    out.eigenvalues = eig.values;
+    for (double &v : out.eigenvalues)
+        if (v < 0.0 && v > -1e-9)
+            v = 0.0;
+
+    std::size_t k = retainCount(out.eigenvalues, policy);
+    out.retained = k;
+
+    std::vector<std::size_t> keep(k);
+    std::iota(keep.begin(), keep.end(), std::size_t{0});
+    out.loadings = eig.vectors.selectCols(keep);
+    out.scores = standardized.multiply(out.loadings);
+
+    double total = std::accumulate(out.eigenvalues.begin(),
+                                   out.eigenvalues.end(), 0.0);
+    out.variance_per_component.resize(k);
+    double covered = 0.0;
+    for (std::size_t i = 0; i < k; ++i) {
+        double frac = total > 0.0 ? out.eigenvalues[i] / total : 0.0;
+        out.variance_per_component[i] = frac;
+        covered += frac;
+    }
+    out.variance_covered = covered;
+    return out;
+}
+
+} // namespace stats
+} // namespace speclens

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for SpecLens.
+ *
+ * Every stochastic component in the toolkit (synthetic trace generation,
+ * the published-score database, random subset baselines) draws from this
+ * generator so that a given (workload, machine, seed) triple always
+ * produces identical results across runs and platforms.  The generator is
+ * SplitMix64 (Steele et al., "Fast splittable pseudorandom number
+ * generators", OOPSLA 2014): tiny state, full 64-bit period per stream,
+ * and good equidistribution for the modest statistical demands here.
+ */
+
+#ifndef SPECLENS_STATS_RNG_H
+#define SPECLENS_STATS_RNG_H
+
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+
+namespace speclens {
+namespace stats {
+
+/**
+ * Deterministic 64-bit PRNG (SplitMix64).
+ *
+ * Not cryptographically secure; intended only for reproducible synthetic
+ * workload generation and Monte-Carlo style baselines.
+ */
+class Rng
+{
+  public:
+    /** Construct a generator from a 64-bit seed. */
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        // 53 high-quality mantissa bits.
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n).  n must be > 0. */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        // Lemire-style rejection-free mapping is overkill here; the modulo
+        // bias for n << 2^64 is far below the noise floor of any analysis.
+        return next() % n;
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Standard normal variate (Box-Muller, one value per call).
+     *
+     * The cached second variate is intentionally discarded so that the
+     * consumed stream length per call is constant, which keeps generated
+     * traces bit-identical when unrelated call sites are reordered.
+     */
+    double
+    gaussian()
+    {
+        double u1 = 1.0 - uniform(); // (0, 1]: avoids log(0)
+        double u2 = uniform();
+        double r = std::sqrt(-2.0 * std::log(u1));
+        return r * std::cos(6.283185307179586 * u2);
+    }
+
+    /** Normal variate with the given mean and standard deviation. */
+    double
+    gaussian(double mean, double stddev)
+    {
+        return mean + stddev * gaussian();
+    }
+
+    /**
+     * Geometrically distributed integer >= 0 with success probability p.
+     * Used for reuse-distance sampling in the address stream generator.
+     */
+    std::uint64_t
+    geometric(double p)
+    {
+        if (p >= 1.0)
+            return 0;
+        if (p <= 0.0)
+            return ~0ull;
+        double u = 1.0 - uniform();
+        return static_cast<std::uint64_t>(std::log(u) / std::log(1.0 - p));
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/**
+ * Stable 64-bit FNV-1a hash of a string.
+ *
+ * Used to derive per-workload / per-machine seeds from their names so
+ * that adding a new workload never perturbs the streams of existing ones.
+ */
+constexpr std::uint64_t
+hashName(std::string_view name)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : name) {
+        h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+/** Combine two 64-bit values into a new seed (boost::hash_combine style). */
+constexpr std::uint64_t
+combineSeeds(std::uint64_t a, std::uint64_t b)
+{
+    return a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2));
+}
+
+} // namespace stats
+} // namespace speclens
+
+#endif // SPECLENS_STATS_RNG_H

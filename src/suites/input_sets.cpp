@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Input-set variant construction.
+ */
+
+#include "input_sets.h"
+
+#include <algorithm>
+
+#include "stats/rng.h"
+#include "suites/spec2017.h"
+
+namespace speclens {
+namespace suites {
+
+int
+inputSetCount(const std::string &benchmark_name)
+{
+    // Reference-input counts of the SPEC CPU2017 distribution for the
+    // multi-input benchmarks the paper analyses (Figs. 7-8).
+    if (benchmark_name == "500.perlbench_r" ||
+        benchmark_name == "600.perlbench_s") {
+        return 3;
+    }
+    if (benchmark_name == "502.gcc_r")
+        return 5;
+    if (benchmark_name == "602.gcc_s")
+        return 3;
+    if (benchmark_name == "525.x264_r" || benchmark_name == "625.x264_s")
+        return 3;
+    if (benchmark_name == "557.xz_r")
+        return 3;
+    if (benchmark_name == "657.xz_s")
+        return 2;
+    if (benchmark_name == "503.bwaves_r")
+        return 4;
+    if (benchmark_name == "603.bwaves_s")
+        return 2;
+    return 1;
+}
+
+BenchmarkInfo
+inputVariant(const BenchmarkInfo &benchmark, int index, double spread)
+{
+    BenchmarkInfo variant = benchmark;
+    variant.name = benchmark.name + "#" + std::to_string(index);
+    trace::WorkloadProfile &p = variant.profile;
+    p.name = variant.name;
+
+    // Deterministic perturbation stream for this (benchmark, input).
+    stats::Rng rng(stats::combineSeeds(
+        stats::hashName(benchmark.name),
+        0x1257u + static_cast<std::uint64_t>(index)));
+
+    auto scale = [&rng, spread](double value, double relative) {
+        double factor = 1.0 + rng.gaussian(0.0, spread * relative);
+        return value * std::clamp(factor, 0.3, 3.0);
+    };
+
+    // Input data primarily moves working-set sizes...
+    for (trace::WorkingSet &ws : p.memory.data)
+        ws.bytes = std::max(ws.stride_bytes, scale(ws.bytes, 1.0));
+    p.memory.code_bytes = std::max(64.0, scale(p.memory.code_bytes, 0.3));
+    p.memory.hot_code_bytes =
+        std::min(p.memory.hot_code_bytes, p.memory.code_bytes);
+
+    // ...shifts the mix a little...
+    p.mix.load = std::clamp(scale(p.mix.load, 0.25), 0.0, 0.6);
+    p.mix.store = std::clamp(scale(p.mix.store, 0.25), 0.0, 0.4);
+    p.mix.branch = std::clamp(scale(p.mix.branch, 0.2), 0.005, 0.4);
+
+    // ...and changes value-dependent branch behaviour slightly.
+    p.branch.biased_fraction =
+        std::clamp(scale(p.branch.biased_fraction, 0.1), 0.3, 0.995);
+    p.branch.taken_fraction =
+        std::clamp(scale(p.branch.taken_fraction, 0.1), 0.2, 0.9);
+
+    // Different inputs also run for different lengths.
+    p.dynamic_instructions_billions =
+        scale(p.dynamic_instructions_billions, 0.5);
+
+    p.validate();
+    return variant;
+}
+
+InputSetGroup
+expandInputSets(const BenchmarkInfo &benchmark, double spread)
+{
+    InputSetGroup group;
+    group.benchmark = benchmark;
+    int count = inputSetCount(benchmark.name);
+    if (count <= 1) {
+        group.inputs.push_back(benchmark);
+        return group;
+    }
+    for (int k = 1; k <= count; ++k)
+        group.inputs.push_back(inputVariant(benchmark, k, spread));
+    return group;
+}
+
+namespace {
+
+std::vector<InputSetGroup>
+groupsFor(const std::vector<BenchmarkInfo> &benchmarks)
+{
+    std::vector<InputSetGroup> groups;
+    groups.reserve(benchmarks.size());
+    for (const BenchmarkInfo &b : benchmarks)
+        groups.push_back(expandInputSets(b));
+    return groups;
+}
+
+} // namespace
+
+std::vector<InputSetGroup>
+inputSetGroupsInt()
+{
+    std::vector<BenchmarkInfo> all = spec2017RateInt();
+    for (const BenchmarkInfo &b : spec2017SpeedInt())
+        all.push_back(b);
+    return groupsFor(all);
+}
+
+std::vector<InputSetGroup>
+inputSetGroupsFp()
+{
+    std::vector<BenchmarkInfo> all = spec2017RateFp();
+    for (const BenchmarkInfo &b : spec2017SpeedFp())
+        all.push_back(b);
+    return groupsFor(all);
+}
+
+std::vector<BenchmarkInfo>
+flattenGroups(const std::vector<InputSetGroup> &groups)
+{
+    std::vector<BenchmarkInfo> out;
+    for (const InputSetGroup &g : groups)
+        for (const BenchmarkInfo &b : g.inputs)
+            out.push_back(b);
+    return out;
+}
+
+} // namespace suites
+} // namespace speclens

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Per-benchmark input-set variants (Section IV-C, Figs. 7-8,
+ * Table VII).
+ *
+ * Several CPU2017 benchmarks ship multiple reference inputs: perlbench,
+ * gcc, x264 and xz in the INT categories and bwaves in FP.  A variant
+ * is modelled as a deterministic perturbation of the base workload
+ * model — input data changes working-set sizes and value-dependent
+ * behaviour slightly, but (per the paper's finding for CPU2017) not
+ * the fundamental character of the benchmark.  A `spread` parameter
+ * controls the perturbation magnitude so the contrast case — CPU2006
+ * gcc, whose inputs genuinely differed — can also be modelled.
+ */
+
+#ifndef SPECLENS_SUITES_INPUT_SETS_H
+#define SPECLENS_SUITES_INPUT_SETS_H
+
+#include <string>
+#include <vector>
+
+#include "suites/benchmark_info.h"
+
+namespace speclens {
+namespace suites {
+
+/** One benchmark together with all its input-set variants. */
+struct InputSetGroup
+{
+    /** Base benchmark. */
+    BenchmarkInfo benchmark;
+
+    /**
+     * The variants, named "<benchmark>#<k>" (k starting at 1).  A
+     * single-input benchmark has exactly one variant named after the
+     * benchmark itself, matching the labelling convention of Fig. 7.
+     */
+    std::vector<BenchmarkInfo> inputs;
+};
+
+/**
+ * Number of reference input sets of a CPU2017 benchmark (1 for
+ * single-input benchmarks).  Counts follow the SPEC distribution:
+ * gcc_r has five inputs, x264 three, and so on.
+ */
+int inputSetCount(const std::string &benchmark_name);
+
+/** Perturbation magnitude used for CPU2017 inputs. */
+constexpr double kCpu2017InputSpread = 0.10;
+
+/** Perturbation magnitude modelling CPU2006 gcc's diverse inputs. */
+constexpr double kCpu2006GccSpread = 0.60;
+
+/**
+ * Build the variant of @p benchmark for input set @p index (1-based).
+ * Deterministic in (benchmark name, index).
+ *
+ * @param spread Relative magnitude of the working-set / mix / branch
+ *        perturbations.
+ */
+BenchmarkInfo inputVariant(const BenchmarkInfo &benchmark, int index,
+                           double spread = kCpu2017InputSpread);
+
+/** Expand a benchmark into all its input variants. */
+InputSetGroup expandInputSets(const BenchmarkInfo &benchmark,
+                              double spread = kCpu2017InputSpread);
+
+/** All CPU2017 INT benchmarks (rate + speed) with variants (Fig. 7). */
+std::vector<InputSetGroup> inputSetGroupsInt();
+
+/** All CPU2017 FP benchmarks (rate + speed) with variants (Fig. 8). */
+std::vector<InputSetGroup> inputSetGroupsFp();
+
+/** Flatten groups into one benchmark list for a similarity analysis. */
+std::vector<BenchmarkInfo>
+flattenGroups(const std::vector<InputSetGroup> &groups);
+
+} // namespace suites
+} // namespace speclens
+
+#endif // SPECLENS_SUITES_INPUT_SETS_H

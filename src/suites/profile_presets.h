@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Calibration vocabulary for building benchmark workload models.
+ *
+ * Each benchmark's published data (Table I: instruction count, mix and
+ * Skylake CPI) is combined with qualitative knobs — data locality
+ * class, streaming share, code-footprint pressure, branch difficulty,
+ * TLB sparseness — that encode the behaviours the paper reports
+ * (Table II ranges, Fig. 1 bottleneck attribution, Figs. 9/10
+ * positioning, Table IX sensitivity).  buildProfile() expands a
+ * ProfileSpec into a full trace::WorkloadProfile.
+ */
+
+#ifndef SPECLENS_SUITES_PROFILE_PRESETS_H
+#define SPECLENS_SUITES_PROFILE_PRESETS_H
+
+#include <string>
+
+#include "trace/workload_profile.h"
+
+namespace speclens {
+namespace suites {
+
+/**
+ * Data working-set magnitude relative to typical cache hierarchies
+ * (L1 ~32-64 KiB, L2 ~0.25-2 MiB, L3 ~4-32 MiB).
+ */
+enum class DataLocality {
+    Resident, //!< Fits in L1; near-zero data MPKI (exchange2, leela).
+    Small,    //!< Spills into L2 occasionally.
+    Medium,   //!< Regular L2 traffic, rare L3 misses.
+    Large,    //!< Streams through L3 (many FP codes).
+    Huge,     //!< Main-memory bound (omnetpp).
+    Extreme,  //!< Thrashes every level (mcf, astar).
+    L1Bound,  //!< Very high L1D miss rate filtered by L2/L3
+              //!< (cactuBSSN, fotonik3d stencils).
+};
+
+/** Static code footprint / instruction-fetch pressure. */
+enum class CodePressure {
+    Tiny,   //!< Single hot loop (lbm, bwaves).
+    Small,  //!< Small kernel set; negligible L1I misses.
+    Medium, //!< Moderate instruction footprint.
+    Large,  //!< Front-end pressure (perlbench, gcc, xalancbmk).
+    Huge,   //!< Server-class code footprint (Cassandra).
+    Flat,   //!< Generated straight-line code slightly exceeding L1I
+            //!< (cactuBSSN).
+};
+
+/** Branch predictability class. */
+enum class BranchQuality {
+    VeryEasy, //!< Near-zero MPKI (most FP codes).
+    Easy,     //!< Occasional mispredictions.
+    Moderate, //!< Average integer code.
+    Hard,     //!< Data-dependent branches (deepsjeng, xz).
+    VeryHard, //!< Highest misprediction rates (leela, mcf).
+};
+
+/** Declarative benchmark description expanded by buildProfile(). */
+struct ProfileSpec
+{
+    /** Dynamic instruction count in billions (Table I). */
+    double icount_billions = 1000.0;
+
+    // Instruction mix in percent of the dynamic stream (Table I).
+    double load_pct = 25.0;
+    double store_pct = 10.0;
+    double branch_pct = 12.0;
+    double fp_pct = 0.0;   //!< Scalar FP share (estimated per domain).
+    double simd_pct = 0.0; //!< SIMD share (estimated per domain).
+
+    /** Published Skylake CPI (Table I); calibrates base/dependency CPI. */
+    double cpi = 0.5;
+
+    DataLocality data = DataLocality::Medium;
+
+    /** Streaming share of warm/cold working-set accesses, [0, 1]. */
+    double streaming = 0.2;
+
+    CodePressure code = CodePressure::Small;
+    BranchQuality branches = BranchQuality::Moderate;
+
+    /** Mean fraction of branches that resolve taken. */
+    double taken_fraction = 0.55;
+
+    /**
+     * Page-level sparseness of the cold working set, [0, 1].  Positive
+     * values convert it to page-stride accesses (one line per page) and
+     * widen it, driving TLB misses without matching cache pressure —
+     * povray/xz-style behaviour in the Table IX D-TLB row.
+     */
+    double tlb_stress = 0.0;
+
+    /** Kernel-mode share of the instruction stream. */
+    double kernel = 0.01;
+
+    /** Memory-level parallelism (miss-overlap divisor). */
+    double mlp = 2.0;
+
+    /**
+     * Share of the published CPI attributed to inter-instruction
+     * dependencies (the Fig. 1 "other" component; large for blender
+     * and imagick).
+     */
+    double dependency_share = 0.12;
+
+    /**
+     * Optional overrides of the branch-quality preset (negative keeps
+     * the preset value).  patterned_override close to 1 makes a
+     * benchmark's hard branches loop-patterned: history-based
+     * predictors capture them but bimodal tables do not, producing the
+     * machine-to-machine variability behind bwaves' "high branch
+     * sensitivity" rating in Table IX.
+     */
+    double patterned_override = -1.0;
+    double biased_override = -1.0;
+};
+
+/** Expand a declarative spec into a validated workload profile. */
+trace::WorkloadProfile buildProfile(const std::string &name,
+                                    const ProfileSpec &spec);
+
+} // namespace suites
+} // namespace speclens
+
+#endif // SPECLENS_SUITES_PROFILE_PRESETS_H

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Synthetic score database implementation.
+ */
+
+#include "score_database.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "stats/rng.h"
+
+namespace speclens {
+namespace suites {
+
+WorkloadTraits
+deriveTraits(const trace::WorkloadProfile &profile)
+{
+    WorkloadTraits t;
+
+    // Footprint score: expected cache pressure per access — the
+    // probability mass on working sets that escape a 32 KiB L1,
+    // weighted by how far beyond it they reach (a 256 MiB set stresses
+    // memory far more than a 160 KiB one).  Normalised so the most
+    // memory-hostile profiles in the databases (mcf-class) land near 1.
+    double total_weight = 0.0;
+    double pressure = 0.0;
+    for (const trace::WorkingSet &ws : profile.memory.data) {
+        total_weight += ws.weight;
+        if (ws.bytes <= 32.0 * 1024)
+            continue;
+        double depth =
+            std::min(1.0, std::log2(ws.bytes / (32.0 * 1024)) / 8.0);
+        pressure += ws.weight * depth;
+    }
+    double footprint_score =
+        std::clamp(pressure / total_weight / 0.15, 0.0, 1.0);
+
+    double memory_mix = profile.mix.load + profile.mix.store;
+    double mix_factor =
+        0.5 + 0.5 * std::clamp(memory_mix / 0.45, 0.0, 1.5);
+    t.memory_intensity =
+        std::clamp(footprint_score * mix_factor, 0.0, 1.0);
+
+    t.fp_intensity = std::clamp((profile.mix.fp + profile.mix.simd) / 0.45,
+                                0.0, 1.0);
+
+    // Hard-branch exposure: share of branches in the stream times the
+    // share of those branches that are not trivially biased.
+    t.branch_limit =
+        std::clamp(profile.mix.branch *
+                       (1.0 - profile.branch.biased_fraction) / 0.04,
+                   0.0, 1.0);
+    return t;
+}
+
+ScoreDatabase::ScoreDatabase(std::uint64_t seed) : seed_(seed)
+{
+    // Log-domain gains: a system with core_gain 0.5 is e^0.5 ~ 1.65x
+    // faster on fully core-bound code than its base factor.
+    // Gains are deliberately large (a fully core-bound benchmark can
+    // speed up ~4x more than a fully memory-bound one on sys-A): real
+    // SPEC submissions show per-benchmark speedup spreads of this
+    // magnitude, and it is exactly this spread that makes an
+    // unrepresentative random subset err by the ~25-50% the paper's
+    // Table VI reports.
+    speed_systems_ = {
+        {"sys-A (4.2 GHz desktop)",     0.45, 2.00, 0.10, 0.60, 0.40, 0.03},
+        {"sys-B (3.0 GHz server)",      0.30, 0.70, 1.70, 0.30, 0.20, 0.03},
+        {"sys-C (3.6 GHz workstation)", 0.40, 1.40, 0.80, 1.20, 0.25, 0.03},
+        {"sys-D (2.4 GHz dense node)",  0.15, 0.50, 2.10, 0.30, 0.12, 0.03},
+    };
+    rate_systems_ = {
+        {"sys-E (2-socket HCC)",     0.35, 1.25, 1.10, 0.50, 0.22, 0.03},
+        {"sys-F (1-socket turbo)",   0.50, 2.10, 0.30, 0.70, 0.40, 0.03},
+        {"sys-G (memory-optimized)", 0.25, 0.30, 2.30, 0.20, 0.12, 0.03},
+        {"sys-H (balanced blade)",   0.35, 1.10, 1.10, 0.70, 0.25, 0.03},
+        {"sys-I (FP accelerator)",   0.30, 0.90, 0.50, 1.90, 0.15, 0.03},
+    };
+}
+
+const std::vector<CommercialSystem> &
+ScoreDatabase::systemsFor(Category category) const
+{
+    return isSpeedCategory(category) ? speed_systems_ : rate_systems_;
+}
+
+double
+ScoreDatabase::speedup(const CommercialSystem &system,
+                       const BenchmarkInfo &benchmark) const
+{
+    WorkloadTraits t = deriveTraits(benchmark.profile);
+
+    double log_speedup = system.log_base +
+                         system.core_gain * (1.0 - t.memory_intensity) +
+                         system.memory_gain * t.memory_intensity +
+                         system.fp_gain * t.fp_intensity +
+                         system.branch_gain * t.branch_limit;
+
+    // Deterministic submission noise per (system, benchmark).
+    stats::Rng rng(stats::combineSeeds(
+        seed_, stats::combineSeeds(stats::hashName(system.name),
+                                   stats::hashName(benchmark.name))));
+    log_speedup += rng.gaussian(0.0, system.noise_sigma);
+    return std::exp(log_speedup);
+}
+
+double
+ScoreDatabase::suiteScore(const CommercialSystem &system,
+                          const std::vector<BenchmarkInfo> &benchmarks)
+    const
+{
+    std::vector<double> speedups;
+    speedups.reserve(benchmarks.size());
+    for (const BenchmarkInfo &b : benchmarks)
+        speedups.push_back(speedup(system, b));
+    return stats::geometricMean(speedups);
+}
+
+} // namespace suites
+} // namespace speclens

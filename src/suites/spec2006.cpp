@@ -1,0 +1,281 @@
+/**
+ * @file
+ * SPEC CPU2006 benchmark database.
+ *
+ * Three benchmarks are deliberately calibrated to fall outside the
+ * CPU2017 performance envelope, matching Section V-B:
+ *  - 429.mcf exerts the data caches even harder than the CPU2017 mcf
+ *    versions (stated explicitly in Section V-A);
+ *  - 445.gobmk combines a branch share (~21%) and misprediction
+ *    profile no CPU2017 benchmark has;
+ *  - 473.astar couples mcf-class data-cache pressure with a hard
+ *    branch profile — a combination absent from CPU2017.
+ */
+
+#include "spec2006.h"
+
+#include "suites/profile_presets.h"
+
+namespace speclens {
+namespace suites {
+
+namespace {
+
+using D = DataLocality;
+using C = CodePressure;
+using B = BranchQuality;
+
+BenchmarkInfo
+make(int id, const std::string &name, Category category, Domain domain,
+     Language language, const ProfileSpec &spec)
+{
+    BenchmarkInfo b;
+    b.id = id;
+    b.name = name;
+    b.suite = Suite::Cpu2006;
+    b.category = category;
+    b.domain = domain;
+    b.language = language;
+    b.published_cpi = spec.cpi;
+    b.profile = buildProfile(name, spec);
+    return b;
+}
+
+ProfileSpec
+spec(double icount, double load, double store, double branch, double cpi,
+     D data, double streaming, C code, B branches, double taken,
+     double fp = 0.0, double simd = 0.0, double tlb = 0.0,
+     double mlp = 2.0)
+{
+    ProfileSpec s;
+    s.icount_billions = icount;
+    s.load_pct = load;
+    s.store_pct = store;
+    s.branch_pct = branch;
+    s.cpi = cpi;
+    s.data = data;
+    s.streaming = streaming;
+    s.code = code;
+    s.branches = branches;
+    s.taken_fraction = taken;
+    s.fp_pct = fp;
+    s.simd_pct = simd;
+    s.tlb_stress = tlb;
+    s.mlp = mlp;
+    return s;
+}
+
+std::vector<BenchmarkInfo>
+build()
+{
+    std::vector<BenchmarkInfo> v;
+    v.reserve(29);
+
+    // ----- Integer (12). CPU2006 INT averages ~20% branches [9]. -----
+
+    v.push_back(make(400, "400.perlbench", Category::Int,
+                     Domain::Compiler, Language::C,
+                     spec(2378, 24.0, 14.0, 20.7, 0.45, D::Small, 0.15,
+                          C::Large, B::Moderate, 0.62, 0, 0, 0.10)));
+    v.push_back(make(401, "401.bzip2", Category::Int,
+                     Domain::Compression, Language::C,
+                     spec(2472, 26.0, 9.0, 15.3, 0.55, D::Medium, 0.3,
+                          C::Small, B::Hard, 0.50, 0, 0, 0.10)));
+    v.push_back(make(403, "403.gcc", Category::Int, Domain::Compiler,
+                     Language::C,
+                     spec(1064, 26.0, 16.0, 21.9, 0.60, D::Medium, 0.15,
+                          C::Large, B::Moderate, 0.66)));
+    v.push_back(make(429, "429.mcf", Category::Int,
+                     Domain::CombinatorialOptimization, Language::C,
+                     // Harder on the data caches than CPU2017 mcf
+                     // (Sec. V-A): an even larger share of the stream
+                     // touches a thrashing footprint.
+                     spec(327, 35.0, 9.0, 21.2, 2.20, D::Extreme, 0.02,
+                          C::Small, B::VeryHard, 0.68, 0, 0, 0.30,
+                          1.15)));
+    v.push_back(make(445, "445.gobmk", Category::Int,
+                     Domain::ArtificialIntelligence, Language::C,
+                     // Branch share + misprediction combination not
+                     // present in CPU2017 (uncovered in Sec. V-B).
+                     spec(1603, 28.0, 14.5, 21.0, 0.70, D::Small, 0.05,
+                          C::Large, B::VeryHard, 0.42)));
+    v.push_back(make(456, "456.hmmer", Category::Int,
+                     Domain::Other, Language::C,
+                     spec(3363, 41.0, 16.0, 8.0, 0.45, D::Small, 0.5,
+                          C::Tiny, B::Easy, 0.70)));
+    v.push_back(make(458, "458.sjeng", Category::Int,
+                     Domain::ArtificialIntelligence, Language::C,
+                     spec(2474, 21.0, 8.0, 21.4, 0.60, D::Small, 0.05,
+                          C::Medium, B::Hard, 0.48)));
+    v.push_back(make(462, "462.libquantum", Category::Int,
+                     Domain::Physics, Language::C,
+                     // Streaming gate simulation over complex floats:
+                     // nominally an INT benchmark, but the hot loop is
+                     // vectorised complex-FP arithmetic, which is what
+                     // places it among the FP streaming codes.
+                     spec(3555, 25.0, 10.0, 13.0, 0.80, D::Huge, 0.85,
+                          C::Tiny, B::VeryEasy, 0.80, 14.0, 10.0, 0,
+                          4.0)));
+    v.push_back(make(464, "464.h264ref", Category::Int,
+                     Domain::VideoProcessing, Language::C,
+                     spec(3731, 35.0, 11.0, 7.6, 0.50, D::Medium, 0.5,
+                          C::Medium, B::Easy, 0.60, 0, 6.0)));
+    v.push_back(make(471, "471.omnetpp", Category::Int,
+                     Domain::DiscreteEventSimulation, Language::Cpp,
+                     // Retained into CPU2017 nearly unchanged
+                     // (Sec. V-A).
+                     spec(687, 23.0, 13.0, 20.3, 1.35, D::Huge, 0.05,
+                          C::Medium, B::Moderate, 0.64, 0, 0, 0, 1.4)));
+    v.push_back(make(473, "473.astar", Category::Int,
+                     Domain::ArtificialIntelligence, Language::Cpp,
+                     // Path-finding: mcf-class cache pressure combined
+                     // with hard branches (uncovered in Sec. V-B).
+                     spec(1117, 34.0, 9.0, 17.1, 1.60, D::Extreme, 0.03,
+                          C::Small, B::VeryHard, 0.55, 0, 0, 0.45,
+                          1.2)));
+    v.push_back(make(483, "483.xalancbmk", Category::Int,
+                     Domain::DocumentProcessing, Language::Cpp,
+                     spec(1184, 32.0, 9.0, 25.7, 0.90, D::Large, 0.1,
+                          C::Large, B::Easy, 0.68)));
+
+    // ----- Floating point (17). -----
+
+    v.push_back(make(410, "410.bwaves", Category::Fp,
+                     Domain::FluidDynamics, Language::Fortran,
+                     // Retained into CPU2017 (503.bwaves_r similar).
+                     spec(1178, 35.0, 5.0, 9.5, 0.45, D::Large, 0.7,
+                          C::Tiny, B::Moderate, 0.75, 24.0, 14.0, 0.30,
+                          4.0)));
+    v.push_back(make(416, "416.gamess", Category::Fp,
+                     Domain::QuantumChemistry, Language::Fortran,
+                     spec(5189, 35.0, 8.0, 8.2, 0.45, D::Small, 0.3,
+                          C::Medium, B::Easy, 0.70, 30.0, 6.0)));
+    v.push_back(make(433, "433.milc", Category::Fp, Domain::Physics,
+                     Language::C,
+                     spec(937, 40.0, 12.0, 2.5, 0.85, D::Huge, 0.8,
+                          C::Tiny, B::VeryEasy, 0.85, 26.0, 10.0, 0.2,
+                          3.5)));
+    v.push_back(make(434, "434.zeusmp", Category::Fp, Domain::Physics,
+                     Language::Fortran,
+                     spec(1566, 29.0, 8.0, 4.1, 0.60, D::Large, 0.6,
+                          C::Small, B::VeryEasy, 0.80, 28.0, 8.0)));
+    v.push_back(make(435, "435.gromacs", Category::Fp,
+                     Domain::MolecularDynamics, Language::CFortran,
+                     spec(1958, 29.0, 14.0, 3.4, 0.50, D::Small, 0.3,
+                          C::Small, B::VeryEasy, 0.75, 32.0, 8.0)));
+    v.push_back(make(436, "436.cactusADM", Category::Fp, Domain::Physics,
+                     Language::CFortran,
+                     // Predecessor of cactuBSSN: same generated-stencil
+                     // L1-bound pattern with flat code.
+                     spec(1376, 46.0, 13.0, 0.2, 0.70, D::L1Bound, 0.4,
+                          C::Flat, B::VeryEasy, 0.85, 22.0, 8.0, 0.4,
+                          3.0)));
+    v.push_back(make(437, "437.leslie3d", Category::Fp,
+                     Domain::FluidDynamics, Language::Fortran,
+                     spec(1213, 45.0, 10.0, 3.2, 0.65, D::Large, 0.7,
+                          C::Tiny, B::VeryEasy, 0.85, 26.0, 10.0, 0,
+                          3.5)));
+    v.push_back(make(444, "444.namd", Category::Fp,
+                     Domain::MolecularDynamics, Language::Cpp,
+                     // Retained into CPU2017 (508.namd_r similar).
+                     spec(2483, 32.0, 9.0, 1.9, 0.42, D::Small, 0.3,
+                          C::Small, B::VeryEasy, 0.80, 34.0, 10.0,
+                          0.10)));
+    v.push_back(make(447, "447.dealII", Category::Fp, Domain::Biomedical,
+                     Language::Cpp,
+                     spec(2323, 35.0, 7.0, 15.9, 0.48, D::Medium, 0.4,
+                          C::Medium, B::Easy, 0.70, 26.0, 6.0)));
+    v.push_back(make(450, "450.soplex", Category::Fp,
+                     Domain::LinearProgramming, Language::Cpp,
+                     spec(703, 39.0, 8.0, 14.0, 0.75, D::Medium, 0.3,
+                          C::Medium, B::Easy, 0.65, 22.0, 6.0, 0.1,
+                          1.8)));
+    v.push_back(make(453, "453.povray", Category::Fp,
+                     Domain::Visualization, Language::CCpp,
+                     // Retained into CPU2017 (511.povray_r similar).
+                     spec(1210, 35.0, 16.0, 14.3, 0.45, D::Small, 0.1,
+                          C::Medium, B::Moderate, 0.60, 24.0, 4.0,
+                          0.50)));
+    v.push_back(make(454, "454.calculix", Category::Fp,
+                     Domain::Other, Language::CFortran,
+                     spec(3041, 33.0, 7.0, 4.2, 0.55, D::Medium, 0.4,
+                          C::Small, B::VeryEasy, 0.75, 30.0, 8.0)));
+    v.push_back(make(459, "459.GemsFDTD", Category::Fp, Domain::Physics,
+                     Language::Fortran,
+                     spec(1420, 45.0, 10.0, 2.6, 0.80, D::Huge, 0.8,
+                          C::Tiny, B::VeryEasy, 0.85, 26.0, 10.0, 0.25,
+                          3.5)));
+    v.push_back(make(465, "465.tonto", Category::Fp,
+                     Domain::QuantumChemistry, Language::Fortran,
+                     spec(2932, 35.0, 11.0, 12.8, 0.50, D::Small, 0.3,
+                          C::Medium, B::Easy, 0.70, 28.0, 6.0)));
+    v.push_back(make(470, "470.lbm", Category::Fp,
+                     Domain::FluidDynamics, Language::C,
+                     // Retained into CPU2017 (519.lbm_r similar).
+                     spec(1500, 26.0, 9.0, 0.9, 0.55, D::Large, 0.85,
+                          C::Tiny, B::VeryEasy, 0.85, 30.0, 12.0, 0,
+                          4.5)));
+    v.push_back(make(481, "481.wrf", Category::Fp, Domain::Climatology,
+                     Language::CFortran,
+                     // Retained into CPU2017 (521.wrf_r similar).
+                     spec(1684, 31.0, 8.0, 5.9, 0.75, D::Large, 0.5,
+                          C::Medium, B::Easy, 0.70, 26.0, 8.0, 0.10,
+                          2.5)));
+    v.push_back(make(482, "482.sphinx3", Category::Fp,
+                     Domain::SpeechRecognition, Language::C,
+                     spec(2472, 35.0, 6.0, 9.5, 0.75, D::Large, 0.6,
+                          C::Small, B::Easy, 0.70, 26.0, 6.0)));
+
+    return v;
+}
+
+} // namespace
+
+const std::vector<BenchmarkInfo> &
+spec2006()
+{
+    static const std::vector<BenchmarkInfo> suite = build();
+    return suite;
+}
+
+std::vector<BenchmarkInfo>
+spec2006Int()
+{
+    return filterByCategory(spec2006(), Category::Int);
+}
+
+std::vector<BenchmarkInfo>
+spec2006Fp()
+{
+    return filterByCategory(spec2006(), Category::Fp);
+}
+
+const BenchmarkInfo &
+spec2006Benchmark(const std::string &name)
+{
+    return findBenchmark(spec2006(), name);
+}
+
+std::vector<BenchmarkInfo>
+spec2006RemovedBenchmarks()
+{
+    // Benchmarks whose CPU2006 workload was dropped or fully replaced.
+    // perlbench, gcc, omnetpp, xalancbmk, bwaves, namd, povray, lbm
+    // and wrf carried over (revamped); the paper's Section V-B
+    // coverage study includes 429.mcf in the removed-workload set
+    // because the 2017 mcf inputs behave differently (Sec. V-A).
+    static const char *removed[] = {
+        "401.bzip2",    "429.mcf",      "445.gobmk",   "456.hmmer",
+        "458.sjeng",    "462.libquantum", "464.h264ref", "473.astar",
+        "416.gamess",   "433.milc",     "434.zeusmp",  "435.gromacs",
+        "436.cactusADM", "437.leslie3d", "447.dealII",  "450.soplex",
+        "454.calculix", "459.GemsFDTD", "465.tonto",   "482.sphinx3",
+    };
+    std::vector<BenchmarkInfo> out;
+    for (const char *name : removed)
+        out.push_back(spec2006Benchmark(name));
+    return out;
+}
+
+} // namespace suites
+} // namespace speclens

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * SPEC CPU2006 benchmark workload models.
+ *
+ * Used by the balance analyses of Section V: the PC-space coverage
+ * comparison (Fig. 11), the removed-domain coverage study (Section
+ * V-B: only 429.mcf, 445.gobmk and 473.astar fall outside the CPU2017
+ * envelope), and the power-spectrum comparison (Fig. 12).  Mix values
+ * follow the published CPU2006 characterizations (Phansalkar et al.,
+ * ISCA'07; the paper's reference [9]): CPU2006 INT averages ~20%
+ * branches, notably above CPU2017's <= 15%.
+ */
+
+#ifndef SPECLENS_SUITES_SPEC2006_H
+#define SPECLENS_SUITES_SPEC2006_H
+
+#include <vector>
+
+#include "suites/benchmark_info.h"
+
+namespace speclens {
+namespace suites {
+
+/** All 29 CPU2006 benchmarks (12 INT + 17 FP). */
+const std::vector<BenchmarkInfo> &spec2006();
+
+/** The 12 CPU2006 integer benchmarks. */
+std::vector<BenchmarkInfo> spec2006Int();
+
+/** The 17 CPU2006 floating-point benchmarks. */
+std::vector<BenchmarkInfo> spec2006Fp();
+
+/** Look up a CPU2006 benchmark by name. */
+const BenchmarkInfo &spec2006Benchmark(const std::string &name);
+
+/**
+ * CPU2006 benchmarks removed from (i.e. without a successor in)
+ * CPU2017 — the set examined by the Section V-B coverage study.
+ */
+std::vector<BenchmarkInfo> spec2006RemovedBenchmarks();
+
+} // namespace suites
+} // namespace speclens
+
+#endif // SPECLENS_SUITES_SPEC2006_H

@@ -1,0 +1,646 @@
+/**
+ * @file
+ * SPEC CPU2017 benchmark database.
+ *
+ * Every entry cites its Table I row (icount in billions, load / store /
+ * branch percentages, Skylake CPI) and encodes the qualitative
+ * behaviour the paper attributes to the benchmark.
+ */
+
+#include "spec2017.h"
+
+#include "suites/profile_presets.h"
+
+namespace speclens {
+namespace suites {
+
+namespace {
+
+BenchmarkInfo
+make(int id, const std::string &name, Category category, Domain domain,
+     Language language, bool new_in_2017, const std::string &partner,
+     const ProfileSpec &spec)
+{
+    BenchmarkInfo b;
+    b.id = id;
+    b.name = name;
+    b.suite = Suite::Cpu2017;
+    b.category = category;
+    b.domain = domain;
+    b.language = language;
+    b.new_in_2017 = new_in_2017;
+    b.partner = partner;
+    b.published_cpi = spec.cpi;
+    b.profile = buildProfile(name, spec);
+    return b;
+}
+
+std::vector<BenchmarkInfo>
+build()
+{
+    using D = DataLocality;
+    using C = CodePressure;
+    using B = BranchQuality;
+    std::vector<BenchmarkInfo> v;
+    v.reserve(43);
+
+    // =================================================================
+    // SPECrate INT (Table I: 10 benchmarks)
+    // =================================================================
+
+    {   // 500.perlbench_r: interpreter; big code footprint, high taken
+        // share, highest I-cache activity in the suite (Sec. IV-E).
+        ProfileSpec s;
+        s.icount_billions = 2696; s.load_pct = 27.20; s.store_pct = 16.73;
+        s.branch_pct = 18.16; s.cpi = 0.42;
+        s.data = D::Small; s.streaming = 0.15; s.code = C::Large;
+        s.branches = B::Moderate; s.taken_fraction = 0.62;
+        s.tlb_stress = 0.10; s.kernel = 0.02;
+        v.push_back(make(500, "500.perlbench_r", Category::RateInt,
+                         Domain::Compiler, Language::C, false,
+                         "600.perlbench_s", s));
+    }
+    {   // 502.gcc_r: ~50% memory ops, large code, highest taken-branch
+        // fraction among INT codes (Fig. 9).
+        ProfileSpec s;
+        s.icount_billions = 3023; s.load_pct = 34.51; s.store_pct = 16.64;
+        s.branch_pct = 14.96; s.cpi = 0.59;
+        s.data = D::Medium; s.streaming = 0.15; s.code = C::Large;
+        s.branches = B::Moderate; s.taken_fraction = 0.68;
+        s.kernel = 0.02;
+        v.push_back(make(502, "502.gcc_r", Category::RateInt,
+                         Domain::Compiler, Language::C, false,
+                         "602.gcc_s", s));
+    }
+    {   // 505.mcf_r: pointer chasing over a graph far larger than any
+        // cache; the most distinct INT benchmark (Fig. 2), worst-case
+        // data locality, hard branches, poor MLP.
+        ProfileSpec s;
+        s.icount_billions = 999; s.load_pct = 17.42; s.store_pct = 6.08;
+        s.branch_pct = 11.54; s.cpi = 1.16;
+        s.data = D::Extreme; s.streaming = 0.05; s.code = C::Medium;
+        s.branches = B::VeryHard; s.taken_fraction = 0.66;
+        s.tlb_stress = 0.50; s.mlp = 1.3;
+        v.push_back(make(505, "505.mcf_r", Category::RateInt,
+                         Domain::CombinatorialOptimization, Language::C,
+                         false, "605.mcf_s", s));
+    }
+    {   // 520.omnetpp_r: discrete-event simulation; heap-allocated event
+        // structures give memory-bound behaviour (highest CPI with mcf,
+        // Fig. 1) and C++-style high taken fraction.
+        ProfileSpec s;
+        s.icount_billions = 1102; s.load_pct = 22.10; s.store_pct = 12.27;
+        s.branch_pct = 14.12; s.cpi = 1.39;
+        s.data = D::Large; s.streaming = 0.05; s.code = C::Medium;
+        s.branches = B::Moderate; s.taken_fraction = 0.64;
+        s.mlp = 1.2;
+        v.push_back(make(520, "520.omnetpp_r", Category::RateInt,
+                         Domain::DiscreteEventSimulation, Language::Cpp,
+                         false, "620.omnetpp_s", s));
+    }
+    {   // 523.xalancbmk_r: XSLT processing; 33% branches (highest in the
+        // suite) with a high taken share, back-end cache-bound (Fig. 1).
+        ProfileSpec s;
+        s.icount_billions = 1315; s.load_pct = 34.26; s.store_pct = 8.07;
+        s.branch_pct = 33.26; s.cpi = 0.86;
+        s.data = D::Large; s.streaming = 0.1; s.code = C::Large;
+        s.branches = B::VeryEasy; s.taken_fraction = 0.68;
+        v.push_back(make(523, "523.xalancbmk_r", Category::RateInt,
+                         Domain::DocumentProcessing, Language::Cpp, false,
+                         "623.xalancbmk_s", s));
+    }
+    {   // 525.x264_r: video encoder; SIMD-heavy streaming kernels with
+        // very few branches (4.4%).
+        ProfileSpec s;
+        s.icount_billions = 4488; s.load_pct = 23.03; s.store_pct = 6.47;
+        s.branch_pct = 4.37; s.cpi = 0.31; s.simd_pct = 12.0;
+        s.data = D::Medium; s.streaming = 0.55; s.code = C::Medium;
+        s.branches = B::Easy; s.taken_fraction = 0.55;
+        v.push_back(make(525, "525.x264_r", Category::RateInt,
+                         Domain::VideoProcessing, Language::C, true,
+                         "625.x264_s", s));
+    }
+    {   // 531.deepsjeng_r: alpha-beta chess search; data-dependent
+        // branches, small working set.
+        ProfileSpec s;
+        s.icount_billions = 1929; s.load_pct = 19.61; s.store_pct = 9.10;
+        s.branch_pct = 11.61; s.cpi = 0.57;
+        s.data = D::Small; s.streaming = 0.05; s.code = C::Medium;
+        s.branches = B::Hard; s.taken_fraction = 0.52;
+        s.tlb_stress = 0.05;
+        v.push_back(make(531, "531.deepsjeng_r", Category::RateInt,
+                         Domain::ArtificialIntelligence, Language::Cpp,
+                         true, "631.deepsjeng_s", s));
+    }
+    {   // 541.leela_r: Go engine (MCTS); cache-resident but the highest
+        // branch misprediction rate in the suite (Fig. 9, Table IX).
+        ProfileSpec s;
+        s.icount_billions = 2246; s.load_pct = 14.28; s.store_pct = 5.33;
+        s.branch_pct = 8.95; s.cpi = 0.81;
+        s.data = D::Resident; s.streaming = 0.05; s.code = C::Medium;
+        s.branches = B::VeryHard; s.taken_fraction = 0.50;
+        s.tlb_stress = 0.05;
+        v.push_back(make(541, "541.leela_r", Category::RateInt,
+                         Domain::ArtificialIntelligence, Language::Cpp,
+                         true, "641.leela_s", s));
+    }
+    {   // 548.exchange2_r: recursive Sudoku generator; register/stack
+        // resident, negligible cache misses, very high core power.
+        ProfileSpec s;
+        s.icount_billions = 6644; s.load_pct = 29.62; s.store_pct = 20.24;
+        s.branch_pct = 8.69; s.cpi = 0.41;
+        s.data = D::Resident; s.streaming = 0.3; s.code = C::Small;
+        s.branches = B::Easy; s.taken_fraction = 0.55;
+        v.push_back(make(548, "548.exchange2_r", Category::RateInt,
+                         Domain::ArtificialIntelligence,
+                         Language::Fortran, true, "648.exchange2_s", s));
+    }
+    {   // 557.xz_r: LZMA compression; match-finder branches are hard,
+        // dictionary walks are page-sparse (high D-TLB sensitivity,
+        // Table IX).
+        ProfileSpec s;
+        s.icount_billions = 1969; s.load_pct = 17.33; s.store_pct = 3.87;
+        s.branch_pct = 12.24; s.cpi = 1.22;
+        s.data = D::Large; s.streaming = 0.1; s.code = C::Small;
+        s.branches = B::VeryHard; s.taken_fraction = 0.48;
+        s.tlb_stress = 0.55; s.mlp = 1.5;
+        v.push_back(make(557, "557.xz_r", Category::RateInt,
+                         Domain::Compression, Language::C, true,
+                         "657.xz_s", s));
+    }
+
+    // =================================================================
+    // SPECspeed INT (Table I: 10 benchmarks)
+    // =================================================================
+
+    {   // 600.perlbench_s: near-identical to the rate version (Fig. 7).
+        ProfileSpec s;
+        s.icount_billions = 2696; s.load_pct = 27.20; s.store_pct = 16.73;
+        s.branch_pct = 18.16; s.cpi = 0.42;
+        s.data = D::Small; s.streaming = 0.15; s.code = C::Large;
+        s.branches = B::Moderate; s.taken_fraction = 0.62;
+        s.tlb_stress = 0.10; s.kernel = 0.02;
+        v.push_back(make(600, "600.perlbench_s", Category::SpeedInt,
+                         Domain::Compiler, Language::C, false,
+                         "500.perlbench_r", s));
+    }
+    {   // 602.gcc_s: larger input than gcc_r (2.4x icount) but similar
+        // behaviour; medium branch sensitivity (Table IX).
+        ProfileSpec s;
+        s.icount_billions = 7226; s.load_pct = 40.32; s.store_pct = 15.67;
+        s.branch_pct = 15.60; s.cpi = 0.58;
+        s.data = D::Medium; s.streaming = 0.15; s.code = C::Large;
+        s.branches = B::Moderate; s.taken_fraction = 0.68;
+        s.kernel = 0.02;
+        v.push_back(make(602, "602.gcc_s", Category::SpeedInt,
+                         Domain::Compiler, Language::C, false,
+                         "502.gcc_r", s));
+    }
+    {   // 605.mcf_s: 11.2 GB footprint; most distinct benchmark in the
+        // speed INT dendrogram (Fig. 2).
+        ProfileSpec s;
+        s.icount_billions = 1775; s.load_pct = 18.55; s.store_pct = 4.70;
+        s.branch_pct = 12.53; s.cpi = 1.22;
+        s.data = D::Extreme; s.streaming = 0.05; s.code = C::Medium;
+        s.branches = B::VeryHard; s.taken_fraction = 0.66;
+        s.tlb_stress = 0.55; s.mlp = 1.3;
+        v.push_back(make(605, "605.mcf_s", Category::SpeedInt,
+                         Domain::CombinatorialOptimization, Language::C,
+                         false, "505.mcf_r", s));
+    }
+    {   // 620.omnetpp_s: one of the three INT pairs that differ between
+        // rate and speed (Sec. IV-D); slightly friendlier locality than
+        // the rate run (lower CPI in Table I).
+        ProfileSpec s;
+        s.icount_billions = 1102; s.load_pct = 22.76; s.store_pct = 12.65;
+        s.branch_pct = 14.55; s.cpi = 1.21;
+        s.data = D::Large; s.streaming = 0.35; s.code = C::Medium;
+        s.branches = B::Moderate; s.taken_fraction = 0.64;
+        s.mlp = 1.7;
+        v.push_back(make(620, "620.omnetpp_s", Category::SpeedInt,
+                         Domain::DiscreteEventSimulation, Language::Cpp,
+                         false, "520.omnetpp_r", s));
+    }
+    {   // 623.xalancbmk_s: differs from its rate version (Sec. IV-D);
+        // medium branch sensitivity (Table IX).
+        ProfileSpec s;
+        s.icount_billions = 1320; s.load_pct = 34.08; s.store_pct = 7.90;
+        s.branch_pct = 33.18; s.cpi = 0.86;
+        s.data = D::Large; s.streaming = 0.25; s.code = C::Large;
+        s.branches = B::Easy; s.taken_fraction = 0.68;
+        s.tlb_stress = 0.05;
+        v.push_back(make(623, "623.xalancbmk_s", Category::SpeedInt,
+                         Domain::DocumentProcessing, Language::Cpp, false,
+                         "523.xalancbmk_r", s));
+    }
+    {   // 625.x264_s: much larger input than the rate run (2.8x icount,
+        // different mix); differs from 525.x264_r (Sec. IV-D).
+        ProfileSpec s;
+        s.icount_billions = 12546; s.load_pct = 37.21; s.store_pct = 10.27;
+        s.branch_pct = 4.59; s.cpi = 0.36; s.simd_pct = 12.0;
+        s.data = D::Medium; s.streaming = 0.7; s.code = C::Medium;
+        s.branches = B::Easy; s.taken_fraction = 0.55;
+        v.push_back(make(625, "625.x264_s", Category::SpeedInt,
+                         Domain::VideoProcessing, Language::C, true,
+                         "525.x264_r", s));
+    }
+    {   // 631.deepsjeng_s: similar to the rate version.
+        ProfileSpec s;
+        s.icount_billions = 2250; s.load_pct = 19.75; s.store_pct = 9.37;
+        s.branch_pct = 11.75; s.cpi = 0.55;
+        s.data = D::Small; s.streaming = 0.05; s.code = C::Medium;
+        s.branches = B::Hard; s.taken_fraction = 0.52;
+        s.tlb_stress = 0.05;
+        v.push_back(make(631, "631.deepsjeng_s", Category::SpeedInt,
+                         Domain::ArtificialIntelligence, Language::Cpp,
+                         true, "531.deepsjeng_r", s));
+    }
+    {   // 641.leela_s: similar to the rate version; picked as a subset
+        // representative (Table V).
+        ProfileSpec s;
+        s.icount_billions = 2245; s.load_pct = 14.25; s.store_pct = 5.32;
+        s.branch_pct = 8.94; s.cpi = 0.80;
+        s.data = D::Resident; s.streaming = 0.05; s.code = C::Medium;
+        s.branches = B::VeryHard; s.taken_fraction = 0.50;
+        s.tlb_stress = 0.05;
+        v.push_back(make(641, "641.leela_s", Category::SpeedInt,
+                         Domain::ArtificialIntelligence, Language::Cpp,
+                         true, "541.leela_r", s));
+    }
+    {   // 648.exchange2_s: identical behaviour to the rate version.
+        ProfileSpec s;
+        s.icount_billions = 6643; s.load_pct = 29.61; s.store_pct = 20.22;
+        s.branch_pct = 8.67; s.cpi = 0.41;
+        s.data = D::Resident; s.streaming = 0.3; s.code = C::Small;
+        s.branches = B::Easy; s.taken_fraction = 0.55;
+        v.push_back(make(648, "648.exchange2_s", Category::SpeedInt,
+                         Domain::ArtificialIntelligence,
+                         Language::Fortran, true, "548.exchange2_r", s));
+    }
+    {   // 657.xz_s: 4.2x the rate icount with a different mix; high
+        // D-TLB sensitivity (Table IX).
+        ProfileSpec s;
+        s.icount_billions = 8264; s.load_pct = 13.34; s.store_pct = 4.73;
+        s.branch_pct = 8.21; s.cpi = 1.00;
+        s.data = D::Large; s.streaming = 0.1; s.code = C::Small;
+        s.branches = B::VeryHard; s.taken_fraction = 0.48;
+        s.tlb_stress = 0.55; s.mlp = 1.6;
+        v.push_back(make(657, "657.xz_s", Category::SpeedInt,
+                         Domain::Compression, Language::C, true,
+                         "557.xz_r", s));
+    }
+
+    // =================================================================
+    // SPECrate FP (Table I: 13 benchmarks)
+    // =================================================================
+
+    {   // 503.bwaves_r: blast-wave CFD; 0.8 GB footprint (far below the
+        // speed run), loop-patterned branches whose capture depends on
+        // the predictor — the "high branch sensitivity" pair of
+        // Table IX.
+        ProfileSpec s;
+        s.icount_billions = 5488; s.load_pct = 34.92; s.store_pct = 4.77;
+        s.branch_pct = 9.51; s.cpi = 0.42;
+        s.fp_pct = 24.0; s.simd_pct = 14.0;
+        s.data = D::Large; s.streaming = 0.7; s.code = C::Tiny;
+        s.branches = B::Moderate; s.taken_fraction = 0.75;
+        s.patterned_override = 0.95; s.tlb_stress = 0.30; s.mlp = 4.0;
+        v.push_back(make(503, "503.bwaves_r", Category::RateFp,
+                         Domain::FluidDynamics, Language::Fortran, false,
+                         "603.bwaves_s", s));
+    }
+    {   // 507.cactuBSSN_r: numerical relativity; 43.6% loads, unique
+        // memory + TLB behaviour, most distinct FP benchmark (Fig. 4).
+        ProfileSpec s;
+        s.icount_billions = 1322; s.load_pct = 43.62; s.store_pct = 9.53;
+        s.branch_pct = 1.97; s.cpi = 0.69;
+        s.fp_pct = 22.0; s.simd_pct = 8.0;
+        s.data = D::L1Bound; s.streaming = 0.35; s.code = C::Flat;
+        s.branches = B::VeryEasy; s.taken_fraction = 0.8;
+        s.tlb_stress = 0.65; s.mlp = 3.0;
+        v.push_back(make(507, "507.cactuBSSN_r", Category::RateFp,
+                         Domain::Physics, Language::CCppFortran, true,
+                         "607.cactuBSSN_s", s));
+    }
+    {   // 508.namd_r: molecular dynamics; compute-bound, tiny misses,
+        // medium D-TLB sensitivity.
+        ProfileSpec s;
+        s.icount_billions = 2237; s.load_pct = 30.12; s.store_pct = 10.25;
+        s.branch_pct = 1.75; s.cpi = 0.41;
+        s.fp_pct = 34.0; s.simd_pct = 10.0;
+        s.data = D::Small; s.streaming = 0.3; s.code = C::Small;
+        s.branches = B::VeryEasy; s.taken_fraction = 0.8;
+        s.tlb_stress = 0.10;
+        v.push_back(make(508, "508.namd_r", Category::RateFp,
+                         Domain::MolecularDynamics, Language::Cpp, false,
+                         "", s));
+    }
+    {   // 510.parest_r: finite-element biomedical imaging solver.
+        ProfileSpec s;
+        s.icount_billions = 3461; s.load_pct = 29.51; s.store_pct = 2.50;
+        s.branch_pct = 11.49; s.cpi = 0.48;
+        s.fp_pct = 26.0; s.simd_pct = 6.0;
+        s.data = D::Medium; s.streaming = 0.4; s.code = C::Medium;
+        s.branches = B::Easy; s.taken_fraction = 0.7;
+        v.push_back(make(510, "510.parest_r", Category::RateFp,
+                         Domain::Biomedical, Language::Cpp, true, "", s));
+    }
+    {   // 511.povray_r: ray tracing; cache-resident scene with sparse
+        // page-level texture lookups (high D-TLB sensitivity,
+        // Table IX) and medium branch sensitivity.
+        ProfileSpec s;
+        s.icount_billions = 3310; s.load_pct = 30.30; s.store_pct = 13.13;
+        s.branch_pct = 14.20; s.cpi = 0.42;
+        s.fp_pct = 24.0; s.simd_pct = 4.0;
+        s.data = D::Small; s.streaming = 0.1; s.code = C::Medium;
+        s.branches = B::Easy; s.taken_fraction = 0.6;
+        s.tlb_stress = 0.50;
+        v.push_back(make(511, "511.povray_r", Category::RateFp,
+                         Domain::Visualization, Language::CCpp, false,
+                         "", s));
+    }
+    {   // 519.lbm_r: lattice Boltzmann; pure streaming stencil, almost
+        // no branches, medium L1D sensitivity.
+        ProfileSpec s;
+        s.icount_billions = 1468; s.load_pct = 28.35; s.store_pct = 15.09;
+        s.branch_pct = 1.05; s.cpi = 0.53;
+        s.fp_pct = 30.0; s.simd_pct = 12.0;
+        s.data = D::Large; s.streaming = 0.85; s.code = C::Tiny;
+        s.branches = B::VeryEasy; s.taken_fraction = 0.85;
+        s.mlp = 4.5;
+        v.push_back(make(519, "519.lbm_r", Category::RateFp,
+                         Domain::FluidDynamics, Language::C, false,
+                         "619.lbm_s", s));
+    }
+    {   // 521.wrf_r: weather model; similar to its speed version.
+        ProfileSpec s;
+        s.icount_billions = 3197; s.load_pct = 22.94; s.store_pct = 5.93;
+        s.branch_pct = 9.48; s.cpi = 0.81;
+        s.fp_pct = 26.0; s.simd_pct = 8.0;
+        s.data = D::Large; s.streaming = 0.5; s.code = C::Medium;
+        s.branches = B::Easy; s.taken_fraction = 0.7;
+        s.tlb_stress = 0.10; s.mlp = 2.5;
+        v.push_back(make(521, "521.wrf_r", Category::RateFp,
+                         Domain::Climatology, Language::CFortran, false,
+                         "621.wrf_s", s));
+    }
+    {   // 526.blender_r: 3D rendering; dependency-stall dominated
+        // (Fig. 1 "other" category), medium D-TLB sensitivity.
+        ProfileSpec s;
+        s.icount_billions = 5682; s.load_pct = 36.10; s.store_pct = 12.07;
+        s.branch_pct = 7.89; s.cpi = 0.53;
+        s.fp_pct = 20.0; s.simd_pct = 10.0;
+        s.data = D::Medium; s.streaming = 0.3; s.code = C::Medium;
+        s.branches = B::Easy; s.taken_fraction = 0.6;
+        s.dependency_share = 0.40; s.tlb_stress = 0.15;
+        v.push_back(make(526, "526.blender_r", Category::RateFp,
+                         Domain::Visualization, Language::CCpp, true,
+                         "", s));
+    }
+    {   // 527.cam4_r: atmosphere model; moderate everything, medium
+        // branch sensitivity.
+        ProfileSpec s;
+        s.icount_billions = 2732; s.load_pct = 19.99; s.store_pct = 8.37;
+        s.branch_pct = 11.06; s.cpi = 0.56;
+        s.fp_pct = 24.0; s.simd_pct = 6.0;
+        s.data = D::Medium; s.streaming = 0.4; s.code = C::Medium;
+        s.branches = B::Easy; s.taken_fraction = 0.7;
+        s.tlb_stress = 0.10;
+        v.push_back(make(527, "527.cam4_r", Category::RateFp,
+                         Domain::Climatology, Language::CFortran, true,
+                         "627.cam4_s", s));
+    }
+    {   // 538.imagick_r: image manipulation; long FP dependency chains
+        // dominate the CPI (Fig. 1), high core power (Fig. 12).
+        ProfileSpec s;
+        s.icount_billions = 4333; s.load_pct = 22.55; s.store_pct = 7.97;
+        s.branch_pct = 10.94; s.cpi = 0.90;
+        s.fp_pct = 30.0; s.simd_pct = 12.0;
+        s.data = D::Medium; s.streaming = 0.5; s.code = C::Small;
+        s.branches = B::Easy; s.taken_fraction = 0.7;
+        s.dependency_share = 0.45;
+        v.push_back(make(538, "538.imagick_r", Category::RateFp,
+                         Domain::Visualization, Language::C, true,
+                         "638.imagick_s", s));
+    }
+    {   // 544.nab_r: molecular modelling; FP-intensive, picked as a
+        // subset representative (Table V).
+        ProfileSpec s;
+        s.icount_billions = 2024; s.load_pct = 23.70; s.store_pct = 7.46;
+        s.branch_pct = 9.65; s.cpi = 0.69;
+        s.fp_pct = 32.0; s.simd_pct = 8.0;
+        s.data = D::Medium; s.streaming = 0.35; s.code = C::Small;
+        s.branches = B::Easy; s.taken_fraction = 0.7;
+        s.tlb_stress = 0.15; s.dependency_share = 0.25;
+        v.push_back(make(544, "544.nab_r", Category::RateFp,
+                         Domain::MolecularDynamics, Language::C, true,
+                         "644.nab_s", s));
+    }
+    {   // 549.fotonik3d_r: electromagnetics stencil; streaming through a
+        // huge grid — near the top of the FP L1D MPKI range (Table II)
+        // and the "high L1D sensitivity" pair of Table IX.
+        ProfileSpec s;
+        s.icount_billions = 1288; s.load_pct = 39.12; s.store_pct = 12.07;
+        s.branch_pct = 2.52; s.cpi = 0.96;
+        s.fp_pct = 28.0; s.simd_pct = 10.0;
+        s.data = D::L1Bound; s.streaming = 0.6; s.code = C::Tiny;
+        s.branches = B::VeryEasy; s.taken_fraction = 0.85;
+        s.tlb_stress = 0.30; s.mlp = 3.5;
+        v.push_back(make(549, "549.fotonik3d_r", Category::RateFp,
+                         Domain::Physics, Language::Fortran, true,
+                         "649.fotonik3d_s", s));
+    }
+    {   // 554.roms_r: ocean model; streaming FP code, subset
+        // representative in the speed category.
+        ProfileSpec s;
+        s.icount_billions = 2609; s.load_pct = 34.57; s.store_pct = 7.57;
+        s.branch_pct = 6.73; s.cpi = 0.48;
+        s.fp_pct = 28.0; s.simd_pct = 10.0;
+        s.data = D::Large; s.streaming = 0.55; s.code = C::Small;
+        s.branches = B::VeryEasy; s.taken_fraction = 0.8;
+        s.mlp = 3.0;
+        v.push_back(make(554, "554.roms_r", Category::RateFp,
+                         Domain::Climatology, Language::Fortran, true,
+                         "654.roms_s", s));
+    }
+
+    // =================================================================
+    // SPECspeed FP (Table I: 10 benchmarks)
+    // =================================================================
+
+    {   // 603.bwaves_s: 12x the rate icount with a very large memory
+        // footprint — cache behaviour significantly different from the
+        // rate version (Sec. IV-D).
+        ProfileSpec s;
+        s.icount_billions = 66395; s.load_pct = 31.00; s.store_pct = 4.42;
+        s.branch_pct = 13.00; s.cpi = 0.34;
+        s.fp_pct = 24.0; s.simd_pct = 14.0;
+        s.data = D::Huge; s.streaming = 0.75; s.code = C::Tiny;
+        s.branches = B::Moderate; s.taken_fraction = 0.75;
+        s.patterned_override = 0.95; s.tlb_stress = 0.40; s.mlp = 5.0;
+        v.push_back(make(603, "603.bwaves_s", Category::SpeedFp,
+                         Domain::FluidDynamics, Language::Fortran, false,
+                         "503.bwaves_r", s));
+    }
+    {   // 607.cactuBSSN_s: like the rate version — unique memory/TLB
+        // behaviour, subset representative (Table V).
+        ProfileSpec s;
+        s.icount_billions = 10976; s.load_pct = 43.87; s.store_pct = 9.50;
+        s.branch_pct = 1.80; s.cpi = 0.68;
+        s.fp_pct = 22.0; s.simd_pct = 8.0;
+        s.data = D::L1Bound; s.streaming = 0.35; s.code = C::Flat;
+        s.branches = B::VeryEasy; s.taken_fraction = 0.8;
+        s.tlb_stress = 0.65; s.mlp = 3.0;
+        v.push_back(make(607, "607.cactuBSSN_s", Category::SpeedFp,
+                         Domain::Physics, Language::CCppFortran, true,
+                         "507.cactuBSSN_r", s));
+    }
+    {   // 619.lbm_s: larger grid than the rate run; fluid-dynamics pairs
+        // should both be used for domain coverage (Table VIII).
+        ProfileSpec s;
+        s.icount_billions = 4416; s.load_pct = 29.62; s.store_pct = 17.68;
+        s.branch_pct = 1.40; s.cpi = 0.87;
+        s.fp_pct = 30.0; s.simd_pct = 12.0;
+        s.data = D::Huge; s.streaming = 0.9; s.code = C::Tiny;
+        s.branches = B::VeryEasy; s.taken_fraction = 0.85;
+        s.mlp = 4.0;
+        v.push_back(make(619, "619.lbm_s", Category::SpeedFp,
+                         Domain::FluidDynamics, Language::C, false,
+                         "519.lbm_r", s));
+    }
+    {   // 621.wrf_s: similar to its rate version (Sec. IV-D); subset
+        // representative (Table V).
+        ProfileSpec s;
+        s.icount_billions = 18524; s.load_pct = 23.20; s.store_pct = 5.80;
+        s.branch_pct = 9.48; s.cpi = 0.77;
+        s.fp_pct = 26.0; s.simd_pct = 8.0;
+        s.data = D::Large; s.streaming = 0.5; s.code = C::Medium;
+        s.branches = B::Easy; s.taken_fraction = 0.7;
+        s.tlb_stress = 0.10; s.mlp = 2.5;
+        v.push_back(make(621, "621.wrf_s", Category::SpeedFp,
+                         Domain::Climatology, Language::CFortran, false,
+                         "521.wrf_r", s));
+    }
+    {   // 627.cam4_s: similar to its rate version.
+        ProfileSpec s;
+        s.icount_billions = 15594; s.load_pct = 20.0; s.store_pct = 14.0;
+        s.branch_pct = 10.92; s.cpi = 0.68;
+        s.fp_pct = 24.0; s.simd_pct = 6.0;
+        s.data = D::Medium; s.streaming = 0.4; s.code = C::Medium;
+        s.branches = B::Easy; s.taken_fraction = 0.7;
+        s.tlb_stress = 0.10;
+        v.push_back(make(627, "627.cam4_s", Category::SpeedFp,
+                         Domain::Climatology, Language::CFortran, true,
+                         "527.cam4_r", s));
+    }
+    {   // 628.pop2_s: ocean circulation; speed-only benchmark.
+        ProfileSpec s;
+        s.icount_billions = 18611; s.load_pct = 21.71; s.store_pct = 8.41;
+        s.branch_pct = 15.13; s.cpi = 0.48;
+        s.fp_pct = 22.0; s.simd_pct = 6.0;
+        s.data = D::Medium; s.streaming = 0.4; s.code = C::Medium;
+        s.branches = B::Easy; s.taken_fraction = 0.7;
+        s.tlb_stress = 0.05;
+        v.push_back(make(628, "628.pop2_s", Category::SpeedFp,
+                         Domain::Climatology, Language::CFortran, true,
+                         "", s));
+    }
+    {   // 638.imagick_s: >= 30% higher misses at every cache level than
+        // the rate version — the largest rate/speed linkage distance in
+        // the suite (Sec. IV-D).
+        ProfileSpec s;
+        s.icount_billions = 66788; s.load_pct = 18.16; s.store_pct = 0.46;
+        s.branch_pct = 9.30; s.cpi = 1.17;
+        s.fp_pct = 32.0; s.simd_pct = 14.0;
+        s.data = D::Huge; s.streaming = 0.35; s.code = C::Small;
+        s.branches = B::Easy; s.taken_fraction = 0.7;
+        s.dependency_share = 0.35;
+        v.push_back(make(638, "638.imagick_s", Category::SpeedFp,
+                         Domain::Visualization, Language::C, true,
+                         "538.imagick_r", s));
+    }
+    {   // 644.nab_s: similar to its rate version.
+        ProfileSpec s;
+        s.icount_billions = 13489; s.load_pct = 23.49; s.store_pct = 7.51;
+        s.branch_pct = 9.55; s.cpi = 0.68;
+        s.fp_pct = 32.0; s.simd_pct = 8.0;
+        s.data = D::Medium; s.streaming = 0.35; s.code = C::Small;
+        s.branches = B::Easy; s.taken_fraction = 0.7;
+        s.tlb_stress = 0.15; s.dependency_share = 0.25;
+        v.push_back(make(644, "644.nab_s", Category::SpeedFp,
+                         Domain::MolecularDynamics, Language::C, true,
+                         "544.nab_r", s));
+    }
+    {   // 649.fotonik3d_s: much larger grid than the rate run (high
+        // memory usage per Sec. IV-D); top of the FP L1D MPKI range and
+        // highly L1D- and D-TLB-sensitive (Table IX).
+        ProfileSpec s;
+        s.icount_billions = 4280; s.load_pct = 33.99; s.store_pct = 13.89;
+        s.branch_pct = 3.84; s.cpi = 0.78;
+        s.fp_pct = 28.0; s.simd_pct = 10.0;
+        s.data = D::L1Bound; s.streaming = 0.5; s.code = C::Tiny;
+        s.branches = B::VeryEasy; s.taken_fraction = 0.85;
+        s.tlb_stress = 0.40; s.mlp = 4.0;
+        v.push_back(make(649, "649.fotonik3d_s", Category::SpeedFp,
+                         Domain::Physics, Language::Fortran, true,
+                         "549.fotonik3d_r", s));
+    }
+    {   // 654.roms_s: larger than the rate version; rate and speed both
+        // needed for climatology coverage (Table VIII); subset
+        // representative (Table V).
+        ProfileSpec s;
+        s.icount_billions = 22968; s.load_pct = 32.02; s.store_pct = 8.02;
+        s.branch_pct = 7.53; s.cpi = 0.52;
+        s.fp_pct = 28.0; s.simd_pct = 10.0;
+        s.data = D::Huge; s.streaming = 0.65; s.code = C::Small;
+        s.branches = B::VeryEasy; s.taken_fraction = 0.8;
+        s.mlp = 3.2;
+        v.push_back(make(654, "654.roms_s", Category::SpeedFp,
+                         Domain::Climatology, Language::Fortran, true,
+                         "554.roms_r", s));
+    }
+
+    return v;
+}
+
+} // namespace
+
+const std::vector<BenchmarkInfo> &
+spec2017()
+{
+    static const std::vector<BenchmarkInfo> suite = build();
+    return suite;
+}
+
+std::vector<BenchmarkInfo>
+spec2017SpeedInt()
+{
+    return filterByCategory(spec2017(), Category::SpeedInt);
+}
+
+std::vector<BenchmarkInfo>
+spec2017RateInt()
+{
+    return filterByCategory(spec2017(), Category::RateInt);
+}
+
+std::vector<BenchmarkInfo>
+spec2017SpeedFp()
+{
+    return filterByCategory(spec2017(), Category::SpeedFp);
+}
+
+std::vector<BenchmarkInfo>
+spec2017RateFp()
+{
+    return filterByCategory(spec2017(), Category::RateFp);
+}
+
+const BenchmarkInfo &
+spec2017Benchmark(const std::string &name)
+{
+    return findBenchmark(spec2017(), name);
+}
+
+} // namespace suites
+} // namespace speclens

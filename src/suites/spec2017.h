@@ -1,0 +1,47 @@
+/**
+ * @file
+ * The 43 SPEC CPU2017 benchmark workload models.
+ *
+ * Quantitative calibration comes from Table I of the paper (dynamic
+ * instruction counts, load/store/branch mixes and Skylake CPI measured
+ * by the authors); qualitative calibration (locality classes, branch
+ * difficulty, TLB sparseness, dependency shares) encodes the behaviour
+ * the paper reports throughout Sections II, IV and V.
+ */
+
+#ifndef SPECLENS_SUITES_SPEC2017_H
+#define SPECLENS_SUITES_SPEC2017_H
+
+#include <vector>
+
+#include "suites/benchmark_info.h"
+
+namespace speclens {
+namespace suites {
+
+/**
+ * All 43 CPU2017 benchmarks in SPEC numbering order
+ * (rate INT, speed INT, rate FP, speed FP interleaved by id).
+ * The list is constructed once and cached.
+ */
+const std::vector<BenchmarkInfo> &spec2017();
+
+/** The 10 SPECspeed INT benchmarks. */
+std::vector<BenchmarkInfo> spec2017SpeedInt();
+
+/** The 10 SPECrate INT benchmarks. */
+std::vector<BenchmarkInfo> spec2017RateInt();
+
+/** The 10 SPECspeed FP benchmarks. */
+std::vector<BenchmarkInfo> spec2017SpeedFp();
+
+/** The 13 SPECrate FP benchmarks. */
+std::vector<BenchmarkInfo> spec2017RateFp();
+
+/** Look up a CPU2017 benchmark by name. */
+const BenchmarkInfo &spec2017Benchmark(const std::string &name);
+
+} // namespace suites
+} // namespace speclens
+
+#endif // SPECLENS_SUITES_SPEC2017_H

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Synthetic data-address generation from a working-set mixture model.
+ *
+ * Every data access picks one of the profile's working sets (hot / warm
+ * / cold) with probability proportional to its weight, then either
+ * advances a sequential cursor through the set (spatial locality) or
+ * touches a uniformly random cache line in it (temporal-reuse-limited
+ * behaviour).  Under an LRU cache of capacity C lines, a set of L > C
+ * lines accessed uniformly misses at rate ~ (L - C) / L, so footprints
+ * relative to the simulated machine's cache sizes directly control the
+ * per-machine MPKI — the machine-dependence at the heart of the paper's
+ * multi-machine methodology.
+ */
+
+#ifndef SPECLENS_TRACE_ADDRESS_STREAM_H
+#define SPECLENS_TRACE_ADDRESS_STREAM_H
+
+#include <array>
+#include <cstdint>
+
+#include "stats/rng.h"
+#include "trace/workload_profile.h"
+
+namespace speclens {
+namespace trace {
+
+/** Cache line size assumed throughout the toolkit (bytes). */
+constexpr std::uint64_t kLineBytes = 64;
+
+/** Page size assumed throughout the toolkit (bytes). */
+constexpr std::uint64_t kPageBytes = 4096;
+
+/**
+ * Disjoint virtual-address layout.  Data regions (one per working set)
+ * are placed 256 GiB apart so footprints of any modelled size never
+ * alias across regions, and the code segment never collides with data.
+ * Exposed so the simulation driver can pre-warm the same addresses the
+ * stream will touch.
+ */
+constexpr std::uint64_t kDataRegionStride = 1ull << 38;
+constexpr std::uint64_t kDataBase = 1ull << 40;
+constexpr std::uint64_t kCodeBase = 1ull << 22;
+
+/** Generator of data-side effective addresses. */
+class DataAddressStream
+{
+  public:
+    /**
+     * @param model Working-set mixture to sample from.
+     * @param rng Generator owned by the caller; the stream consumes a
+     *            bounded number of draws per next() call.
+     */
+    explicit DataAddressStream(const MemoryModel &model);
+
+    /** Produce the next effective address. */
+    std::uint64_t next(stats::Rng &rng);
+
+  private:
+    struct Region
+    {
+        std::uint64_t base;        //!< First byte of the region.
+        std::uint64_t elements;    //!< Addressable elements in the set.
+        std::uint64_t stride;      //!< Bytes between elements.
+        double cumulative_weight;  //!< Upper edge of the sampling band.
+        double sequential;         //!< Streaming-access probability.
+        std::uint64_t cursor = 0;  //!< Sequential element cursor.
+    };
+
+    std::array<Region, 4> regions_;
+};
+
+/**
+ * Generator of instruction-fetch addresses.
+ *
+ * Maintains a program counter that advances linearly and is redirected
+ * by taken branches: with probability MemoryModel::code_locality the
+ * target stays inside the hot code region (a loop nest), otherwise it
+ * lands uniformly in the full code footprint.  Benchmarks with large
+ * footprints and low locality (perlbench, gcc) therefore show the
+ * highest I-cache/I-TLB miss activity, matching Section IV-E.
+ */
+class CodeAddressStream
+{
+  public:
+    explicit CodeAddressStream(const MemoryModel &model);
+
+    /** Address of the next sequential instruction (PC += 4). */
+    std::uint64_t nextPc();
+
+    /** Redirect the PC because a branch resolved taken. */
+    void takeBranch(stats::Rng &rng);
+
+  private:
+    std::uint64_t base_;        //!< Code region start.
+    std::uint64_t size_;        //!< Code footprint (bytes).
+    std::uint64_t hot_size_;    //!< Hot region (bytes).
+    double locality_;           //!< P(target within hot region).
+    std::uint64_t pc_;          //!< Current fetch address.
+};
+
+} // namespace trace
+} // namespace speclens
+
+#endif // SPECLENS_TRACE_ADDRESS_STREAM_H

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Instruction helpers.
+ */
+
+#include "instruction.h"
+
+namespace speclens {
+namespace trace {
+
+std::string
+opClassName(OpClass op)
+{
+    switch (op) {
+      case OpClass::IntAlu: return "int";
+      case OpClass::FpAlu: return "fp";
+      case OpClass::Simd: return "simd";
+      case OpClass::Load: return "load";
+      case OpClass::Store: return "store";
+      case OpClass::Branch: return "branch";
+      case OpClass::Other: return "other";
+    }
+    return "invalid";
+}
+
+} // namespace trace
+} // namespace speclens

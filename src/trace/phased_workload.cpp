@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Phased workload implementation.
+ */
+
+#include "phased_workload.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/rng.h"
+
+namespace speclens {
+namespace trace {
+
+void
+PhasedWorkload::validate() const
+{
+    if (name.empty())
+        throw std::invalid_argument("PhasedWorkload: empty name");
+    if (phases.empty())
+        throw std::invalid_argument(name + ": no phases");
+    double total = 0.0;
+    for (const Phase &phase : phases) {
+        if (phase.weight <= 0.0)
+            throw std::invalid_argument(name + ": non-positive weight");
+        total += phase.weight;
+        phase.profile.validate();
+    }
+    if (std::fabs(total - 1.0) > 1e-6)
+        throw std::invalid_argument(name + ": weights must sum to 1");
+}
+
+double
+PhasedWorkload::dynamicInstructionsBillions() const
+{
+    double total = 0.0;
+    for (const Phase &phase : phases)
+        total += phase.weight *
+                 phase.profile.dynamic_instructions_billions;
+    return total;
+}
+
+PhasedWorkload
+derivePhases(const WorkloadProfile &base, std::size_t num_phases,
+             double drift)
+{
+    if (num_phases < 1)
+        throw std::invalid_argument("derivePhases: need >= 1 phase");
+
+    PhasedWorkload out;
+    out.name = base.name;
+
+    stats::Rng rng(stats::combineSeeds(base.seed(), 0x9a5e5u));
+
+    // Raw positive weights, normalised below (deterministic Dirichlet
+    // stand-in).
+    std::vector<double> raw(num_phases);
+    double total = 0.0;
+    for (double &w : raw) {
+        w = 0.25 + rng.uniform();
+        total += w;
+    }
+
+    for (std::size_t k = 0; k < num_phases; ++k) {
+        Phase phase;
+        phase.weight = raw[k] / total;
+        phase.profile = base;
+        phase.profile.name =
+            base.name + "@" + std::to_string(k + 1);
+
+        auto drifted = [&rng, drift](double value, double relative) {
+            double factor =
+                1.0 + rng.gaussian(0.0, drift * relative);
+            return value * std::clamp(factor, 0.25, 4.0);
+        };
+
+        WorkloadProfile &p = phase.profile;
+        for (WorkingSet &ws : p.memory.data) {
+            ws.bytes = std::max(ws.stride_bytes,
+                                drifted(ws.bytes, 1.0));
+            // Phase-dependent access emphasis: hot phases hammer one
+            // set, scan phases another.
+            ws.weight = std::max(1e-6, drifted(ws.weight, 0.6));
+        }
+        p.mix.load = std::clamp(drifted(p.mix.load, 0.3), 0.0, 0.6);
+        p.mix.store = std::clamp(drifted(p.mix.store, 0.3), 0.0, 0.4);
+        p.mix.branch =
+            std::clamp(drifted(p.mix.branch, 0.25), 0.005, 0.4);
+        p.branch.biased_fraction = std::clamp(
+            drifted(p.branch.biased_fraction, 0.08), 0.3, 0.995);
+        p.memory.code_locality = std::clamp(
+            drifted(p.memory.code_locality, 0.02), 0.5, 1.0);
+
+        p.validate();
+        out.phases.push_back(std::move(phase));
+    }
+    out.validate();
+    return out;
+}
+
+} // namespace trace
+} // namespace speclens

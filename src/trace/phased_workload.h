@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Phased workload models.
+ *
+ * Real benchmarks are not statistically stationary: gcc parses, then
+ * optimises, then emits code, and each phase has its own locality and
+ * branch character.  The paper's related work (Sherwood's SimPoints,
+ * Nair's CPU2006 simulation points — refs [32], [33]) exploits exactly
+ * this structure to cut simulation cost *within* a benchmark, the
+ * complementary axis to the paper's cutting *across* benchmarks.
+ *
+ * A PhasedWorkload is an ordered set of stationary phases, each a full
+ * WorkloadProfile with an execution weight.  The simulation driver can
+ * run the phases in sequence (warm structures carry over, as on real
+ * hardware) and the phase-analysis module reproduces the SimPoint
+ * idea: measure each phase once, cluster them, and estimate whole-run
+ * behaviour from representative phases only.
+ */
+
+#ifndef SPECLENS_TRACE_PHASED_WORKLOAD_H
+#define SPECLENS_TRACE_PHASED_WORKLOAD_H
+
+#include <string>
+#include <vector>
+
+#include "trace/workload_profile.h"
+
+namespace speclens {
+namespace trace {
+
+/** One stationary execution phase. */
+struct Phase
+{
+    /** Behaviour of the phase. */
+    WorkloadProfile profile;
+
+    /** Fraction of the whole run spent in this phase, (0, 1]. */
+    double weight = 1.0;
+};
+
+/** A workload as an ordered sequence of weighted phases. */
+struct PhasedWorkload
+{
+    /** Workload name (phases carry derived names "<name>@<k>"). */
+    std::string name;
+
+    std::vector<Phase> phases;
+
+    /**
+     * Validate: at least one phase, weights positive and summing to 1
+     * within tolerance, every profile valid.
+     * @throws std::invalid_argument otherwise.
+     */
+    void validate() const;
+
+    /** Weighted mean dynamic instruction count (billions). */
+    double dynamicInstructionsBillions() const;
+};
+
+/**
+ * Derive a phased workload from a base profile: each phase is a
+ * deterministic perturbation of the base (footprints, mix, branch
+ * behaviour drift between phases), with Dirichlet-like weights.
+ * Models multi-phase programs without hand-writing every phase.
+ *
+ * @param base Stationary base profile.
+ * @param num_phases Number of phases (>= 1).
+ * @param drift Relative magnitude of per-phase drift (0.3 gives
+ *        clearly distinct phases; 0.05 nearly stationary ones).
+ */
+PhasedWorkload derivePhases(const WorkloadProfile &base,
+                            std::size_t num_phases, double drift = 0.3);
+
+} // namespace trace
+} // namespace speclens
+
+#endif // SPECLENS_TRACE_PHASED_WORKLOAD_H

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Trace generator implementation.
+ */
+
+#include "trace_generator.h"
+
+namespace speclens {
+namespace trace {
+
+namespace {
+
+/**
+ * Share of the non-load/store/branch/fp/simd remainder modelled as
+ * OpClass::Other (moves, system instructions) rather than integer ALU.
+ */
+constexpr double kOtherShareOfRemainder = 0.05;
+
+} // namespace
+
+TraceGenerator::TraceGenerator(const WorkloadProfile &profile,
+                               std::uint64_t seed_salt)
+    : profile_(profile),
+      rng_(stats::combineSeeds(profile.seed(), seed_salt)),
+      data_(profile.memory),
+      code_(profile.memory),
+      branches_(profile.branch, rng_)
+{
+    profile_.validate();
+    const InstructionMix &mix = profile_.mix;
+    p_load_ = mix.load;
+    p_store_ = p_load_ + mix.store;
+    p_branch_ = p_store_ + mix.branch;
+    p_fp_ = p_branch_ + mix.fp;
+    p_simd_ = p_fp_ + mix.simd;
+    p_other_ = p_simd_ + mix.remainder() * kOtherShareOfRemainder;
+}
+
+Instruction
+TraceGenerator::next()
+{
+    Instruction inst;
+    inst.pc = code_.nextPc();
+    inst.kernel = rng_.bernoulli(profile_.exec.kernel_fraction);
+
+    double u = rng_.uniform();
+    if (u < p_load_) {
+        inst.op = OpClass::Load;
+        inst.address = data_.next(rng_);
+    } else if (u < p_store_) {
+        inst.op = OpClass::Store;
+        inst.address = data_.next(rng_);
+    } else if (u < p_branch_) {
+        inst.op = OpClass::Branch;
+        BranchStream::Outcome outcome = branches_.next(rng_);
+        inst.branch_id = outcome.id;
+        inst.taken = outcome.taken;
+        if (outcome.taken)
+            code_.takeBranch(rng_);
+    } else if (u < p_fp_) {
+        inst.op = OpClass::FpAlu;
+    } else if (u < p_simd_) {
+        inst.op = OpClass::Simd;
+    } else if (u < p_other_) {
+        inst.op = OpClass::Other;
+    } else {
+        inst.op = OpClass::IntAlu;
+    }
+    return inst;
+}
+
+std::vector<Instruction>
+TraceGenerator::generate(std::size_t count)
+{
+    std::vector<Instruction> out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        out.push_back(next());
+    return out;
+}
+
+} // namespace trace
+} // namespace speclens

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Streaming synthetic instruction-trace generator.
+ *
+ * Combines the instruction-mix, address-stream and branch-stream models
+ * of a WorkloadProfile into a single deterministic stream of
+ * Instruction records.  The stream for a given (profile, seed) pair is
+ * bit-identical across runs and platforms, so every table and figure
+ * the benchmark harness regenerates is exactly reproducible.
+ */
+
+#ifndef SPECLENS_TRACE_TRACE_GENERATOR_H
+#define SPECLENS_TRACE_TRACE_GENERATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.h"
+#include "trace/address_stream.h"
+#include "trace/branch_stream.h"
+#include "trace/instruction.h"
+#include "trace/workload_profile.h"
+
+namespace speclens {
+namespace trace {
+
+/** Deterministic generator of synthetic dynamic instruction streams. */
+class TraceGenerator
+{
+  public:
+    /**
+     * @param profile Validated workload model (validate() is called).
+     * @param seed_salt Extra entropy mixed into the profile's own seed;
+     *        pass different salts to obtain statistically independent
+     *        re-runs of the same workload.
+     */
+    explicit TraceGenerator(const WorkloadProfile &profile,
+                            std::uint64_t seed_salt = 0);
+
+    /** Generate the next dynamic instruction. */
+    Instruction next();
+
+    /** Generate @p count instructions into a vector (testing helper). */
+    std::vector<Instruction> generate(std::size_t count);
+
+    /** The profile this generator draws from. */
+    const WorkloadProfile &profile() const { return profile_; }
+
+  private:
+    WorkloadProfile profile_;
+    stats::Rng rng_;
+    DataAddressStream data_;
+    CodeAddressStream code_;
+    BranchStream branches_;
+
+    // Cumulative op-class thresholds, precomputed from the mix.
+    double p_load_;
+    double p_store_;
+    double p_branch_;
+    double p_fp_;
+    double p_simd_;
+    double p_other_;
+};
+
+} // namespace trace
+} // namespace speclens
+
+#endif // SPECLENS_TRACE_TRACE_GENERATOR_H

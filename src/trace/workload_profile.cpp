@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Workload profile validation.
+ */
+
+#include "workload_profile.h"
+
+#include <stdexcept>
+
+#include "stats/rng.h"
+
+namespace speclens {
+namespace trace {
+
+namespace {
+
+bool
+inUnit(double v)
+{
+    return v >= 0.0 && v <= 1.0;
+}
+
+} // namespace
+
+bool
+InstructionMix::valid() const
+{
+    return inUnit(load) && inUnit(store) && inUnit(branch) && inUnit(fp) &&
+           inUnit(simd) && remainder() >= 0.0;
+}
+
+bool
+MemoryModel::valid() const
+{
+    double total_weight = 0.0;
+    for (const WorkingSet &ws : data) {
+        if (ws.bytes < 64.0 || ws.weight < 0.0 || !inUnit(ws.sequential) ||
+            ws.stride_bytes < 64.0 || ws.bytes < ws.stride_bytes) {
+            return false;
+        }
+        total_weight += ws.weight;
+    }
+    return total_weight > 0.0 && code_bytes >= 64.0 &&
+           hot_code_bytes >= 64.0 && hot_code_bytes <= code_bytes &&
+           inUnit(code_locality);
+}
+
+bool
+BranchModel::valid() const
+{
+    return static_branches > 0 && inUnit(taken_fraction) &&
+           inUnit(biased_fraction) && inUnit(patterned_fraction);
+}
+
+bool
+ExecutionModel::valid() const
+{
+    return base_cpi > 0.0 && dependency_cpi >= 0.0 && mlp >= 1.0 &&
+           inUnit(kernel_fraction);
+}
+
+void
+WorkloadProfile::validate() const
+{
+    if (name.empty())
+        throw std::invalid_argument("WorkloadProfile: empty name");
+    if (dynamic_instructions_billions <= 0.0)
+        throw std::invalid_argument(name + ": non-positive instruction count");
+    if (!mix.valid())
+        throw std::invalid_argument(name + ": invalid instruction mix");
+    if (!memory.valid())
+        throw std::invalid_argument(name + ": invalid memory model");
+    if (!branch.valid())
+        throw std::invalid_argument(name + ": invalid branch model");
+    if (!exec.valid())
+        throw std::invalid_argument(name + ": invalid execution model");
+}
+
+std::uint64_t
+WorkloadProfile::seed() const
+{
+    return stats::hashName(name);
+}
+
+} // namespace trace
+} // namespace speclens

@@ -1,0 +1,332 @@
+/**
+ * @file
+ * Branch predictor implementations.
+ */
+
+#include "branch_predictor.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace speclens {
+namespace uarch {
+
+namespace {
+
+/**
+ * Hash the static-branch identity into a well-distributed index base.
+ *
+ * Only the id participates: the synthetic trace reports the dynamic
+ * fetch address separately from branch identity, and a real predictor
+ * indexes by the branch's *home* PC, which is stable per static
+ * branch.  The id is that stable identity here.
+ */
+inline std::uint64_t
+mixPcId(std::uint64_t /* pc */, std::uint32_t id)
+{
+    std::uint64_t x = (static_cast<std::uint64_t>(id) + 0x2545f491ull) *
+                      0x9e3779b97f4a7c15ull;
+    x ^= x >> 29;
+    x *= 0xbf58476d1ce4e5b9ull;
+    x ^= x >> 32;
+    return x;
+}
+
+/** Saturating 2-bit counter update. */
+inline void
+updateCounter2(std::uint8_t &counter, bool taken)
+{
+    if (taken) {
+        if (counter < 3)
+            ++counter;
+    } else {
+        if (counter > 0)
+            --counter;
+    }
+}
+
+} // namespace
+
+std::string
+predictorKindName(PredictorKind kind)
+{
+    switch (kind) {
+      case PredictorKind::StaticTaken: return "static-taken";
+      case PredictorKind::Bimodal: return "bimodal";
+      case PredictorKind::Gshare: return "gshare";
+      case PredictorKind::Tournament: return "tournament";
+      case PredictorKind::Perceptron: return "perceptron";
+      case PredictorKind::TageLite: return "tage-lite";
+    }
+    return "unknown";
+}
+
+std::unique_ptr<BranchPredictor>
+makePredictor(PredictorKind kind, unsigned size_log2)
+{
+    switch (kind) {
+      case PredictorKind::StaticTaken:
+        return std::make_unique<StaticTakenPredictor>();
+      case PredictorKind::Bimodal:
+        return std::make_unique<BimodalPredictor>(size_log2);
+      case PredictorKind::Gshare:
+        return std::make_unique<GsharePredictor>(size_log2,
+                                                 std::min(size_log2, 16u));
+      case PredictorKind::Tournament:
+        return std::make_unique<TournamentPredictor>(size_log2);
+      case PredictorKind::Perceptron:
+        return std::make_unique<PerceptronPredictor>(
+            size_log2 > 4 ? size_log2 - 4 : 1, 24);
+      case PredictorKind::TageLite:
+        return std::make_unique<TageLitePredictor>(
+            size_log2 > 2 ? size_log2 - 2 : 1);
+    }
+    throw std::invalid_argument("makePredictor: unknown kind");
+}
+
+// ---------------------------------------------------------------------
+// Bimodal
+// ---------------------------------------------------------------------
+
+BimodalPredictor::BimodalPredictor(unsigned size_log2)
+    : counters_(std::size_t{1} << size_log2, 2), // weakly taken
+      mask_((std::size_t{1} << size_log2) - 1)
+{
+}
+
+std::size_t
+BimodalPredictor::index(std::uint64_t pc, std::uint32_t id) const
+{
+    return static_cast<std::size_t>(mixPcId(pc, id)) & mask_;
+}
+
+bool
+BimodalPredictor::predict(std::uint64_t pc, std::uint32_t id)
+{
+    return counters_[index(pc, id)] >= 2;
+}
+
+void
+BimodalPredictor::update(std::uint64_t pc, std::uint32_t id, bool taken)
+{
+    updateCounter2(counters_[index(pc, id)], taken);
+}
+
+// ---------------------------------------------------------------------
+// Gshare
+// ---------------------------------------------------------------------
+
+GsharePredictor::GsharePredictor(unsigned size_log2, unsigned history_bits)
+    : counters_(std::size_t{1} << size_log2, 2),
+      mask_((std::size_t{1} << size_log2) - 1),
+      history_mask_((std::uint64_t{1} << history_bits) - 1)
+{
+}
+
+std::size_t
+GsharePredictor::index(std::uint64_t pc, std::uint32_t id) const
+{
+    return static_cast<std::size_t>(mixPcId(pc, id) ^ history_) & mask_;
+}
+
+bool
+GsharePredictor::predict(std::uint64_t pc, std::uint32_t id)
+{
+    return counters_[index(pc, id)] >= 2;
+}
+
+void
+GsharePredictor::update(std::uint64_t pc, std::uint32_t id, bool taken)
+{
+    updateCounter2(counters_[index(pc, id)], taken);
+    history_ = ((history_ << 1) | (taken ? 1u : 0u)) & history_mask_;
+}
+
+// ---------------------------------------------------------------------
+// Tournament
+// ---------------------------------------------------------------------
+
+TournamentPredictor::TournamentPredictor(unsigned size_log2)
+    : bimodal_(size_log2),
+      gshare_(size_log2, std::min(size_log2, 14u)),
+      chooser_(std::size_t{1} << size_log2, 2), // weakly prefer gshare
+      mask_((std::size_t{1} << size_log2) - 1)
+{
+}
+
+bool
+TournamentPredictor::predict(std::uint64_t pc, std::uint32_t id)
+{
+    last_bimodal_ = bimodal_.predict(pc, id);
+    last_gshare_ = gshare_.predict(pc, id);
+    std::size_t i = static_cast<std::size_t>(mixPcId(pc, id)) & mask_;
+    return chooser_[i] >= 2 ? last_gshare_ : last_bimodal_;
+}
+
+void
+TournamentPredictor::update(std::uint64_t pc, std::uint32_t id, bool taken)
+{
+    std::size_t i = static_cast<std::size_t>(mixPcId(pc, id)) & mask_;
+    bool bimodal_right = last_bimodal_ == taken;
+    bool gshare_right = last_gshare_ == taken;
+    if (bimodal_right != gshare_right)
+        updateCounter2(chooser_[i], gshare_right);
+    bimodal_.update(pc, id, taken);
+    gshare_.update(pc, id, taken);
+}
+
+// ---------------------------------------------------------------------
+// Perceptron
+// ---------------------------------------------------------------------
+
+PerceptronPredictor::PerceptronPredictor(unsigned size_log2,
+                                         unsigned history_bits)
+    : history_bits_(history_bits),
+      threshold_(static_cast<int>(1.93 * history_bits + 14)),
+      weights_(std::size_t{1} << size_log2,
+               std::vector<int>(history_bits + 1, 0)),
+      mask_((std::size_t{1} << size_log2) - 1)
+{
+}
+
+std::size_t
+PerceptronPredictor::index(std::uint64_t pc, std::uint32_t id) const
+{
+    return static_cast<std::size_t>(mixPcId(pc, id)) & mask_;
+}
+
+bool
+PerceptronPredictor::predict(std::uint64_t pc, std::uint32_t id)
+{
+    const std::vector<int> &w = weights_[index(pc, id)];
+    int y = w[0]; // bias
+    for (unsigned b = 0; b < history_bits_; ++b) {
+        int x = ((history_ >> b) & 1u) ? 1 : -1;
+        y += x * w[b + 1];
+    }
+    last_output_ = y;
+    return y >= 0;
+}
+
+void
+PerceptronPredictor::update(std::uint64_t pc, std::uint32_t id, bool taken)
+{
+    std::vector<int> &w = weights_[index(pc, id)];
+    bool predicted = last_output_ >= 0;
+    int t = taken ? 1 : -1;
+    // Train on a misprediction or when the output magnitude is below
+    // the confidence threshold (standard perceptron training rule).
+    if (predicted != taken || std::abs(last_output_) <= threshold_) {
+        constexpr int weight_cap = 127;
+        w[0] = std::clamp(w[0] + t, -weight_cap, weight_cap);
+        for (unsigned b = 0; b < history_bits_; ++b) {
+            int x = ((history_ >> b) & 1u) ? 1 : -1;
+            w[b + 1] = std::clamp(w[b + 1] + t * x, -weight_cap,
+                                  weight_cap);
+        }
+    }
+    history_ = (history_ << 1) | (taken ? 1u : 0u);
+}
+
+// ---------------------------------------------------------------------
+// TAGE-lite
+// ---------------------------------------------------------------------
+
+TageLitePredictor::TageLitePredictor(unsigned size_log2, unsigned num_tables)
+    : base_(size_log2 + 2),
+      mask_((std::size_t{1} << size_log2) - 1)
+{
+    // Geometric history lengths: 4, 8, 16, 32, ...
+    unsigned length = 4;
+    for (unsigned t = 0; t < num_tables; ++t) {
+        tables_.emplace_back(std::size_t{1} << size_log2);
+        history_lengths_.push_back(length);
+        length = std::min(length * 2, 63u);
+    }
+}
+
+std::size_t
+TageLitePredictor::tableIndex(unsigned table, std::uint64_t pc,
+                              std::uint32_t id) const
+{
+    std::uint64_t h_mask = (std::uint64_t{1} << history_lengths_[table]) - 1;
+    std::uint64_t folded = history_ & h_mask;
+    // Fold long histories down to the index width.
+    folded ^= folded >> 13;
+    folded ^= folded >> 7;
+    return static_cast<std::size_t>(mixPcId(pc, id) ^ folded ^
+                                    (table * 0x9e3779b9ull)) &
+           mask_;
+}
+
+std::uint16_t
+TageLitePredictor::tableTag(unsigned table, std::uint64_t pc,
+                            std::uint32_t id) const
+{
+    std::uint64_t h_mask = (std::uint64_t{1} << history_lengths_[table]) - 1;
+    std::uint64_t v = mixPcId(pc * 31 + 7, id) ^ (history_ & h_mask) ^
+                      (table * 0x2545f491ull);
+    return static_cast<std::uint16_t>(v & 0x3ff); // 10-bit tags
+}
+
+bool
+TageLitePredictor::predict(std::uint64_t pc, std::uint32_t id)
+{
+    base_pred_ = base_.predict(pc, id);
+    provider_ = -1;
+    provider_pred_ = base_pred_;
+    // Longest-history matching component wins.
+    for (int t = static_cast<int>(tables_.size()) - 1; t >= 0; --t) {
+        const Entry &e =
+            tables_[static_cast<unsigned>(t)]
+                   [tableIndex(static_cast<unsigned>(t), pc, id)];
+        if (e.tag == tableTag(static_cast<unsigned>(t), pc, id)) {
+            provider_ = t;
+            // A freshly allocated (weak) entry carries no confidence;
+            // fall back to the base prediction in that case, as real
+            // TAGE does via its alternate-prediction path.
+            bool weak = e.counter == 0 || e.counter == -1;
+            provider_pred_ = weak ? base_pred_ : e.counter >= 0;
+            break;
+        }
+    }
+    return provider_pred_;
+}
+
+void
+TageLitePredictor::update(std::uint64_t pc, std::uint32_t id, bool taken)
+{
+    bool mispredicted = provider_pred_ != taken;
+
+    if (provider_ >= 0) {
+        unsigned t = static_cast<unsigned>(provider_);
+        Entry &e = tables_[t][tableIndex(t, pc, id)];
+        e.counter = static_cast<std::int8_t>(
+            std::clamp<int>(e.counter + (taken ? 1 : -1), -4, 3));
+        if (!mispredicted && provider_pred_ != base_pred_ && e.useful < 3)
+            ++e.useful;
+    }
+
+    // On a misprediction, allocate in a longer-history table.
+    if (mispredicted) {
+        unsigned start = provider_ >= 0 ? static_cast<unsigned>(provider_)
+                                        + 1 : 0;
+        for (unsigned t = start; t < tables_.size(); ++t) {
+            Entry &e = tables_[t][tableIndex(t, pc, id)];
+            if (e.useful == 0) {
+                e.tag = tableTag(t, pc, id);
+                e.counter = taken ? 0 : -1; // weak in the right direction
+                break;
+            }
+            // Age useful counters when no free entry was found.
+            --e.useful;
+        }
+    }
+
+    base_.update(pc, id, taken);
+    history_ = (history_ << 1) | (taken ? 1u : 0u);
+}
+
+} // namespace uarch
+} // namespace speclens

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Direction branch predictors.
+ *
+ * The Table IV machines span a decade of predictor sophistication —
+ * from simple bimodal tables (Xeon E5405 era) through gshare and
+ * tournament designs to TAGE-class predictors (Skylake).  Predictor
+ * diversity is what makes measured branch MPKI machine-dependent, which
+ * drives both the front-end component of the CPI stacks (Fig. 1) and
+ * the branch-sensitivity classification (Table IX).
+ *
+ * All predictors implement the same predict/update interface over a
+ * (pc, static-branch-id) pair; the id is folded into the index hash so
+ * distinct static branches collide realistically but not pathologically.
+ */
+
+#ifndef SPECLENS_UARCH_BRANCH_PREDICTOR_H
+#define SPECLENS_UARCH_BRANCH_PREDICTOR_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace speclens {
+namespace uarch {
+
+/** Available predictor designs. */
+enum class PredictorKind {
+    StaticTaken, //!< Always predicts taken.
+    Bimodal,     //!< Per-branch 2-bit saturating counters.
+    Gshare,      //!< Global-history XOR indexed 2-bit counters.
+    Tournament,  //!< Bimodal + gshare with a meta chooser.
+    Perceptron,  //!< Linear perceptron over global history.
+    TageLite,    //!< Simplified TAGE: tagged tables, geometric histories.
+};
+
+/** Human-readable predictor name. */
+std::string predictorKindName(PredictorKind kind);
+
+/** Abstract direction predictor. */
+class BranchPredictor
+{
+  public:
+    virtual ~BranchPredictor() = default;
+
+    /** Predict the direction of the branch at @p pc with id @p id. */
+    virtual bool predict(std::uint64_t pc, std::uint32_t id) = 0;
+
+    /** Train with the resolved direction. */
+    virtual void update(std::uint64_t pc, std::uint32_t id, bool taken) = 0;
+
+    /** Design name for reports. */
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Create a predictor.
+ *
+ * @param kind Design to instantiate.
+ * @param size_log2 log2 of the main table size (counters, perceptrons
+ *        or per-table TAGE entries); larger machines pass larger values.
+ */
+std::unique_ptr<BranchPredictor> makePredictor(PredictorKind kind,
+                                               unsigned size_log2 = 12);
+
+/** Always-taken baseline. */
+class StaticTakenPredictor : public BranchPredictor
+{
+  public:
+    bool predict(std::uint64_t, std::uint32_t) override { return true; }
+    void update(std::uint64_t, std::uint32_t, bool) override {}
+    std::string name() const override { return "static-taken"; }
+};
+
+/** Classic 2-bit saturating counter table. */
+class BimodalPredictor : public BranchPredictor
+{
+  public:
+    explicit BimodalPredictor(unsigned size_log2);
+    bool predict(std::uint64_t pc, std::uint32_t id) override;
+    void update(std::uint64_t pc, std::uint32_t id, bool taken) override;
+    std::string name() const override { return "bimodal"; }
+
+  private:
+    std::size_t index(std::uint64_t pc, std::uint32_t id) const;
+    std::vector<std::uint8_t> counters_;
+    std::size_t mask_;
+};
+
+/** Gshare: global history XORed into the table index. */
+class GsharePredictor : public BranchPredictor
+{
+  public:
+    GsharePredictor(unsigned size_log2, unsigned history_bits);
+    bool predict(std::uint64_t pc, std::uint32_t id) override;
+    void update(std::uint64_t pc, std::uint32_t id, bool taken) override;
+    std::string name() const override { return "gshare"; }
+
+  private:
+    std::size_t index(std::uint64_t pc, std::uint32_t id) const;
+    std::vector<std::uint8_t> counters_;
+    std::size_t mask_;
+    std::uint64_t history_ = 0;
+    std::uint64_t history_mask_;
+};
+
+/** Tournament of bimodal and gshare with a 2-bit meta chooser. */
+class TournamentPredictor : public BranchPredictor
+{
+  public:
+    explicit TournamentPredictor(unsigned size_log2);
+    bool predict(std::uint64_t pc, std::uint32_t id) override;
+    void update(std::uint64_t pc, std::uint32_t id, bool taken) override;
+    std::string name() const override { return "tournament"; }
+
+  private:
+    BimodalPredictor bimodal_;
+    GsharePredictor gshare_;
+    std::vector<std::uint8_t> chooser_;
+    std::size_t mask_;
+    bool last_bimodal_ = false;
+    bool last_gshare_ = false;
+};
+
+/** Perceptron predictor (Jimenez & Lin, HPCA'01) over global history. */
+class PerceptronPredictor : public BranchPredictor
+{
+  public:
+    PerceptronPredictor(unsigned size_log2, unsigned history_bits);
+    bool predict(std::uint64_t pc, std::uint32_t id) override;
+    void update(std::uint64_t pc, std::uint32_t id, bool taken) override;
+    std::string name() const override { return "perceptron"; }
+
+  private:
+    std::size_t index(std::uint64_t pc, std::uint32_t id) const;
+    unsigned history_bits_;
+    int threshold_;
+    std::vector<std::vector<int>> weights_; //!< [perceptron][bias + hist]
+    std::size_t mask_;
+    std::uint64_t history_ = 0;
+    int last_output_ = 0;
+};
+
+/**
+ * Simplified TAGE: a bimodal base table plus tagged components indexed
+ * with geometrically increasing history lengths; longest matching
+ * component provides the prediction.
+ */
+class TageLitePredictor : public BranchPredictor
+{
+  public:
+    explicit TageLitePredictor(unsigned size_log2, unsigned num_tables = 4);
+    bool predict(std::uint64_t pc, std::uint32_t id) override;
+    void update(std::uint64_t pc, std::uint32_t id, bool taken) override;
+    std::string name() const override { return "tage-lite"; }
+
+  private:
+    struct Entry
+    {
+        std::uint16_t tag = 0;
+        std::int8_t counter = 0; //!< Signed; >= 0 predicts taken.
+        std::uint8_t useful = 0;
+    };
+
+    std::size_t tableIndex(unsigned table, std::uint64_t pc,
+                           std::uint32_t id) const;
+    std::uint16_t tableTag(unsigned table, std::uint64_t pc,
+                           std::uint32_t id) const;
+
+    BimodalPredictor base_;
+    std::vector<std::vector<Entry>> tables_;
+    std::vector<unsigned> history_lengths_;
+    std::size_t mask_;
+    std::uint64_t history_ = 0;
+
+    // Prediction bookkeeping between predict() and update().
+    int provider_ = -1;
+    bool provider_pred_ = false;
+    bool base_pred_ = false;
+};
+
+} // namespace uarch
+} // namespace speclens
+
+#endif // SPECLENS_UARCH_BRANCH_PREDICTOR_H

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Set-associative cache model.
+ *
+ * A functional (hit/miss) cache simulator: no timing, no coherence,
+ * no prefetching — exactly what is needed to produce the MPKI metrics
+ * the paper's analysis consumes.  Four replacement policies are
+ * provided; the Table IV machines use LRU or tree-PLRU depending on
+ * generation, and the remaining policies support the ablation
+ * benchmarks.
+ */
+
+#ifndef SPECLENS_UARCH_CACHE_H
+#define SPECLENS_UARCH_CACHE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace speclens {
+namespace uarch {
+
+/** Replacement policy for a set-associative cache. */
+enum class ReplacementPolicy {
+    Lru,      //!< True least-recently-used.
+    TreePlru, //!< Tree pseudo-LRU (binary decision tree per set).
+    Fifo,     //!< First-in first-out (round-robin per set).
+    Random,   //!< Uniformly random victim.
+};
+
+/** Human-readable policy name. */
+std::string replacementPolicyName(ReplacementPolicy policy);
+
+/** Geometry and policy of one cache level. */
+struct CacheConfig
+{
+    std::string name = "cache"; //!< For diagnostics ("L1D", ...).
+    std::uint64_t size_bytes = 32 * 1024;
+    std::uint32_t associativity = 8;
+    std::uint32_t line_bytes = 64;
+    ReplacementPolicy policy = ReplacementPolicy::Lru;
+
+    /** Number of sets implied by the geometry. */
+    std::uint64_t sets() const;
+
+    /**
+     * Validate the geometry (power-of-two line size, associativity
+     * divides capacity).  Set counts need not be powers of two — real
+     * LLCs such as the 30 MB / 20-way Broadwell L3 of Table IV have
+     * non-power-of-two set counts, so indexing is modulo.
+     * @throws std::invalid_argument on malformed geometry.
+     */
+    void validate() const;
+};
+
+/**
+ * Functional set-associative cache.
+ *
+ * access() probes the cache and, on a miss, fills the line (allocate on
+ * read and write; write-allocate matches the inclusive write-back
+ * behaviour of all the modelled machines closely enough for miss-rate
+ * purposes).
+ */
+class Cache
+{
+  public:
+    explicit Cache(const CacheConfig &config);
+
+    /**
+     * Probe (and on miss, fill) the line containing @p address.
+     * @return true on hit.
+     */
+    bool access(std::uint64_t address);
+
+    /** True when the line containing @p address is present (no fill). */
+    bool contains(std::uint64_t address) const;
+
+    /** Invalidate all lines and zero statistics. */
+    void reset();
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return accesses_ - hits_; }
+
+    /** Miss ratio in [0, 1]; 0 when the cache was never accessed. */
+    double missRatio() const;
+
+    const CacheConfig &config() const { return config_; }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        std::uint64_t stamp = 0; //!< LRU/FIFO ordering stamp.
+    };
+
+    /** Victim way in @p set according to the replacement policy. */
+    std::uint32_t victimWay(std::uint64_t set);
+
+    /** Policy metadata update on hit or fill. */
+    void touch(std::uint64_t set, std::uint32_t way, bool is_fill);
+
+    CacheConfig config_;
+    std::uint64_t num_sets_;
+    std::uint32_t line_shift_;
+    std::vector<Line> lines_;          //!< num_sets * associativity.
+    std::vector<std::uint32_t> plru_;  //!< Tree-PLRU state per set.
+    std::uint64_t tick_ = 0;           //!< Monotonic stamp source.
+    stats::Rng rng_;                   //!< For Random replacement.
+
+    std::uint64_t accesses_ = 0;
+    std::uint64_t hits_ = 0;
+};
+
+} // namespace uarch
+} // namespace speclens
+
+#endif // SPECLENS_UARCH_CACHE_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Machine description helpers.
+ */
+
+#include "machine.h"
+
+#include <algorithm>
+
+#include "stats/rng.h"
+
+namespace speclens {
+namespace uarch {
+
+std::string
+isaName(Isa isa)
+{
+    switch (isa) {
+      case Isa::X86: return "x86";
+      case Isa::Sparc: return "SPARC";
+    }
+    return "unknown";
+}
+
+trace::WorkloadProfile
+transformForMachine(const trace::WorkloadProfile &profile,
+                    const MachineConfig &machine)
+{
+    trace::WorkloadProfile out = profile;
+    const WorkloadTransform &t = machine.transform;
+
+    stats::Rng jitter(stats::combineSeeds(profile.seed(),
+                                          stats::hashName(machine.name)));
+    auto jittered = [&jitter, &t](double value) {
+        double factor = 1.0 + jitter.gaussian(0.0, t.mix_jitter);
+        return value * std::clamp(factor, 0.8, 1.2);
+    };
+
+    out.mix.load = jittered(profile.mix.load * t.memory_mix_scale);
+    out.mix.store = jittered(profile.mix.store * t.memory_mix_scale);
+    out.mix.branch = jittered(profile.mix.branch * t.branch_mix_scale);
+    out.mix.fp = jittered(profile.mix.fp);
+    out.mix.simd = jittered(profile.mix.simd);
+
+    // Renormalise if the scaled mix overshoots the unit budget.
+    double sum = out.mix.load + out.mix.store + out.mix.branch +
+                 out.mix.fp + out.mix.simd;
+    if (sum > 0.95) {
+        double shrink = 0.95 / sum;
+        out.mix.load *= shrink;
+        out.mix.store *= shrink;
+        out.mix.branch *= shrink;
+        out.mix.fp *= shrink;
+        out.mix.simd *= shrink;
+    }
+
+    out.memory.code_bytes =
+        std::max(64.0, profile.memory.code_bytes * t.code_scale *
+                           std::clamp(1.0 + jitter.gaussian(0.0, 0.05),
+                                      0.8, 1.2));
+    out.memory.hot_code_bytes =
+        std::min(out.memory.hot_code_bytes, out.memory.code_bytes);
+
+    return out;
+}
+
+} // namespace uarch
+} // namespace speclens

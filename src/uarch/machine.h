@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Full machine description and ISA/compiler workload transformation.
+ *
+ * A Machine bundles everything the characterization runner needs to
+ * "measure" a workload the way the paper measures one on a commercial
+ * box: the cache and TLB geometries (Table IV), a branch predictor
+ * matched to the micro-architecture generation, the latency model
+ * behind the CPI stack, and the power coefficients.
+ *
+ * Machines also carry a workload transformation: the paper deliberately
+ * profiles across three ISAs and multiple compilers so that
+ * machine-specific artifacts wash out of the PCA.  We model the
+ * ISA/compiler effect as a deterministic per-(machine, workload)
+ * adjustment of the instruction mix and code footprint — RISC targets
+ * execute more instructions with a slightly leaner memory mix; a
+ * different compiler perturbs the mix and code size by a few percent.
+ */
+
+#ifndef SPECLENS_UARCH_MACHINE_H
+#define SPECLENS_UARCH_MACHINE_H
+
+#include <string>
+
+#include "trace/workload_profile.h"
+#include "uarch/branch_predictor.h"
+#include "uarch/cache_hierarchy.h"
+#include "uarch/cpi_model.h"
+#include "uarch/power_model.h"
+#include "uarch/tlb.h"
+
+namespace speclens {
+namespace uarch {
+
+/** Instruction-set family of a machine. */
+enum class Isa { X86, Sparc };
+
+/** Human-readable ISA name. */
+std::string isaName(Isa isa);
+
+/** ISA/compiler-induced workload adjustments. */
+struct WorkloadTransform
+{
+    /**
+     * Multiplier on the load/store mix fractions (RISC load/store ISAs
+     * with more registers spill slightly less per instruction).
+     */
+    double memory_mix_scale = 1.0;
+
+    /** Multiplier on the branch mix fraction. */
+    double branch_mix_scale = 1.0;
+
+    /** Multiplier on the static code footprint (compiler effect). */
+    double code_scale = 1.0;
+
+    /**
+     * Relative standard deviation of the deterministic per-(machine,
+     * workload) jitter applied to mix fractions, modelling compiler
+     * and library differences between result submitters.
+     */
+    double mix_jitter = 0.02;
+};
+
+/** Complete machine configuration. */
+struct MachineConfig
+{
+    std::string name = "machine";   //!< Full name ("Intel Core i7-6700").
+    std::string short_name = "m";   //!< Label for plots/tables.
+    Isa isa = Isa::X86;
+    double frequency_ghz = 3.0;
+
+    CacheHierarchyConfig caches;
+    TlbHierarchyConfig tlbs;
+
+    PredictorKind predictor = PredictorKind::TageLite;
+    unsigned predictor_size_log2 = 13;
+
+    LatencyModel latencies;
+    PowerModelConfig power;
+    WorkloadTransform transform;
+};
+
+/**
+ * Apply a machine's ISA/compiler transformation to a workload profile.
+ *
+ * Deterministic: the jitter stream is seeded from the workload and
+ * machine names, so the same pair always yields the same transformed
+ * profile.
+ */
+trace::WorkloadProfile transformForMachine(
+    const trace::WorkloadProfile &profile, const MachineConfig &machine);
+
+} // namespace uarch
+} // namespace speclens
+
+#endif // SPECLENS_UARCH_MACHINE_H

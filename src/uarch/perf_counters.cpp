@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Counter accumulation.
+ */
+
+#include "perf_counters.h"
+
+namespace speclens {
+namespace uarch {
+
+PerfCounters &
+PerfCounters::operator+=(const PerfCounters &rhs)
+{
+    instructions += rhs.instructions;
+    loads += rhs.loads;
+    stores += rhs.stores;
+    branches += rhs.branches;
+    taken_branches += rhs.taken_branches;
+    fp_ops += rhs.fp_ops;
+    simd_ops += rhs.simd_ops;
+    kernel_instructions += rhs.kernel_instructions;
+    l1d_accesses += rhs.l1d_accesses;
+    l1d_misses += rhs.l1d_misses;
+    l1i_accesses += rhs.l1i_accesses;
+    l1i_misses += rhs.l1i_misses;
+    l2d_accesses += rhs.l2d_accesses;
+    l2d_misses += rhs.l2d_misses;
+    l2i_accesses += rhs.l2i_accesses;
+    l2i_misses += rhs.l2i_misses;
+    l3_accesses += rhs.l3_accesses;
+    l3_misses += rhs.l3_misses;
+    dtlb_accesses += rhs.dtlb_accesses;
+    dtlb_misses += rhs.dtlb_misses;
+    itlb_accesses += rhs.itlb_accesses;
+    itlb_misses += rhs.itlb_misses;
+    l2tlb_misses += rhs.l2tlb_misses;
+    page_walks += rhs.page_walks;
+    branch_mispredictions += rhs.branch_mispredictions;
+    return *this;
+}
+
+} // namespace uarch
+} // namespace speclens

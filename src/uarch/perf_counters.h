@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Hardware-performance-counter equivalent for simulated machines.
+ *
+ * On the paper's seven commercial machines these values come from
+ * Linux perf / vendor counter infrastructure; here they are accumulated
+ * by the trace-driven simulators.  Derived-rate helpers implement the
+ * units the paper reports: MPKI (misses per kilo-instruction) for
+ * caches and branches, and MPMI (misses per million instructions) for
+ * TLBs and page walks.
+ */
+
+#ifndef SPECLENS_UARCH_PERF_COUNTERS_H
+#define SPECLENS_UARCH_PERF_COUNTERS_H
+
+#include <cstdint>
+
+namespace speclens {
+namespace uarch {
+
+/** Raw event counts accumulated over a simulation window. */
+struct PerfCounters
+{
+    // Retirement.
+    std::uint64_t instructions = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t taken_branches = 0;
+    std::uint64_t fp_ops = 0;
+    std::uint64_t simd_ops = 0;
+    std::uint64_t kernel_instructions = 0;
+
+    // Cache hierarchy (D = data side, I = instruction side).
+    std::uint64_t l1d_accesses = 0;
+    std::uint64_t l1d_misses = 0;
+    std::uint64_t l1i_accesses = 0;
+    std::uint64_t l1i_misses = 0;
+    std::uint64_t l2d_accesses = 0;
+    std::uint64_t l2d_misses = 0;
+    std::uint64_t l2i_accesses = 0;
+    std::uint64_t l2i_misses = 0;
+    std::uint64_t l3_accesses = 0;
+    std::uint64_t l3_misses = 0;
+
+    // TLB hierarchy.
+    std::uint64_t dtlb_accesses = 0;
+    std::uint64_t dtlb_misses = 0;
+    std::uint64_t itlb_accesses = 0;
+    std::uint64_t itlb_misses = 0;
+    std::uint64_t l2tlb_misses = 0;
+    std::uint64_t page_walks = 0;
+
+    // Branch prediction.
+    std::uint64_t branch_mispredictions = 0;
+
+    /** events per kilo-instruction. */
+    double
+    perKilo(std::uint64_t events) const
+    {
+        return instructions == 0
+                   ? 0.0
+                   : 1000.0 * static_cast<double>(events) /
+                         static_cast<double>(instructions);
+    }
+
+    /** events per million instructions. */
+    double
+    perMillion(std::uint64_t events) const
+    {
+        return instructions == 0
+                   ? 0.0
+                   : 1.0e6 * static_cast<double>(events) /
+                         static_cast<double>(instructions);
+    }
+
+    /** events as a fraction of all instructions. */
+    double
+    fraction(std::uint64_t events) const
+    {
+        return instructions == 0
+                   ? 0.0
+                   : static_cast<double>(events) /
+                         static_cast<double>(instructions);
+    }
+
+    double l1dMpki() const { return perKilo(l1d_misses); }
+    double l1iMpki() const { return perKilo(l1i_misses); }
+    double l2dMpki() const { return perKilo(l2d_misses); }
+    double l2iMpki() const { return perKilo(l2i_misses); }
+    double l3Mpki() const { return perKilo(l3_misses); }
+    double branchMpki() const { return perKilo(branch_mispredictions); }
+    double takenMpki() const { return perKilo(taken_branches); }
+    double dtlbMpmi() const { return perMillion(dtlb_misses); }
+    double itlbMpmi() const { return perMillion(itlb_misses); }
+    double l2tlbMpmi() const { return perMillion(l2tlb_misses); }
+    double pageWalksPerMi() const { return perMillion(page_walks); }
+
+    double loadFraction() const { return fraction(loads); }
+    double storeFraction() const { return fraction(stores); }
+    double branchFraction() const { return fraction(branches); }
+    double fpFraction() const { return fraction(fp_ops); }
+    double simdFraction() const { return fraction(simd_ops); }
+    double kernelFraction() const { return fraction(kernel_instructions); }
+
+    /** Elementwise accumulate (merging simulation windows). */
+    PerfCounters &operator+=(const PerfCounters &rhs);
+};
+
+} // namespace uarch
+} // namespace speclens
+
+#endif // SPECLENS_UARCH_PERF_COUNTERS_H

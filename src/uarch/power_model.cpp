@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Power model implementation.
+ */
+
+#include "power_model.h"
+
+namespace speclens {
+namespace uarch {
+
+PowerBreakdown
+computePower(const PerfCounters &counters, double cpi,
+             const PowerModelConfig &config)
+{
+    PowerBreakdown out;
+    out.core_watts = config.core_static_watts;
+    out.llc_watts = config.llc_static_watts;
+    out.dram_watts = config.dram_static_watts;
+
+    if (counters.instructions == 0 || cpi <= 0.0)
+        return out;
+
+    // Window duration in seconds: instructions * CPI cycles at f GHz.
+    double cycles = static_cast<double>(counters.instructions) * cpi;
+    double seconds = cycles / (config.frequency_ghz * 1e9);
+
+    auto energy_j = [](std::uint64_t events, double nj) {
+        return static_cast<double>(events) * nj * 1e-9;
+    };
+
+    double core_energy =
+        energy_j(counters.instructions, config.energy_per_instruction_nj) +
+        energy_j(counters.fp_ops, config.fp_energy_extra_nj) +
+        energy_j(counters.simd_ops, config.simd_energy_extra_nj) +
+        energy_j(counters.branch_mispredictions,
+                 config.mispredict_energy_nj);
+
+    double llc_energy =
+        energy_j(counters.l3_accesses, config.llc_access_energy_nj);
+
+    double dram_energy =
+        energy_j(counters.l3_misses, config.dram_access_energy_nj);
+
+    out.core_watts += core_energy / seconds;
+    out.llc_watts += llc_energy / seconds;
+    out.dram_watts += dram_energy / seconds;
+    return out;
+}
+
+} // namespace uarch
+} // namespace speclens

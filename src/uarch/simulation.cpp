@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Simulation driver implementation.
+ */
+
+#include "simulation.h"
+
+#include <algorithm>
+
+#include "trace/trace_generator.h"
+
+namespace speclens {
+namespace uarch {
+
+double
+SimulationResult::ipc() const
+{
+    double c = cpi();
+    return c > 0.0 ? 1.0 / c : 0.0;
+}
+
+namespace {
+
+/** Structure counters snapshot used to subtract warm-up windows. */
+struct Snapshot
+{
+    SideCounters l1d, l1i, l2d, l2i, l3;
+    std::uint64_t dtlb_acc, dtlb_miss, itlb_acc, itlb_miss;
+    std::uint64_t l2tlb_miss, walks;
+};
+
+Snapshot
+capture(const CacheHierarchy &caches, const TlbHierarchy &tlbs)
+{
+    return Snapshot{caches.l1d(),       caches.l1i(),
+                    caches.l2d(),       caches.l2i(),
+                    caches.l3(),        tlbs.dtlbAccesses(),
+                    tlbs.dtlbMisses(),  tlbs.itlbAccesses(),
+                    tlbs.itlbMisses(),  tlbs.l2tlbMisses(),
+                    tlbs.pageWalks()};
+}
+
+/** Add the structure-count delta between two snapshots to counters. */
+void
+addDelta(PerfCounters &c, const Snapshot &start, const Snapshot &end)
+{
+    c.l1d_accesses += end.l1d.accesses - start.l1d.accesses;
+    c.l1d_misses += end.l1d.misses - start.l1d.misses;
+    c.l1i_accesses += end.l1i.accesses - start.l1i.accesses;
+    c.l1i_misses += end.l1i.misses - start.l1i.misses;
+    c.l2d_accesses += end.l2d.accesses - start.l2d.accesses;
+    c.l2d_misses += end.l2d.misses - start.l2d.misses;
+    c.l2i_accesses += end.l2i.accesses - start.l2i.accesses;
+    c.l2i_misses += end.l2i.misses - start.l2i.misses;
+    c.l3_accesses += end.l3.accesses - start.l3.accesses;
+    c.l3_misses += end.l3.misses - start.l3.misses;
+    c.dtlb_accesses += end.dtlb_acc - start.dtlb_acc;
+    c.dtlb_misses += end.dtlb_miss - start.dtlb_miss;
+    c.itlb_accesses += end.itlb_acc - start.itlb_acc;
+    c.itlb_misses += end.itlb_miss - start.itlb_miss;
+    c.l2tlb_misses += end.l2tlb_miss - start.l2tlb_miss;
+    c.page_walks += end.walks - start.walks;
+}
+
+/** One machine's structures plus the per-instruction playback loop. */
+class Playback
+{
+  public:
+    explicit Playback(const MachineConfig &machine)
+        : caches_(machine.caches),
+          tlbs_(machine.tlbs),
+          predictor_(makePredictor(machine.predictor,
+                                   machine.predictor_size_log2))
+    {
+    }
+
+    /**
+     * Touch every line of LLC-resident working sets once, coldest set
+     * first, so short measurements reflect steady state rather than
+     * cold-start compulsory misses (the paper measures full multi-
+     * trillion-instruction runs).  Sets too large for the hierarchy
+     * are skipped — their misses are genuine capacity misses.
+     */
+    void
+    prewarm(const trace::WorkloadProfile &profile,
+            const MachineConfig &machine)
+    {
+        std::uint64_t llc_lines =
+            (machine.caches.l3 ? machine.caches.l3->size_bytes
+                               : machine.caches.l2.size_bytes) /
+            trace::kLineBytes;
+        const auto &sets = profile.memory.data;
+        for (std::size_t i = sets.size(); i-- > 0;) {
+            auto stride =
+                static_cast<std::uint64_t>(sets[i].stride_bytes);
+            std::uint64_t elements = std::max<std::uint64_t>(
+                1, static_cast<std::uint64_t>(sets[i].bytes) / stride);
+            // Each element occupies one cache line, so a set is
+            // LLC-resident exactly when its element count fits the
+            // last level's line capacity.
+            if (elements > llc_lines)
+                continue;
+            std::uint64_t base =
+                trace::kDataBase + i * trace::kDataRegionStride;
+            for (std::uint64_t e = 0; e < elements; ++e) {
+                caches_.accessData(base + e * stride);
+                tlbs_.accessData(base + e * stride);
+            }
+        }
+        // Code last so the hot region ends up most recently used.
+        auto code_bytes =
+            static_cast<std::uint64_t>(profile.memory.code_bytes);
+        for (std::uint64_t offset = 0; offset < code_bytes;
+             offset += trace::kLineBytes) {
+            caches_.accessInstr(trace::kCodeBase + offset);
+            tlbs_.accessInstr(trace::kCodeBase + offset);
+        }
+    }
+
+    /**
+     * Play @p count instructions from @p generator.  When @p record is
+     * non-null, retirement counters accumulate there and the structure
+     * deltas of the window are added at the end.
+     */
+    void
+    play(trace::TraceGenerator &generator, std::uint64_t count,
+         PerfCounters *record)
+    {
+        Snapshot start = capture(caches_, tlbs_);
+        for (std::uint64_t i = 0; i < count; ++i) {
+            trace::Instruction inst = generator.next();
+
+            caches_.accessInstr(inst.pc);
+            tlbs_.accessInstr(inst.pc);
+
+            bool mispredicted = false;
+            if (inst.isBranch()) {
+                bool predicted =
+                    predictor_->predict(inst.pc, inst.branch_id);
+                mispredicted = predicted != inst.taken;
+                predictor_->update(inst.pc, inst.branch_id, inst.taken);
+            }
+            if (inst.isMemory()) {
+                caches_.accessData(inst.address);
+                tlbs_.accessData(inst.address);
+            }
+
+            if (!record)
+                continue;
+
+            PerfCounters &c = *record;
+            ++c.instructions;
+            if (inst.kernel)
+                ++c.kernel_instructions;
+            switch (inst.op) {
+              case trace::OpClass::Load: ++c.loads; break;
+              case trace::OpClass::Store: ++c.stores; break;
+              case trace::OpClass::FpAlu: ++c.fp_ops; break;
+              case trace::OpClass::Simd: ++c.simd_ops; break;
+              case trace::OpClass::Branch:
+                ++c.branches;
+                if (inst.taken)
+                    ++c.taken_branches;
+                if (mispredicted)
+                    ++c.branch_mispredictions;
+                break;
+              default:
+                break;
+            }
+        }
+        if (record)
+            addDelta(*record, start, capture(caches_, tlbs_));
+    }
+
+  private:
+    CacheHierarchy caches_;
+    TlbHierarchy tlbs_;
+    std::unique_ptr<BranchPredictor> predictor_;
+};
+
+} // namespace
+
+SimulationResult
+simulate(const trace::WorkloadProfile &profile, const MachineConfig &machine,
+         const SimulationConfig &config)
+{
+    trace::WorkloadProfile effective =
+        config.apply_machine_transform
+            ? transformForMachine(profile, machine)
+            : profile;
+
+    trace::TraceGenerator generator(effective, config.seed_salt);
+    Playback playback(machine);
+    if (config.prewarm)
+        playback.prewarm(effective, machine);
+
+    SimulationResult result;
+    playback.play(generator, config.warmup, nullptr);
+    playback.play(generator, config.instructions, &result.counters);
+
+    result.cpi_stack = computeCpiStack(result.counters,
+                                       machine.latencies,
+                                       effective.exec);
+    result.power = computePower(result.counters,
+                                result.cpi_stack.total(), machine.power);
+    return result;
+}
+
+PhasedSimulationResult
+simulatePhased(const trace::PhasedWorkload &workload,
+               const MachineConfig &machine,
+               const SimulationConfig &config)
+{
+    workload.validate();
+
+    Playback playback(machine);
+    PhasedSimulationResult result;
+    double weighted_cpi = 0.0;
+
+    for (const trace::Phase &phase : workload.phases) {
+        trace::WorkloadProfile effective =
+            config.apply_machine_transform
+                ? transformForMachine(phase.profile, machine)
+                : phase.profile;
+        if (config.prewarm)
+            playback.prewarm(effective, machine);
+
+        auto share = [&phase](std::uint64_t total) {
+            return std::max<std::uint64_t>(
+                1, static_cast<std::uint64_t>(
+                       phase.weight * static_cast<double>(total)));
+        };
+
+        trace::TraceGenerator generator(effective, config.seed_salt);
+        playback.play(generator, share(config.warmup), nullptr);
+
+        SimulationResult phase_result;
+        playback.play(generator, share(config.instructions),
+                      &phase_result.counters);
+        phase_result.cpi_stack = computeCpiStack(
+            phase_result.counters, machine.latencies, effective.exec);
+        phase_result.power =
+            computePower(phase_result.counters,
+                         phase_result.cpi_stack.total(), machine.power);
+
+        result.combined_counters += phase_result.counters;
+        weighted_cpi += phase.weight * phase_result.cpi();
+        result.per_phase.push_back(std::move(phase_result));
+    }
+
+    result.combined_cpi = weighted_cpi;
+    return result;
+}
+
+} // namespace uarch
+} // namespace speclens

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Trace-driven simulation driver: the perf-counter measurement
+ * equivalent.
+ *
+ * simulate() plays a workload's synthetic instruction stream through a
+ * machine's cache hierarchy, TLBs and branch predictor, collects the
+ * event counts a perf session would report, and derives the CPI stack
+ * and power estimate.  A warm-up window is excluded from the counters
+ * so cold-start compulsory misses do not distort the steady-state
+ * rates the paper's metrics describe.
+ */
+
+#ifndef SPECLENS_UARCH_SIMULATION_H
+#define SPECLENS_UARCH_SIMULATION_H
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/phased_workload.h"
+#include "trace/workload_profile.h"
+#include "uarch/cpi_model.h"
+#include "uarch/machine.h"
+#include "uarch/perf_counters.h"
+#include "uarch/power_model.h"
+
+namespace speclens {
+namespace uarch {
+
+/** Simulation window parameters. */
+struct SimulationConfig
+{
+    /** Measured instructions (after warm-up). */
+    std::uint64_t instructions = 200'000;
+
+    /** Warm-up instructions excluded from all counters. */
+    std::uint64_t warmup = 40'000;
+
+    /** Extra seed entropy for independent re-runs. */
+    std::uint64_t seed_salt = 0;
+
+    /**
+     * When false the machine's ISA/compiler workload transform is
+     * skipped (used by tests that need the untouched profile).
+     */
+    bool apply_machine_transform = true;
+
+    /**
+     * Touch every line of LLC-resident working sets before the warm-up
+     * window, so a short measurement reflects steady state rather than
+     * cold-start compulsory misses (the paper measures full multi-
+     * trillion-instruction runs).
+     */
+    bool prewarm = true;
+};
+
+/** Everything a measurement run produces. */
+struct SimulationResult
+{
+    PerfCounters counters;  //!< Steady-state event counts.
+    CpiStack cpi_stack;     //!< Top-down CPI decomposition.
+    PowerBreakdown power;   //!< Core / LLC / DRAM power estimate.
+
+    /** Total CPI. */
+    double cpi() const { return cpi_stack.total(); }
+
+    /** Instructions per cycle. */
+    double ipc() const;
+};
+
+/**
+ * Measure @p profile on @p machine.
+ *
+ * Deterministic for a given (profile, machine, config) triple.
+ */
+SimulationResult simulate(const trace::WorkloadProfile &profile,
+                          const MachineConfig &machine,
+                          const SimulationConfig &config = {});
+
+/** Result of simulating a phased workload. */
+struct PhasedSimulationResult
+{
+    /** Per-phase results, in phase order. */
+    std::vector<SimulationResult> per_phase;
+
+    /** Counters accumulated over the whole run. */
+    PerfCounters combined_counters;
+
+    /** Execution-weighted mean CPI of the run. */
+    double combined_cpi = 0.0;
+};
+
+/**
+ * Measure a phased workload end to end: phases run in sequence within
+ * one set of machine structures (caches, TLBs and predictor state
+ * carry across phase boundaries, as on hardware), each receiving a
+ * share of the measured window proportional to its weight.
+ *
+ * @param workload Validated phased workload.
+ * @param machine Machine model.
+ * @param config Window sizes apply to the whole run.
+ */
+PhasedSimulationResult
+simulatePhased(const trace::PhasedWorkload &workload,
+               const MachineConfig &machine,
+               const SimulationConfig &config = {});
+
+} // namespace uarch
+} // namespace speclens
+
+#endif // SPECLENS_UARCH_SIMULATION_H

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * TLB hierarchy implementation.
+ */
+
+#include "tlb.h"
+
+namespace speclens {
+namespace uarch {
+
+CacheConfig
+TlbConfig::asCacheConfig() const
+{
+    CacheConfig c;
+    c.name = name;
+    c.size_bytes = static_cast<std::uint64_t>(entries) * page_bytes;
+    c.associativity = associativity;
+    c.line_bytes = static_cast<std::uint32_t>(page_bytes);
+    c.policy = ReplacementPolicy::Lru;
+    return c;
+}
+
+TlbHierarchy::TlbHierarchy(const TlbHierarchyConfig &config)
+    : itlb_(config.itlb.asCacheConfig()),
+      dtlb_(config.dtlb.asCacheConfig())
+{
+    if (config.l2tlb)
+        l2tlb_ = std::make_unique<Cache>(config.l2tlb->asCacheConfig());
+}
+
+TlbAccessResult
+TlbHierarchy::accessCommon(Cache &l1, std::uint64_t address)
+{
+    TlbAccessResult result;
+    if (l1.access(address)) {
+        result.l1_hit = true;
+        return result;
+    }
+    if (l2tlb_) {
+        if (l2tlb_->access(address)) {
+            result.l2_hit = true;
+            return result;
+        }
+        ++l2tlb_misses_;
+    } else {
+        // Without a second level every L1 miss is a last-level miss.
+        ++l2tlb_misses_;
+    }
+    result.page_walk = true;
+    ++page_walks_;
+    return result;
+}
+
+TlbAccessResult
+TlbHierarchy::accessData(std::uint64_t address)
+{
+    return accessCommon(dtlb_, address);
+}
+
+TlbAccessResult
+TlbHierarchy::accessInstr(std::uint64_t pc)
+{
+    return accessCommon(itlb_, pc);
+}
+
+void
+TlbHierarchy::reset()
+{
+    itlb_.reset();
+    dtlb_.reset();
+    if (l2tlb_)
+        l2tlb_->reset();
+    l2tlb_misses_ = 0;
+    page_walks_ = 0;
+}
+
+} // namespace uarch
+} // namespace speclens

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Two-level TLB hierarchy with page-walk accounting.
+ *
+ * The paper's metric set (Table III) includes L1 I/D TLB misses, last
+ * level TLB misses and page walks per million instructions; these are
+ * the features that separate PageRank and cactuBSSN from the rest of
+ * the suite in its case studies.  The model is a functional two-level
+ * translation cache: per-side L1 TLBs backed by an optional shared
+ * second-level TLB; a second-level miss costs a page walk.
+ */
+
+#ifndef SPECLENS_UARCH_TLB_H
+#define SPECLENS_UARCH_TLB_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "uarch/cache.h"
+
+namespace speclens {
+namespace uarch {
+
+/** Geometry of a single TLB. */
+struct TlbConfig
+{
+    std::string name = "tlb";
+    std::uint32_t entries = 64;
+
+    /** Ways; use `entries` for a fully associative TLB. */
+    std::uint32_t associativity = 4;
+
+    /** Page size translated by this TLB. */
+    std::uint64_t page_bytes = 4096;
+
+    /** Equivalent cache geometry (entries as page-granular lines). */
+    CacheConfig asCacheConfig() const;
+};
+
+/** Outcome of one translation request. */
+struct TlbAccessResult
+{
+    bool l1_hit = false;   //!< Hit in the first-level TLB.
+    bool l2_hit = false;   //!< Hit in the shared second-level TLB.
+    bool page_walk = false; //!< Missed every level.
+};
+
+/** Configuration of the full translation hierarchy. */
+struct TlbHierarchyConfig
+{
+    TlbConfig itlb{"ITLB", 128, 8, 4096};
+    TlbConfig dtlb{"DTLB", 64, 4, 4096};
+
+    /** Shared second-level TLB; absent on older machines. */
+    std::optional<TlbConfig> l2tlb = TlbConfig{"L2TLB", 1536, 12, 4096};
+};
+
+/** Two-level TLB hierarchy. */
+class TlbHierarchy
+{
+  public:
+    explicit TlbHierarchy(const TlbHierarchyConfig &config);
+
+    /** Translate a data address. */
+    TlbAccessResult accessData(std::uint64_t address);
+
+    /** Translate an instruction-fetch address. */
+    TlbAccessResult accessInstr(std::uint64_t pc);
+
+    std::uint64_t dtlbAccesses() const { return dtlb_.accesses(); }
+    std::uint64_t dtlbMisses() const { return dtlb_.misses(); }
+    std::uint64_t itlbAccesses() const { return itlb_.accesses(); }
+    std::uint64_t itlbMisses() const { return itlb_.misses(); }
+    std::uint64_t l2tlbMisses() const { return l2tlb_misses_; }
+    std::uint64_t pageWalks() const { return page_walks_; }
+
+    /** Invalidate all levels and zero statistics. */
+    void reset();
+
+  private:
+    TlbAccessResult accessCommon(Cache &l1, std::uint64_t address);
+
+    Cache itlb_;
+    Cache dtlb_;
+    std::unique_ptr<Cache> l2tlb_;
+    std::uint64_t l2tlb_misses_ = 0;
+    std::uint64_t page_walks_ = 0;
+};
+
+} // namespace uarch
+} // namespace speclens
+
+#endif // SPECLENS_UARCH_TLB_H

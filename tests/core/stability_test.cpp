@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Tests for the measurement-stability analysis — including the
+ * methodology-critical assertion that clustering signal dominates
+ * simulation noise.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/stability.h"
+#include "suites/machines.h"
+#include "suites/spec2017.h"
+
+namespace speclens {
+namespace core {
+namespace {
+
+TEST(StabilityTest, InputValidation)
+{
+    auto suite = suites::spec2017SpeedInt();
+    EXPECT_THROW(analyzeStability({suite[0]}, suites::skylakeMachine()),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        analyzeStability(suite, suites::skylakeMachine(), 1),
+        std::invalid_argument);
+}
+
+TEST(StabilityTest, ReportShape)
+{
+    std::vector<suites::BenchmarkInfo> few = {
+        suites::spec2017Benchmark("505.mcf_r"),
+        suites::spec2017Benchmark("541.leela_r"),
+        suites::spec2017Benchmark("519.lbm_r"),
+    };
+    StabilityReport report = analyzeStability(
+        few, suites::skylakeMachine(), 3, 20'000, 5'000);
+    EXPECT_EQ(report.metrics.size(), kCanonicalMetricCount);
+    EXPECT_EQ(report.trials, 3u);
+    for (const MetricStability &m : report.metrics) {
+        EXPECT_GE(m.noise, 0.0) << metricName(m.metric);
+        EXPECT_GE(m.signal, 0.0) << metricName(m.metric);
+    }
+}
+
+TEST(StabilityTest, SignalDominatesNoise)
+{
+    // The premise behind clustering simulated measurements: benchmarks
+    // differ far more than re-measurements of one benchmark.
+    std::vector<suites::BenchmarkInfo> diverse = {
+        suites::spec2017Benchmark("505.mcf_r"),
+        suites::spec2017Benchmark("541.leela_r"),
+        suites::spec2017Benchmark("548.exchange2_r"),
+        suites::spec2017Benchmark("507.cactuBSSN_r"),
+        suites::spec2017Benchmark("519.lbm_r"),
+    };
+    StabilityReport report = analyzeStability(
+        diverse, suites::skylakeMachine(), 4, 40'000, 10'000);
+    EXPECT_GT(report.worstSnr(), 2.0);
+
+    // The headline metrics must be strongly separated.
+    for (const MetricStability &m : report.metrics) {
+        if (m.metric == Metric::L1dMpki ||
+            m.metric == Metric::BranchMpki) {
+            EXPECT_GT(m.snr(), 5.0) << metricName(m.metric);
+        }
+    }
+}
+
+TEST(StabilityTest, IdenticalBenchmarksHaveNoSignal)
+{
+    // Re-measuring copies of the same workload: across-benchmark
+    // variation collapses to (near) the noise floor.
+    suites::BenchmarkInfo a = suites::spec2017Benchmark("541.leela_r");
+    suites::BenchmarkInfo b = a;
+    StabilityReport report = analyzeStability(
+        {a, b}, suites::skylakeMachine(), 3, 20'000, 5'000);
+    for (const MetricStability &m : report.metrics) {
+        // Identical profiles measured with identical seeds: exactly
+        // zero across-benchmark signal.
+        EXPECT_DOUBLE_EQ(m.signal, 0.0) << metricName(m.metric);
+    }
+}
+
+} // namespace
+} // namespace core
+} // namespace speclens

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Unit tests for the Jacobi symmetric eigensolver.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/eigen.h"
+#include "stats/rng.h"
+
+namespace speclens {
+namespace stats {
+namespace {
+
+TEST(EigenTest, DiagonalMatrix)
+{
+    Matrix m{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}};
+    EigenDecomposition eig = symmetricEigen(m);
+    ASSERT_EQ(eig.values.size(), 3u);
+    EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+    EXPECT_NEAR(eig.values[1], 2.0, 1e-10);
+    EXPECT_NEAR(eig.values[2], 1.0, 1e-10);
+}
+
+TEST(EigenTest, Analytic2x2)
+{
+    // Eigenvalues of [[2, 1], [1, 2]] are 3 and 1 with eigenvectors
+    // (1, 1)/sqrt(2) and (1, -1)/sqrt(2).
+    Matrix m{{2, 1}, {1, 2}};
+    EigenDecomposition eig = symmetricEigen(m);
+    EXPECT_NEAR(eig.values[0], 3.0, 1e-10);
+    EXPECT_NEAR(eig.values[1], 1.0, 1e-10);
+    double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+    EXPECT_NEAR(std::fabs(eig.vectors(0, 0)), inv_sqrt2, 1e-8);
+    EXPECT_NEAR(std::fabs(eig.vectors(1, 0)), inv_sqrt2, 1e-8);
+}
+
+TEST(EigenTest, RejectsAsymmetric)
+{
+    Matrix m{{1, 2}, {3, 4}};
+    EXPECT_THROW(symmetricEigen(m), std::invalid_argument);
+}
+
+class EigenPropertyTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EigenPropertyTest, ReconstructionAndOrthogonality)
+{
+    int n = GetParam();
+    Rng rng(static_cast<std::uint64_t>(n) * 977);
+
+    // Random symmetric matrix A = B + B^T.
+    Matrix b(n, n);
+    for (int r = 0; r < n; ++r)
+        for (int c = 0; c < n; ++c)
+            b(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) =
+                rng.gaussian();
+    Matrix a = b.add(b.transposed());
+
+    EigenDecomposition eig = symmetricEigen(a);
+
+    // V^T V = I (orthonormal eigenvectors).
+    Matrix vtv = eig.vectors.transposed().multiply(eig.vectors);
+    EXPECT_TRUE(vtv.approxEquals(
+        Matrix::identity(static_cast<std::size_t>(n)), 1e-8))
+        << vtv.toString();
+
+    // A V = V diag(lambda)  (reconstruction).
+    Matrix av = a.multiply(eig.vectors);
+    Matrix lambda(static_cast<std::size_t>(n),
+                  static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        lambda(static_cast<std::size_t>(i), static_cast<std::size_t>(i)) =
+            eig.values[static_cast<std::size_t>(i)];
+    Matrix vl = eig.vectors.multiply(lambda);
+    EXPECT_TRUE(av.approxEquals(vl, 1e-7));
+
+    // Eigenvalues sorted descending.
+    for (int i = 0; i + 1 < n; ++i)
+        EXPECT_GE(eig.values[static_cast<std::size_t>(i)],
+                  eig.values[static_cast<std::size_t>(i + 1)]);
+
+    // Trace preserved.
+    double trace_a = 0.0, sum_lambda = 0.0;
+    for (int i = 0; i < n; ++i) {
+        trace_a += a(static_cast<std::size_t>(i),
+                     static_cast<std::size_t>(i));
+        sum_lambda += eig.values[static_cast<std::size_t>(i)];
+    }
+    EXPECT_NEAR(trace_a, sum_lambda, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenPropertyTest,
+                         ::testing::Values(2, 3, 5, 10, 20, 40));
+
+} // namespace
+} // namespace stats
+} // namespace speclens

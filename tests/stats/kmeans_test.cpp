@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for k-means clustering and silhouette scoring.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "stats/kmeans.h"
+#include "stats/rng.h"
+
+namespace speclens {
+namespace stats {
+namespace {
+
+Matrix
+blobs(std::size_t per_blob, double spread = 0.05)
+{
+    Rng rng(321);
+    Matrix points(3 * per_blob, 2);
+    const double centers[3][2] = {{0, 0}, {8, 0}, {0, 8}};
+    for (std::size_t blob = 0; blob < 3; ++blob) {
+        for (std::size_t i = 0; i < per_blob; ++i) {
+            std::size_t row = blob * per_blob + i;
+            points(row, 0) = centers[blob][0] + spread * rng.gaussian();
+            points(row, 1) = centers[blob][1] + spread * rng.gaussian();
+        }
+    }
+    return points;
+}
+
+TEST(KmeansTest, RecoversThreeBlobs)
+{
+    Matrix points = blobs(6);
+    KmeansResult result = kmeans(points, 3);
+    // Every blob maps to exactly one cluster.
+    for (std::size_t blob = 0; blob < 3; ++blob) {
+        std::set<std::size_t> labels;
+        for (std::size_t i = 0; i < 6; ++i)
+            labels.insert(result.assignment[blob * 6 + i]);
+        EXPECT_EQ(labels.size(), 1u) << "blob " << blob;
+    }
+    // Distinct blobs map to distinct clusters.
+    std::set<std::size_t> all{result.assignment[0],
+                              result.assignment[6],
+                              result.assignment[12]};
+    EXPECT_EQ(all.size(), 3u);
+    EXPECT_LT(result.inertia, 1.0);
+}
+
+TEST(KmeansTest, DeterministicPerSeed)
+{
+    Matrix points = blobs(5);
+    KmeansResult a = kmeans(points, 3, 9);
+    KmeansResult b = kmeans(points, 3, 9);
+    EXPECT_EQ(a.assignment, b.assignment);
+    EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KmeansTest, KEqualsNGivesZeroInertia)
+{
+    Matrix points = blobs(2);
+    KmeansResult result = kmeans(points, points.rows());
+    EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KmeansTest, KOneCentroidIsMean)
+{
+    Matrix points{{0, 0}, {2, 0}, {0, 2}, {2, 2}};
+    KmeansResult result = kmeans(points, 1);
+    EXPECT_NEAR(result.centroids(0, 0), 1.0, 1e-12);
+    EXPECT_NEAR(result.centroids(0, 1), 1.0, 1e-12);
+}
+
+TEST(KmeansTest, MembersInverseOfAssignment)
+{
+    Matrix points = blobs(4);
+    KmeansResult result = kmeans(points, 3);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < 3; ++c) {
+        for (std::size_t i : result.members(c))
+            EXPECT_EQ(result.assignment[i], c);
+        total += result.members(c).size();
+    }
+    EXPECT_EQ(total, points.rows());
+}
+
+TEST(KmeansTest, InvalidArguments)
+{
+    Matrix points = blobs(2);
+    EXPECT_THROW(kmeans(points, 0), std::invalid_argument);
+    EXPECT_THROW(kmeans(points, points.rows() + 1),
+                 std::invalid_argument);
+    EXPECT_THROW(kmeans(Matrix(), 1), std::invalid_argument);
+}
+
+TEST(KmeansTest, MoreClustersNeverIncreaseInertia)
+{
+    Matrix points = blobs(6, 0.8);
+    double prev = kmeans(points, 1).inertia;
+    for (std::size_t k = 2; k <= 6; ++k) {
+        double inertia = kmeans(points, k, 3).inertia;
+        EXPECT_LE(inertia, prev * 1.05) << "k=" << k;
+        prev = inertia;
+    }
+}
+
+TEST(SilhouetteTest, WellSeparatedBlobsScoreHigh)
+{
+    Matrix points = blobs(6);
+    KmeansResult result = kmeans(points, 3);
+    EXPECT_GT(silhouetteScore(points, result.assignment), 0.9);
+}
+
+TEST(SilhouetteTest, RandomAssignmentScoresLow)
+{
+    Matrix points = blobs(6);
+    Rng rng(777);
+    std::vector<std::size_t> random_assignment(points.rows());
+    for (std::size_t &a : random_assignment)
+        a = static_cast<std::size_t>(rng.below(3));
+    KmeansResult good = kmeans(points, 3);
+    EXPECT_LT(silhouetteScore(points, random_assignment),
+              silhouetteScore(points, good.assignment));
+}
+
+TEST(SilhouetteTest, EdgeCases)
+{
+    Matrix one{{1.0, 2.0}};
+    EXPECT_DOUBLE_EQ(silhouetteScore(one, {0}), 0.0);
+    // Single cluster: no b(i) exists anywhere.
+    Matrix points = blobs(3);
+    std::vector<std::size_t> all_zero(points.rows(), 0);
+    EXPECT_DOUBLE_EQ(silhouetteScore(points, all_zero), 0.0);
+    EXPECT_THROW(silhouetteScore(points, {0, 1}),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace stats
+} // namespace speclens

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit tests for the dense matrix type.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "stats/matrix.h"
+
+namespace speclens {
+namespace stats {
+namespace {
+
+TEST(MatrixTest, DefaultConstructedIsEmpty)
+{
+    Matrix m;
+    EXPECT_EQ(m.rows(), 0u);
+    EXPECT_EQ(m.cols(), 0u);
+    EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ZeroInitialised)
+{
+    Matrix m(3, 4);
+    EXPECT_EQ(m.rows(), 3u);
+    EXPECT_EQ(m.cols(), 4u);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 4; ++c)
+            EXPECT_EQ(m(r, c), 0.0);
+}
+
+TEST(MatrixTest, FillConstructor)
+{
+    Matrix m(2, 2, 7.5);
+    EXPECT_EQ(m(0, 0), 7.5);
+    EXPECT_EQ(m(1, 1), 7.5);
+}
+
+TEST(MatrixTest, InitializerList)
+{
+    Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 2u);
+    EXPECT_EQ(m(0, 1), 2.0);
+    EXPECT_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixTest, RaggedInitializerListThrows)
+{
+    EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(MatrixTest, Identity)
+{
+    Matrix id = Matrix::identity(3);
+    for (std::size_t r = 0; r < 3; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_EQ(id(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(MatrixTest, RowAndColExtraction)
+{
+    Matrix m{{1, 2, 3}, {4, 5, 6}};
+    EXPECT_EQ(m.row(1), (std::vector<double>{4, 5, 6}));
+    EXPECT_EQ(m.col(2), (std::vector<double>{3, 6}));
+}
+
+TEST(MatrixTest, SetRowAndCol)
+{
+    Matrix m(2, 3);
+    m.setRow(0, {1, 2, 3});
+    m.setCol(2, {9, 8});
+    EXPECT_EQ(m(0, 0), 1.0);
+    EXPECT_EQ(m(0, 2), 9.0);
+    EXPECT_EQ(m(1, 2), 8.0);
+}
+
+TEST(MatrixTest, SetRowLengthMismatchThrows)
+{
+    Matrix m(2, 3);
+    EXPECT_THROW(m.setRow(0, {1, 2}), std::invalid_argument);
+    EXPECT_THROW(m.setCol(0, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(MatrixTest, Transpose)
+{
+    Matrix m{{1, 2, 3}, {4, 5, 6}};
+    Matrix t = m.transposed();
+    EXPECT_EQ(t.rows(), 3u);
+    EXPECT_EQ(t.cols(), 2u);
+    EXPECT_EQ(t(2, 1), 6.0);
+    EXPECT_TRUE(t.transposed().approxEquals(m));
+}
+
+TEST(MatrixTest, MatrixProduct)
+{
+    Matrix a{{1, 2}, {3, 4}};
+    Matrix b{{5, 6}, {7, 8}};
+    Matrix c = a.multiply(b);
+    EXPECT_TRUE(c.approxEquals(Matrix{{19, 22}, {43, 50}}));
+}
+
+TEST(MatrixTest, ProductDimensionMismatchThrows)
+{
+    Matrix a(2, 3);
+    Matrix b(2, 3);
+    EXPECT_THROW(a.multiply(b), std::invalid_argument);
+}
+
+TEST(MatrixTest, IdentityIsMultiplicativeNeutral)
+{
+    Matrix a{{1, 2}, {3, 4}};
+    EXPECT_TRUE(a.multiply(Matrix::identity(2)).approxEquals(a));
+    EXPECT_TRUE(Matrix::identity(2).multiply(a).approxEquals(a));
+}
+
+TEST(MatrixTest, MatrixVectorProduct)
+{
+    Matrix a{{1, 2}, {3, 4}};
+    EXPECT_EQ(a.multiply(std::vector<double>{1, 1}),
+              (std::vector<double>{3, 7}));
+}
+
+TEST(MatrixTest, AddSubtractScale)
+{
+    Matrix a{{1, 2}, {3, 4}};
+    Matrix b{{4, 3}, {2, 1}};
+    EXPECT_TRUE(a.add(b).approxEquals(Matrix{{5, 5}, {5, 5}}));
+    EXPECT_TRUE(a.subtract(a).approxEquals(Matrix(2, 2)));
+    EXPECT_TRUE(a.scaled(2.0).approxEquals(Matrix{{2, 4}, {6, 8}}));
+}
+
+TEST(MatrixTest, SelectRowsAndCols)
+{
+    Matrix m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+    Matrix rows = m.selectRows({2, 0});
+    EXPECT_TRUE(rows.approxEquals(Matrix{{7, 8, 9}, {1, 2, 3}}));
+    Matrix cols = m.selectCols({1});
+    EXPECT_TRUE(cols.approxEquals(Matrix{{2}, {5}, {8}}));
+}
+
+TEST(MatrixTest, SelectOutOfRangeThrows)
+{
+    Matrix m(2, 2);
+    EXPECT_THROW(m.selectRows({5}), std::out_of_range);
+    EXPECT_THROW(m.selectCols({5}), std::out_of_range);
+}
+
+TEST(MatrixTest, FrobeniusNorm)
+{
+    Matrix m{{3, 4}};
+    EXPECT_DOUBLE_EQ(m.frobeniusNorm(), 5.0);
+}
+
+TEST(MatrixTest, SymmetryChecks)
+{
+    Matrix sym{{1, 2}, {2, 1}};
+    Matrix asym{{1, 2}, {3, 1}};
+    EXPECT_TRUE(sym.isSymmetric());
+    EXPECT_FALSE(asym.isSymmetric());
+    EXPECT_FALSE(Matrix(2, 3).isSymmetric());
+    EXPECT_DOUBLE_EQ(asym.maxOffDiagonal(), 3.0);
+}
+
+TEST(MatrixTest, ToStringContainsElements)
+{
+    Matrix m{{1.5, 2.5}};
+    std::string s = m.toString(1);
+    EXPECT_NE(s.find("1.5"), std::string::npos);
+    EXPECT_NE(s.find("2.5"), std::string::npos);
+}
+
+} // namespace
+} // namespace stats
+} // namespace speclens

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Metamorphic properties of the statistics pipeline: transformations
+ * of the input that must leave the analysis invariant (or change it in
+ * a precisely predictable way).  These guard against subtle pipeline
+ * bugs that unit tests of individual functions cannot see.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/clustering.h"
+#include "stats/kmeans.h"
+#include "stats/pca.h"
+#include "stats/rng.h"
+
+namespace speclens {
+namespace stats {
+namespace {
+
+Matrix
+randomData(std::size_t rows, std::size_t cols, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Matrix m(rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+        double shared = rng.gaussian();
+        for (std::size_t c = 0; c < cols; ++c)
+            m(r, c) = shared * (c % 2 ? 1.0 : -0.5) + rng.gaussian();
+    }
+    return m;
+}
+
+TEST(MetamorphicTest, PcaInvariantUnderColumnScaling)
+{
+    // PCA on z-scored data: multiplying a metric by any positive
+    // constant (changing its unit) must not change eigenvalues or the
+    // absolute scores.
+    Matrix m = randomData(30, 5, 11);
+    Matrix scaled = m;
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        scaled(r, 1) *= 1000.0; // MPKI -> MPMI, say
+        scaled(r, 3) *= 0.001;
+    }
+    PcaResult a = fitPca(m, RetentionPolicy::fixedCount(3));
+    PcaResult b = fitPca(scaled, RetentionPolicy::fixedCount(3));
+    for (std::size_t i = 0; i < a.eigenvalues.size(); ++i)
+        EXPECT_NEAR(a.eigenvalues[i], b.eigenvalues[i], 1e-8);
+    for (std::size_t r = 0; r < a.scores.rows(); ++r)
+        for (std::size_t c = 0; c < a.scores.cols(); ++c)
+            EXPECT_NEAR(std::fabs(a.scores(r, c)),
+                        std::fabs(b.scores(r, c)), 1e-6);
+}
+
+TEST(MetamorphicTest, PcaInvariantUnderColumnShift)
+{
+    // Adding a constant to a metric (changing its zero point) is
+    // removed by centring.
+    Matrix m = randomData(25, 4, 13);
+    Matrix shifted = m;
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        shifted(r, 2) += 1e6;
+    PcaResult a = fitPca(m);
+    PcaResult b = fitPca(shifted);
+    ASSERT_EQ(a.retained, b.retained);
+    for (std::size_t i = 0; i < a.eigenvalues.size(); ++i)
+        EXPECT_NEAR(a.eigenvalues[i], b.eigenvalues[i], 1e-7);
+}
+
+TEST(MetamorphicTest, ClusteringInvariantUnderObservationPermutation)
+{
+    // Permuting observations must permute the clusters, not change
+    // their composition.
+    Matrix m = randomData(12, 3, 17);
+    std::vector<std::size_t> perm{7, 2, 9, 0, 11, 4, 1, 8, 3, 10, 6, 5};
+    Matrix permuted = m.selectRows(perm);
+
+    auto clusters_of = [](const Matrix &points) {
+        Dendrogram tree = clusterPoints(points, Linkage::Average);
+        return tree.cutIntoClusters(3);
+    };
+
+    auto original = clusters_of(m);
+    auto shuffled = clusters_of(permuted);
+
+    // Map the shuffled clusters back through the permutation and
+    // compare as sets of sets.
+    auto canonicalise = [](std::vector<std::vector<std::size_t>> cs) {
+        for (auto &c : cs)
+            std::sort(c.begin(), c.end());
+        std::sort(cs.begin(), cs.end());
+        return cs;
+    };
+    std::vector<std::vector<std::size_t>> mapped;
+    for (const auto &cluster : shuffled) {
+        std::vector<std::size_t> back;
+        for (std::size_t leaf : cluster)
+            back.push_back(perm[leaf]);
+        mapped.push_back(std::move(back));
+    }
+    EXPECT_EQ(canonicalise(original), canonicalise(mapped));
+}
+
+TEST(MetamorphicTest, ClusteringInvariantUnderGlobalScaling)
+{
+    // Scaling every coordinate by the same factor scales merge heights
+    // by the factor and preserves the merge structure.
+    Matrix m = randomData(10, 2, 19);
+    Dendrogram base = clusterPoints(m, Linkage::Ward);
+    Dendrogram doubled = clusterPoints(m.scaled(2.0), Linkage::Ward);
+    ASSERT_EQ(base.merges().size(), doubled.merges().size());
+    for (std::size_t i = 0; i < base.merges().size(); ++i) {
+        EXPECT_EQ(base.merges()[i].left, doubled.merges()[i].left);
+        EXPECT_EQ(base.merges()[i].right, doubled.merges()[i].right);
+        EXPECT_NEAR(doubled.merges()[i].height,
+                    2.0 * base.merges()[i].height, 1e-9);
+    }
+}
+
+TEST(MetamorphicTest, DuplicatedObservationMergesAtZero)
+{
+    // Appending an exact duplicate of a row must merge it with the
+    // original at height ~0 before anything else happens to it.
+    Matrix m = randomData(8, 3, 23);
+    Matrix with_dup(9, 3);
+    for (std::size_t r = 0; r < 8; ++r)
+        with_dup.setRow(r, m.row(r));
+    with_dup.setRow(8, m.row(4));
+
+    Dendrogram tree = clusterPoints(with_dup, Linkage::Average);
+    EXPECT_NEAR(tree.copheneticDistance(4, 8), 0.0, 1e-12);
+    EXPECT_NEAR(tree.merges().front().height, 0.0, 1e-12);
+}
+
+TEST(MetamorphicTest, KmeansInvariantUnderGlobalTranslation)
+{
+    Matrix m = randomData(15, 3, 29);
+    Matrix shifted = m;
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            shifted(r, c) += 42.0;
+    KmeansResult a = kmeans(m, 3, 5);
+    KmeansResult b = kmeans(shifted, 3, 5);
+    EXPECT_EQ(a.assignment, b.assignment);
+    EXPECT_NEAR(a.inertia, b.inertia, 1e-6);
+}
+
+} // namespace
+} // namespace stats
+} // namespace speclens

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Unit tests for the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/rng.h"
+
+namespace speclens {
+namespace stats {
+namespace {
+
+TEST(RngTest, DeterministicPerSeed)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i) {
+        std::uint64_t va = a.next();
+        EXPECT_EQ(va, b.next());
+        (void)c;
+    }
+    Rng d(42), e(43);
+    EXPECT_NE(d.next(), e.next());
+}
+
+TEST(RngTest, UniformInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        double u = rng.uniform(5.0, 10.0);
+        EXPECT_GE(u, 5.0);
+        EXPECT_LT(u, 10.0);
+    }
+}
+
+TEST(RngTest, UniformMeanConverges)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, BelowStaysBelow)
+{
+    Rng rng(13);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(RngTest, BernoulliFrequency)
+{
+    Rng rng(17);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, GaussianMoments)
+{
+    Rng rng(19);
+    double sum = 0.0, sum2 = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        double g = rng.gaussian();
+        sum += g;
+        sum2 += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GeometricMean)
+{
+    // Mean of geometric(p) starting at 0 is (1-p)/p.
+    Rng rng(23);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(rng.geometric(0.25));
+    EXPECT_NEAR(sum / n, 3.0, 0.1);
+    EXPECT_EQ(Rng(1).geometric(1.0), 0u);
+}
+
+TEST(RngTest, HashNameStableAndDistinct)
+{
+    constexpr std::uint64_t h1 = hashName("505.mcf_r");
+    constexpr std::uint64_t h2 = hashName("505.mcf_r");
+    constexpr std::uint64_t h3 = hashName("605.mcf_s");
+    static_assert(h1 == h2);
+    EXPECT_EQ(h1, h2);
+    EXPECT_NE(h1, h3);
+    EXPECT_NE(hashName(""), hashName("a"));
+}
+
+TEST(RngTest, CombineSeedsOrderSensitive)
+{
+    EXPECT_NE(combineSeeds(1, 2), combineSeeds(2, 1));
+    EXPECT_EQ(combineSeeds(1, 2), combineSeeds(1, 2));
+}
+
+} // namespace
+} // namespace stats
+} // namespace speclens

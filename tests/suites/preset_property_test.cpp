@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Property tests over the calibration vocabulary: the preset enums
+ * must translate into monotone, well-ordered micro-architectural
+ * behaviour, or the qualitative knobs of the benchmark databases mean
+ * nothing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "suites/machines.h"
+#include "suites/profile_presets.h"
+#include "uarch/simulation.h"
+
+namespace speclens {
+namespace suites {
+namespace {
+
+uarch::SimulationResult
+simulateSpec(const ProfileSpec &spec, const std::string &name)
+{
+    uarch::SimulationConfig config;
+    config.instructions = 40'000;
+    config.warmup = 10'000;
+    config.apply_machine_transform = false;
+    return uarch::simulate(buildProfile(name, spec),
+                           suites::skylakeMachine(), config);
+}
+
+TEST(PresetPropertyTest, DataLocalityOrdersL1dMpki)
+{
+    // Resident < Small < Medium < Large < Huge < Extreme in L1D MPKI,
+    // everything else held fixed.
+    const DataLocality order[] = {DataLocality::Resident,
+                                  DataLocality::Small,
+                                  DataLocality::Medium,
+                                  DataLocality::Large,
+                                  DataLocality::Huge,
+                                  DataLocality::Extreme};
+    double previous = -1.0;
+    for (DataLocality locality : order) {
+        ProfileSpec spec;
+        spec.data = locality;
+        spec.streaming = 0.0;
+        double mpki =
+            simulateSpec(spec, "sweep.data").counters.l1dMpki();
+        EXPECT_GT(mpki, previous)
+            << "locality step " << static_cast<int>(locality);
+        previous = mpki;
+    }
+}
+
+TEST(PresetPropertyTest, DataLocalityOrdersL3Mpki)
+{
+    const DataLocality order[] = {DataLocality::Resident,
+                                  DataLocality::Medium,
+                                  DataLocality::Huge,
+                                  DataLocality::Extreme};
+    double previous = -1.0;
+    for (DataLocality locality : order) {
+        ProfileSpec spec;
+        spec.data = locality;
+        spec.streaming = 0.0;
+        double mpki = simulateSpec(spec, "sweep.l3").counters.l3Mpki();
+        EXPECT_GT(mpki, previous);
+        previous = mpki;
+    }
+}
+
+TEST(PresetPropertyTest, BranchQualityOrdersMisprediction)
+{
+    const BranchQuality order[] = {BranchQuality::VeryEasy,
+                                   BranchQuality::Easy,
+                                   BranchQuality::Moderate,
+                                   BranchQuality::Hard,
+                                   BranchQuality::VeryHard};
+    double previous = -1.0;
+    for (BranchQuality quality : order) {
+        ProfileSpec spec;
+        spec.branches = quality;
+        double mpki =
+            simulateSpec(spec, "sweep.branch").counters.branchMpki();
+        EXPECT_GT(mpki, previous)
+            << "quality step " << static_cast<int>(quality);
+        previous = mpki;
+    }
+}
+
+TEST(PresetPropertyTest, CodePressureOrdersL1iMpki)
+{
+    const CodePressure order[] = {CodePressure::Tiny,
+                                  CodePressure::Small,
+                                  CodePressure::Medium,
+                                  CodePressure::Large,
+                                  CodePressure::Huge};
+    double previous = -1.0;
+    for (CodePressure pressure : order) {
+        ProfileSpec spec;
+        spec.code = pressure;
+        spec.branch_pct = 15.0; // jumps expose the footprint
+        double mpki =
+            simulateSpec(spec, "sweep.code").counters.l1iMpki();
+        EXPECT_GE(mpki, previous)
+            << "pressure step " << static_cast<int>(pressure);
+        previous = mpki;
+    }
+}
+
+TEST(PresetPropertyTest, TlbStressRaisesWalksNotL3Proportionally)
+{
+    ProfileSpec quiet;
+    quiet.tlb_stress = 0.0;
+    ProfileSpec stressed;
+    stressed.tlb_stress = 0.8;
+
+    auto quiet_result = simulateSpec(quiet, "sweep.tlb");
+    auto stressed_result = simulateSpec(stressed, "sweep.tlb");
+
+    double quiet_walks = quiet_result.counters.pageWalksPerMi();
+    double stressed_walks = stressed_result.counters.pageWalksPerMi();
+    // The stress knob widens the sparse set and raises its weight by
+    // (1 + stress): walks must grow at least that much.
+    EXPECT_GT(stressed_walks, 1.5 * quiet_walks);
+
+    // Decoupling: walks grow at least as fast as L3 misses — the
+    // page-stride conversion adds TLB pressure without a matching
+    // cache-miss signature.
+    double l3_growth = stressed_result.counters.l3Mpki() /
+                       std::max(0.1, quiet_result.counters.l3Mpki());
+    double walk_growth = stressed_walks / std::max(0.1, quiet_walks);
+    EXPECT_GE(walk_growth, l3_growth - 0.05);
+}
+
+TEST(PresetPropertyTest, StreamingReducesDataMisses)
+{
+    ProfileSpec random_spec;
+    random_spec.data = DataLocality::Large;
+    random_spec.streaming = 0.0;
+    ProfileSpec streaming_spec;
+    streaming_spec.data = DataLocality::Large;
+    streaming_spec.streaming = 0.9;
+
+    double random_mpki =
+        simulateSpec(random_spec, "sweep.stream").counters.l1dMpki();
+    double streaming_mpki =
+        simulateSpec(streaming_spec, "sweep.stream").counters.l1dMpki();
+    EXPECT_LT(streaming_mpki, random_mpki);
+}
+
+TEST(PresetPropertyTest, DependencyShareMovesCpi)
+{
+    ProfileSpec lean;
+    lean.dependency_share = 0.0;
+    ProfileSpec chained;
+    chained.dependency_share = 0.45;
+    EXPECT_GT(simulateSpec(chained, "sweep.dep").cpi(),
+              simulateSpec(lean, "sweep.dep").cpi());
+}
+
+class MachineSweepTest
+    : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(MachineSweepTest, EveryPresetSimulatesOnEveryMachine)
+{
+    // Cartesian sanity: all locality presets produce finite, ordered
+    // counters on the parametrised machine.
+    const auto &machine = machineByShortName(GetParam());
+    for (DataLocality locality :
+         {DataLocality::Resident, DataLocality::Medium,
+          DataLocality::Extreme, DataLocality::L1Bound}) {
+        ProfileSpec spec;
+        spec.data = locality;
+        uarch::SimulationConfig config;
+        config.instructions = 20'000;
+        config.warmup = 5'000;
+        auto result = uarch::simulate(
+            buildProfile("sweep.machine", spec), machine, config);
+        EXPECT_GT(result.cpi(), 0.0);
+        EXPECT_LE(result.counters.l1d_misses,
+                  result.counters.l1d_accesses);
+        EXPECT_GT(result.power.total(), 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMachines, MachineSweepTest,
+                         ::testing::Values("skylake", "broadwell",
+                                           "ivybridge", "harpertown",
+                                           "sparc-iv", "sparc-t4",
+                                           "opteron"),
+                         [](const auto &info) {
+                             std::string name = info.param;
+                             for (char &c : name)
+                                 if (c == '-')
+                                     c = '_';
+                             return name;
+                         });
+
+} // namespace
+} // namespace suites
+} // namespace speclens

@@ -1,0 +1,283 @@
+/**
+ * @file
+ * Unit tests for the set-associative cache model and the hierarchy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/cache.h"
+#include "uarch/cache_hierarchy.h"
+
+namespace speclens {
+namespace uarch {
+namespace {
+
+CacheConfig
+smallCache(std::uint32_t assoc = 2,
+           ReplacementPolicy policy = ReplacementPolicy::Lru)
+{
+    // 8 sets x assoc ways x 64B lines.
+    CacheConfig c;
+    c.name = "test";
+    c.size_bytes = 8ull * assoc * 64;
+    c.associativity = assoc;
+    c.line_bytes = 64;
+    c.policy = policy;
+    return c;
+}
+
+TEST(CacheConfigTest, SetsComputation)
+{
+    EXPECT_EQ(smallCache().sets(), 8u);
+    CacheConfig big{"L3", 8 * 1024 * 1024, 16, 64,
+                    ReplacementPolicy::Lru};
+    EXPECT_EQ(big.sets(), 8192u);
+}
+
+TEST(CacheConfigTest, ValidationRejectsBadGeometry)
+{
+    CacheConfig c = smallCache();
+    c.line_bytes = 48; // not a power of two
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+
+    c = smallCache();
+    c.associativity = 0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+
+    c = smallCache();
+    c.size_bytes = 1000; // not divisible by way size
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+
+    // Tree-PLRU needs power-of-two ways.
+    c = smallCache(3, ReplacementPolicy::TreePlru);
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(CacheConfigTest, NonPowerOfTwoSetCountAccepted)
+{
+    // Broadwell's 30 MB / 20-way L3 (Table IV) has 24576 sets.
+    CacheConfig c{"L3", 30 * 1024 * 1024, 20, 64,
+                  ReplacementPolicy::Lru};
+    EXPECT_NO_THROW(c.validate());
+    EXPECT_NO_THROW(Cache{c});
+}
+
+TEST(CacheTest, ColdMissThenHit)
+{
+    Cache cache(smallCache());
+    EXPECT_FALSE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1000));
+    EXPECT_TRUE(cache.access(0x1004)); // same line
+    EXPECT_EQ(cache.accesses(), 3u);
+    EXPECT_EQ(cache.hits(), 2u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(CacheTest, ContainsDoesNotFill)
+{
+    Cache cache(smallCache());
+    EXPECT_FALSE(cache.contains(0x2000));
+    EXPECT_EQ(cache.accesses(), 0u);
+    cache.access(0x2000);
+    EXPECT_TRUE(cache.contains(0x2000));
+}
+
+TEST(CacheTest, LruEvictionOrder)
+{
+    // 2-way set: fill two lines mapping to set 0, touch the first,
+    // then insert a third — the second (least recent) must be evicted.
+    Cache cache(smallCache(2, ReplacementPolicy::Lru));
+    std::uint64_t set_stride = 8 * 64; // addresses mapping to set 0
+    cache.access(0 * set_stride);
+    cache.access(1 * set_stride);
+    cache.access(0 * set_stride); // refresh line 0
+    cache.access(2 * set_stride); // evicts line 1
+    EXPECT_TRUE(cache.contains(0 * set_stride));
+    EXPECT_FALSE(cache.contains(1 * set_stride));
+    EXPECT_TRUE(cache.contains(2 * set_stride));
+}
+
+TEST(CacheTest, FifoIgnoresHits)
+{
+    // Same scenario as above, but FIFO evicts the *oldest inserted*
+    // line regardless of the refreshing hit.
+    Cache cache(smallCache(2, ReplacementPolicy::Fifo));
+    std::uint64_t set_stride = 8 * 64;
+    cache.access(0 * set_stride);
+    cache.access(1 * set_stride);
+    cache.access(0 * set_stride); // hit; FIFO unaffected
+    cache.access(2 * set_stride); // evicts line 0
+    EXPECT_FALSE(cache.contains(0 * set_stride));
+    EXPECT_TRUE(cache.contains(1 * set_stride));
+}
+
+TEST(CacheTest, TreePlruProtectsMostRecent)
+{
+    Cache cache(smallCache(4, ReplacementPolicy::TreePlru));
+    std::uint64_t set_stride = 8 * 64;
+    for (std::uint64_t i = 0; i < 4; ++i)
+        cache.access(i * set_stride);
+    // Line 3 was touched last; inserting a fifth line must not evict
+    // it (tree-PLRU always points away from the most recent way).
+    cache.access(4 * set_stride);
+    EXPECT_TRUE(cache.contains(3 * set_stride));
+}
+
+TEST(CacheTest, WorkingSetBelowCapacityAlwaysHitsAfterWarmup)
+{
+    CacheConfig config = smallCache(4); // 2 KiB
+    Cache cache(config);
+    for (std::uint64_t addr = 0; addr < 2048; addr += 64)
+        cache.access(addr);
+    cache.reset();
+    // reset() cleared everything including stats.
+    EXPECT_EQ(cache.accesses(), 0u);
+    for (std::uint64_t addr = 0; addr < 2048; addr += 64)
+        cache.access(addr); // cold again
+    for (int round = 0; round < 3; ++round)
+        for (std::uint64_t addr = 0; addr < 2048; addr += 64)
+            EXPECT_TRUE(cache.access(addr));
+}
+
+TEST(CacheTest, CyclicOverCapacityThrashesLru)
+{
+    // The classic LRU pathology: cycling over capacity + 1 set-worth
+    // of lines misses every time.
+    Cache cache(smallCache(2)); // 16 lines
+    for (int round = 0; round < 4; ++round)
+        for (std::uint64_t i = 0; i < 24; ++i)
+            cache.access(i * 64);
+    // After the first cold round, every access still misses.
+    EXPECT_DOUBLE_EQ(cache.missRatio(), 1.0);
+}
+
+TEST(CacheTest, MissRatioTracksWorkingSetSize)
+{
+    // Random access to a working set W in a cache of capacity C
+    // misses at roughly (W - C) / W.
+    CacheConfig config;
+    config.name = "ratio";
+    config.size_bytes = 32 * 1024;
+    config.associativity = 8;
+    Cache cache(config);
+    stats::Rng rng(3);
+    const std::uint64_t lines = 1024; // 64 KiB working set
+    for (int i = 0; i < 200000; ++i)
+        cache.access(rng.below(lines) * 64);
+    EXPECT_NEAR(cache.missRatio(), 0.5, 0.05);
+}
+
+TEST(CacheTest, RandomPolicyStillCachesResidentSet)
+{
+    // Half-capacity working set: even random replacement keeps it
+    // mostly resident.
+    Cache cache(smallCache(4, ReplacementPolicy::Random)); // 32 lines
+    for (int round = 0; round < 8; ++round)
+        for (std::uint64_t addr = 0; addr < 1024; addr += 64) // 16 lines
+            cache.access(addr);
+    EXPECT_LT(cache.missRatio(), 0.25);
+}
+
+class CacheGeometrySweep
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(CacheGeometrySweep, LargerCachesNeverMissMore)
+{
+    auto [size_kib, assoc] = GetParam();
+    CacheConfig small;
+    small.name = "small";
+    small.size_bytes = static_cast<std::uint64_t>(size_kib) * 1024;
+    small.associativity = static_cast<std::uint32_t>(assoc);
+    CacheConfig large = small;
+    large.name = "large";
+    large.size_bytes *= 4;
+
+    Cache small_cache(small), large_cache(large);
+    stats::Rng rng(11);
+    const std::uint64_t lines = 4096; // 256 KiB uniform working set
+    for (int i = 0; i < 100000; ++i) {
+        std::uint64_t addr = rng.below(lines) * 64;
+        small_cache.access(addr);
+        large_cache.access(addr);
+    }
+    EXPECT_LE(large_cache.missRatio(), small_cache.missRatio() + 0.01)
+        << "size " << size_kib << " KiB, " << assoc << "-way";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometrySweep,
+    ::testing::Combine(::testing::Values(8, 16, 32, 64),
+                       ::testing::Values(1, 2, 4, 8)));
+
+// ---------------------------------------------------------------------
+// Hierarchy
+// ---------------------------------------------------------------------
+
+TEST(CacheHierarchyTest, ServiceLevelEscalation)
+{
+    CacheHierarchyConfig config; // default Skylake-ish
+    CacheHierarchy hierarchy(config);
+    // First touch goes to memory, second hits L1.
+    EXPECT_EQ(hierarchy.accessData(0x10000), ServiceLevel::Memory);
+    EXPECT_EQ(hierarchy.accessData(0x10000), ServiceLevel::L1);
+}
+
+TEST(CacheHierarchyTest, CountsSplitBySide)
+{
+    CacheHierarchy hierarchy{CacheHierarchyConfig{}};
+    hierarchy.accessData(0x1000);
+    hierarchy.accessInstr(0x2000);
+    hierarchy.accessInstr(0x2000);
+    EXPECT_EQ(hierarchy.l1d().accesses, 1u);
+    EXPECT_EQ(hierarchy.l1d().misses, 1u);
+    EXPECT_EQ(hierarchy.l1i().accesses, 2u);
+    EXPECT_EQ(hierarchy.l1i().misses, 1u);
+    EXPECT_EQ(hierarchy.l2d().accesses, 1u);
+    EXPECT_EQ(hierarchy.l2i().accesses, 1u);
+    EXPECT_EQ(hierarchy.l3().accesses, 2u);
+}
+
+TEST(CacheHierarchyTest, L1EvictionServedByL2)
+{
+    CacheHierarchyConfig config;
+    config.l1d = {"L1D", 1024, 2, 64, ReplacementPolicy::Lru}; // tiny L1
+    config.l2 = {"L2", 64 * 1024, 8, 64, ReplacementPolicy::Lru};
+    CacheHierarchy hierarchy(config);
+    // Touch 64 lines (4 KiB): far beyond L1, inside L2.
+    for (std::uint64_t a = 0; a < 4096; a += 64)
+        hierarchy.accessData(a);
+    for (std::uint64_t a = 0; a < 4096; a += 64) {
+        ServiceLevel level = hierarchy.accessData(a);
+        EXPECT_TRUE(level == ServiceLevel::L1 ||
+                    level == ServiceLevel::L2);
+    }
+    EXPECT_EQ(hierarchy.l2d().misses, 64u); // only the cold pass
+}
+
+TEST(CacheHierarchyTest, TwoLevelMachineMirrorsL2MissesToL3Counters)
+{
+    CacheHierarchyConfig config;
+    config.l3.reset();
+    CacheHierarchy hierarchy(config);
+    EXPECT_FALSE(hierarchy.hasL3());
+    EXPECT_EQ(hierarchy.accessData(0x5000), ServiceLevel::Memory);
+    EXPECT_EQ(hierarchy.l3().accesses, 1u);
+    EXPECT_EQ(hierarchy.l3().misses, 1u);
+}
+
+TEST(CacheHierarchyTest, ResetClearsEverything)
+{
+    CacheHierarchy hierarchy{CacheHierarchyConfig{}};
+    hierarchy.accessData(0x1000);
+    hierarchy.reset();
+    EXPECT_EQ(hierarchy.l1d().accesses, 0u);
+    EXPECT_EQ(hierarchy.l3().accesses, 0u);
+    // Previously cached line is gone.
+    EXPECT_EQ(hierarchy.accessData(0x1000), ServiceLevel::Memory);
+}
+
+} // namespace
+} // namespace uarch
+} // namespace speclens

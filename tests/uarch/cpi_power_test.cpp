@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Unit tests for the CPI-stack and power models.
+ */
+
+#include <gtest/gtest.h>
+
+#include "uarch/cpi_model.h"
+#include "uarch/power_model.h"
+
+namespace speclens {
+namespace uarch {
+namespace {
+
+PerfCounters
+baseCounters()
+{
+    PerfCounters c;
+    c.instructions = 1'000'000;
+    c.loads = 250'000;
+    c.stores = 100'000;
+    c.branches = 120'000;
+    c.taken_branches = 70'000;
+    c.l1d_accesses = 350'000;
+    c.l1i_accesses = 1'000'000;
+    return c;
+}
+
+trace::ExecutionModel
+execModel()
+{
+    trace::ExecutionModel exec;
+    exec.base_cpi = 0.30;
+    exec.dependency_cpi = 0.05;
+    exec.mlp = 2.0;
+    return exec;
+}
+
+TEST(CpiStackTest, ComponentsSumToTotal)
+{
+    PerfCounters c = baseCounters();
+    c.l1d_misses = 20'000;
+    c.l2d_misses = 5'000;
+    c.l3_accesses = 5'000;
+    c.l3_misses = 1'000;
+    c.l1i_misses = 2'000;
+    c.branch_mispredictions = 8'000;
+    c.dtlb_misses = 3'000;
+    c.l2tlb_misses = 500;
+    c.page_walks = 500;
+
+    CpiStack stack = computeCpiStack(c, LatencyModel{}, execModel());
+    double component_sum = 0.0;
+    for (double v : stack.components())
+        component_sum += v;
+    EXPECT_NEAR(stack.total(), component_sum, 1e-12);
+    EXPECT_EQ(CpiStack::componentNames().size(),
+              stack.components().size());
+}
+
+TEST(CpiStackTest, PerfectCoreOnlyBaseAndDependency)
+{
+    CpiStack stack =
+        computeCpiStack(baseCounters(), LatencyModel{}, execModel());
+    EXPECT_DOUBLE_EQ(stack.total(), 0.35);
+    EXPECT_DOUBLE_EQ(stack.backend_memory, 0.0);
+    EXPECT_DOUBLE_EQ(stack.frontend_branch, 0.0);
+}
+
+TEST(CpiStackTest, BranchMispredictionsRaiseFrontend)
+{
+    PerfCounters c = baseCounters();
+    c.branch_mispredictions = 10'000;
+    LatencyModel lat;
+    CpiStack stack = computeCpiStack(c, lat, execModel());
+    EXPECT_NEAR(stack.frontend_branch,
+                0.01 * lat.mispredict_penalty, 1e-12);
+}
+
+TEST(CpiStackTest, MlpDividesBackendStalls)
+{
+    PerfCounters c = baseCounters();
+    c.l1d_misses = 50'000;
+    trace::ExecutionModel low_mlp = execModel();
+    low_mlp.mlp = 1.0;
+    trace::ExecutionModel high_mlp = execModel();
+    high_mlp.mlp = 4.0;
+    CpiStack serial = computeCpiStack(c, LatencyModel{}, low_mlp);
+    CpiStack overlapped = computeCpiStack(c, LatencyModel{}, high_mlp);
+    EXPECT_NEAR(serial.backend_l2, 4.0 * overlapped.backend_l2, 1e-12);
+}
+
+TEST(CpiStackTest, DeeperMissesCostMore)
+{
+    LatencyModel lat;
+    trace::ExecutionModel exec = execModel();
+
+    PerfCounters l2_bound = baseCounters();
+    l2_bound.l1d_misses = 30'000; // all served by L2
+
+    PerfCounters mem_bound = baseCounters();
+    mem_bound.l1d_misses = 30'000;
+    mem_bound.l2d_misses = 30'000;
+    mem_bound.l3_accesses = 30'000;
+    mem_bound.l3_misses = 30'000; // all to DRAM
+
+    EXPECT_GT(computeCpiStack(mem_bound, lat, exec).total(),
+              computeCpiStack(l2_bound, lat, exec).total());
+}
+
+TEST(CpiStackTest, FrontendBackendFractions)
+{
+    PerfCounters c = baseCounters();
+    c.branch_mispredictions = 5'000;
+    c.l1d_misses = 20'000;
+    CpiStack stack = computeCpiStack(c, LatencyModel{}, execModel());
+    EXPECT_GT(stack.frontendFraction(), 0.0);
+    EXPECT_GT(stack.backendFraction(), 0.0);
+    EXPECT_LE(stack.frontendFraction() + stack.backendFraction(), 1.0);
+}
+
+TEST(CpiStackTest, ZeroInstructionsYieldsEmptyStack)
+{
+    CpiStack stack =
+        computeCpiStack(PerfCounters{}, LatencyModel{}, execModel());
+    EXPECT_DOUBLE_EQ(stack.total(), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Power model
+// ---------------------------------------------------------------------
+
+TEST(PowerModelTest, StaticFloorWithoutActivity)
+{
+    PowerModelConfig config;
+    PowerBreakdown power = computePower(PerfCounters{}, 1.0, config);
+    EXPECT_DOUBLE_EQ(power.core_watts, config.core_static_watts);
+    EXPECT_DOUBLE_EQ(power.llc_watts, config.llc_static_watts);
+    EXPECT_DOUBLE_EQ(power.dram_watts, config.dram_static_watts);
+}
+
+TEST(PowerModelTest, HigherIpcMeansHigherCorePower)
+{
+    PerfCounters c = baseCounters();
+    PowerModelConfig config;
+    PowerBreakdown fast = computePower(c, 0.4, config);
+    PowerBreakdown slow = computePower(c, 1.6, config);
+    EXPECT_GT(fast.core_watts, slow.core_watts);
+}
+
+TEST(PowerModelTest, FpAndSimdRaiseCorePower)
+{
+    PerfCounters scalar = baseCounters();
+    PerfCounters vectorised = baseCounters();
+    vectorised.fp_ops = 200'000;
+    vectorised.simd_ops = 100'000;
+    PowerModelConfig config;
+    EXPECT_GT(computePower(vectorised, 0.5, config).core_watts,
+              computePower(scalar, 0.5, config).core_watts);
+}
+
+TEST(PowerModelTest, MemoryTrafficRaisesLlcAndDramPower)
+{
+    PerfCounters quiet = baseCounters();
+    PerfCounters memory_bound = baseCounters();
+    memory_bound.l3_accesses = 50'000;
+    memory_bound.l3_misses = 30'000;
+    PowerModelConfig config;
+    PowerBreakdown quiet_power = computePower(quiet, 1.0, config);
+    PowerBreakdown loud_power = computePower(memory_bound, 1.0, config);
+    EXPECT_GT(loud_power.llc_watts, quiet_power.llc_watts);
+    EXPECT_GT(loud_power.dram_watts, quiet_power.dram_watts);
+    EXPECT_GT(loud_power.total(), quiet_power.total());
+}
+
+TEST(PerfCountersTest, DerivedRates)
+{
+    PerfCounters c = baseCounters();
+    c.l1d_misses = 5'000;
+    c.dtlb_misses = 700;
+    EXPECT_DOUBLE_EQ(c.l1dMpki(), 5.0);
+    EXPECT_DOUBLE_EQ(c.dtlbMpmi(), 700.0);
+    EXPECT_DOUBLE_EQ(c.loadFraction(), 0.25);
+    PerfCounters empty;
+    EXPECT_DOUBLE_EQ(empty.l1dMpki(), 0.0);
+}
+
+TEST(PerfCountersTest, Accumulation)
+{
+    PerfCounters a = baseCounters();
+    PerfCounters b = baseCounters();
+    a += b;
+    EXPECT_EQ(a.instructions, 2'000'000u);
+    EXPECT_EQ(a.loads, 500'000u);
+}
+
+} // namespace
+} // namespace uarch
+} // namespace speclens

@@ -1,0 +1,518 @@
+/**
+ * @file
+ * speclens — command-line front end to the SpecLens toolkit.
+ *
+ * Subcommands:
+ *   list [suite]              list known benchmarks (cpu2017, cpu2006,
+ *                             emerging; default cpu2017)
+ *   machines                  list the Table IV machine models
+ *   characterize <bench>...   per-machine metric report for benchmarks
+ *   subset <category> [k]     representative subset of a sub-suite
+ *   inputs <int|fp>           representative input-set selection
+ *   coverage <bench>...       are these workloads covered by CPU2017?
+ *   sensitivity <metric>      Table IX-style sensitivity classes
+ *                             (branch | l1d | dtlb)
+ *
+ * Global options: --instructions N, --warmup N (simulation window).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <fstream>
+#include <iostream>
+
+#include "core/characterization.h"
+#include "core/csv_export.h"
+#include "core/phase_analysis.h"
+#include "core/suite_report.h"
+#include "core/input_set_analysis.h"
+#include "core/balance.h"
+#include "core/report.h"
+#include "core/sensitivity.h"
+#include "core/similarity.h"
+#include "core/subsetting.h"
+#include "core/validation.h"
+#include "suites/emerging.h"
+#include "suites/input_sets.h"
+#include "suites/machines.h"
+#include "suites/score_database.h"
+#include "suites/spec2006.h"
+#include "suites/spec2017.h"
+
+using namespace speclens;
+
+namespace {
+
+struct CliOptions
+{
+    std::string command;
+    std::vector<std::string> args;
+    std::uint64_t instructions = 120'000;
+    std::uint64_t warmup = 30'000;
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::fputs(
+        "usage: speclens <command> [args] [--instructions N] "
+        "[--warmup N]\n"
+        "\n"
+        "commands:\n"
+        "  list [cpu2017|cpu2006|emerging]   list benchmarks\n"
+        "  machines                          list machine models\n"
+        "  characterize <bench>...           metric report\n"
+        "  subset <speed-int|rate-int|speed-fp|rate-fp> [k]\n"
+        "                                    representative subset\n"
+        "  inputs <int|fp>                   representative inputs\n"
+        "  coverage <bench>...               CPU2017 coverage verdicts\n"
+        "  sensitivity <branch|l1d|dtlb>     sensitivity classes\n"
+        "  export <cpu2017|cpu2006|emerging> [file.csv]\n"
+        "                                    feature matrix as CSV\n"
+        "  report <speed-int|rate-int|speed-fp|rate-fp> [file.md]\n"
+        "                                    full markdown suite report\n"
+        "  simpoints <bench> [phases] [clusters]\n"
+        "                                    phase-reduction estimate\n",
+        code == 0 ? stdout : stderr);
+    std::exit(code);
+}
+
+CliOptions
+parse(int argc, char **argv)
+{
+    CliOptions opts;
+    if (argc < 2)
+        usage(1);
+    opts.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--instructions") == 0 && i + 1 < argc)
+            opts.instructions = std::strtoull(argv[++i], nullptr, 10);
+        else if (std::strcmp(argv[i], "--warmup") == 0 && i + 1 < argc)
+            opts.warmup = std::strtoull(argv[++i], nullptr, 10);
+        else if (std::strcmp(argv[i], "--help") == 0)
+            usage(0);
+        else
+            opts.args.emplace_back(argv[i]);
+    }
+    return opts;
+}
+
+/** Benchmark lookup across every database. */
+const suites::BenchmarkInfo *
+lookup(const std::string &name)
+{
+    for (const auto *list :
+         {&suites::spec2017(), &suites::spec2006()}) {
+        for (const suites::BenchmarkInfo &b : *list)
+            if (b.name == name)
+                return &b;
+    }
+    static const std::vector<suites::BenchmarkInfo> emerging =
+        suites::emergingBenchmarks();
+    for (const suites::BenchmarkInfo &b : emerging)
+        if (b.name == name)
+            return &b;
+    return nullptr;
+}
+
+core::Characterizer
+makeCharacterizer(const CliOptions &opts)
+{
+    core::CharacterizationConfig config;
+    config.instructions = opts.instructions;
+    config.warmup = opts.warmup;
+    return core::Characterizer(suites::profilingMachines(), config);
+}
+
+int
+cmdList(const CliOptions &opts)
+{
+    std::string which = opts.args.empty() ? "cpu2017" : opts.args[0];
+    std::vector<suites::BenchmarkInfo> list;
+    if (which == "cpu2017")
+        list = suites::spec2017();
+    else if (which == "cpu2006")
+        list = suites::spec2006();
+    else if (which == "emerging")
+        list = suites::emergingBenchmarks();
+    else
+        usage(1);
+
+    core::TextTable table({"Benchmark", "Category", "Domain",
+                           "Language", "Icount (B)", "New in 2017"});
+    for (const suites::BenchmarkInfo &b : list) {
+        table.addRow({b.name, suites::categoryName(b.category),
+                      suites::domainName(b.domain),
+                      suites::languageName(b.language),
+                      core::TextTable::num(
+                          b.profile.dynamic_instructions_billions, 0),
+                      b.new_in_2017 ? "yes" : ""});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    return 0;
+}
+
+int
+cmdMachines()
+{
+    core::TextTable table({"Machine", "Short name", "ISA", "GHz", "L1D",
+                           "L2", "LLC", "Predictor"});
+    for (const uarch::MachineConfig &m : suites::profilingMachines()) {
+        table.addRow(
+            {m.name, m.short_name, uarch::isaName(m.isa),
+             core::TextTable::num(m.frequency_ghz, 2),
+             std::to_string(m.caches.l1d.size_bytes / 1024) + "K",
+             std::to_string(m.caches.l2.size_bytes / 1024) + "K",
+             m.caches.l3 ? std::to_string(m.caches.l3->size_bytes /
+                                          (1024 * 1024)) +
+                               "M"
+                         : "none",
+             uarch::predictorKindName(m.predictor)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    return 0;
+}
+
+int
+cmdCharacterize(const CliOptions &opts)
+{
+    if (opts.args.empty())
+        usage(1);
+    core::Characterizer characterizer = makeCharacterizer(opts);
+
+    for (const std::string &name : opts.args) {
+        const suites::BenchmarkInfo *benchmark = lookup(name);
+        if (!benchmark) {
+            std::fprintf(stderr, "unknown benchmark: %s\n",
+                         name.c_str());
+            return 1;
+        }
+        std::printf("\n%s (%s, %s)\n", benchmark->name.c_str(),
+                    suites::suiteName(benchmark->suite).c_str(),
+                    suites::domainName(benchmark->domain).c_str());
+        core::TextTable table({"Machine", "CPI", "L1D MPKI",
+                               "L1I MPKI", "L3 MPKI", "Br MPKI",
+                               "DTLB MPMI", "Power (W)"});
+        for (std::size_t m = 0;
+             m < characterizer.machines().size(); ++m) {
+            const auto &sim = characterizer.simulation(*benchmark, m);
+            core::MetricVector mv = core::extractMetrics(sim);
+            table.addRow(
+                {characterizer.machines()[m].short_name,
+                 core::TextTable::num(sim.cpi()),
+                 core::TextTable::num(mv.get(core::Metric::L1dMpki), 1),
+                 core::TextTable::num(mv.get(core::Metric::L1iMpki), 1),
+                 core::TextTable::num(mv.get(core::Metric::L3Mpki), 1),
+                 core::TextTable::num(
+                     mv.get(core::Metric::BranchMpki), 1),
+                 core::TextTable::num(mv.get(core::Metric::DtlbMpmi),
+                                      0),
+                 core::TextTable::num(sim.power.total(), 1)});
+        }
+        std::fputs(table.render().c_str(), stdout);
+    }
+    return 0;
+}
+
+int
+cmdSubset(const CliOptions &opts)
+{
+    if (opts.args.empty())
+        usage(1);
+    std::vector<suites::BenchmarkInfo> suite;
+    suites::Category category;
+    const std::string &which = opts.args[0];
+    if (which == "speed-int") {
+        suite = suites::spec2017SpeedInt();
+        category = suites::Category::SpeedInt;
+    } else if (which == "rate-int") {
+        suite = suites::spec2017RateInt();
+        category = suites::Category::RateInt;
+    } else if (which == "speed-fp") {
+        suite = suites::spec2017SpeedFp();
+        category = suites::Category::SpeedFp;
+    } else if (which == "rate-fp") {
+        suite = suites::spec2017RateFp();
+        category = suites::Category::RateFp;
+    } else {
+        usage(1);
+    }
+    std::size_t k = opts.args.size() > 1
+                        ? static_cast<std::size_t>(
+                              std::atoi(opts.args[1].c_str()))
+                        : 3;
+    if (k < 1 || k > suite.size()) {
+        std::fprintf(stderr, "k must be in [1, %zu]\n", suite.size());
+        return 1;
+    }
+
+    core::Characterizer characterizer = makeCharacterizer(opts);
+    core::SimilarityResult sim = core::analyzeSimilarity(
+        characterizer.featureMatrix(suite),
+        suites::benchmarkNames(suite));
+    std::fputs(sim.renderDendrogram().c_str(), stdout);
+
+    core::SubsetResult subset = core::selectSubset(
+        sim, k, core::RepresentativeRule::ShortestLinkage, suite);
+    std::printf("\n%zu-benchmark subset (%.1fx less simulation):\n", k,
+                subset.simulation_time_reduction);
+    for (const std::string &name : subset.representatives)
+        std::printf("  %s\n", name.c_str());
+
+    suites::ScoreDatabase db;
+    core::ValidationResult validation =
+        core::validateSubset(suite, subset.representatives, category,
+                             db);
+    std::printf("score-prediction accuracy: %.1f%% (avg error %.1f%%, "
+                "max %.1f%%)\n",
+                100.0 - validation.avg_error_pct,
+                validation.avg_error_pct, validation.max_error_pct);
+    return 0;
+}
+
+int
+cmdInputs(const CliOptions &opts)
+{
+    if (opts.args.empty())
+        usage(1);
+    core::Characterizer characterizer = makeCharacterizer(opts);
+    auto groups = opts.args[0] == "fp" ? suites::inputSetGroupsFp()
+                                       : suites::inputSetGroupsInt();
+    core::InputSetAnalysis analysis =
+        core::analyzeInputSets(characterizer, groups);
+    core::TextTable table({"Benchmark", "Representative input",
+                           "Group spread"});
+    for (const core::RepresentativeInput &rep :
+         analysis.representatives) {
+        table.addRow({rep.benchmark,
+                      std::to_string(rep.input_index),
+                      core::TextTable::num(rep.group_spread)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    return 0;
+}
+
+int
+cmdCoverage(const CliOptions &opts)
+{
+    if (opts.args.empty())
+        usage(1);
+    std::vector<suites::BenchmarkInfo> candidates;
+    for (const std::string &name : opts.args) {
+        const suites::BenchmarkInfo *benchmark = lookup(name);
+        if (!benchmark) {
+            std::fprintf(stderr, "unknown benchmark: %s\n",
+                         name.c_str());
+            return 1;
+        }
+        candidates.push_back(*benchmark);
+    }
+    core::Characterizer characterizer = makeCharacterizer(opts);
+    auto verdicts = core::coverageAnalysis(
+        characterizer, suites::spec2017(), candidates);
+    core::TextTable table({"Workload", "Nearest CPU2017", "Distance",
+                           "Covered?"});
+    for (const core::CoverageVerdict &v : verdicts)
+        table.addRow({v.benchmark, v.nearest,
+                      core::TextTable::num(v.nn_distance),
+                      v.covered ? "yes" : "NO"});
+    std::fputs(table.render().c_str(), stdout);
+    return 0;
+}
+
+int
+cmdSensitivity(const CliOptions &opts)
+{
+    if (opts.args.empty())
+        usage(1);
+    core::Metric metric;
+    if (opts.args[0] == "branch")
+        metric = core::Metric::BranchMpki;
+    else if (opts.args[0] == "l1d")
+        metric = core::Metric::L1dMpki;
+    else if (opts.args[0] == "dtlb")
+        metric = core::Metric::DtlbMpmi;
+    else
+        usage(1);
+
+    core::CharacterizationConfig config;
+    config.instructions = opts.instructions;
+    config.warmup = opts.warmup;
+    core::Characterizer characterizer(suites::sensitivityMachines(),
+                                      config);
+    core::SensitivityReport report = core::classifySensitivity(
+        characterizer, suites::spec2017(), metric);
+    for (core::SensitivityClass cls :
+         {core::SensitivityClass::High, core::SensitivityClass::Medium,
+          core::SensitivityClass::Low}) {
+        std::printf("%s:\n", core::sensitivityClassName(cls).c_str());
+        for (const std::string &name : report.names(cls))
+            std::printf("  %s\n", name.c_str());
+    }
+    return 0;
+}
+
+int
+cmdExport(const CliOptions &opts)
+{
+    if (opts.args.empty())
+        usage(1);
+    std::vector<suites::BenchmarkInfo> list;
+    if (opts.args[0] == "cpu2017")
+        list = suites::spec2017();
+    else if (opts.args[0] == "cpu2006")
+        list = suites::spec2006();
+    else if (opts.args[0] == "emerging")
+        list = suites::emergingBenchmarks();
+    else
+        usage(1);
+
+    core::Characterizer characterizer = makeCharacterizer(opts);
+    stats::Matrix features = characterizer.featureMatrix(list);
+
+    if (opts.args.size() > 1) {
+        std::ofstream file(opts.args[1]);
+        if (!file) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         opts.args[1].c_str());
+            return 1;
+        }
+        core::writeCsv(file, suites::benchmarkNames(list),
+                       characterizer.featureNames(), features);
+        std::printf("wrote %zu rows x %zu features to %s\n",
+                    features.rows(), features.cols(),
+                    opts.args[1].c_str());
+    } else {
+        core::writeCsv(std::cout, suites::benchmarkNames(list),
+                       characterizer.featureNames(), features);
+    }
+    return 0;
+}
+
+int
+cmdReport(const CliOptions &opts)
+{
+    if (opts.args.empty())
+        usage(1);
+    std::vector<suites::BenchmarkInfo> suite;
+    core::SuiteReportOptions report;
+    const std::string &which = opts.args[0];
+    if (which == "speed-int") {
+        suite = suites::spec2017SpeedInt();
+        report.validation_category = suites::Category::SpeedInt;
+    } else if (which == "rate-int") {
+        suite = suites::spec2017RateInt();
+        report.validation_category = suites::Category::RateInt;
+    } else if (which == "speed-fp") {
+        suite = suites::spec2017SpeedFp();
+        report.validation_category = suites::Category::SpeedFp;
+    } else if (which == "rate-fp") {
+        suite = suites::spec2017RateFp();
+        report.validation_category = suites::Category::RateFp;
+    } else {
+        usage(1);
+    }
+    report.title = "SpecLens report: SPEC CPU2017 " + which;
+
+    core::Characterizer characterizer = makeCharacterizer(opts);
+    if (opts.args.size() > 1) {
+        std::ofstream file(opts.args[1]);
+        if (!file) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         opts.args[1].c_str());
+            return 1;
+        }
+        core::writeSuiteReport(file, characterizer, suite, report);
+        std::printf("wrote report to %s\n", opts.args[1].c_str());
+    } else {
+        core::writeSuiteReport(std::cout, characterizer, suite,
+                               report);
+    }
+    return 0;
+}
+
+int
+cmdSimpoints(const CliOptions &opts)
+{
+    if (opts.args.empty())
+        usage(1);
+    const suites::BenchmarkInfo *benchmark = lookup(opts.args[0]);
+    if (!benchmark) {
+        std::fprintf(stderr, "unknown benchmark: %s\n",
+                     opts.args[0].c_str());
+        return 1;
+    }
+    std::size_t phases =
+        opts.args.size() > 1
+            ? static_cast<std::size_t>(std::atoi(opts.args[1].c_str()))
+            : 8;
+    std::size_t clusters =
+        opts.args.size() > 2
+            ? static_cast<std::size_t>(std::atoi(opts.args[2].c_str()))
+            : 3;
+    if (phases < 1 || clusters < 1 || clusters > phases) {
+        std::fprintf(stderr,
+                     "need phases >= 1 and 1 <= clusters <= phases\n");
+        return 1;
+    }
+
+    trace::PhasedWorkload workload =
+        trace::derivePhases(benchmark->profile, phases, 0.35);
+    core::SimPointConfig config;
+    config.clusters = clusters;
+    config.instructions = opts.instructions;
+    config.warmup = opts.warmup;
+    core::SimPointResult result = core::simpointEstimate(
+        workload, suites::skylakeMachine(), config);
+
+    std::printf("%s as %zu phases, %zu representative(s):\n",
+                benchmark->name.c_str(), phases,
+                result.representatives.size());
+    for (std::size_t i = 0; i < result.representatives.size(); ++i) {
+        std::printf("  phase %zu carries %.0f%% of the run\n",
+                    result.representatives[i] + 1,
+                    100.0 * result.weights[i]);
+    }
+    std::printf("full CPI %.3f vs estimate %.3f (error %.1f%%), "
+                "simulating %.0f%% of the run\n",
+                result.full_cpi, result.estimated_cpi,
+                result.cpi_error_pct,
+                100.0 * result.simulated_fraction);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions opts = parse(argc, argv);
+    if (opts.command == "list")
+        return cmdList(opts);
+    if (opts.command == "machines")
+        return cmdMachines();
+    if (opts.command == "characterize")
+        return cmdCharacterize(opts);
+    if (opts.command == "subset")
+        return cmdSubset(opts);
+    if (opts.command == "inputs")
+        return cmdInputs(opts);
+    if (opts.command == "coverage")
+        return cmdCoverage(opts);
+    if (opts.command == "sensitivity")
+        return cmdSensitivity(opts);
+    if (opts.command == "export")
+        return cmdExport(opts);
+    if (opts.command == "report")
+        return cmdReport(opts);
+    if (opts.command == "simpoints")
+        return cmdSimpoints(opts);
+    if (opts.command == "help" || opts.command == "--help")
+        usage(0);
+    std::fprintf(stderr, "unknown command: %s\n", opts.command.c_str());
+    usage(1);
+}
