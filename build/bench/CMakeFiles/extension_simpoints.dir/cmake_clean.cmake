@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_simpoints.dir/extension_simpoints.cpp.o"
+  "CMakeFiles/extension_simpoints.dir/extension_simpoints.cpp.o.d"
+  "extension_simpoints"
+  "extension_simpoints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_simpoints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cache_pca.dir/fig10_cache_pca.cpp.o"
+  "CMakeFiles/fig10_cache_pca.dir/fig10_cache_pca.cpp.o.d"
+  "fig10_cache_pca"
+  "fig10_cache_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cache_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

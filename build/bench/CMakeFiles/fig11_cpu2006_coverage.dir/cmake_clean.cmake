@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_cpu2006_coverage.dir/fig11_cpu2006_coverage.cpp.o"
+  "CMakeFiles/fig11_cpu2006_coverage.dir/fig11_cpu2006_coverage.cpp.o.d"
+  "fig11_cpu2006_coverage"
+  "fig11_cpu2006_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_cpu2006_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

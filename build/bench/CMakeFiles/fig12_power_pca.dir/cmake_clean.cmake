@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_power_pca.dir/fig12_power_pca.cpp.o"
+  "CMakeFiles/fig12_power_pca.dir/fig12_power_pca.cpp.o.d"
+  "fig12_power_pca"
+  "fig12_power_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_power_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_emerging_workloads.dir/fig13_emerging_workloads.cpp.o"
+  "CMakeFiles/fig13_emerging_workloads.dir/fig13_emerging_workloads.cpp.o.d"
+  "fig13_emerging_workloads"
+  "fig13_emerging_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_emerging_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_cpi_stacks.dir/fig1_cpi_stacks.cpp.o"
+  "CMakeFiles/fig1_cpi_stacks.dir/fig1_cpi_stacks.cpp.o.d"
+  "fig1_cpi_stacks"
+  "fig1_cpi_stacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_cpi_stacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

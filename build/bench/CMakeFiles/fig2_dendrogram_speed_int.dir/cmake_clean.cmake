@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_dendrogram_speed_int.dir/fig2_dendrogram_speed_int.cpp.o"
+  "CMakeFiles/fig2_dendrogram_speed_int.dir/fig2_dendrogram_speed_int.cpp.o.d"
+  "fig2_dendrogram_speed_int"
+  "fig2_dendrogram_speed_int.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_dendrogram_speed_int.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

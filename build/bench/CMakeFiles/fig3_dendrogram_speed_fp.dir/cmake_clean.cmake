@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_dendrogram_speed_fp.dir/fig3_dendrogram_speed_fp.cpp.o"
+  "CMakeFiles/fig3_dendrogram_speed_fp.dir/fig3_dendrogram_speed_fp.cpp.o.d"
+  "fig3_dendrogram_speed_fp"
+  "fig3_dendrogram_speed_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_dendrogram_speed_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

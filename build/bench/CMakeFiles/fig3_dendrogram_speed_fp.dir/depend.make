@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_dendrogram_speed_fp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_dendrogram_rate_fp.dir/fig4_dendrogram_rate_fp.cpp.o"
+  "CMakeFiles/fig4_dendrogram_rate_fp.dir/fig4_dendrogram_rate_fp.cpp.o.d"
+  "fig4_dendrogram_rate_fp"
+  "fig4_dendrogram_rate_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_dendrogram_rate_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_validation_int.dir/fig5_validation_int.cpp.o"
+  "CMakeFiles/fig5_validation_int.dir/fig5_validation_int.cpp.o.d"
+  "fig5_validation_int"
+  "fig5_validation_int.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_validation_int.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_validation_fp.dir/fig6_validation_fp.cpp.o"
+  "CMakeFiles/fig6_validation_fp.dir/fig6_validation_fp.cpp.o.d"
+  "fig6_validation_fp"
+  "fig6_validation_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_validation_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_input_sets_int.dir/fig7_input_sets_int.cpp.o"
+  "CMakeFiles/fig7_input_sets_int.dir/fig7_input_sets_int.cpp.o.d"
+  "fig7_input_sets_int"
+  "fig7_input_sets_int.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_input_sets_int.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

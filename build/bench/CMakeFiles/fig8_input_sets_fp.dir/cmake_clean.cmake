@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_input_sets_fp.dir/fig8_input_sets_fp.cpp.o"
+  "CMakeFiles/fig8_input_sets_fp.dir/fig8_input_sets_fp.cpp.o.d"
+  "fig8_input_sets_fp"
+  "fig8_input_sets_fp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_input_sets_fp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_branch_pca.dir/fig9_branch_pca.cpp.o"
+  "CMakeFiles/fig9_branch_pca.dir/fig9_branch_pca.cpp.o.d"
+  "fig9_branch_pca"
+  "fig9_branch_pca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_branch_pca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

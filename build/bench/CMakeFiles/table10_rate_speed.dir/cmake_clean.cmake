@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table10_rate_speed.dir/table10_rate_speed.cpp.o"
+  "CMakeFiles/table10_rate_speed.dir/table10_rate_speed.cpp.o.d"
+  "table10_rate_speed"
+  "table10_rate_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table10_rate_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

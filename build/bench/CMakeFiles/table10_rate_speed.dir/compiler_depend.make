@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table10_rate_speed.
+# This may be replaced when dependencies are built.

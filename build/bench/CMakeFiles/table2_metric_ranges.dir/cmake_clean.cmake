@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_metric_ranges.dir/table2_metric_ranges.cpp.o"
+  "CMakeFiles/table2_metric_ranges.dir/table2_metric_ranges.cpp.o.d"
+  "table2_metric_ranges"
+  "table2_metric_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_metric_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

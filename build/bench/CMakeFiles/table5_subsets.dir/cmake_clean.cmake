@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_subsets.dir/table5_subsets.cpp.o"
+  "CMakeFiles/table5_subsets.dir/table5_subsets.cpp.o.d"
+  "table5_subsets"
+  "table5_subsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_subsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_random_subsets.dir/table6_random_subsets.cpp.o"
+  "CMakeFiles/table6_random_subsets.dir/table6_random_subsets.cpp.o.d"
+  "table6_random_subsets"
+  "table6_random_subsets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_random_subsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

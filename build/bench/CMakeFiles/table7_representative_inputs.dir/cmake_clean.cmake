@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_representative_inputs.dir/table7_representative_inputs.cpp.o"
+  "CMakeFiles/table7_representative_inputs.dir/table7_representative_inputs.cpp.o.d"
+  "table7_representative_inputs"
+  "table7_representative_inputs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_representative_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_domains.dir/table8_domains.cpp.o"
+  "CMakeFiles/table8_domains.dir/table8_domains.cpp.o.d"
+  "table8_domains"
+  "table8_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table9_sensitivity.dir/table9_sensitivity.cpp.o"
+  "CMakeFiles/table9_sensitivity.dir/table9_sensitivity.cpp.o.d"
+  "table9_sensitivity"
+  "table9_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table9_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

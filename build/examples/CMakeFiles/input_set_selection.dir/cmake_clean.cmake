@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/input_set_selection.dir/input_set_selection.cpp.o"
+  "CMakeFiles/input_set_selection.dir/input_set_selection.cpp.o.d"
+  "input_set_selection"
+  "input_set_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/input_set_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

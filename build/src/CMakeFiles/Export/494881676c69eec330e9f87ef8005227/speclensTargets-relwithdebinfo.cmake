@@ -1,0 +1,59 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "RelWithDebInfo".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "speclens::speclens_stats" for configuration "RelWithDebInfo"
+set_property(TARGET speclens::speclens_stats APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(speclens::speclens_stats PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libspeclens_stats.a"
+  )
+
+list(APPEND _cmake_import_check_targets speclens::speclens_stats )
+list(APPEND _cmake_import_check_files_for_speclens::speclens_stats "${_IMPORT_PREFIX}/lib/libspeclens_stats.a" )
+
+# Import target "speclens::speclens_trace" for configuration "RelWithDebInfo"
+set_property(TARGET speclens::speclens_trace APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(speclens::speclens_trace PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libspeclens_trace.a"
+  )
+
+list(APPEND _cmake_import_check_targets speclens::speclens_trace )
+list(APPEND _cmake_import_check_files_for_speclens::speclens_trace "${_IMPORT_PREFIX}/lib/libspeclens_trace.a" )
+
+# Import target "speclens::speclens_uarch" for configuration "RelWithDebInfo"
+set_property(TARGET speclens::speclens_uarch APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(speclens::speclens_uarch PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libspeclens_uarch.a"
+  )
+
+list(APPEND _cmake_import_check_targets speclens::speclens_uarch )
+list(APPEND _cmake_import_check_files_for_speclens::speclens_uarch "${_IMPORT_PREFIX}/lib/libspeclens_uarch.a" )
+
+# Import target "speclens::speclens_suites" for configuration "RelWithDebInfo"
+set_property(TARGET speclens::speclens_suites APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(speclens::speclens_suites PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libspeclens_suites.a"
+  )
+
+list(APPEND _cmake_import_check_targets speclens::speclens_suites )
+list(APPEND _cmake_import_check_files_for_speclens::speclens_suites "${_IMPORT_PREFIX}/lib/libspeclens_suites.a" )
+
+# Import target "speclens::speclens_core" for configuration "RelWithDebInfo"
+set_property(TARGET speclens::speclens_core APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(speclens::speclens_core PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libspeclens_core.a"
+  )
+
+list(APPEND _cmake_import_check_targets speclens::speclens_core )
+list(APPEND _cmake_import_check_files_for_speclens::speclens_core "${_IMPORT_PREFIX}/lib/libspeclens_core.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

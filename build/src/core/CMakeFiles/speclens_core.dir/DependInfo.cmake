@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/balance.cpp" "src/core/CMakeFiles/speclens_core.dir/balance.cpp.o" "gcc" "src/core/CMakeFiles/speclens_core.dir/balance.cpp.o.d"
+  "/root/repo/src/core/characterization.cpp" "src/core/CMakeFiles/speclens_core.dir/characterization.cpp.o" "gcc" "src/core/CMakeFiles/speclens_core.dir/characterization.cpp.o.d"
+  "/root/repo/src/core/csv_export.cpp" "src/core/CMakeFiles/speclens_core.dir/csv_export.cpp.o" "gcc" "src/core/CMakeFiles/speclens_core.dir/csv_export.cpp.o.d"
+  "/root/repo/src/core/input_set_analysis.cpp" "src/core/CMakeFiles/speclens_core.dir/input_set_analysis.cpp.o" "gcc" "src/core/CMakeFiles/speclens_core.dir/input_set_analysis.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/speclens_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/speclens_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/phase_analysis.cpp" "src/core/CMakeFiles/speclens_core.dir/phase_analysis.cpp.o" "gcc" "src/core/CMakeFiles/speclens_core.dir/phase_analysis.cpp.o.d"
+  "/root/repo/src/core/rate_speed.cpp" "src/core/CMakeFiles/speclens_core.dir/rate_speed.cpp.o" "gcc" "src/core/CMakeFiles/speclens_core.dir/rate_speed.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/speclens_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/speclens_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/sensitivity.cpp" "src/core/CMakeFiles/speclens_core.dir/sensitivity.cpp.o" "gcc" "src/core/CMakeFiles/speclens_core.dir/sensitivity.cpp.o.d"
+  "/root/repo/src/core/similarity.cpp" "src/core/CMakeFiles/speclens_core.dir/similarity.cpp.o" "gcc" "src/core/CMakeFiles/speclens_core.dir/similarity.cpp.o.d"
+  "/root/repo/src/core/stability.cpp" "src/core/CMakeFiles/speclens_core.dir/stability.cpp.o" "gcc" "src/core/CMakeFiles/speclens_core.dir/stability.cpp.o.d"
+  "/root/repo/src/core/subsetting.cpp" "src/core/CMakeFiles/speclens_core.dir/subsetting.cpp.o" "gcc" "src/core/CMakeFiles/speclens_core.dir/subsetting.cpp.o.d"
+  "/root/repo/src/core/suite_report.cpp" "src/core/CMakeFiles/speclens_core.dir/suite_report.cpp.o" "gcc" "src/core/CMakeFiles/speclens_core.dir/suite_report.cpp.o.d"
+  "/root/repo/src/core/validation.cpp" "src/core/CMakeFiles/speclens_core.dir/validation.cpp.o" "gcc" "src/core/CMakeFiles/speclens_core.dir/validation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/speclens_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/suites/CMakeFiles/speclens_suites.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/speclens_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/speclens_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

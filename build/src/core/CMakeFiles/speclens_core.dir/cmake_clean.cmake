@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speclens_core.dir/balance.cpp.o"
+  "CMakeFiles/speclens_core.dir/balance.cpp.o.d"
+  "CMakeFiles/speclens_core.dir/characterization.cpp.o"
+  "CMakeFiles/speclens_core.dir/characterization.cpp.o.d"
+  "CMakeFiles/speclens_core.dir/csv_export.cpp.o"
+  "CMakeFiles/speclens_core.dir/csv_export.cpp.o.d"
+  "CMakeFiles/speclens_core.dir/input_set_analysis.cpp.o"
+  "CMakeFiles/speclens_core.dir/input_set_analysis.cpp.o.d"
+  "CMakeFiles/speclens_core.dir/metrics.cpp.o"
+  "CMakeFiles/speclens_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/speclens_core.dir/phase_analysis.cpp.o"
+  "CMakeFiles/speclens_core.dir/phase_analysis.cpp.o.d"
+  "CMakeFiles/speclens_core.dir/rate_speed.cpp.o"
+  "CMakeFiles/speclens_core.dir/rate_speed.cpp.o.d"
+  "CMakeFiles/speclens_core.dir/report.cpp.o"
+  "CMakeFiles/speclens_core.dir/report.cpp.o.d"
+  "CMakeFiles/speclens_core.dir/sensitivity.cpp.o"
+  "CMakeFiles/speclens_core.dir/sensitivity.cpp.o.d"
+  "CMakeFiles/speclens_core.dir/similarity.cpp.o"
+  "CMakeFiles/speclens_core.dir/similarity.cpp.o.d"
+  "CMakeFiles/speclens_core.dir/stability.cpp.o"
+  "CMakeFiles/speclens_core.dir/stability.cpp.o.d"
+  "CMakeFiles/speclens_core.dir/subsetting.cpp.o"
+  "CMakeFiles/speclens_core.dir/subsetting.cpp.o.d"
+  "CMakeFiles/speclens_core.dir/suite_report.cpp.o"
+  "CMakeFiles/speclens_core.dir/suite_report.cpp.o.d"
+  "CMakeFiles/speclens_core.dir/validation.cpp.o"
+  "CMakeFiles/speclens_core.dir/validation.cpp.o.d"
+  "libspeclens_core.a"
+  "libspeclens_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speclens_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

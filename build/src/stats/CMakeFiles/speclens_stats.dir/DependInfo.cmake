@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/clustering.cpp" "src/stats/CMakeFiles/speclens_stats.dir/clustering.cpp.o" "gcc" "src/stats/CMakeFiles/speclens_stats.dir/clustering.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/speclens_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/speclens_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/distance.cpp" "src/stats/CMakeFiles/speclens_stats.dir/distance.cpp.o" "gcc" "src/stats/CMakeFiles/speclens_stats.dir/distance.cpp.o.d"
+  "/root/repo/src/stats/eigen.cpp" "src/stats/CMakeFiles/speclens_stats.dir/eigen.cpp.o" "gcc" "src/stats/CMakeFiles/speclens_stats.dir/eigen.cpp.o.d"
+  "/root/repo/src/stats/geometry.cpp" "src/stats/CMakeFiles/speclens_stats.dir/geometry.cpp.o" "gcc" "src/stats/CMakeFiles/speclens_stats.dir/geometry.cpp.o.d"
+  "/root/repo/src/stats/kmeans.cpp" "src/stats/CMakeFiles/speclens_stats.dir/kmeans.cpp.o" "gcc" "src/stats/CMakeFiles/speclens_stats.dir/kmeans.cpp.o.d"
+  "/root/repo/src/stats/matrix.cpp" "src/stats/CMakeFiles/speclens_stats.dir/matrix.cpp.o" "gcc" "src/stats/CMakeFiles/speclens_stats.dir/matrix.cpp.o.d"
+  "/root/repo/src/stats/normalize.cpp" "src/stats/CMakeFiles/speclens_stats.dir/normalize.cpp.o" "gcc" "src/stats/CMakeFiles/speclens_stats.dir/normalize.cpp.o.d"
+  "/root/repo/src/stats/pca.cpp" "src/stats/CMakeFiles/speclens_stats.dir/pca.cpp.o" "gcc" "src/stats/CMakeFiles/speclens_stats.dir/pca.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

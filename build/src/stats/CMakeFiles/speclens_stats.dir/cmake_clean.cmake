@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speclens_stats.dir/clustering.cpp.o"
+  "CMakeFiles/speclens_stats.dir/clustering.cpp.o.d"
+  "CMakeFiles/speclens_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/speclens_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/speclens_stats.dir/distance.cpp.o"
+  "CMakeFiles/speclens_stats.dir/distance.cpp.o.d"
+  "CMakeFiles/speclens_stats.dir/eigen.cpp.o"
+  "CMakeFiles/speclens_stats.dir/eigen.cpp.o.d"
+  "CMakeFiles/speclens_stats.dir/geometry.cpp.o"
+  "CMakeFiles/speclens_stats.dir/geometry.cpp.o.d"
+  "CMakeFiles/speclens_stats.dir/kmeans.cpp.o"
+  "CMakeFiles/speclens_stats.dir/kmeans.cpp.o.d"
+  "CMakeFiles/speclens_stats.dir/matrix.cpp.o"
+  "CMakeFiles/speclens_stats.dir/matrix.cpp.o.d"
+  "CMakeFiles/speclens_stats.dir/normalize.cpp.o"
+  "CMakeFiles/speclens_stats.dir/normalize.cpp.o.d"
+  "CMakeFiles/speclens_stats.dir/pca.cpp.o"
+  "CMakeFiles/speclens_stats.dir/pca.cpp.o.d"
+  "libspeclens_stats.a"
+  "libspeclens_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speclens_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

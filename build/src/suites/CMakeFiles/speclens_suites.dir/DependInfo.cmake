@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/suites/benchmark_info.cpp" "src/suites/CMakeFiles/speclens_suites.dir/benchmark_info.cpp.o" "gcc" "src/suites/CMakeFiles/speclens_suites.dir/benchmark_info.cpp.o.d"
+  "/root/repo/src/suites/emerging.cpp" "src/suites/CMakeFiles/speclens_suites.dir/emerging.cpp.o" "gcc" "src/suites/CMakeFiles/speclens_suites.dir/emerging.cpp.o.d"
+  "/root/repo/src/suites/input_sets.cpp" "src/suites/CMakeFiles/speclens_suites.dir/input_sets.cpp.o" "gcc" "src/suites/CMakeFiles/speclens_suites.dir/input_sets.cpp.o.d"
+  "/root/repo/src/suites/machines.cpp" "src/suites/CMakeFiles/speclens_suites.dir/machines.cpp.o" "gcc" "src/suites/CMakeFiles/speclens_suites.dir/machines.cpp.o.d"
+  "/root/repo/src/suites/profile_presets.cpp" "src/suites/CMakeFiles/speclens_suites.dir/profile_presets.cpp.o" "gcc" "src/suites/CMakeFiles/speclens_suites.dir/profile_presets.cpp.o.d"
+  "/root/repo/src/suites/score_database.cpp" "src/suites/CMakeFiles/speclens_suites.dir/score_database.cpp.o" "gcc" "src/suites/CMakeFiles/speclens_suites.dir/score_database.cpp.o.d"
+  "/root/repo/src/suites/spec2006.cpp" "src/suites/CMakeFiles/speclens_suites.dir/spec2006.cpp.o" "gcc" "src/suites/CMakeFiles/speclens_suites.dir/spec2006.cpp.o.d"
+  "/root/repo/src/suites/spec2017.cpp" "src/suites/CMakeFiles/speclens_suites.dir/spec2017.cpp.o" "gcc" "src/suites/CMakeFiles/speclens_suites.dir/spec2017.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/speclens_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/speclens_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/speclens_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

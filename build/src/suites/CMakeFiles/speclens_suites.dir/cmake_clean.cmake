@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speclens_suites.dir/benchmark_info.cpp.o"
+  "CMakeFiles/speclens_suites.dir/benchmark_info.cpp.o.d"
+  "CMakeFiles/speclens_suites.dir/emerging.cpp.o"
+  "CMakeFiles/speclens_suites.dir/emerging.cpp.o.d"
+  "CMakeFiles/speclens_suites.dir/input_sets.cpp.o"
+  "CMakeFiles/speclens_suites.dir/input_sets.cpp.o.d"
+  "CMakeFiles/speclens_suites.dir/machines.cpp.o"
+  "CMakeFiles/speclens_suites.dir/machines.cpp.o.d"
+  "CMakeFiles/speclens_suites.dir/profile_presets.cpp.o"
+  "CMakeFiles/speclens_suites.dir/profile_presets.cpp.o.d"
+  "CMakeFiles/speclens_suites.dir/score_database.cpp.o"
+  "CMakeFiles/speclens_suites.dir/score_database.cpp.o.d"
+  "CMakeFiles/speclens_suites.dir/spec2006.cpp.o"
+  "CMakeFiles/speclens_suites.dir/spec2006.cpp.o.d"
+  "CMakeFiles/speclens_suites.dir/spec2017.cpp.o"
+  "CMakeFiles/speclens_suites.dir/spec2017.cpp.o.d"
+  "libspeclens_suites.a"
+  "libspeclens_suites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speclens_suites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for speclens_suites.
+# This may be replaced when dependencies are built.

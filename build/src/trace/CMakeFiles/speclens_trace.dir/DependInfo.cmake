@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/address_stream.cpp" "src/trace/CMakeFiles/speclens_trace.dir/address_stream.cpp.o" "gcc" "src/trace/CMakeFiles/speclens_trace.dir/address_stream.cpp.o.d"
+  "/root/repo/src/trace/branch_stream.cpp" "src/trace/CMakeFiles/speclens_trace.dir/branch_stream.cpp.o" "gcc" "src/trace/CMakeFiles/speclens_trace.dir/branch_stream.cpp.o.d"
+  "/root/repo/src/trace/instruction.cpp" "src/trace/CMakeFiles/speclens_trace.dir/instruction.cpp.o" "gcc" "src/trace/CMakeFiles/speclens_trace.dir/instruction.cpp.o.d"
+  "/root/repo/src/trace/phased_workload.cpp" "src/trace/CMakeFiles/speclens_trace.dir/phased_workload.cpp.o" "gcc" "src/trace/CMakeFiles/speclens_trace.dir/phased_workload.cpp.o.d"
+  "/root/repo/src/trace/trace_generator.cpp" "src/trace/CMakeFiles/speclens_trace.dir/trace_generator.cpp.o" "gcc" "src/trace/CMakeFiles/speclens_trace.dir/trace_generator.cpp.o.d"
+  "/root/repo/src/trace/workload_profile.cpp" "src/trace/CMakeFiles/speclens_trace.dir/workload_profile.cpp.o" "gcc" "src/trace/CMakeFiles/speclens_trace.dir/workload_profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/speclens_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speclens_trace.dir/address_stream.cpp.o"
+  "CMakeFiles/speclens_trace.dir/address_stream.cpp.o.d"
+  "CMakeFiles/speclens_trace.dir/branch_stream.cpp.o"
+  "CMakeFiles/speclens_trace.dir/branch_stream.cpp.o.d"
+  "CMakeFiles/speclens_trace.dir/instruction.cpp.o"
+  "CMakeFiles/speclens_trace.dir/instruction.cpp.o.d"
+  "CMakeFiles/speclens_trace.dir/phased_workload.cpp.o"
+  "CMakeFiles/speclens_trace.dir/phased_workload.cpp.o.d"
+  "CMakeFiles/speclens_trace.dir/trace_generator.cpp.o"
+  "CMakeFiles/speclens_trace.dir/trace_generator.cpp.o.d"
+  "CMakeFiles/speclens_trace.dir/workload_profile.cpp.o"
+  "CMakeFiles/speclens_trace.dir/workload_profile.cpp.o.d"
+  "libspeclens_trace.a"
+  "libspeclens_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speclens_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libspeclens_trace.a"
+)

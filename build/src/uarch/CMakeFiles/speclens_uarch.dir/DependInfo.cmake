@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/branch_predictor.cpp" "src/uarch/CMakeFiles/speclens_uarch.dir/branch_predictor.cpp.o" "gcc" "src/uarch/CMakeFiles/speclens_uarch.dir/branch_predictor.cpp.o.d"
+  "/root/repo/src/uarch/cache.cpp" "src/uarch/CMakeFiles/speclens_uarch.dir/cache.cpp.o" "gcc" "src/uarch/CMakeFiles/speclens_uarch.dir/cache.cpp.o.d"
+  "/root/repo/src/uarch/cache_hierarchy.cpp" "src/uarch/CMakeFiles/speclens_uarch.dir/cache_hierarchy.cpp.o" "gcc" "src/uarch/CMakeFiles/speclens_uarch.dir/cache_hierarchy.cpp.o.d"
+  "/root/repo/src/uarch/cpi_model.cpp" "src/uarch/CMakeFiles/speclens_uarch.dir/cpi_model.cpp.o" "gcc" "src/uarch/CMakeFiles/speclens_uarch.dir/cpi_model.cpp.o.d"
+  "/root/repo/src/uarch/machine.cpp" "src/uarch/CMakeFiles/speclens_uarch.dir/machine.cpp.o" "gcc" "src/uarch/CMakeFiles/speclens_uarch.dir/machine.cpp.o.d"
+  "/root/repo/src/uarch/perf_counters.cpp" "src/uarch/CMakeFiles/speclens_uarch.dir/perf_counters.cpp.o" "gcc" "src/uarch/CMakeFiles/speclens_uarch.dir/perf_counters.cpp.o.d"
+  "/root/repo/src/uarch/power_model.cpp" "src/uarch/CMakeFiles/speclens_uarch.dir/power_model.cpp.o" "gcc" "src/uarch/CMakeFiles/speclens_uarch.dir/power_model.cpp.o.d"
+  "/root/repo/src/uarch/simulation.cpp" "src/uarch/CMakeFiles/speclens_uarch.dir/simulation.cpp.o" "gcc" "src/uarch/CMakeFiles/speclens_uarch.dir/simulation.cpp.o.d"
+  "/root/repo/src/uarch/tlb.cpp" "src/uarch/CMakeFiles/speclens_uarch.dir/tlb.cpp.o" "gcc" "src/uarch/CMakeFiles/speclens_uarch.dir/tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/speclens_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/speclens_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

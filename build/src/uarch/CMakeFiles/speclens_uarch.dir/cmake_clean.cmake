@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speclens_uarch.dir/branch_predictor.cpp.o"
+  "CMakeFiles/speclens_uarch.dir/branch_predictor.cpp.o.d"
+  "CMakeFiles/speclens_uarch.dir/cache.cpp.o"
+  "CMakeFiles/speclens_uarch.dir/cache.cpp.o.d"
+  "CMakeFiles/speclens_uarch.dir/cache_hierarchy.cpp.o"
+  "CMakeFiles/speclens_uarch.dir/cache_hierarchy.cpp.o.d"
+  "CMakeFiles/speclens_uarch.dir/cpi_model.cpp.o"
+  "CMakeFiles/speclens_uarch.dir/cpi_model.cpp.o.d"
+  "CMakeFiles/speclens_uarch.dir/machine.cpp.o"
+  "CMakeFiles/speclens_uarch.dir/machine.cpp.o.d"
+  "CMakeFiles/speclens_uarch.dir/perf_counters.cpp.o"
+  "CMakeFiles/speclens_uarch.dir/perf_counters.cpp.o.d"
+  "CMakeFiles/speclens_uarch.dir/power_model.cpp.o"
+  "CMakeFiles/speclens_uarch.dir/power_model.cpp.o.d"
+  "CMakeFiles/speclens_uarch.dir/simulation.cpp.o"
+  "CMakeFiles/speclens_uarch.dir/simulation.cpp.o.d"
+  "CMakeFiles/speclens_uarch.dir/tlb.cpp.o"
+  "CMakeFiles/speclens_uarch.dir/tlb.cpp.o.d"
+  "libspeclens_uarch.a"
+  "libspeclens_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speclens_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/analyses_test.cpp" "tests/CMakeFiles/core_tests.dir/core/analyses_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/analyses_test.cpp.o.d"
+  "/root/repo/tests/core/core_test.cpp" "tests/CMakeFiles/core_tests.dir/core/core_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/core_test.cpp.o.d"
+  "/root/repo/tests/core/export_report_test.cpp" "tests/CMakeFiles/core_tests.dir/core/export_report_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/export_report_test.cpp.o.d"
+  "/root/repo/tests/core/phase_analysis_test.cpp" "tests/CMakeFiles/core_tests.dir/core/phase_analysis_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/phase_analysis_test.cpp.o.d"
+  "/root/repo/tests/core/stability_test.cpp" "tests/CMakeFiles/core_tests.dir/core/stability_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/stability_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/speclens_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/suites/CMakeFiles/speclens_suites.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/speclens_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/speclens_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/speclens_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/clustering_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/clustering_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/clustering_test.cpp.o.d"
+  "/root/repo/tests/stats/descriptive_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/descriptive_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/descriptive_test.cpp.o.d"
+  "/root/repo/tests/stats/distance_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/distance_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/distance_test.cpp.o.d"
+  "/root/repo/tests/stats/eigen_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/eigen_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/eigen_test.cpp.o.d"
+  "/root/repo/tests/stats/kmeans_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/kmeans_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/kmeans_test.cpp.o.d"
+  "/root/repo/tests/stats/matrix_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/matrix_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/matrix_test.cpp.o.d"
+  "/root/repo/tests/stats/metamorphic_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/metamorphic_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/metamorphic_test.cpp.o.d"
+  "/root/repo/tests/stats/pca_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/pca_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/pca_test.cpp.o.d"
+  "/root/repo/tests/stats/rng_test.cpp" "tests/CMakeFiles/stats_tests.dir/stats/rng_test.cpp.o" "gcc" "tests/CMakeFiles/stats_tests.dir/stats/rng_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/speclens_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/suites/CMakeFiles/speclens_suites.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/speclens_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/speclens_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/speclens_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_tests.dir/stats/clustering_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/clustering_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/descriptive_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/descriptive_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/distance_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/distance_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/eigen_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/eigen_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/kmeans_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/kmeans_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/matrix_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/matrix_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/metamorphic_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/metamorphic_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/pca_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/pca_test.cpp.o.d"
+  "CMakeFiles/stats_tests.dir/stats/rng_test.cpp.o"
+  "CMakeFiles/stats_tests.dir/stats/rng_test.cpp.o.d"
+  "stats_tests"
+  "stats_tests.pdb"
+  "stats_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

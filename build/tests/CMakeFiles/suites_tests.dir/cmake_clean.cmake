@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/suites_tests.dir/suites/preset_property_test.cpp.o"
+  "CMakeFiles/suites_tests.dir/suites/preset_property_test.cpp.o.d"
+  "CMakeFiles/suites_tests.dir/suites/suites_test.cpp.o"
+  "CMakeFiles/suites_tests.dir/suites/suites_test.cpp.o.d"
+  "suites_tests"
+  "suites_tests.pdb"
+  "suites_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/suites_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/uarch/branch_predictor_test.cpp" "tests/CMakeFiles/uarch_tests.dir/uarch/branch_predictor_test.cpp.o" "gcc" "tests/CMakeFiles/uarch_tests.dir/uarch/branch_predictor_test.cpp.o.d"
+  "/root/repo/tests/uarch/cache_test.cpp" "tests/CMakeFiles/uarch_tests.dir/uarch/cache_test.cpp.o" "gcc" "tests/CMakeFiles/uarch_tests.dir/uarch/cache_test.cpp.o.d"
+  "/root/repo/tests/uarch/cpi_power_test.cpp" "tests/CMakeFiles/uarch_tests.dir/uarch/cpi_power_test.cpp.o" "gcc" "tests/CMakeFiles/uarch_tests.dir/uarch/cpi_power_test.cpp.o.d"
+  "/root/repo/tests/uarch/geometry_sweep_test.cpp" "tests/CMakeFiles/uarch_tests.dir/uarch/geometry_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/uarch_tests.dir/uarch/geometry_sweep_test.cpp.o.d"
+  "/root/repo/tests/uarch/prefetcher_test.cpp" "tests/CMakeFiles/uarch_tests.dir/uarch/prefetcher_test.cpp.o" "gcc" "tests/CMakeFiles/uarch_tests.dir/uarch/prefetcher_test.cpp.o.d"
+  "/root/repo/tests/uarch/simulation_test.cpp" "tests/CMakeFiles/uarch_tests.dir/uarch/simulation_test.cpp.o" "gcc" "tests/CMakeFiles/uarch_tests.dir/uarch/simulation_test.cpp.o.d"
+  "/root/repo/tests/uarch/tlb_test.cpp" "tests/CMakeFiles/uarch_tests.dir/uarch/tlb_test.cpp.o" "gcc" "tests/CMakeFiles/uarch_tests.dir/uarch/tlb_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/speclens_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/suites/CMakeFiles/speclens_suites.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/speclens_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/speclens_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/speclens_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uarch_tests.dir/uarch/branch_predictor_test.cpp.o"
+  "CMakeFiles/uarch_tests.dir/uarch/branch_predictor_test.cpp.o.d"
+  "CMakeFiles/uarch_tests.dir/uarch/cache_test.cpp.o"
+  "CMakeFiles/uarch_tests.dir/uarch/cache_test.cpp.o.d"
+  "CMakeFiles/uarch_tests.dir/uarch/cpi_power_test.cpp.o"
+  "CMakeFiles/uarch_tests.dir/uarch/cpi_power_test.cpp.o.d"
+  "CMakeFiles/uarch_tests.dir/uarch/geometry_sweep_test.cpp.o"
+  "CMakeFiles/uarch_tests.dir/uarch/geometry_sweep_test.cpp.o.d"
+  "CMakeFiles/uarch_tests.dir/uarch/prefetcher_test.cpp.o"
+  "CMakeFiles/uarch_tests.dir/uarch/prefetcher_test.cpp.o.d"
+  "CMakeFiles/uarch_tests.dir/uarch/simulation_test.cpp.o"
+  "CMakeFiles/uarch_tests.dir/uarch/simulation_test.cpp.o.d"
+  "CMakeFiles/uarch_tests.dir/uarch/tlb_test.cpp.o"
+  "CMakeFiles/uarch_tests.dir/uarch/tlb_test.cpp.o.d"
+  "uarch_tests"
+  "uarch_tests.pdb"
+  "uarch_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uarch_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

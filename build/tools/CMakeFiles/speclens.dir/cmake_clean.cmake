@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speclens.dir/speclens_cli.cpp.o"
+  "CMakeFiles/speclens.dir/speclens_cli.cpp.o.d"
+  "speclens"
+  "speclens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speclens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
