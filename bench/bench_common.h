@@ -11,6 +11,7 @@
 #ifndef SPECLENS_BENCH_BENCH_COMMON_H
 #define SPECLENS_BENCH_BENCH_COMMON_H
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -31,9 +32,45 @@ struct BenchOptions
 
     /** Warm-up instructions. */
     std::uint64_t warmup = 40'000;
+
+    /** Simulation worker threads (0 = one per hardware thread). */
+    std::size_t jobs = 0;
 };
 
-/** Parse --instructions/--warmup; exits on --help. */
+/**
+ * Value of a numeric flag: @p argv[i + 1], advanced past.  Exits with
+ * a diagnostic when the value is missing, non-numeric, has trailing
+ * garbage, or overflows.
+ */
+inline std::uint64_t
+numericFlagValue(const char *flag, int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "error: %s requires a value (try --help)\n", flag);
+        std::exit(1);
+    }
+    const char *text = argv[++i];
+    char *end = nullptr;
+    errno = 0;
+    // strtoull wraps "-3" to a huge value; reject signs outright.
+    unsigned long long value = std::strtoull(text, &end, 10);
+    if (text[0] == '-' || text[0] == '+' || end == text || *end != '\0' ||
+        errno == ERANGE) {
+        std::fprintf(stderr,
+                     "error: %s expects a non-negative integer, got "
+                     "'%s' (try --help)\n",
+                     flag, text);
+        std::exit(1);
+    }
+    return value;
+}
+
+/**
+ * Parse --instructions/--warmup/--jobs; exits on --help.  Unknown
+ * flags and malformed values are hard errors (exit 1), never silently
+ * ignored.
+ */
 inline BenchOptions
 parseOptions(int argc, char **argv)
 {
@@ -41,29 +78,30 @@ parseOptions(int argc, char **argv)
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--help") == 0) {
             std::printf(
-                "usage: %s [--instructions N] [--warmup N]\n"
+                "usage: %s [--instructions N] [--warmup N] [--jobs N]\n"
                 "  --instructions  measured instructions per pair "
                 "(default %llu)\n"
-                "  --warmup        warm-up instructions (default %llu)\n",
+                "  --warmup        warm-up instructions (default %llu)\n"
+                "  --jobs          simulation worker threads "
+                "(default: one per hardware thread)\n",
                 argv[0],
                 static_cast<unsigned long long>(opts.instructions),
                 static_cast<unsigned long long>(opts.warmup));
             std::exit(0);
         }
-        auto take_value = [&](const char *flag, std::uint64_t &out) {
-            if (std::strcmp(argv[i], flag) == 0 && i + 1 < argc) {
-                out = std::strtoull(argv[++i], nullptr, 10);
-                return true;
-            }
-            return false;
-        };
-        if (take_value("--instructions", opts.instructions))
-            continue;
-        if (take_value("--warmup", opts.warmup))
-            continue;
-        std::fprintf(stderr, "unknown option: %s (try --help)\n",
-                     argv[i]);
-        std::exit(1);
+        if (std::strcmp(argv[i], "--instructions") == 0) {
+            opts.instructions =
+                numericFlagValue("--instructions", argc, argv, i);
+        } else if (std::strcmp(argv[i], "--warmup") == 0) {
+            opts.warmup = numericFlagValue("--warmup", argc, argv, i);
+        } else if (std::strcmp(argv[i], "--jobs") == 0) {
+            opts.jobs = static_cast<std::size_t>(
+                numericFlagValue("--jobs", argc, argv, i));
+        } else {
+            std::fprintf(stderr, "unknown option: %s (try --help)\n",
+                         argv[i]);
+            std::exit(1);
+        }
     }
     return opts;
 }
@@ -75,6 +113,7 @@ makeCharacterizer(const BenchOptions &opts)
     core::CharacterizationConfig config;
     config.instructions = opts.instructions;
     config.warmup = opts.warmup;
+    config.jobs = opts.jobs;
     return core::Characterizer(suites::profilingMachines(), config);
 }
 

@@ -4,10 +4,24 @@
  * and TLB simulation throughput, branch predictors, trace generation,
  * PCA and clustering.  These size the cost of a full characterization
  * campaign (43 benchmarks x 7 machines).
+ *
+ * Campaign mode: `micro_substrate --jobs N` skips the microbenchmarks
+ * and instead times the full 43 x 7 characterization campaign at
+ * --jobs 1, 2 and N, reports the wall-clock speedup, and verifies the
+ * feature matrices are byte-identical across job counts (exit status 1
+ * if not).  --instructions/--warmup adjust the simulated window.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <variant>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/characterization.h"
+#include "core/parallel.h"
 #include "stats/clustering.h"
 #include "stats/pca.h"
 #include "stats/rng.h"
@@ -61,6 +75,38 @@ BM_BranchPredictor(benchmark::State &state)
         static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_BranchPredictor)
+    ->Arg(static_cast<int>(uarch::PredictorKind::Bimodal))
+    ->Arg(static_cast<int>(uarch::PredictorKind::Gshare))
+    ->Arg(static_cast<int>(uarch::PredictorKind::Tournament))
+    ->Arg(static_cast<int>(uarch::PredictorKind::Perceptron))
+    ->Arg(static_cast<int>(uarch::PredictorKind::TageLite));
+
+/**
+ * Same workload through the variant (devirtualized) dispatch path the
+ * playback loop uses; the delta against BM_BranchPredictor is the
+ * virtual-call overhead removed from the hot loop.
+ */
+void
+BM_BranchPredictorVariant(benchmark::State &state)
+{
+    uarch::PredictorVariant predictor = uarch::makePredictorVariant(
+        static_cast<uarch::PredictorKind>(state.range(0)), 12);
+    stats::Rng rng(11);
+    std::uint32_t id = 0;
+    std::visit(
+        [&](auto &p) {
+            for (auto _ : state) {
+                bool taken = rng.bernoulli(0.6);
+                benchmark::DoNotOptimize(p.predict(0, id));
+                p.update(0, id, taken);
+                id = (id + 1) & 255;
+            }
+        },
+        predictor);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BranchPredictorVariant)
     ->Arg(static_cast<int>(uarch::PredictorKind::Bimodal))
     ->Arg(static_cast<int>(uarch::PredictorKind::Gshare))
     ->Arg(static_cast<int>(uarch::PredictorKind::Tournament))
@@ -127,6 +173,119 @@ BM_Clustering(benchmark::State &state)
 }
 BENCHMARK(BM_Clustering)->Arg(10)->Arg(43)->Arg(100);
 
+/**
+ * Full 43 x 7 characterization campaign at one job count; wall-clock
+ * in milliseconds goes to @p elapsed_ms.
+ */
+stats::Matrix
+runCampaign(const std::vector<suites::BenchmarkInfo> &suite,
+            std::uint64_t instructions, std::uint64_t warmup,
+            std::size_t jobs, double &elapsed_ms)
+{
+    core::CharacterizationConfig config;
+    config.instructions = instructions;
+    config.warmup = warmup;
+    config.jobs = jobs;
+    core::Characterizer characterizer(suites::profilingMachines(),
+                                      config);
+    auto start = std::chrono::steady_clock::now();
+    stats::Matrix features = characterizer.featureMatrix(suite);
+    elapsed_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+    return features;
+}
+
+/** True when two matrices are byte-for-byte identical. */
+bool
+byteIdentical(const stats::Matrix &a, const stats::Matrix &b)
+{
+    return a.rows() == b.rows() && a.cols() == b.cols() &&
+           std::memcmp(a.data().data(), b.data().data(),
+                       a.data().size() * sizeof(double)) == 0;
+}
+
+/**
+ * Serial-vs-parallel campaign report: times the full campaign at
+ * --jobs 1, 2 and @p jobs, prints the speedup, and checks the three
+ * feature matrices are byte-identical.  Returns the process exit
+ * status (1 on any mismatch).
+ */
+int
+campaignReport(std::uint64_t instructions, std::uint64_t warmup,
+               std::size_t jobs)
+{
+    std::vector<suites::BenchmarkInfo> suite = suites::spec2017();
+    std::size_t n_machines = suites::profilingMachines().size();
+    jobs = core::resolveJobCount(jobs);
+
+    std::printf("characterization campaign: %zu benchmarks x %zu "
+                "machines = %zu simulations\n"
+                "window: %llu measured + %llu warm-up instructions "
+                "per pair\n\n",
+                suite.size(), n_machines, suite.size() * n_machines,
+                static_cast<unsigned long long>(instructions),
+                static_cast<unsigned long long>(warmup));
+
+    double serial_ms = 0.0, two_ms = 0.0, parallel_ms = 0.0;
+    stats::Matrix serial =
+        runCampaign(suite, instructions, warmup, 1, serial_ms);
+    std::printf("  --jobs 1   %10.1f ms\n", serial_ms);
+    stats::Matrix two =
+        runCampaign(suite, instructions, warmup, 2, two_ms);
+    std::printf("  --jobs 2   %10.1f ms   (%.2fx)\n", two_ms,
+                serial_ms / two_ms);
+    stats::Matrix parallel =
+        runCampaign(suite, instructions, warmup, jobs, parallel_ms);
+    std::printf("  --jobs %-3zu %10.1f ms   (%.2fx)\n\n", jobs,
+                parallel_ms, serial_ms / parallel_ms);
+
+    bool identical =
+        byteIdentical(serial, two) && byteIdentical(serial, parallel);
+    std::printf("speedup (--jobs %zu over --jobs 1): %.2fx\n", jobs,
+                serial_ms / parallel_ms);
+    std::printf("feature matrices byte-identical across job counts: "
+                "%s\n",
+                identical ? "yes" : "NO");
+    return identical ? 0 : 1;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Peel off the campaign flags; everything else goes to
+    // google-benchmark.  Any --jobs/--campaign selects campaign mode.
+    std::vector<char *> passthrough{argv[0]};
+    bool campaign = false;
+    std::uint64_t instructions = 150'000, warmup = 40'000;
+    std::size_t jobs = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--jobs") == 0) {
+            jobs = static_cast<std::size_t>(
+                bench::numericFlagValue("--jobs", argc, argv, i));
+            campaign = true;
+        } else if (std::strcmp(argv[i], "--campaign") == 0) {
+            campaign = true;
+        } else if (std::strcmp(argv[i], "--instructions") == 0) {
+            instructions = bench::numericFlagValue("--instructions",
+                                                   argc, argv, i);
+        } else if (std::strcmp(argv[i], "--warmup") == 0) {
+            warmup = bench::numericFlagValue("--warmup", argc, argv, i);
+        } else {
+            passthrough.push_back(argv[i]);
+        }
+    }
+    if (campaign)
+        return campaignReport(instructions, warmup, jobs);
+
+    int pass_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&pass_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(pass_argc,
+                                               passthrough.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

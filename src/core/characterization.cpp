@@ -5,7 +5,11 @@
 
 #include "characterization.h"
 
+#include <set>
 #include <stdexcept>
+#include <utility>
+
+#include "core/parallel.h"
 
 namespace speclens {
 namespace core {
@@ -18,6 +22,69 @@ Characterizer::Characterizer(std::vector<uarch::MachineConfig> machines,
         throw std::invalid_argument("Characterizer: no machines");
 }
 
+uarch::SimulationResult
+Characterizer::runSimulation(const suites::BenchmarkInfo &benchmark,
+                             std::size_t machine_index) const
+{
+    uarch::SimulationConfig sim;
+    sim.instructions = config_.instructions;
+    sim.warmup = config_.warmup;
+    sim.seed_salt = config_.seed_salt;
+    return uarch::simulate(benchmark.profile, machines_[machine_index],
+                           sim);
+}
+
+void
+Characterizer::prepare(
+    const std::vector<suites::BenchmarkInfo> &benchmarks,
+    const std::vector<std::size_t> &machine_indices, std::size_t jobs)
+{
+    // Collect the distinct pairs not yet memoised.  Holding the lock
+    // here is cheap: only map lookups, no simulation.
+    std::vector<std::pair<const suites::BenchmarkInfo *, std::size_t>>
+        missing;
+    {
+        std::set<CacheKey> scheduled;
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        for (const suites::BenchmarkInfo &benchmark : benchmarks) {
+            for (std::size_t mi : machine_indices) {
+                if (mi >= machines_.size())
+                    throw std::out_of_range(
+                        "Characterizer::prepare: machine index");
+                CacheKey key{benchmark.profile.name, mi};
+                if (cache_.find(key) != cache_.end())
+                    continue;
+                if (!scheduled.insert(std::move(key)).second)
+                    continue;
+                missing.emplace_back(&benchmark, mi);
+            }
+        }
+    }
+    if (missing.empty())
+        return;
+
+    parallelFor(missing.size(), jobs == 0 ? config_.jobs : jobs,
+                [&](std::size_t i) {
+                    const auto &[benchmark, mi] = missing[i];
+                    uarch::SimulationResult result =
+                        runSimulation(*benchmark, mi);
+                    std::lock_guard<std::mutex> lock(cache_mutex_);
+                    cache_.emplace(
+                        CacheKey{benchmark->profile.name, mi},
+                        std::move(result));
+                });
+}
+
+void
+Characterizer::prepare(
+    const std::vector<suites::BenchmarkInfo> &benchmarks, std::size_t jobs)
+{
+    std::vector<std::size_t> all(machines_.size());
+    for (std::size_t i = 0; i < all.size(); ++i)
+        all[i] = i;
+    prepare(benchmarks, all, jobs);
+}
+
 const uarch::SimulationResult &
 Characterizer::simulation(const suites::BenchmarkInfo &benchmark,
                           std::size_t machine_index)
@@ -25,18 +92,23 @@ Characterizer::simulation(const suites::BenchmarkInfo &benchmark,
     if (machine_index >= machines_.size())
         throw std::out_of_range("Characterizer: machine index");
 
-    auto key = std::make_pair(benchmark.profile.name, machine_index);
-    auto it = cache_.find(key);
-    if (it != cache_.end())
-        return it->second;
+    CacheKey key{benchmark.profile.name, machine_index};
+    {
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        auto it = cache_.find(key);
+        if (it != cache_.end())
+            return it->second;
+    }
 
-    uarch::SimulationConfig sim;
-    sim.instructions = config_.instructions;
-    sim.warmup = config_.warmup;
-    sim.seed_salt = config_.seed_salt;
+    // Simulate outside the lock so concurrent misses on different
+    // pairs proceed in parallel.  Two threads racing on the same pair
+    // duplicate the (deterministic, identical) work; emplace keeps the
+    // first insert, so the returned reference is stable either way.
     uarch::SimulationResult result =
-        uarch::simulate(benchmark.profile, machines_[machine_index], sim);
-    return cache_.emplace(key, std::move(result)).first->second;
+        runSimulation(benchmark, machine_index);
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    return cache_.emplace(std::move(key), std::move(result))
+        .first->second;
 }
 
 MetricVector
@@ -63,6 +135,8 @@ Characterizer::featureMatrix(
     MetricSelection selection,
     const std::vector<std::size_t> &machine_indices)
 {
+    prepare(benchmarks, machine_indices);
+
     std::vector<Metric> selected = metricsFor(selection);
     stats::Matrix out(benchmarks.size(),
                       machine_indices.size() * selected.size());

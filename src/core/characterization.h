@@ -8,6 +8,12 @@
  * (full suite, sub-suite, metric subset, machine subset) are assembled
  * from the cache.  Treating each performance-counter/machine pair as a
  * distinct feature reproduces the paper's 20 x 7 = 140-metric design.
+ *
+ * The pairs are mutually independent and independently seeded, so the
+ * campaign is embarrassingly parallel: prepare() (used internally by
+ * featureMatrix()) fans uncached pairs out across worker threads, and
+ * the memo cache is safe to query from multiple threads concurrently.
+ * Results are bit-identical for any job count.
  */
 
 #ifndef SPECLENS_CORE_CHARACTERIZATION_H
@@ -15,6 +21,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -38,6 +45,15 @@ struct CharacterizationConfig
 
     /** Seed salt forwarded to the trace generator. */
     std::uint64_t seed_salt = 0;
+
+    /**
+     * Worker threads used by prepare()/featureMatrix() to fan the
+     * independent (benchmark, machine) simulations out.  0 means one
+     * per hardware thread.  Results are bit-identical for any value:
+     * every pair is independently seeded and the feature layout is
+     * fixed by (benchmark, machine) identity, not completion order.
+     */
+    std::size_t jobs = 0;
 };
 
 /** Runs and memoises benchmark-on-machine measurements. */
@@ -57,6 +73,28 @@ class Characterizer
     {
         return machines_;
     }
+
+    /**
+     * Simulate every missing (benchmark, machine) pair of the cross
+     * product @p benchmarks x @p machine_indices, fanning the work out
+     * across worker threads, and memoise the results.  Pairs already
+     * cached are skipped.  After prepare() returns, simulation() and
+     * metrics() for those pairs are pure cache lookups.
+     *
+     * Each pair is simulated by an independent, independently seeded
+     * generator, so the cached results are bit-identical to what the
+     * serial on-demand path produces, for any thread count.
+     *
+     * @param jobs Worker threads; 0 falls back to the config's jobs
+     *        value (whose own 0 means one per hardware thread).
+     */
+    void prepare(const std::vector<suites::BenchmarkInfo> &benchmarks,
+                 const std::vector<std::size_t> &machine_indices,
+                 std::size_t jobs = 0);
+
+    /** prepare() over all machines. */
+    void prepare(const std::vector<suites::BenchmarkInfo> &benchmarks,
+                 std::size_t jobs = 0);
 
     /** Full simulation result for one pair (memoised). */
     const uarch::SimulationResult &
@@ -97,13 +135,32 @@ class Characterizer
                  const std::vector<std::size_t> &machine_indices) const;
 
     /** Number of memoised (benchmark, machine) measurements. */
-    std::size_t cachedMeasurements() const { return cache_.size(); }
+    std::size_t cachedMeasurements() const
+    {
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        return cache_.size();
+    }
 
   private:
+    using CacheKey = std::pair<std::string, std::size_t>;
+
+    /** Run one uncached simulation (no lock held). */
+    uarch::SimulationResult
+    runSimulation(const suites::BenchmarkInfo &benchmark,
+                  std::size_t machine_index) const;
+
     std::vector<uarch::MachineConfig> machines_;
     CharacterizationConfig config_;
-    std::map<std::pair<std::string, std::size_t>, uarch::SimulationResult>
-        cache_;
+
+    /**
+     * Memo cache of finished measurements, shared across worker
+     * threads.  A std::map keeps references stable across concurrent
+     * inserts, so simulation() can hand out long-lived references
+     * while other threads keep filling the cache.  The mutex guards
+     * only lookups and inserts — simulations themselves run unlocked.
+     */
+    mutable std::mutex cache_mutex_;
+    std::map<CacheKey, uarch::SimulationResult> cache_;
 };
 
 } // namespace core

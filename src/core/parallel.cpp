@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Parallelism utilities implementation.
+ */
+
+#include "parallel.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace speclens {
+namespace core {
+
+std::size_t
+defaultJobCount()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n > 0 ? n : 1;
+}
+
+std::size_t
+resolveJobCount(std::size_t jobs)
+{
+    return jobs == 0 ? defaultJobCount() : jobs;
+}
+
+void
+parallelFor(std::size_t count, std::size_t jobs,
+            const std::function<void(std::size_t)> &body)
+{
+    std::size_t threads = std::min(resolveJobCount(jobs), count);
+    if (threads <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+
+    auto work = [&]() {
+        for (;;) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= count || failed.load(std::memory_order_relaxed))
+                return;
+            try {
+                body(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!first_error)
+                    first_error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+            }
+        }
+    };
+
+    std::vector<std::thread> helpers;
+    helpers.reserve(threads - 1);
+    for (std::size_t t = 0; t + 1 < threads; ++t)
+        helpers.emplace_back(work);
+    work(); // The caller is worker zero.
+    for (std::thread &helper : helpers)
+        helper.join();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+ThreadPool::ThreadPool(std::size_t workers)
+{
+    std::size_t n = resolveJobCount(workers);
+    workers_.reserve(n);
+    for (std::size_t t = 0; t < n; ++t)
+        workers_.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_.wait(lock, [this]() {
+            return queue_.empty() && running_ == 0;
+        });
+        stopping_ = true;
+    }
+    task_ready_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    task_ready_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::exception_ptr error;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        idle_.wait(lock, [this]() {
+            return queue_.empty() && running_ == 0;
+        });
+        error = first_error_;
+        first_error_ = nullptr;
+    }
+    if (error)
+        std::rethrow_exception(error);
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            task_ready_.wait(lock, [this]() {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return; // stopping_ and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++running_;
+        }
+        try {
+            task();
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!first_error_)
+                first_error_ = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --running_;
+            if (queue_.empty() && running_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+} // namespace core
+} // namespace speclens

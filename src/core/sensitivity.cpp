@@ -43,6 +43,10 @@ classifySensitivity(Characterizer &characterizer,
     std::size_t n = benchmarks.size();
     std::size_t n_machines = characterizer.machines().size();
 
+    // Fan the whole campaign out across worker threads up front; the
+    // per-pair lookups below then hit the memo cache.
+    characterizer.prepare(benchmarks);
+
     // Metric values: per machine, per benchmark.
     std::vector<std::vector<double>> values(n_machines,
                                             std::vector<double>(n));

@@ -9,6 +9,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/parallel.h"
 #include "stats/descriptive.h"
 #include "uarch/simulation.h"
 
@@ -30,7 +31,8 @@ StabilityReport::worstSnr() const
 StabilityReport
 analyzeStability(const std::vector<suites::BenchmarkInfo> &benchmarks,
                  const uarch::MachineConfig &machine, std::size_t trials,
-                 std::uint64_t instructions, std::uint64_t warmup)
+                 std::uint64_t instructions, std::uint64_t warmup,
+                 std::size_t jobs)
 {
     if (benchmarks.size() < 2)
         throw std::invalid_argument("analyzeStability: >= 2 benchmarks");
@@ -39,13 +41,18 @@ analyzeStability(const std::vector<suites::BenchmarkInfo> &benchmarks,
 
     std::vector<Metric> canonical = metricsFor(MetricSelection::Canonical);
 
-    // values[metric][benchmark][trial]
+    // values[metric][benchmark][trial], preallocated so the parallel
+    // resampling below writes disjoint slots keyed by (benchmark,
+    // trial) identity — the result is independent of scheduling.
     std::vector<std::vector<std::vector<double>>> values(
         canonical.size(),
-        std::vector<std::vector<double>>(benchmarks.size()));
+        std::vector<std::vector<double>>(
+            benchmarks.size(), std::vector<double>(trials)));
 
-    for (std::size_t b = 0; b < benchmarks.size(); ++b) {
-        for (std::size_t t = 0; t < trials; ++t) {
+    parallelFor(
+        benchmarks.size() * trials, jobs, [&](std::size_t i) {
+            std::size_t b = i / trials;
+            std::size_t t = i % trials;
             uarch::SimulationConfig config;
             config.instructions = instructions;
             config.warmup = warmup;
@@ -53,9 +60,8 @@ analyzeStability(const std::vector<suites::BenchmarkInfo> &benchmarks,
             MetricVector mv = extractMetrics(uarch::simulate(
                 benchmarks[b].profile, machine, config));
             for (std::size_t m = 0; m < canonical.size(); ++m)
-                values[m][b].push_back(mv.get(canonical[m]));
-        }
-    }
+                values[m][b][t] = mv.get(canonical[m]);
+        });
 
     StabilityReport report;
     report.trials = trials;

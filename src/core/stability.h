@@ -80,18 +80,24 @@ struct StabilityReport
  * Measure @p benchmarks on @p machine under @p trials independent
  * trace seeds and report per-metric signal-to-noise.
  *
+ * Every (benchmark, trial) re-measurement is independent and seeded by
+ * its trial index, so the resampling runs across worker threads with
+ * results bit-identical to the serial loop.
+ *
  * @param benchmarks At least two benchmarks.
  * @param machine Machine model to measure on.
  * @param trials Independent seeds (>= 2).
  * @param instructions Measured window per run.
  * @param warmup Warm-up window per run.
+ * @param jobs Worker threads (0 = one per hardware thread).
  */
 StabilityReport
 analyzeStability(const std::vector<suites::BenchmarkInfo> &benchmarks,
                  const uarch::MachineConfig &machine,
                  std::size_t trials = 5,
                  std::uint64_t instructions = 60'000,
-                 std::uint64_t warmup = 15'000);
+                 std::uint64_t warmup = 15'000,
+                 std::size_t jobs = 0);
 
 } // namespace core
 } // namespace speclens

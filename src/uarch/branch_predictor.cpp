@@ -8,6 +8,8 @@
 #include <algorithm>
 #include <cstdlib>
 #include <stdexcept>
+#include <type_traits>
+#include <utility>
 
 namespace speclens {
 namespace uarch {
@@ -62,27 +64,37 @@ predictorKindName(PredictorKind kind)
     return "unknown";
 }
 
-std::unique_ptr<BranchPredictor>
-makePredictor(PredictorKind kind, unsigned size_log2)
+PredictorVariant
+makePredictorVariant(PredictorKind kind, unsigned size_log2)
 {
     switch (kind) {
       case PredictorKind::StaticTaken:
-        return std::make_unique<StaticTakenPredictor>();
+        return StaticTakenPredictor();
       case PredictorKind::Bimodal:
-        return std::make_unique<BimodalPredictor>(size_log2);
+        return BimodalPredictor(size_log2);
       case PredictorKind::Gshare:
-        return std::make_unique<GsharePredictor>(size_log2,
-                                                 std::min(size_log2, 16u));
+        return GsharePredictor(size_log2, std::min(size_log2, 16u));
       case PredictorKind::Tournament:
-        return std::make_unique<TournamentPredictor>(size_log2);
+        return TournamentPredictor(size_log2);
       case PredictorKind::Perceptron:
-        return std::make_unique<PerceptronPredictor>(
-            size_log2 > 4 ? size_log2 - 4 : 1, 24);
+        return PerceptronPredictor(size_log2 > 4 ? size_log2 - 4 : 1, 24);
       case PredictorKind::TageLite:
-        return std::make_unique<TageLitePredictor>(
-            size_log2 > 2 ? size_log2 - 2 : 1);
+        return TageLitePredictor(size_log2 > 2 ? size_log2 - 2 : 1);
     }
-    throw std::invalid_argument("makePredictor: unknown kind");
+    throw std::invalid_argument("makePredictorVariant: unknown kind");
+}
+
+std::unique_ptr<BranchPredictor>
+makePredictor(PredictorKind kind, unsigned size_log2)
+{
+    // Built from the variant factory so both creation paths share one
+    // source of truth for the per-kind sizing adjustments.
+    return std::visit(
+        [](auto &&predictor) -> std::unique_ptr<BranchPredictor> {
+            using Concrete = std::decay_t<decltype(predictor)>;
+            return std::make_unique<Concrete>(std::move(predictor));
+        },
+        makePredictorVariant(kind, size_log2));
 }
 
 // ---------------------------------------------------------------------

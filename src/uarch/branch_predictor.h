@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <variant>
 #include <vector>
 
 namespace speclens {
@@ -65,7 +66,7 @@ std::unique_ptr<BranchPredictor> makePredictor(PredictorKind kind,
                                                unsigned size_log2 = 12);
 
 /** Always-taken baseline. */
-class StaticTakenPredictor : public BranchPredictor
+class StaticTakenPredictor final : public BranchPredictor
 {
   public:
     bool predict(std::uint64_t, std::uint32_t) override { return true; }
@@ -74,7 +75,7 @@ class StaticTakenPredictor : public BranchPredictor
 };
 
 /** Classic 2-bit saturating counter table. */
-class BimodalPredictor : public BranchPredictor
+class BimodalPredictor final : public BranchPredictor
 {
   public:
     explicit BimodalPredictor(unsigned size_log2);
@@ -89,7 +90,7 @@ class BimodalPredictor : public BranchPredictor
 };
 
 /** Gshare: global history XORed into the table index. */
-class GsharePredictor : public BranchPredictor
+class GsharePredictor final : public BranchPredictor
 {
   public:
     GsharePredictor(unsigned size_log2, unsigned history_bits);
@@ -106,7 +107,7 @@ class GsharePredictor : public BranchPredictor
 };
 
 /** Tournament of bimodal and gshare with a 2-bit meta chooser. */
-class TournamentPredictor : public BranchPredictor
+class TournamentPredictor final : public BranchPredictor
 {
   public:
     explicit TournamentPredictor(unsigned size_log2);
@@ -124,7 +125,7 @@ class TournamentPredictor : public BranchPredictor
 };
 
 /** Perceptron predictor (Jimenez & Lin, HPCA'01) over global history. */
-class PerceptronPredictor : public BranchPredictor
+class PerceptronPredictor final : public BranchPredictor
 {
   public:
     PerceptronPredictor(unsigned size_log2, unsigned history_bits);
@@ -147,7 +148,7 @@ class PerceptronPredictor : public BranchPredictor
  * with geometrically increasing history lengths; longest matching
  * component provides the prediction.
  */
-class TageLitePredictor : public BranchPredictor
+class TageLitePredictor final : public BranchPredictor
 {
   public:
     explicit TageLitePredictor(unsigned size_log2, unsigned num_tables = 4);
@@ -179,6 +180,31 @@ class TageLitePredictor : public BranchPredictor
     bool provider_pred_ = false;
     bool base_pred_ = false;
 };
+
+/**
+ * Closed set of concrete predictor types for static dispatch.
+ *
+ * The per-instruction playback loop is dominated by predict()/update()
+ * calls; going through the virtual interface costs an indirect call
+ * (and blocks inlining) per branch instruction.  Holding the predictor
+ * as a variant lets the simulator std::visit once per playback window
+ * and run the whole loop against the concrete (final) type, where the
+ * calls resolve statically and inline.
+ */
+using PredictorVariant =
+    std::variant<StaticTakenPredictor, BimodalPredictor, GsharePredictor,
+                 TournamentPredictor, PerceptronPredictor,
+                 TageLitePredictor>;
+
+/**
+ * Create a predictor as a variant over the concrete types.
+ *
+ * Applies exactly the same per-kind sizing adjustments as
+ * makePredictor(), so the two factories produce behaviourally
+ * identical predictors for any (kind, size_log2).
+ */
+PredictorVariant makePredictorVariant(PredictorKind kind,
+                                      unsigned size_log2 = 12);
 
 } // namespace uarch
 } // namespace speclens

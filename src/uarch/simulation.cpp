@@ -69,8 +69,8 @@ class Playback
     explicit Playback(const MachineConfig &machine)
         : caches_(machine.caches),
           tlbs_(machine.tlbs),
-          predictor_(makePredictor(machine.predictor,
-                                   machine.predictor_size_log2))
+          predictor_(makePredictorVariant(machine.predictor,
+                                          machine.predictor_size_log2))
     {
     }
 
@@ -121,12 +121,44 @@ class Playback
      * Play @p count instructions from @p generator.  When @p record is
      * non-null, retirement counters accumulate there and the structure
      * deltas of the window are added at the end.
+     *
+     * The instruction loop is the hottest code in SpecLens (hundreds
+     * of millions of iterations per campaign), so it is specialised
+     * two ways: std::visit resolves the predictor's concrete type once
+     * per window so predict()/update() are direct, inlinable calls
+     * rather than per-branch virtual dispatch, and the record/no-record
+     * decision is lifted to a template parameter so the warm-up loop
+     * carries no retirement bookkeeping at all.
      */
     void
     play(trace::TraceGenerator &generator, std::uint64_t count,
          PerfCounters *record)
     {
+        std::visit(
+            [&](auto &predictor) {
+                if (record)
+                    playLoop<true>(predictor, generator, count, record);
+                else
+                    playLoop<false>(predictor, generator, count,
+                                    nullptr);
+            },
+            predictor_);
+    }
+
+  private:
+    template <bool Record, typename Predictor>
+    void
+    playLoop(Predictor &predictor, trace::TraceGenerator &generator,
+             std::uint64_t count, PerfCounters *record)
+    {
         Snapshot start = capture(caches_, tlbs_);
+
+        // Retirement counts batch in locals (registers) and flush to
+        // the PerfCounters struct once after the loop.
+        std::uint64_t kernel = 0, loads = 0, stores = 0, fp_ops = 0;
+        std::uint64_t simd_ops = 0, branches = 0, taken_branches = 0;
+        std::uint64_t mispredictions = 0;
+
         for (std::uint64_t i = 0; i < count; ++i) {
             trace::Instruction inst = generator.next();
 
@@ -136,46 +168,51 @@ class Playback
             bool mispredicted = false;
             if (inst.isBranch()) {
                 bool predicted =
-                    predictor_->predict(inst.pc, inst.branch_id);
+                    predictor.predict(inst.pc, inst.branch_id);
                 mispredicted = predicted != inst.taken;
-                predictor_->update(inst.pc, inst.branch_id, inst.taken);
+                predictor.update(inst.pc, inst.branch_id, inst.taken);
             }
             if (inst.isMemory()) {
                 caches_.accessData(inst.address);
                 tlbs_.accessData(inst.address);
             }
 
-            if (!record)
-                continue;
-
-            PerfCounters &c = *record;
-            ++c.instructions;
-            if (inst.kernel)
-                ++c.kernel_instructions;
-            switch (inst.op) {
-              case trace::OpClass::Load: ++c.loads; break;
-              case trace::OpClass::Store: ++c.stores; break;
-              case trace::OpClass::FpAlu: ++c.fp_ops; break;
-              case trace::OpClass::Simd: ++c.simd_ops; break;
-              case trace::OpClass::Branch:
-                ++c.branches;
-                if (inst.taken)
-                    ++c.taken_branches;
-                if (mispredicted)
-                    ++c.branch_mispredictions;
-                break;
-              default:
-                break;
+            if constexpr (Record) {
+                kernel += inst.kernel ? 1 : 0;
+                switch (inst.op) {
+                  case trace::OpClass::Load: ++loads; break;
+                  case trace::OpClass::Store: ++stores; break;
+                  case trace::OpClass::FpAlu: ++fp_ops; break;
+                  case trace::OpClass::Simd: ++simd_ops; break;
+                  case trace::OpClass::Branch:
+                    ++branches;
+                    taken_branches += inst.taken ? 1 : 0;
+                    mispredictions += mispredicted ? 1 : 0;
+                    break;
+                  default:
+                    break;
+                }
             }
         }
-        if (record)
-            addDelta(*record, start, capture(caches_, tlbs_));
+
+        if constexpr (Record) {
+            PerfCounters &c = *record;
+            c.instructions += count;
+            c.kernel_instructions += kernel;
+            c.loads += loads;
+            c.stores += stores;
+            c.fp_ops += fp_ops;
+            c.simd_ops += simd_ops;
+            c.branches += branches;
+            c.taken_branches += taken_branches;
+            c.branch_mispredictions += mispredictions;
+            addDelta(c, start, capture(caches_, tlbs_));
+        }
     }
 
-  private:
     CacheHierarchy caches_;
     TlbHierarchy tlbs_;
-    std::unique_ptr<BranchPredictor> predictor_;
+    PredictorVariant predictor_;
 };
 
 } // namespace

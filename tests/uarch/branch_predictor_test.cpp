@@ -142,6 +142,55 @@ TEST(PredictorHistoryTest, PatternOfPeriodFour)
     EXPECT_LT(gshare_rate, 0.05);
 }
 
+/**
+ * The playback loop dispatches through PredictorVariant instead of the
+ * virtual interface; both factories must build behaviourally identical
+ * predictors.  Drive a mixed stream of biased, alternating and random
+ * branches through both paths in lock-step and require the prediction
+ * to agree at every single step.
+ */
+TEST(PredictorDispatchTest, VariantMatchesVirtualInterfaceStepByStep)
+{
+    for (PredictorKind kind : allKinds()) {
+        auto virt = makePredictor(kind, 12);
+        PredictorVariant variant = makePredictorVariant(kind, 12);
+        std::visit(
+            [&](auto &concrete) {
+                stats::Rng rng(17);
+                for (int i = 0; i < 20000; ++i) {
+                    std::uint64_t pc =
+                        0x400000 + (static_cast<std::uint64_t>(i) % 777)
+                        * 4;
+                    std::uint32_t id =
+                        static_cast<std::uint32_t>(i) % 97;
+                    // Mix of strongly biased, alternating and noisy
+                    // branches keeps every component table exercised.
+                    bool taken = id % 3 == 0   ? true
+                                 : id % 3 == 1 ? i % 2 == 0
+                                               : rng.bernoulli(0.5);
+                    bool virtual_prediction = virt->predict(pc, id);
+                    bool direct_prediction = concrete.predict(pc, id);
+                    ASSERT_EQ(virtual_prediction, direct_prediction)
+                        << predictorKindName(kind) << " step " << i;
+                    virt->update(pc, id, taken);
+                    concrete.update(pc, id, taken);
+                }
+            },
+            variant);
+    }
+}
+
+TEST(PredictorDispatchTest, VariantReportsSameName)
+{
+    for (PredictorKind kind : allKinds()) {
+        PredictorVariant variant = makePredictorVariant(kind, 10);
+        std::string name = std::visit(
+            [](const auto &concrete) { return concrete.name(); },
+            variant);
+        EXPECT_EQ(name, predictorKindName(kind));
+    }
+}
+
 TEST(PredictorFactoryTest, NamesAndCreation)
 {
     for (PredictorKind kind : allKinds()) {

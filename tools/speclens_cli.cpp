@@ -13,9 +13,12 @@
  *   sensitivity <metric>      Table IX-style sensitivity classes
  *                             (branch | l1d | dtlb)
  *
- * Global options: --instructions N, --warmup N (simulation window).
+ * Global options: --instructions N, --warmup N (simulation window),
+ * --jobs N (simulation worker threads; default one per hardware
+ * thread).
  */
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -53,6 +56,7 @@ struct CliOptions
     std::vector<std::string> args;
     std::uint64_t instructions = 120'000;
     std::uint64_t warmup = 30'000;
+    std::size_t jobs = 0; //!< 0 = one worker per hardware thread.
 };
 
 [[noreturn]] void
@@ -60,7 +64,7 @@ usage(int code)
 {
     std::fputs(
         "usage: speclens <command> [args] [--instructions N] "
-        "[--warmup N]\n"
+        "[--warmup N] [--jobs N]\n"
         "\n"
         "commands:\n"
         "  list [cpu2017|cpu2006|emerging]   list benchmarks\n"
@@ -81,6 +85,30 @@ usage(int code)
     std::exit(code);
 }
 
+/** Numeric value of @p flag at argv[i + 1]; exits on bad input. */
+std::uint64_t
+numericFlagValue(const char *flag, int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", flag);
+        std::exit(1);
+    }
+    const char *text = argv[++i];
+    char *end = nullptr;
+    errno = 0;
+    // strtoull wraps "-3" to a huge value; reject signs outright.
+    unsigned long long value = std::strtoull(text, &end, 10);
+    if (text[0] == '-' || text[0] == '+' || end == text || *end != '\0' ||
+        errno == ERANGE) {
+        std::fprintf(stderr,
+                     "error: %s expects a non-negative integer, got "
+                     "'%s'\n",
+                     flag, text);
+        std::exit(1);
+    }
+    return value;
+}
+
 CliOptions
 parse(int argc, char **argv)
 {
@@ -89,10 +117,14 @@ parse(int argc, char **argv)
         usage(1);
     opts.command = argv[1];
     for (int i = 2; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--instructions") == 0 && i + 1 < argc)
-            opts.instructions = std::strtoull(argv[++i], nullptr, 10);
-        else if (std::strcmp(argv[i], "--warmup") == 0 && i + 1 < argc)
-            opts.warmup = std::strtoull(argv[++i], nullptr, 10);
+        if (std::strcmp(argv[i], "--instructions") == 0)
+            opts.instructions =
+                numericFlagValue("--instructions", argc, argv, i);
+        else if (std::strcmp(argv[i], "--warmup") == 0)
+            opts.warmup = numericFlagValue("--warmup", argc, argv, i);
+        else if (std::strcmp(argv[i], "--jobs") == 0)
+            opts.jobs = static_cast<std::size_t>(
+                numericFlagValue("--jobs", argc, argv, i));
         else if (std::strcmp(argv[i], "--help") == 0)
             usage(0);
         else
@@ -125,6 +157,7 @@ makeCharacterizer(const CliOptions &opts)
     core::CharacterizationConfig config;
     config.instructions = opts.instructions;
     config.warmup = opts.warmup;
+    config.jobs = opts.jobs;
     return core::Characterizer(suites::profilingMachines(), config);
 }
 
@@ -184,6 +217,7 @@ cmdCharacterize(const CliOptions &opts)
         usage(1);
     core::Characterizer characterizer = makeCharacterizer(opts);
 
+    std::vector<suites::BenchmarkInfo> selected;
     for (const std::string &name : opts.args) {
         const suites::BenchmarkInfo *benchmark = lookup(name);
         if (!benchmark) {
@@ -191,6 +225,13 @@ cmdCharacterize(const CliOptions &opts)
                          name.c_str());
             return 1;
         }
+        selected.push_back(*benchmark);
+    }
+    // Fan all (benchmark, machine) simulations out before printing.
+    characterizer.prepare(selected);
+
+    for (const suites::BenchmarkInfo &info : selected) {
+        const suites::BenchmarkInfo *benchmark = &info;
         std::printf("\n%s (%s, %s)\n", benchmark->name.c_str(),
                     suites::suiteName(benchmark->suite).c_str(),
                     suites::domainName(benchmark->domain).c_str());
@@ -342,6 +383,7 @@ cmdSensitivity(const CliOptions &opts)
     core::CharacterizationConfig config;
     config.instructions = opts.instructions;
     config.warmup = opts.warmup;
+    config.jobs = opts.jobs;
     core::Characterizer characterizer(suites::sensitivityMachines(),
                                       config);
     core::SensitivityReport report = core::classifySensitivity(
