@@ -20,6 +20,13 @@ Characterizer::Characterizer(std::vector<uarch::MachineConfig> machines,
 {
     if (machines_.empty())
         throw std::invalid_argument("Characterizer: no machines");
+#ifdef SPECLENS_VALIDATE
+    // Startup assertions (configure with -DSPECLENS_VALIDATE=ON): a
+    // malformed machine model corrupts every measurement silently, so
+    // fail fast before any simulation runs.
+    for (const uarch::MachineConfig &machine : machines_)
+        uarch::validateMachineConfig(machine);
+#endif
 }
 
 uarch::SimulationResult
@@ -62,6 +69,16 @@ Characterizer::prepare(
     }
     if (missing.empty())
         return;
+
+#ifdef SPECLENS_VALIDATE
+    // Validate each profile once before fanning the campaign out, so a
+    // broken model aborts with a field name instead of producing a
+    // plausible-looking feature matrix.
+    for (const auto &[benchmark, mi] : missing) {
+        (void)mi;
+        benchmark->profile.validate();
+    }
+#endif
 
     parallelFor(missing.size(), jobs == 0 ? config_.jobs : jobs,
                 [&](std::size_t i) {

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Diagnostic vocabulary implementation.
+ */
+
+#include "diagnostics.h"
+
+#include <stdexcept>
+
+namespace speclens {
+namespace lint {
+
+std::string
+severityName(Severity severity)
+{
+    switch (severity) {
+      case Severity::Info: return "info";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "unknown";
+}
+
+Severity
+severityFromName(const std::string &name)
+{
+    if (name == "info")
+        return Severity::Info;
+    if (name == "warning")
+        return Severity::Warning;
+    if (name == "error")
+        return Severity::Error;
+    throw std::invalid_argument("unknown severity: " + name);
+}
+
+std::size_t
+countSeverity(const std::vector<Diagnostic> &diagnostics,
+              Severity severity)
+{
+    std::size_t n = 0;
+    for (const Diagnostic &d : diagnostics)
+        if (d.severity == severity)
+            ++n;
+    return n;
+}
+
+} // namespace lint
+} // namespace speclens

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Diagnostic vocabulary of the static-analysis subsystem.
+ *
+ * Every lint rule reports findings as Diagnostic values: a stable code
+ * (SL001...), a severity, the location of the offending datum (a
+ * benchmark/field or machine/structure path), a human-readable message
+ * and, where possible, a hint describing the fix.  The calibration
+ * tables under src/suites are hand-entered from the paper; a silently
+ * out-of-range field skews every downstream PCA/clustering/subsetting
+ * result without crashing anything, so the diagnostics here are the
+ * first line of defence.
+ */
+
+#ifndef SPECLENS_LINT_DIAGNOSTICS_H
+#define SPECLENS_LINT_DIAGNOSTICS_H
+
+#include <string>
+#include <vector>
+
+namespace speclens {
+namespace lint {
+
+/** How bad a finding is. */
+enum class Severity {
+    Info,    //!< Informational note (skipped checks, statistics).
+    Warning, //!< Suspicious but not certainly wrong.
+    Error,   //!< Model is invalid; downstream results untrustworthy.
+};
+
+/** Lower-case severity name ("info", "warning", "error"). */
+std::string severityName(Severity severity);
+
+/**
+ * Parse a severity name.
+ * @throws std::invalid_argument on unknown names.
+ */
+Severity severityFromName(const std::string &name);
+
+/** One finding of one rule. */
+struct Diagnostic
+{
+    /** Stable rule code, e.g. "SL003". */
+    std::string code;
+
+    Severity severity = Severity::Error;
+
+    /**
+     * Path of the offending datum, e.g. "505.mcf_r/mix.load" or
+     * "machine:skylake/caches.l2".
+     */
+    std::string location;
+
+    /** What is wrong, with the offending value spelled out. */
+    std::string message;
+
+    /** How to fix it; empty when no hint applies. */
+    std::string fix_hint;
+};
+
+/** Number of diagnostics in @p diagnostics at exactly @p severity. */
+std::size_t countSeverity(const std::vector<Diagnostic> &diagnostics,
+                          Severity severity);
+
+} // namespace lint
+} // namespace speclens
+
+#endif // SPECLENS_LINT_DIAGNOSTICS_H

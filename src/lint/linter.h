@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The Linter: runs a rule battery over a LintContext and renders the
+ * findings.
+ *
+ * Reports are rendered either as human-readable text (one finding per
+ * block with its location, message and fix hint) or as JSON for CI
+ * tooling.  The severity filter affects display only; exit-code
+ * decisions use the unfiltered error count so a filtered report cannot
+ * hide a broken model.
+ */
+
+#ifndef SPECLENS_LINT_LINTER_H
+#define SPECLENS_LINT_LINTER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostics.h"
+#include "lint/rule.h"
+
+namespace speclens {
+namespace lint {
+
+/** Outcome of one lint run. */
+struct LintReport
+{
+    /** All findings in rule order, then emission order. */
+    std::vector<Diagnostic> diagnostics;
+
+    /** Number of rules that ran. */
+    std::size_t rules_run = 0;
+
+    std::size_t errors() const
+    {
+        return countSeverity(diagnostics, Severity::Error);
+    }
+
+    std::size_t warnings() const
+    {
+        return countSeverity(diagnostics, Severity::Warning);
+    }
+
+    /** True when no finding is an Error. */
+    bool clean() const { return errors() == 0; }
+};
+
+/** Output format of a rendered report. */
+enum class ReportFormat { Text, Json };
+
+/**
+ * Parse a format name ("text" / "json").
+ * @throws std::invalid_argument on unknown names.
+ */
+ReportFormat reportFormatFromName(const std::string &name);
+
+/** Runs rules over a context. */
+class Linter
+{
+  public:
+    /** Linter with the full shipped battery (defaultRules()). */
+    Linter();
+
+    /** Linter with a custom battery. */
+    explicit Linter(std::vector<std::unique_ptr<Rule>> rules);
+
+    /** The battery, in execution order. */
+    const std::vector<std::unique_ptr<Rule>> &rules() const
+    {
+        return rules_;
+    }
+
+    /** Run every rule over @p context. */
+    LintReport run(const LintContext &context) const;
+
+  private:
+    std::vector<std::unique_ptr<Rule>> rules_;
+};
+
+/**
+ * Render @p report as human-readable text.
+ *
+ * @param min_severity Findings below this severity are omitted from
+ *        the listing (the summary line always reflects all findings).
+ */
+std::string renderText(const LintReport &report,
+                       Severity min_severity = Severity::Info);
+
+/** Render @p report as a JSON document. */
+std::string renderJson(const LintReport &report,
+                       Severity min_severity = Severity::Info);
+
+} // namespace lint
+} // namespace speclens
+
+#endif // SPECLENS_LINT_LINTER_H

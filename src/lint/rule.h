@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The Rule interface and the data a lint run inspects.
+ *
+ * A LintContext snapshots everything the rules verify: the three
+ * benchmark databases, the Table IV machine models, the input-set
+ * groups and the synthetic score database.  Holding the data by value
+ * lets tests corrupt a single field of a copy and assert that exactly
+ * one rule fires with exactly its diagnostic code.
+ */
+
+#ifndef SPECLENS_LINT_RULE_H
+#define SPECLENS_LINT_RULE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostics.h"
+#include "suites/benchmark_info.h"
+#include "suites/input_sets.h"
+#include "suites/score_database.h"
+#include "uarch/machine.h"
+
+namespace speclens {
+namespace lint {
+
+/** Everything a lint run inspects. */
+struct LintContext
+{
+    std::vector<suites::BenchmarkInfo> cpu2017;
+    std::vector<suites::BenchmarkInfo> cpu2006;
+    std::vector<suites::BenchmarkInfo> emerging;
+    std::vector<uarch::MachineConfig> machines;
+
+    /** INT + FP input-set groups (Figs. 7-8). */
+    std::vector<suites::InputSetGroup> input_groups;
+
+    /** Synthetic published-results database (Section IV-B). */
+    suites::ScoreDatabase scores;
+
+    /**
+     * When true, simulation-backed checks run too: each CPU2017
+     * benchmark is measured on the simulated Skylake and its derived
+     * metrics are checked against the Table I/II envelopes.  Slower
+     * (43 short simulations) but catches calibration drift that no
+     * purely structural check can see.
+     */
+    bool deep = false;
+
+    /** Simulation window for the deep checks. */
+    std::uint64_t instructions = 120'000;
+    std::uint64_t warmup = 30'000;
+
+    /** Worker threads for the deep checks; 0 = one per hardware thread. */
+    std::size_t jobs = 0;
+
+    /** All benchmarks of all databases, 2017 first. */
+    std::vector<const suites::BenchmarkInfo *> allBenchmarks() const;
+};
+
+/** Context loaded with the shipped suites, machines and databases. */
+LintContext shippedContext();
+
+/** One verification rule. */
+class Rule
+{
+  public:
+    virtual ~Rule() = default;
+
+    /** Stable diagnostic code ("SL001"). */
+    virtual std::string code() const = 0;
+
+    /** Short kebab-case name ("mix-range"). */
+    virtual std::string name() const = 0;
+
+    /** One-line description of what the rule verifies. */
+    virtual std::string description() const = 0;
+
+    /** Append findings for @p context to @p out. */
+    virtual void run(const LintContext &context,
+                     std::vector<Diagnostic> &out) const = 0;
+};
+
+} // namespace lint
+} // namespace speclens
+
+#endif // SPECLENS_LINT_RULE_H

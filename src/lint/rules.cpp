@@ -1,0 +1,1102 @@
+/**
+ * @file
+ * Shipped lint rules.
+ *
+ * Each rule walks one slice of the calibration data (workload models,
+ * machine configurations, cross-reference tables) and reports findings
+ * under its stable code.  Thresholds encode either hard physical
+ * constraints (probabilities, monotone hierarchies) or the published
+ * envelopes of the paper's Tables I/II.
+ */
+
+#include "rules.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/characterization.h"
+#include "suites/emerging.h"
+#include "suites/input_sets.h"
+#include "suites/machines.h"
+#include "suites/spec2006.h"
+#include "suites/spec2017.h"
+
+namespace speclens {
+namespace lint {
+
+namespace {
+
+std::string
+num(double v)
+{
+    std::ostringstream out;
+    out << v;
+    return out.str();
+}
+
+bool
+inUnit(double v)
+{
+    return std::isfinite(v) && v >= 0.0 && v <= 1.0;
+}
+
+bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Shared emit helper bound to one rule's code. */
+class RuleBase : public Rule
+{
+  protected:
+    void
+    emit(std::vector<Diagnostic> &out, Severity severity,
+         std::string location, std::string message,
+         std::string fix_hint = "") const
+    {
+        out.push_back(Diagnostic{code(), severity, std::move(location),
+                                 std::move(message),
+                                 std::move(fix_hint)});
+    }
+
+    void
+    error(std::vector<Diagnostic> &out, std::string location,
+          std::string message, std::string fix_hint = "") const
+    {
+        emit(out, Severity::Error, std::move(location),
+             std::move(message), std::move(fix_hint));
+    }
+};
+
+// ====================================================================
+// Workload-model rules (SL001-SL006): run over every benchmark of
+// every database, including input-set variants where applicable.
+// ====================================================================
+
+class MixRangeRule final : public RuleBase
+{
+  public:
+    std::string code() const override { return "SL001"; }
+    std::string name() const override { return "mix-range"; }
+    std::string
+    description() const override
+    {
+        return "instruction-mix fractions lie in [0,1] and leave a "
+               "non-negative integer-ALU remainder";
+    }
+
+    void
+    run(const LintContext &context,
+        std::vector<Diagnostic> &out) const override
+    {
+        for (const suites::BenchmarkInfo *b : context.allBenchmarks()) {
+            const trace::InstructionMix &mix = b->profile.mix;
+            const struct
+            {
+                const char *field;
+                double value;
+            } fields[] = {
+                {"mix.load", mix.load},     {"mix.store", mix.store},
+                {"mix.branch", mix.branch}, {"mix.fp", mix.fp},
+                {"mix.simd", mix.simd},
+            };
+            for (const auto &f : fields) {
+                if (!inUnit(f.value)) {
+                    error(out, b->name + "/" + f.field,
+                          "mix fraction is " + num(f.value) +
+                              ", outside [0, 1]",
+                          "Table I percentages divided by 100 must be "
+                          "probabilities");
+                }
+            }
+            if (std::isfinite(mix.remainder()) &&
+                mix.remainder() < 0.0) {
+                error(out, b->name + "/mix",
+                      "mix fractions sum to " +
+                          num(1.0 - mix.remainder()) +
+                          " > 1: no room for integer-ALU ops",
+                      "load+store+branch+fp+simd must stay <= 1");
+            }
+        }
+    }
+};
+
+class MixSumRule final : public RuleBase
+{
+  public:
+    std::string code() const override { return "SL002"; }
+    std::string name() const override { return "mix-sum"; }
+    std::string
+    description() const override
+    {
+        return "working-set mixture weights are positive and sum to 1 "
+               "within tolerance";
+    }
+
+    void
+    run(const LintContext &context,
+        std::vector<Diagnostic> &out) const override
+    {
+        // The tlb_stress knob deliberately inflates the vast-set
+        // weight by up to (1 + stress); vast weights are <= 0.013, so
+        // a 2% tolerance accepts every legitimate preset while
+        // catching genuinely broken mixtures.
+        constexpr double kTolerance = 0.02;
+        for (const suites::BenchmarkInfo *b : context.allBenchmarks()) {
+            double total = 0.0;
+            bool weights_ok = true;
+            for (std::size_t i = 0; i < b->profile.memory.data.size();
+                 ++i) {
+                double w = b->profile.memory.data[i].weight;
+                if (!std::isfinite(w) || w <= 0.0) {
+                    error(out,
+                          b->name + "/memory.data[" +
+                              std::to_string(i) + "].weight",
+                          "working-set weight is " + num(w),
+                          "every mixture component needs a positive "
+                          "weight");
+                    weights_ok = false;
+                }
+                total += w;
+            }
+            if (weights_ok &&
+                std::fabs(total - 1.0) > kTolerance) {
+                error(out, b->name + "/memory.data",
+                      "working-set weights sum to " + num(total) +
+                          ", expected 1 within " + num(kTolerance),
+                      "renormalise the dataPreset() mixture row");
+            }
+        }
+    }
+};
+
+class CpiComponentsRule final : public RuleBase
+{
+  public:
+    std::string code() const override { return "SL003"; }
+    std::string name() const override { return "cpi-components"; }
+    std::string
+    description() const override
+    {
+        return "CPI components are non-negative, MLP >= 1 and the "
+               "instruction count is positive";
+    }
+
+    void
+    run(const LintContext &context,
+        std::vector<Diagnostic> &out) const override
+    {
+        for (const suites::BenchmarkInfo *b : context.allBenchmarks()) {
+            const trace::ExecutionModel &e = b->profile.exec;
+            if (!std::isfinite(e.base_cpi) || e.base_cpi <= 0.0)
+                error(out, b->name + "/exec.base_cpi",
+                      "base CPI is " + num(e.base_cpi) +
+                          ", must be positive",
+                      "every instruction costs at least issue "
+                      "bandwidth");
+            if (!std::isfinite(e.dependency_cpi) ||
+                e.dependency_cpi < 0.0)
+                error(out, b->name + "/exec.dependency_cpi",
+                      "dependency CPI is " + num(e.dependency_cpi) +
+                          ", must be >= 0");
+            if (!std::isfinite(e.mlp) || e.mlp < 1.0)
+                error(out, b->name + "/exec.mlp",
+                      "MLP divisor is " + num(e.mlp) +
+                          ", must be >= 1",
+                      "1 means fully serialised misses; below 1 would "
+                      "amplify penalties");
+            if (!inUnit(e.kernel_fraction))
+                error(out, b->name + "/exec.kernel_fraction",
+                      "kernel fraction is " + num(e.kernel_fraction) +
+                          ", outside [0, 1]");
+            double icount = b->profile.dynamic_instructions_billions;
+            if (!std::isfinite(icount) || icount <= 0.0)
+                error(out, b->name + "/dynamic_instructions_billions",
+                      "instruction count is " + num(icount) +
+                          " billion, must be positive");
+        }
+    }
+};
+
+class WorkingSetShapeRule final : public RuleBase
+{
+  public:
+    std::string code() const override { return "SL004"; }
+    std::string name() const override { return "working-set-shape"; }
+    std::string
+    description() const override
+    {
+        return "working-set sizes increase hot->vast and strides are "
+               "line-granular";
+    }
+
+    void
+    run(const LintContext &context,
+        std::vector<Diagnostic> &out) const override
+    {
+        for (const suites::BenchmarkInfo *b : context.allBenchmarks()) {
+            const auto &data = b->profile.memory.data;
+            for (std::size_t i = 0; i < data.size(); ++i) {
+                std::string loc = b->name + "/memory.data[" +
+                                  std::to_string(i) + "]";
+                if (!std::isfinite(data[i].bytes) ||
+                    data[i].bytes < 64.0)
+                    error(out, loc + ".bytes",
+                          "footprint is " + num(data[i].bytes) +
+                              " bytes, below one cache line");
+                if (!std::isfinite(data[i].stride_bytes) ||
+                    data[i].stride_bytes < 64.0)
+                    error(out, loc + ".stride_bytes",
+                          "stride is " + num(data[i].stride_bytes) +
+                              " bytes, below one cache line");
+                else if (data[i].bytes < data[i].stride_bytes)
+                    error(out, loc,
+                          "footprint " + num(data[i].bytes) +
+                              " is smaller than its stride " +
+                              num(data[i].stride_bytes),
+                          "a set must contain at least one element");
+                if (!inUnit(data[i].sequential))
+                    error(out, loc + ".sequential",
+                          "sequential fraction is " +
+                              num(data[i].sequential) +
+                              ", outside [0, 1]");
+                if (i > 0 && data[i].bytes <= data[i - 1].bytes)
+                    error(out, loc + ".bytes",
+                          "set sizes must increase hot -> vast, but " +
+                              num(data[i].bytes) + " <= " +
+                              num(data[i - 1].bytes),
+                          "the mixture is ordered by the cache level "
+                          "that captures each set");
+            }
+        }
+    }
+};
+
+class CodeModelRule final : public RuleBase
+{
+  public:
+    std::string code() const override { return "SL005"; }
+    std::string name() const override { return "code-model"; }
+    std::string
+    description() const override
+    {
+        return "hot code fits inside the code footprint and code "
+               "locality is a probability";
+    }
+
+    void
+    run(const LintContext &context,
+        std::vector<Diagnostic> &out) const override
+    {
+        for (const suites::BenchmarkInfo *b : context.allBenchmarks()) {
+            const trace::MemoryModel &m = b->profile.memory;
+            if (!std::isfinite(m.code_bytes) || m.code_bytes < 64.0)
+                error(out, b->name + "/memory.code_bytes",
+                      "code footprint is " + num(m.code_bytes) +
+                          " bytes, below one cache line");
+            if (!std::isfinite(m.hot_code_bytes) ||
+                m.hot_code_bytes < 64.0)
+                error(out, b->name + "/memory.hot_code_bytes",
+                      "hot code region is " + num(m.hot_code_bytes) +
+                          " bytes, below one cache line");
+            else if (m.hot_code_bytes > m.code_bytes)
+                error(out, b->name + "/memory.hot_code_bytes",
+                      "hot code region (" + num(m.hot_code_bytes) +
+                          " bytes) exceeds the code footprint (" +
+                          num(m.code_bytes) + " bytes)",
+                      "the hot loop nest is a subset of the static "
+                      "code");
+            if (!inUnit(m.code_locality))
+                error(out, b->name + "/memory.code_locality",
+                      "code locality is " + num(m.code_locality) +
+                          ", outside [0, 1]");
+        }
+    }
+};
+
+class BranchModelRule final : public RuleBase
+{
+  public:
+    std::string code() const override { return "SL006"; }
+    std::string name() const override { return "branch-model"; }
+    std::string
+    description() const override
+    {
+        return "branch-population fractions are probabilities and the "
+               "static population is sane";
+    }
+
+    void
+    run(const LintContext &context,
+        std::vector<Diagnostic> &out) const override
+    {
+        for (const suites::BenchmarkInfo *b : context.allBenchmarks()) {
+            const trace::BranchModel &br = b->profile.branch;
+            if (br.static_branches == 0 ||
+                br.static_branches > (1u << 20))
+                error(out, b->name + "/branch.static_branches",
+                      "static branch population is " +
+                          std::to_string(br.static_branches),
+                      "expected between 1 and 2^20 static branches");
+            const struct
+            {
+                const char *field;
+                double value;
+            } fields[] = {
+                {"branch.taken_fraction", br.taken_fraction},
+                {"branch.biased_fraction", br.biased_fraction},
+                {"branch.patterned_fraction", br.patterned_fraction},
+            };
+            for (const auto &f : fields)
+                if (!inUnit(f.value))
+                    error(out, b->name + "/" + f.field,
+                          std::string(f.field) + " is " + num(f.value) +
+                              ", outside [0, 1]");
+        }
+    }
+};
+
+// ====================================================================
+// Machine rules (SL007-SL011): the seven Table IV configurations.
+// ====================================================================
+
+class CacheMonotonicityRule final : public RuleBase
+{
+  public:
+    std::string code() const override { return "SL007"; }
+    std::string name() const override { return "cache-monotonic"; }
+    std::string
+    description() const override
+    {
+        return "cache capacity and visible latency grow with the "
+               "hierarchy level";
+    }
+
+    void
+    run(const LintContext &context,
+        std::vector<Diagnostic> &out) const override
+    {
+        for (const uarch::MachineConfig &m : context.machines) {
+            const std::string loc = "machine:" + m.short_name;
+            const uarch::CacheHierarchyConfig &c = m.caches;
+            if (c.l2.size_bytes < c.l1d.size_bytes ||
+                c.l2.size_bytes < c.l1i.size_bytes)
+                error(out, loc + "/caches.l2",
+                      "L2 (" + num(double(c.l2.size_bytes)) +
+                          " bytes) is smaller than an L1",
+                      "capacity must not shrink with level");
+            if (c.l3 && c.l3->size_bytes <= c.l2.size_bytes)
+                error(out, loc + "/caches.l3",
+                      "L3 (" + num(double(c.l3->size_bytes)) +
+                          " bytes) is not larger than L2 (" +
+                          num(double(c.l2.size_bytes)) + " bytes)",
+                      "drop the level instead of shrinking it");
+            const std::uint32_t line = c.l1d.line_bytes;
+            for (const uarch::CacheConfig *cache :
+                 {&c.l1i, &c.l2, c.l3 ? &*c.l3 : nullptr}) {
+                if (cache && cache->line_bytes != line)
+                    error(out, loc + "/caches." + cache->name,
+                          "line size " +
+                              std::to_string(cache->line_bytes) +
+                              " differs from L1D's " +
+                              std::to_string(line),
+                          "mixed line sizes break inclusive fills");
+            }
+
+            const uarch::LatencyModel &lat = m.latencies;
+            if (!(lat.l2_hit_cycles > 0.0 &&
+                  lat.l3_hit_cycles > lat.l2_hit_cycles &&
+                  lat.memory_cycles > lat.l3_hit_cycles))
+                error(out, loc + "/latencies",
+                      "visible latencies must increase with depth: "
+                      "L2 " + num(lat.l2_hit_cycles) + ", L3 " +
+                          num(lat.l3_hit_cycles) + ", memory " +
+                          num(lat.memory_cycles));
+            if (lat.mispredict_penalty <= 0.0 ||
+                lat.icache_l2_penalty <= 0.0 ||
+                lat.l2tlb_hit_cycles <= 0.0 ||
+                lat.page_walk_cycles <= lat.l2tlb_hit_cycles)
+                error(out, loc + "/latencies",
+                      "front-end and TLB penalties must be positive "
+                      "and a page walk must cost more than an L2 TLB "
+                      "hit");
+        }
+    }
+};
+
+class CacheGeometryRule final : public RuleBase
+{
+  public:
+    std::string code() const override { return "SL008"; }
+    std::string name() const override { return "cache-geometry"; }
+    std::string
+    description() const override
+    {
+        return "every cache has a power-of-two line size and a "
+               "geometry its ways divide evenly";
+    }
+
+    void
+    run(const LintContext &context,
+        std::vector<Diagnostic> &out) const override
+    {
+        for (const uarch::MachineConfig &m : context.machines) {
+            const uarch::CacheHierarchyConfig &c = m.caches;
+            for (const uarch::CacheConfig *cache :
+                 {&c.l1i, &c.l1d, &c.l2, c.l3 ? &*c.l3 : nullptr}) {
+                if (!cache)
+                    continue;
+                checkCache(out, m.short_name, *cache);
+            }
+        }
+    }
+
+  private:
+    void
+    checkCache(std::vector<Diagnostic> &out,
+               const std::string &machine,
+               const uarch::CacheConfig &cache) const
+    {
+        const std::string loc =
+            "machine:" + machine + "/caches." + cache.name;
+        if (!isPowerOfTwo(cache.line_bytes) || cache.line_bytes < 16 ||
+            cache.line_bytes > 256) {
+            error(out, loc,
+                  "line size " + std::to_string(cache.line_bytes) +
+                      " is not a power of two in [16, 256]");
+            return;
+        }
+        if (cache.associativity == 0) {
+            error(out, loc, "associativity is zero");
+            return;
+        }
+        std::uint64_t way_bytes =
+            std::uint64_t(cache.line_bytes) * cache.associativity;
+        if (cache.size_bytes == 0 ||
+            cache.size_bytes % way_bytes != 0)
+            error(out, loc,
+                  "capacity " + std::to_string(cache.size_bytes) +
+                      " is not a multiple of line size x ways (" +
+                      std::to_string(way_bytes) + ")",
+                  "sets() would truncate and silently drop capacity");
+        else if (cache.size_bytes / way_bytes == 0)
+            error(out, loc, "geometry yields zero sets");
+        if (std::uint64_t(cache.associativity) * cache.line_bytes >
+            cache.size_bytes)
+            error(out, loc,
+                  "more ways than lines: associativity " +
+                      std::to_string(cache.associativity) +
+                      " exceeds capacity / line size");
+    }
+};
+
+class TlbConfigRule final : public RuleBase
+{
+  public:
+    std::string code() const override { return "SL009"; }
+    std::string name() const override { return "tlb-config"; }
+    std::string
+    description() const override
+    {
+        return "TLB entries/ways/page sizes are sane and a shared L2 "
+               "TLB covers the L1 TLBs";
+    }
+
+    void
+    run(const LintContext &context,
+        std::vector<Diagnostic> &out) const override
+    {
+        for (const uarch::MachineConfig &m : context.machines) {
+            const uarch::TlbHierarchyConfig &t = m.tlbs;
+            checkTlb(out, m.short_name, t.itlb);
+            checkTlb(out, m.short_name, t.dtlb);
+            if (!t.l2tlb)
+                continue;
+            checkTlb(out, m.short_name, *t.l2tlb);
+            const std::string loc =
+                "machine:" + m.short_name + "/tlbs." + t.l2tlb->name;
+            if (t.l2tlb->entries < t.itlb.entries ||
+                t.l2tlb->entries < t.dtlb.entries)
+                error(out, loc,
+                      "second-level TLB (" +
+                          std::to_string(t.l2tlb->entries) +
+                          " entries) is smaller than a first-level "
+                          "TLB",
+                      "a victim/second-level TLB must cover what the "
+                      "L1 TLBs hold");
+            if (t.l2tlb->page_bytes != t.itlb.page_bytes ||
+                t.l2tlb->page_bytes != t.dtlb.page_bytes)
+                error(out, loc,
+                      "page size differs between TLB levels");
+        }
+    }
+
+  private:
+    void
+    checkTlb(std::vector<Diagnostic> &out, const std::string &machine,
+             const uarch::TlbConfig &tlb) const
+    {
+        const std::string loc =
+            "machine:" + machine + "/tlbs." + tlb.name;
+        if (tlb.entries == 0) {
+            error(out, loc, "TLB has zero entries");
+            return;
+        }
+        if (tlb.associativity == 0 ||
+            tlb.associativity > tlb.entries)
+            error(out, loc,
+                  "associativity " +
+                      std::to_string(tlb.associativity) +
+                      " is outside [1, entries=" +
+                      std::to_string(tlb.entries) + "]",
+                  "use entries for a fully associative TLB");
+        else if (tlb.entries % tlb.associativity != 0)
+            error(out, loc,
+                  "entries " + std::to_string(tlb.entries) +
+                      " are not a multiple of associativity " +
+                      std::to_string(tlb.associativity));
+        if (!isPowerOfTwo(tlb.page_bytes) || tlb.page_bytes < 4096)
+            error(out, loc,
+                  "page size " + std::to_string(tlb.page_bytes) +
+                      " is not a power of two >= 4096");
+    }
+};
+
+class MachineConfigRule final : public RuleBase
+{
+  public:
+    std::string code() const override { return "SL010"; }
+    std::string name() const override { return "machine-config"; }
+    std::string
+    description() const override
+    {
+        return "frequency, predictor size and power coefficients are "
+               "in plausible hardware ranges";
+    }
+
+    void
+    run(const LintContext &context,
+        std::vector<Diagnostic> &out) const override
+    {
+        std::set<std::string> short_names;
+        for (const uarch::MachineConfig &m : context.machines) {
+            const std::string loc = "machine:" + m.short_name;
+            if (m.short_name.empty() || m.name.empty())
+                error(out, loc, "machine has an empty name");
+            else if (!short_names.insert(m.short_name).second)
+                error(out, loc,
+                      "duplicate machine short name '" + m.short_name +
+                          "'",
+                      "short names key the per-machine feature "
+                      "columns");
+            if (!std::isfinite(m.frequency_ghz) ||
+                m.frequency_ghz < 0.5 || m.frequency_ghz > 6.0)
+                error(out, loc + "/frequency_ghz",
+                      "clock of " + num(m.frequency_ghz) +
+                          " GHz is outside the plausible [0.5, 6] "
+                          "range");
+            if (m.predictor_size_log2 < 8 ||
+                m.predictor_size_log2 > 20)
+                error(out, loc + "/predictor_size_log2",
+                      "predictor table of 2^" +
+                          std::to_string(m.predictor_size_log2) +
+                          " entries is outside [2^8, 2^20]");
+            const uarch::PowerModelConfig &p = m.power;
+            if (p.core_static_watts <= 0.0 ||
+                p.energy_per_instruction_nj <= 0.0 ||
+                p.llc_static_watts <= 0.0 ||
+                p.dram_static_watts <= 0.0 ||
+                p.llc_access_energy_nj <= 0.0 ||
+                p.dram_access_energy_nj <= 0.0)
+                error(out, loc + "/power",
+                      "static power and per-event energies must be "
+                      "positive");
+            if (std::fabs(p.frequency_ghz - m.frequency_ghz) > 1e-9)
+                error(out, loc + "/power.frequency_ghz",
+                      "power-model clock (" + num(p.frequency_ghz) +
+                          " GHz) disagrees with the machine clock (" +
+                          num(m.frequency_ghz) + " GHz)",
+                      "set power.frequency_ghz = frequency_ghz when "
+                      "building the machine");
+        }
+    }
+};
+
+class TransformRule final : public RuleBase
+{
+  public:
+    std::string code() const override { return "SL011"; }
+    std::string name() const override { return "transform"; }
+    std::string
+    description() const override
+    {
+        return "ISA/compiler transforms stay in range and keep every "
+               "CPU2017 mix valid";
+    }
+
+    void
+    run(const LintContext &context,
+        std::vector<Diagnostic> &out) const override
+    {
+        for (const uarch::MachineConfig &m : context.machines) {
+            const std::string loc =
+                "machine:" + m.short_name + "/transform";
+            const uarch::WorkloadTransform &t = m.transform;
+            const struct
+            {
+                const char *field;
+                double value;
+            } scales[] = {
+                {"memory_mix_scale", t.memory_mix_scale},
+                {"branch_mix_scale", t.branch_mix_scale},
+                {"code_scale", t.code_scale},
+            };
+            for (const auto &s : scales)
+                if (!std::isfinite(s.value) || s.value < 0.5 ||
+                    s.value > 2.0)
+                    error(out, loc + "." + s.field,
+                          std::string(s.field) + " is " +
+                              num(s.value) +
+                              ", outside the plausible [0.5, 2] "
+                              "range",
+                          "ISA/compiler effects perturb mixes by tens "
+                          "of percent, not orders of magnitude");
+            if (!std::isfinite(t.mix_jitter) || t.mix_jitter < 0.0 ||
+                t.mix_jitter > 0.1)
+                error(out, loc + ".mix_jitter",
+                      "mix jitter of " + num(t.mix_jitter) +
+                          " is outside [0, 0.1]",
+                      "jitter models submitter-to-submitter compiler "
+                      "noise of a few percent");
+
+            // The transform must keep every calibrated mix a valid
+            // probability mix, or the trace generator downstream
+            // samples from garbage.
+            for (const suites::BenchmarkInfo &b : context.cpu2017) {
+                trace::WorkloadProfile transformed =
+                    uarch::transformForMachine(b.profile, m);
+                if (!transformed.mix.valid())
+                    error(out, b.name + "@" + m.short_name,
+                          "machine transform turns the mix invalid "
+                          "(sum > 1 or negative fraction)",
+                          "shrink the transform scales");
+            }
+        }
+    }
+};
+
+// ====================================================================
+// Cross-reference rules (SL012-SL014).
+// ====================================================================
+
+class CrossReferenceRule final : public RuleBase
+{
+  public:
+    std::string code() const override { return "SL012"; }
+    std::string name() const override { return "cross-reference"; }
+    std::string
+    description() const override
+    {
+        return "rate/speed partner links resolve symmetrically and "
+               "names/ids/category counts match the suite";
+    }
+
+    void
+    run(const LintContext &context,
+        std::vector<Diagnostic> &out) const override
+    {
+        // Name uniqueness across all databases: analyses key caches
+        // and feature rows by name.
+        std::set<std::string> names;
+        for (const suites::BenchmarkInfo *b : context.allBenchmarks())
+            if (!names.insert(b->name).second)
+                error(out, b->name,
+                      "duplicate benchmark name across databases",
+                      "names key the measurement cache and feature "
+                      "rows");
+
+        std::set<int> ids;
+        std::size_t per_category[4] = {0, 0, 0, 0};
+        for (const suites::BenchmarkInfo &b : context.cpu2017) {
+            if (b.id != 0 && !ids.insert(b.id).second)
+                error(out, b.name,
+                      "duplicate SPEC id " + std::to_string(b.id));
+            switch (b.category) {
+              case suites::Category::SpeedInt: ++per_category[0]; break;
+              case suites::Category::RateInt: ++per_category[1]; break;
+              case suites::Category::SpeedFp: ++per_category[2]; break;
+              case suites::Category::RateFp: ++per_category[3]; break;
+              default:
+                error(out, b.name,
+                      "CPU2017 benchmark carries a non-CPU2017 "
+                      "category");
+            }
+            checkPartner(out, context, b);
+        }
+
+        // Table I composition: 10 speed INT, 10 rate INT, 10 speed
+        // FP, 13 rate FP.
+        const struct
+        {
+            const char *label;
+            std::size_t expected;
+            std::size_t actual;
+        } counts[] = {
+            {"speed INT", 10, per_category[0]},
+            {"rate INT", 10, per_category[1]},
+            {"speed FP", 10, per_category[2]},
+            {"rate FP", 13, per_category[3]},
+        };
+        for (const auto &c : counts)
+            if (c.actual != c.expected)
+                error(out, "cpu2017",
+                      std::string(c.label) + " has " +
+                          std::to_string(c.actual) +
+                          " benchmarks, Table I lists " +
+                          std::to_string(c.expected));
+    }
+
+  private:
+    void
+    checkPartner(std::vector<Diagnostic> &out,
+                 const LintContext &context,
+                 const suites::BenchmarkInfo &b) const
+    {
+        if (b.partner.empty())
+            return;
+        const suites::BenchmarkInfo *partner = nullptr;
+        for (const suites::BenchmarkInfo &other : context.cpu2017)
+            if (other.name == b.partner)
+                partner = &other;
+        if (!partner) {
+            error(out, b.name + "/partner",
+                  "rate/speed partner '" + b.partner +
+                      "' does not resolve in the CPU2017 database");
+            return;
+        }
+        if (partner->partner != b.name)
+            error(out, b.name + "/partner",
+                  "partnership is not symmetric: " + partner->name +
+                      " points at '" + partner->partner + "'");
+        bool b_speed = suites::isSpeedCategory(b.category);
+        bool p_speed = suites::isSpeedCategory(partner->category);
+        bool b_fp = suites::isFpCategory(b.category);
+        bool p_fp = suites::isFpCategory(partner->category);
+        if (b_speed == p_speed || b_fp != p_fp)
+            error(out, b.name + "/partner",
+                  "rate/speed pair categories disagree (" +
+                      suites::categoryName(b.category) + " vs " +
+                      suites::categoryName(partner->category) + ")",
+                  "a speed benchmark pairs with the rate benchmark "
+                  "of the same INT/FP class");
+    }
+};
+
+class InputSetRule final : public RuleBase
+{
+  public:
+    std::string code() const override { return "SL013"; }
+    std::string name() const override { return "input-sets"; }
+    std::string
+    description() const override
+    {
+        return "input-set groups resolve to CPU2017 benchmarks with "
+               "the declared variant counts and valid models";
+    }
+
+    void
+    run(const LintContext &context,
+        std::vector<Diagnostic> &out) const override
+    {
+        for (const suites::InputSetGroup &group :
+             context.input_groups) {
+            const std::string &base = group.benchmark.name;
+            bool resolves = false;
+            for (const suites::BenchmarkInfo &b : context.cpu2017)
+                if (b.name == base)
+                    resolves = true;
+            if (!resolves)
+                error(out, base,
+                      "input-set group benchmark does not resolve in "
+                      "the CPU2017 database");
+
+            int declared = suites::inputSetCount(base);
+            if (group.inputs.size() !=
+                static_cast<std::size_t>(declared))
+                error(out, base + "/inputs",
+                      "group carries " +
+                          std::to_string(group.inputs.size()) +
+                          " variants but inputSetCount() declares " +
+                          std::to_string(declared));
+
+            for (std::size_t k = 0; k < group.inputs.size(); ++k) {
+                const suites::BenchmarkInfo &v = group.inputs[k];
+                std::string expected =
+                    group.inputs.size() == 1
+                        ? base
+                        : base + "#" + std::to_string(k + 1);
+                if (v.name != expected)
+                    error(out, v.name,
+                          "variant name does not follow the '" +
+                              base + "#k' convention (expected " +
+                              expected + ")");
+                try {
+                    v.profile.validate();
+                } catch (const std::invalid_argument &ex) {
+                    error(out, v.name,
+                          std::string("variant model is invalid: ") +
+                              ex.what());
+                }
+            }
+        }
+    }
+};
+
+class ScoreDatabaseRule final : public RuleBase
+{
+  public:
+    std::string code() const override { return "SL014"; }
+    std::string name() const override { return "score-database"; }
+    std::string
+    description() const override
+    {
+        return "every (system, benchmark) speedup and suite score is "
+               "finite and positive";
+    }
+
+    void
+    run(const LintContext &context,
+        std::vector<Diagnostic> &out) const override
+    {
+        const suites::Category categories[] = {
+            suites::Category::SpeedInt, suites::Category::RateInt,
+            suites::Category::SpeedFp, suites::Category::RateFp};
+        for (suites::Category category : categories) {
+            const auto &systems =
+                context.scores.systemsFor(category);
+            if (systems.empty()) {
+                error(out,
+                      "scores/" + suites::categoryName(category),
+                      "no commercial systems for the category",
+                      "validateSubset() divides by the system count");
+                continue;
+            }
+            for (const suites::CommercialSystem &system : systems) {
+                if (!(system.noise_sigma >= 0.0))
+                    error(out, "scores/" + system.name,
+                          "submission noise sigma is " +
+                              num(system.noise_sigma));
+                for (const suites::BenchmarkInfo &b :
+                     context.cpu2017) {
+                    if (b.category != category)
+                        continue;
+                    double s = context.scores.speedup(system, b);
+                    if (!std::isfinite(s) || s <= 0.0)
+                        error(out,
+                              "scores/" + system.name + "/" + b.name,
+                              "speedup is " + num(s) +
+                                  ", must be finite and positive",
+                              "check the benchmark's traits "
+                              "(deriveTraits) for NaNs");
+                }
+            }
+        }
+    }
+};
+
+// ====================================================================
+// Paper-bound rule (SL015).
+// ====================================================================
+
+class PaperBoundsRule final : public RuleBase
+{
+  public:
+    std::string code() const override { return "SL015"; }
+    std::string name() const override { return "paper-bounds"; }
+    std::string
+    description() const override
+    {
+        return "calibrated and simulated metrics stay inside the "
+               "Table I/II envelopes";
+    }
+
+    void
+    run(const LintContext &context,
+        std::vector<Diagnostic> &out) const override
+    {
+        for (const suites::BenchmarkInfo &b : context.cpu2017) {
+            // Table I CPIs on Skylake span 0.31 (x264) to 1.39
+            // (omnetpp); anything outside [0.2, 3] is a typo.
+            if (!std::isfinite(b.published_cpi) ||
+                b.published_cpi < 0.2 || b.published_cpi > 3.0)
+                error(out, b.name + "/published_cpi",
+                      "published Skylake CPI of " +
+                          num(b.published_cpi) +
+                          " is outside the Table I envelope "
+                          "[0.2, 3]");
+            else {
+                double fixed = b.profile.exec.base_cpi +
+                               b.profile.exec.dependency_cpi;
+                if (fixed > b.published_cpi + 1e-9)
+                    error(out, b.name + "/exec",
+                          "base + dependency CPI (" + num(fixed) +
+                              ") exceeds the published total CPI (" +
+                              num(b.published_cpi) + ")",
+                          "leave headroom for the simulated stall "
+                          "components");
+            }
+            // Table I mixes: loads up to ~50%, stores up to ~25%,
+            // branches up to ~33% (xalancbmk).
+            const trace::InstructionMix &mix = b.profile.mix;
+            if (mix.load > 0.55 || mix.store > 0.30 ||
+                mix.branch > 0.40)
+                error(out, b.name + "/mix",
+                      "mix exceeds the Table I envelope (load " +
+                          num(mix.load) + ", store " +
+                          num(mix.store) + ", branch " +
+                          num(mix.branch) + ")");
+        }
+
+        if (!context.deep) {
+            emit(out, Severity::Info, "cpu2017",
+                 "simulation-backed Table II checks skipped "
+                 "(deep checks disabled)");
+            return;
+        }
+        deepChecks(context, out);
+    }
+
+  private:
+    void
+    deepChecks(const LintContext &context,
+               std::vector<Diagnostic> &out) const
+    {
+        // Measure every CPU2017 benchmark on the simulated Skylake
+        // and hold the derived metrics against the Table II envelope,
+        // widened for short-window noise.  A benchmark escaping these
+        // bounds means its preset drifted out of calibration even
+        // though every structural check passes.
+        core::CharacterizationConfig config;
+        config.instructions = context.instructions;
+        config.warmup = context.warmup;
+        config.jobs = context.jobs;
+        core::Characterizer characterizer(
+            {suites::skylakeMachine()}, config);
+        characterizer.prepare(context.cpu2017);
+
+        for (const suites::BenchmarkInfo &b : context.cpu2017) {
+            const uarch::SimulationResult &sim =
+                characterizer.simulation(b, 0);
+            core::MetricVector mv = core::extractMetrics(sim);
+            const std::string loc = b.name + "@skylake";
+
+            double cpi = sim.cpi();
+            if (!std::isfinite(cpi) || cpi <= 0.0) {
+                error(out, loc,
+                      "simulated CPI is " + num(cpi),
+                      "the CPI stack must sum to a positive total");
+                continue;
+            }
+            if (b.published_cpi > 0.0) {
+                double ratio = cpi / b.published_cpi;
+                if (ratio < 0.25 || ratio > 4.0)
+                    error(out, loc,
+                          "simulated CPI " + num(cpi) + " is " +
+                              num(ratio) +
+                              "x the published Table I CPI " +
+                              num(b.published_cpi),
+                          "recalibrate the preset's locality / CPI "
+                          "knobs");
+            }
+
+            const struct
+            {
+                core::Metric metric;
+                double bound;
+                const char *label;
+            } envelope[] = {
+                // Table II tops out at 98.4 L1D / 11.6 L1I / 5 L3 /
+                // 8.4 branch MPKI; the margins absorb window noise.
+                {core::Metric::L1dMpki, 160.0, "L1D MPKI"},
+                {core::Metric::L1iMpki, 30.0, "L1I MPKI"},
+                {core::Metric::L3Mpki, 15.0, "L3 MPKI"},
+                {core::Metric::BranchMpki, 15.0, "branch MPKI"},
+            };
+            for (const auto &e : envelope) {
+                double v = mv.get(e.metric);
+                if (!std::isfinite(v) || v < 0.0 || v > e.bound)
+                    error(out, loc,
+                          std::string(e.label) + " of " + num(v) +
+                              " escapes the Table II envelope "
+                              "(<= " + num(e.bound) + ")",
+                          "CPU2017 shows strong level-by-level "
+                          "filtering; check the locality preset");
+            }
+        }
+    }
+};
+
+} // namespace
+
+std::vector<const suites::BenchmarkInfo *>
+LintContext::allBenchmarks() const
+{
+    std::vector<const suites::BenchmarkInfo *> all;
+    all.reserve(cpu2017.size() + cpu2006.size() + emerging.size());
+    for (const auto *list : {&cpu2017, &cpu2006, &emerging})
+        for (const suites::BenchmarkInfo &b : *list)
+            all.push_back(&b);
+    return all;
+}
+
+LintContext
+shippedContext()
+{
+    LintContext context;
+    context.cpu2017 = suites::spec2017();
+    context.cpu2006 = suites::spec2006();
+    context.emerging = suites::emergingBenchmarks();
+    context.machines = suites::profilingMachines();
+    context.input_groups = suites::inputSetGroupsInt();
+    for (suites::InputSetGroup &g : suites::inputSetGroupsFp())
+        context.input_groups.push_back(std::move(g));
+    return context;
+}
+
+std::vector<std::unique_ptr<Rule>>
+defaultRules()
+{
+    std::vector<std::unique_ptr<Rule>> rules;
+    rules.push_back(std::make_unique<MixRangeRule>());
+    rules.push_back(std::make_unique<MixSumRule>());
+    rules.push_back(std::make_unique<CpiComponentsRule>());
+    rules.push_back(std::make_unique<WorkingSetShapeRule>());
+    rules.push_back(std::make_unique<CodeModelRule>());
+    rules.push_back(std::make_unique<BranchModelRule>());
+    rules.push_back(std::make_unique<CacheMonotonicityRule>());
+    rules.push_back(std::make_unique<CacheGeometryRule>());
+    rules.push_back(std::make_unique<TlbConfigRule>());
+    rules.push_back(std::make_unique<MachineConfigRule>());
+    rules.push_back(std::make_unique<TransformRule>());
+    rules.push_back(std::make_unique<CrossReferenceRule>());
+    rules.push_back(std::make_unique<InputSetRule>());
+    rules.push_back(std::make_unique<ScoreDatabaseRule>());
+    rules.push_back(std::make_unique<PaperBoundsRule>());
+    return rules;
+}
+
+std::unique_ptr<Rule>
+ruleByCode(const std::string &code)
+{
+    for (std::unique_ptr<Rule> &rule : defaultRules())
+        if (rule->code() == code)
+            return std::move(rule);
+    throw std::invalid_argument("unknown lint rule code: " + code);
+}
+
+} // namespace lint
+} // namespace speclens

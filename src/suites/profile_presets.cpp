@@ -1,88 +1,36 @@
 /**
  * @file
  * Expansion of declarative benchmark specs into workload profiles.
+ *
+ * The quantitative content lives in the constexpr preset tables
+ * (preset_tables.h), where static_asserts prove the calibration
+ * invariants at compile time; this file only expands a table row plus
+ * the per-benchmark ProfileSpec knobs into a trace::WorkloadProfile.
  */
 
 #include "profile_presets.h"
 
 #include <algorithm>
 
+#include "suites/preset_tables.h"
+
 namespace speclens {
 namespace suites {
 
 namespace {
 
-constexpr double kKiB = 1024.0;
-constexpr double kMiB = 1024.0 * 1024.0;
-
 trace::MemoryModel
 dataPreset(DataLocality locality, double streaming)
 {
-    // The mixture weights below are calibrated against the Table II
-    // MPKI ranges on the simulated Skylake: the mid / big / vast
-    // weights approximate the fraction of memory accesses that miss
-    // L1 / L2 / L3 respectively, because each set is sized to be
-    // captured by the next level.  Streaming (spatial locality)
-    // applies to the mid and big sets: a streamed access misses only
-    // when the 8-byte cursor crosses a line boundary, modelling the
-    // L1-filtering effect of unit-stride loops (and, at the level of
-    // counters, of the stream prefetchers real machines have).
+    const DataPresetRow &row = dataPresetRow(locality);
     trace::MemoryModel m;
-    auto set = [streaming](double bytes, double weight,
-                           double seq_scale = 0.0) {
-        trace::WorkingSet ws;
-        ws.bytes = bytes;
-        ws.weight = weight;
-        ws.sequential = std::clamp(streaming * seq_scale, 0.0, 0.95);
-        return ws;
-    };
-
-    switch (locality) {
-      case DataLocality::Resident:
-        m.data = {set(8 * kKiB, 0.9984, 0.3),
-                  set(96 * kKiB, 0.0010, 1.0),
-                  set(1.5 * kMiB, 0.0004, 1.0),
-                  set(32 * kMiB, 0.0002)};
-        break;
-      case DataLocality::Small:
-        m.data = {set(12 * kKiB, 0.9862, 0.3),
-                  set(112 * kKiB, 0.010, 1.0),
-                  set(2 * kMiB, 0.003, 1.0),
-                  set(48 * kMiB, 0.0008)};
-        break;
-      case DataLocality::Medium:
-        m.data = {set(14 * kKiB, 0.957, 0.3),
-                  set(128 * kKiB, 0.031, 1.0),
-                  set(2.5 * kMiB, 0.010, 1.0),
-                  set(64 * kMiB, 0.002)};
-        break;
-      case DataLocality::Large:
-        m.data = {set(16 * kKiB, 0.914, 0.3),
-                  set(144 * kKiB, 0.062, 1.0),
-                  set(3 * kMiB, 0.020, 1.0),
-                  set(96 * kMiB, 0.004)};
-        break;
-      case DataLocality::Huge:
-        m.data = {set(16 * kKiB, 0.860, 0.3),
-                  set(160 * kKiB, 0.100, 1.0),
-                  set(3 * kMiB, 0.032, 1.0),
-                  set(160 * kMiB, 0.008)};
-        break;
-      case DataLocality::Extreme:
-        m.data = {set(16 * kKiB, 0.790, 0.3),
-                  set(160 * kKiB, 0.150, 1.0),
-                  set(3.5 * kMiB, 0.047, 1.0),
-                  set(320 * kMiB, 0.013)};
-        break;
-      case DataLocality::L1Bound:
-        // FP stencil pattern (cactuBSSN, fotonik3d): enormous L1 miss
-        // rate almost entirely captured by L2/L3 — the Table II shape
-        // of L1D up to ~98 MPKI against L2D <= 8.6 and L3 <= 5.
-        m.data = {set(8 * kKiB, 0.744, 0.3),
-                  set(144 * kKiB, 0.240, 1.0),
-                  set(2 * kMiB, 0.007, 1.0),
-                  set(256 * kMiB, 0.009)};
-        break;
+    for (std::size_t i = 0; i < kWorkingSetCount; ++i) {
+        trace::WorkingSet &ws = m.data[i];
+        ws.bytes = row.bytes[i];
+        ws.weight = row.weight[i];
+        ws.sequential =
+            std::clamp(streaming * row.seq_scale[i], 0.0, 0.95);
+        ws.stride_bytes = 64;
     }
     return m;
 }
@@ -90,89 +38,22 @@ dataPreset(DataLocality locality, double streaming)
 void
 applyCodePreset(trace::MemoryModel &m, CodePressure pressure)
 {
-    // Locality values are calibrated against the Table II L1I/L2I
-    // ranges: even the front-end-heavy CPU2017 benchmarks stay below
-    // ~5 L1I MPKI and ~1 L2I MPKI on Skylake; only the server-class
-    // Huge preset (Cassandra) escapes that envelope, as Section V-E
-    // requires.
-    switch (pressure) {
-      case CodePressure::Tiny:
-        m.code_bytes = 8 * kKiB;
-        m.hot_code_bytes = 2 * kKiB;
-        m.code_locality = 0.999;
-        break;
-      case CodePressure::Small:
-        m.code_bytes = 32 * kKiB;
-        m.hot_code_bytes = 4 * kKiB;
-        m.code_locality = 0.995;
-        break;
-      case CodePressure::Medium:
-        m.code_bytes = 96 * kKiB;
-        m.hot_code_bytes = 8 * kKiB;
-        m.code_locality = 0.99;
-        break;
-      case CodePressure::Large:
-        m.code_bytes = 224 * kKiB;
-        m.hot_code_bytes = 16 * kKiB;
-        m.code_locality = 0.978;
-        break;
-      case CodePressure::Flat:
-        // Generated straight-line code (cactuBSSN): the fetch stream
-        // marches through a region somewhat larger than a typical L1I
-        // with no hot loop, so L1I misses are high wherever L1I < 64K
-        // while L2 captures everything.
-        m.code_bytes = 40 * kKiB;
-        m.hot_code_bytes = 40 * kKiB;
-        m.code_locality = 1.0;
-        break;
-      case CodePressure::Huge:
-        m.code_bytes = 2 * kMiB;
-        m.hot_code_bytes = 32 * kKiB;
-        m.code_locality = 0.88;
-        break;
-    }
+    const CodePresetRow &row = codePresetRow(pressure);
+    m.code_bytes = row.code_bytes;
+    m.hot_code_bytes = row.hot_code_bytes;
+    m.code_locality = row.code_locality;
 }
 
 trace::BranchModel
 branchPreset(BranchQuality quality, double taken_fraction,
              CodePressure code)
 {
+    const BranchPresetRow &row = branchPresetRow(quality);
     trace::BranchModel b;
     b.taken_fraction = taken_fraction;
-    switch (quality) {
-      case BranchQuality::VeryEasy:
-        b.biased_fraction = 0.99;
-        b.patterned_fraction = 0.7;
-        break;
-      case BranchQuality::Easy:
-        b.biased_fraction = 0.965;
-        b.patterned_fraction = 0.7;
-        break;
-      case BranchQuality::Moderate:
-        b.biased_fraction = 0.93;
-        b.patterned_fraction = 0.6;
-        break;
-      case BranchQuality::Hard:
-        b.biased_fraction = 0.87;
-        b.patterned_fraction = 0.5;
-        break;
-      case BranchQuality::VeryHard:
-        b.biased_fraction = 0.82;
-        b.patterned_fraction = 0.30;
-        break;
-    }
-    // Static branch population scales with the code footprint.  The
-    // dynamic stream is heavily skewed toward low-numbered branches,
-    // so even the Large population trains comfortably within a
-    // 4K-entry predictor, as real front-ends do.
-    switch (code) {
-      case CodePressure::Tiny: b.static_branches = 64; break;
-      case CodePressure::Small: b.static_branches = 192; break;
-      case CodePressure::Medium: b.static_branches = 512; break;
-      case CodePressure::Large: b.static_branches = 1536; break;
-      case CodePressure::Huge: b.static_branches = 4096; break;
-      case CodePressure::Flat: b.static_branches = 256; break;
-    }
+    b.biased_fraction = row.biased_fraction;
+    b.patterned_fraction = row.patterned_fraction;
+    b.static_branches = codePresetRow(code).static_branches;
     return b;
 }
 

@@ -6,11 +6,86 @@
 #include "machine.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "stats/rng.h"
 
 namespace speclens {
 namespace uarch {
+
+namespace {
+
+void
+validateTlb(const std::string &machine, const TlbConfig &tlb)
+{
+    auto fail = [&](const std::string &what) {
+        throw std::invalid_argument("machine " + machine + ", " +
+                                    tlb.name + ": " + what);
+    };
+    if (tlb.entries == 0)
+        fail("TLB has zero entries");
+    if (tlb.associativity == 0 || tlb.associativity > tlb.entries ||
+        tlb.entries % tlb.associativity != 0)
+        fail("associativity must divide the entry count");
+    if (tlb.page_bytes < 4096 ||
+        (tlb.page_bytes & (tlb.page_bytes - 1)) != 0)
+        fail("page size must be a power of two >= 4096");
+}
+
+} // namespace
+
+void
+validateMachineConfig(const MachineConfig &machine)
+{
+    auto fail = [&machine](const std::string &what) {
+        throw std::invalid_argument("machine " + machine.short_name +
+                                    ": " + what);
+    };
+
+    const CacheHierarchyConfig &c = machine.caches;
+    c.l1i.validate();
+    c.l1d.validate();
+    c.l2.validate();
+    if (c.l3)
+        c.l3->validate();
+    if (c.l2.size_bytes < c.l1d.size_bytes ||
+        c.l2.size_bytes < c.l1i.size_bytes)
+        fail("L2 is smaller than an L1");
+    if (c.l3 && c.l3->size_bytes <= c.l2.size_bytes)
+        fail("L3 is not larger than L2");
+
+    validateTlb(machine.short_name, machine.tlbs.itlb);
+    validateTlb(machine.short_name, machine.tlbs.dtlb);
+    if (machine.tlbs.l2tlb)
+        validateTlb(machine.short_name, *machine.tlbs.l2tlb);
+
+    const LatencyModel &lat = machine.latencies;
+    if (!(lat.l2_hit_cycles > 0.0 &&
+          lat.l3_hit_cycles > lat.l2_hit_cycles &&
+          lat.memory_cycles > lat.l3_hit_cycles))
+        fail("visible latencies must increase with hierarchy depth");
+    if (lat.mispredict_penalty <= 0.0 || lat.icache_l2_penalty <= 0.0 ||
+        lat.l2tlb_hit_cycles <= 0.0 ||
+        lat.page_walk_cycles <= lat.l2tlb_hit_cycles)
+        fail("front-end and TLB penalties must be positive, with a "
+             "page walk costing more than an L2 TLB hit");
+
+    if (machine.frequency_ghz < 0.5 || machine.frequency_ghz > 6.0)
+        fail("clock frequency outside the plausible [0.5, 6] GHz range");
+    if (machine.predictor_size_log2 < 8 ||
+        machine.predictor_size_log2 > 20)
+        fail("predictor size outside [2^8, 2^20] entries");
+
+    const PowerModelConfig &p = machine.power;
+    if (p.core_static_watts <= 0.0 ||
+        p.energy_per_instruction_nj <= 0.0 ||
+        p.llc_static_watts <= 0.0 || p.dram_static_watts <= 0.0 ||
+        p.llc_access_energy_nj <= 0.0 || p.dram_access_energy_nj <= 0.0)
+        fail("static power and per-event energies must be positive");
+    double freq_diff = p.frequency_ghz - machine.frequency_ghz;
+    if (freq_diff < -1e-9 || freq_diff > 1e-9)
+        fail("power-model clock disagrees with the machine clock");
+}
 
 std::string
 isaName(Isa isa)

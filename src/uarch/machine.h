@@ -81,6 +81,17 @@ struct MachineConfig
 };
 
 /**
+ * Structural validation of a machine configuration: cache geometries
+ * and capacity/latency monotonicity, TLB geometries, clock and power
+ * coefficients.  The same invariants are covered (with richer
+ * reporting) by lint rules SL007-SL010; this throwing form backs the
+ * SPECLENS_VALIDATE startup assertions in the characterization runner.
+ *
+ * @throws std::invalid_argument naming the offending structure.
+ */
+void validateMachineConfig(const MachineConfig &machine);
+
+/**
  * Apply a machine's ISA/compiler transformation to a workload profile.
  *
  * Deterministic: the jitter stream is seeded from the workload and

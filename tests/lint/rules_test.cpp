@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Per-rule corruption tests.
+ *
+ * Every rule is exercised both ways: on the shipped data (no findings)
+ * and on a context with exactly one field corrupted, where it must
+ * fire with exactly its diagnostic code.  The LintContext holds its
+ * data by value precisely so these tests can mutate a copy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "lint/rules.h"
+
+namespace speclens {
+namespace lint {
+namespace {
+
+/** Shipped context, copied fresh per test (deep checks off). */
+LintContext
+cleanContext()
+{
+    static const LintContext base = shippedContext();
+    LintContext context = base;
+    context.deep = false;
+    return context;
+}
+
+/** Diagnostics from running just the rule with @p code. */
+std::vector<Diagnostic>
+runRule(const std::string &code, const LintContext &context)
+{
+    std::vector<Diagnostic> out;
+    ruleByCode(code)->run(context, out);
+    return out;
+}
+
+/** Errors only (deep-skip Info notes are not findings). */
+std::size_t
+errorCount(const std::vector<Diagnostic> &diagnostics)
+{
+    return countSeverity(diagnostics, Severity::Error);
+}
+
+/**
+ * The corrupted context must make rule @p code (and only invocations
+ * of that rule) report at least one error, every error carrying the
+ * rule's own code; the clean context must stay silent.
+ */
+void
+expectFires(const std::string &code, const LintContext &corrupted)
+{
+    EXPECT_EQ(errorCount(runRule(code, cleanContext())), 0u)
+        << code << " reports errors on shipped data";
+    std::vector<Diagnostic> found = runRule(code, corrupted);
+    EXPECT_GT(errorCount(found), 0u)
+        << code << " missed the seeded corruption";
+    for (const Diagnostic &d : found)
+        EXPECT_EQ(d.code, code) << "stray code from " << code;
+}
+
+TEST(Rules, SL001_MixRange)
+{
+    LintContext context = cleanContext();
+    context.cpu2017[0].profile.mix.load = 1.5;
+    expectFires("SL001", context);
+}
+
+TEST(Rules, SL001_MixOverUnitBudget)
+{
+    LintContext context = cleanContext();
+    // Each fraction in range but the sum exceeds 1.
+    context.cpu2006[0].profile.mix.load = 0.6;
+    context.cpu2006[0].profile.mix.store = 0.6;
+    expectFires("SL001", context);
+}
+
+TEST(Rules, SL002_MixSum)
+{
+    LintContext context = cleanContext();
+    context.cpu2017[0].profile.memory.data[1].weight = 0.5;
+    expectFires("SL002", context);
+}
+
+TEST(Rules, SL002_NonPositiveWeight)
+{
+    LintContext context = cleanContext();
+    context.emerging[0].profile.memory.data[2].weight = -0.1;
+    expectFires("SL002", context);
+}
+
+TEST(Rules, SL003_CpiComponents)
+{
+    LintContext context = cleanContext();
+    context.cpu2017[0].profile.exec.base_cpi = -0.1;
+    expectFires("SL003", context);
+}
+
+TEST(Rules, SL003_MlpBelowOne)
+{
+    LintContext context = cleanContext();
+    context.cpu2017[3].profile.exec.mlp = 0.5;
+    expectFires("SL003", context);
+}
+
+TEST(Rules, SL004_WorkingSetShape)
+{
+    LintContext context = cleanContext();
+    // Big set smaller than the mid set: ordering broken.
+    context.cpu2017[0].profile.memory.data[2].bytes = 1024.0;
+    expectFires("SL004", context);
+}
+
+TEST(Rules, SL005_CodeModel)
+{
+    LintContext context = cleanContext();
+    trace::MemoryModel &m = context.cpu2017[0].profile.memory;
+    m.hot_code_bytes = m.code_bytes * 2;
+    expectFires("SL005", context);
+}
+
+TEST(Rules, SL006_BranchModel)
+{
+    LintContext context = cleanContext();
+    context.cpu2017[0].profile.branch.taken_fraction = 1.2;
+    expectFires("SL006", context);
+}
+
+TEST(Rules, SL007_CacheMonotonicity)
+{
+    LintContext context = cleanContext();
+    context.machines[0].caches.l2.size_bytes = 16 * 1024;
+    expectFires("SL007", context);
+}
+
+TEST(Rules, SL007_LatencyInversion)
+{
+    LintContext context = cleanContext();
+    context.machines[2].latencies.memory_cycles = 1.0;
+    expectFires("SL007", context);
+}
+
+TEST(Rules, SL008_CacheGeometry)
+{
+    LintContext context = cleanContext();
+    context.machines[0].caches.l1d.line_bytes = 48;
+    expectFires("SL008", context);
+}
+
+TEST(Rules, SL008_CapacityNotMultipleOfWay)
+{
+    LintContext context = cleanContext();
+    context.machines[1].caches.l2.size_bytes = 200 * 1000;
+    expectFires("SL008", context);
+}
+
+TEST(Rules, SL009_TlbConfig)
+{
+    LintContext context = cleanContext();
+    // Skylake DTLB has 64 entries; 3 ways do not divide them.
+    context.machines[0].tlbs.dtlb.associativity = 3;
+    expectFires("SL009", context);
+}
+
+TEST(Rules, SL009_L2TlbSmallerThanL1)
+{
+    LintContext context = cleanContext();
+    ASSERT_TRUE(context.machines[0].tlbs.l2tlb.has_value());
+    context.machines[0].tlbs.l2tlb->entries = 32;
+    context.machines[0].tlbs.l2tlb->associativity = 32;
+    expectFires("SL009", context);
+}
+
+TEST(Rules, SL010_MachineConfig)
+{
+    LintContext context = cleanContext();
+    context.machines[0].frequency_ghz = 9.0;
+    expectFires("SL010", context);
+}
+
+TEST(Rules, SL011_Transform)
+{
+    LintContext context = cleanContext();
+    context.machines[0].transform.mix_jitter = 0.5;
+    expectFires("SL011", context);
+}
+
+TEST(Rules, SL012_CrossReference)
+{
+    LintContext context = cleanContext();
+    context.cpu2017[0].partner = "999.nonesuch_r";
+    expectFires("SL012", context);
+}
+
+TEST(Rules, SL013_InputSets)
+{
+    LintContext context = cleanContext();
+    ASSERT_FALSE(context.input_groups.empty());
+    ASSERT_GT(context.input_groups[0].inputs.size(), 1u);
+    context.input_groups[0].inputs.pop_back();
+    expectFires("SL013", context);
+}
+
+TEST(Rules, SL014_ScoreDatabase)
+{
+    LintContext context = cleanContext();
+    // A NaN mix fraction propagates through deriveTraits() into the
+    // speedup model.
+    context.cpu2017[0].profile.mix.load =
+        std::numeric_limits<double>::quiet_NaN();
+    expectFires("SL014", context);
+}
+
+TEST(Rules, SL015_PaperBounds)
+{
+    LintContext context = cleanContext();
+    context.cpu2017[0].published_cpi = 50.0;
+    expectFires("SL015", context);
+}
+
+TEST(Rules, SL015_DeepSimulationChecksPassOnShippedData)
+{
+    LintContext context = cleanContext();
+    context.deep = true;
+    context.instructions = 15'000;
+    context.warmup = 5'000;
+    std::vector<Diagnostic> found = runRule("SL015", context);
+    EXPECT_EQ(errorCount(found), 0u);
+    // With deep checks on, the skip note must be absent.
+    for (const Diagnostic &d : found)
+        EXPECT_EQ(d.message.find("skipped"), std::string::npos);
+}
+
+TEST(Rules, SL015_SkipNoteWithoutDeep)
+{
+    std::vector<Diagnostic> found =
+        runRule("SL015", cleanContext());
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].severity, Severity::Info);
+}
+
+} // namespace
+} // namespace lint
+} // namespace speclens

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# tools/check.sh — one-shot verification gate: configure + build with
+# warnings-as-errors, run the model linter, run the test suite, and
+# (where the clang tools are installed) clang-tidy and a
+# non-destructive clang-format conformance pass.
+#
+# Usage:
+#   tools/check.sh [options]
+#
+# Options:
+#   --build-dir DIR    build directory           (default: build-check)
+#   --sanitize WHAT    SPECLENS_SANITIZE value: thread | address |
+#                      undefined                 (default: none)
+#   --jobs N           parallel build/test jobs  (default: nproc)
+#   --format           also verify formatting with clang-format
+#                      (dry run only; never rewrites files)
+#   --tidy             also run clang-tidy over src/
+#   --help             this text
+#
+# clang-tidy and clang-format stages are skipped with a notice when
+# the tools are not installed, so the script degrades gracefully on
+# gcc-only machines (including this repo's CI fallback).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build-check
+SANITIZE=""
+JOBS="$(nproc 2>/dev/null || echo 2)"
+RUN_FORMAT=0
+RUN_TIDY=0
+
+while [[ $# -gt 0 ]]; do
+    case "$1" in
+      --build-dir) BUILD_DIR="$2"; shift 2 ;;
+      --sanitize) SANITIZE="$2"; shift 2 ;;
+      --jobs) JOBS="$2"; shift 2 ;;
+      --format) RUN_FORMAT=1; shift ;;
+      --tidy) RUN_TIDY=1; shift ;;
+      --help) sed -n '2,24p' "$0"; exit 0 ;;
+      *) echo "check.sh: unknown option: $1" >&2; exit 2 ;;
+    esac
+done
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "configure (${BUILD_DIR}, sanitize='${SANITIZE:-none}', WERROR=ON)"
+cmake -B "$BUILD_DIR" -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DSPECLENS_WERROR=ON \
+    -DSPECLENS_VALIDATE=ON \
+    -DSPECLENS_SANITIZE="$SANITIZE" \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+
+step "build (-j${JOBS})"
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+if [[ "$RUN_FORMAT" -eq 1 ]]; then
+    step "clang-format (dry run)"
+    if command -v clang-format >/dev/null 2>&1; then
+        # --dry-run never touches the tree; nonzero exit on deviation.
+        git ls-files '*.cpp' '*.h' | xargs clang-format --dry-run -Werror
+        echo "formatting clean"
+    else
+        echo "clang-format not installed; skipping format check"
+    fi
+fi
+
+if [[ "$RUN_TIDY" -eq 1 ]]; then
+    step "clang-tidy"
+    if command -v clang-tidy >/dev/null 2>&1; then
+        git ls-files 'src/*.cpp' |
+            xargs clang-tidy -p "$BUILD_DIR" --quiet
+    else
+        echo "clang-tidy not installed; skipping tidy check"
+    fi
+fi
+
+step "model lint"
+"$BUILD_DIR"/tools/speclens lint --instructions 30000 --warmup 8000
+
+step "ctest (-j${JOBS})"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+
+step "all checks passed"

@@ -12,16 +12,21 @@
  *   coverage <bench>...       are these workloads covered by CPU2017?
  *   sensitivity <metric>      Table IX-style sensitivity classes
  *                             (branch | l1d | dtlb)
+ *   lint                      statically verify every workload model,
+ *                             machine config and calibration table
  *
  * Global options: --instructions N, --warmup N (simulation window),
  * --jobs N (simulation worker threads; default one per hardware
- * thread).
+ * thread).  Lint options: --format text|json, --severity
+ * info|warning|error (display filter), --no-deep (skip the
+ * simulation-backed Table II checks).
  */
 
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -39,6 +44,8 @@
 #include "core/similarity.h"
 #include "core/subsetting.h"
 #include "core/validation.h"
+#include "lint/linter.h"
+#include "lint/rules.h"
 #include "suites/emerging.h"
 #include "suites/input_sets.h"
 #include "suites/machines.h"
@@ -57,6 +64,11 @@ struct CliOptions
     std::uint64_t instructions = 120'000;
     std::uint64_t warmup = 30'000;
     std::size_t jobs = 0; //!< 0 = one worker per hardware thread.
+
+    // Lint options.
+    std::string format = "text";   //!< Report format: text | json.
+    std::string severity = "info"; //!< Display filter threshold.
+    bool deep = true; //!< Run simulation-backed lint checks.
 };
 
 [[noreturn]] void
@@ -80,7 +92,9 @@ usage(int code)
         "  report <speed-int|rate-int|speed-fp|rate-fp> [file.md]\n"
         "                                    full markdown suite report\n"
         "  simpoints <bench> [phases] [clusters]\n"
-        "                                    phase-reduction estimate\n",
+        "                                    phase-reduction estimate\n"
+        "  lint [--format text|json] [--severity info|warning|error]\n"
+        "       [--no-deep]                  verify models and tables\n",
         code == 0 ? stdout : stderr);
     std::exit(code);
 }
@@ -109,6 +123,17 @@ numericFlagValue(const char *flag, int argc, char **argv, int &i)
     return value;
 }
 
+/** String value of @p flag at argv[i + 1]; exits on missing value. */
+const char *
+stringFlagValue(const char *flag, int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", flag);
+        std::exit(1);
+    }
+    return argv[++i];
+}
+
 CliOptions
 parse(int argc, char **argv)
 {
@@ -125,6 +150,13 @@ parse(int argc, char **argv)
         else if (std::strcmp(argv[i], "--jobs") == 0)
             opts.jobs = static_cast<std::size_t>(
                 numericFlagValue("--jobs", argc, argv, i));
+        else if (std::strcmp(argv[i], "--format") == 0)
+            opts.format = stringFlagValue("--format", argc, argv, i);
+        else if (std::strcmp(argv[i], "--severity") == 0)
+            opts.severity =
+                stringFlagValue("--severity", argc, argv, i);
+        else if (std::strcmp(argv[i], "--no-deep") == 0)
+            opts.deep = false;
         else if (std::strcmp(argv[i], "--help") == 0)
             usage(0);
         else
@@ -527,6 +559,46 @@ cmdSimpoints(const CliOptions &opts)
     return 0;
 }
 
+int
+cmdLint(const CliOptions &opts)
+{
+    // lint is a verification gate: a stray token is more likely a
+    // misspelled flag than an intentional argument, so fail loudly
+    // instead of silently linting with default settings.
+    if (!opts.args.empty()) {
+        std::fprintf(stderr, "error: lint takes no arguments, got '%s'\n",
+                     opts.args[0].c_str());
+        return 1;
+    }
+
+    lint::ReportFormat format;
+    lint::Severity min_severity;
+    try {
+        format = lint::reportFormatFromName(opts.format);
+        min_severity = lint::severityFromName(opts.severity);
+    } catch (const std::invalid_argument &ex) {
+        std::fprintf(stderr, "error: %s\n", ex.what());
+        return 1;
+    }
+
+    lint::LintContext context = lint::shippedContext();
+    context.deep = opts.deep;
+    context.instructions = opts.instructions;
+    context.warmup = opts.warmup;
+    context.jobs = opts.jobs;
+
+    lint::LintReport report = lint::Linter().run(context);
+    std::string rendered =
+        format == lint::ReportFormat::Json
+            ? lint::renderJson(report, min_severity)
+            : lint::renderText(report, min_severity);
+    std::fputs(rendered.c_str(), stdout);
+
+    // Exit code reflects the unfiltered error count: a severity filter
+    // changes what is displayed, never what fails.
+    return report.clean() ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -553,6 +625,8 @@ main(int argc, char **argv)
         return cmdReport(opts);
     if (opts.command == "simpoints")
         return cmdSimpoints(opts);
+    if (opts.command == "lint")
+        return cmdLint(opts);
     if (opts.command == "help" || opts.command == "--help")
         usage(0);
     std::fprintf(stderr, "unknown command: %s\n", opts.command.c_str());
