@@ -36,10 +36,15 @@ main(int argc, char **argv)
     uarch::MachineConfig base = suites::skylakeMachine();
     uarch::MachineConfig prefetching = base;
     prefetching.caches.l2_prefetch_degree = 4;
+    // Same machine name on purpose: the ISA/compiler jitter stream is
+    // seeded from the name, so both variants see the identical
+    // transformed workload and the comparison isolates the prefetcher.
+    // Store entries still never collide — the prefetch degree is part
+    // of the machine fingerprint.
 
-    uarch::SimulationConfig config;
-    config.instructions = opts.instructions;
-    config.warmup = opts.warmup;
+    core::AnalysisSession session =
+        bench::makeSession(opts, {base, prefetching});
+    core::Characterizer &characterizer = session.characterizer();
 
     const char *streaming[] = {"519.lbm_r", "503.bwaves_r",
                                "554.roms_r", "649.fotonik3d_s"};
@@ -51,8 +56,8 @@ main(int argc, char **argv)
                            "CPI (off)", "CPI (deg 4)"});
     auto add = [&](const char *name, const char *cls) {
         const auto &b = suites::spec2017Benchmark(name);
-        auto off = uarch::simulate(b.profile, base, config);
-        auto on = uarch::simulate(b.profile, prefetching, config);
+        const auto &off = characterizer.simulation(b, 0);
+        const auto &on = characterizer.simulation(b, 1);
         double off_mpki = off.counters.l2dMpki();
         double on_mpki = on.counters.l2dMpki();
         table.addRow({name, cls, core::TextTable::num(off_mpki, 1),

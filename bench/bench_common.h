@@ -3,9 +3,15 @@
  * Shared plumbing for the table/figure reproduction benches.
  *
  * Every bench binary regenerates one table or figure of the paper.
- * They share: command-line parsing for the simulation window, a
- * memoised Characterizer over the seven Table IV machines, and small
- * printing conventions.
+ * They share: command-line parsing for the simulation window, an
+ * AnalysisSession (memoised Characterizer over the seven Table IV
+ * machines, optionally backed by the persistent `--store` artifact
+ * cache), and small printing conventions.
+ *
+ * With `--store DIR`, the first run of any bench populates the
+ * directory and every later run of *any* bench or CLI command reusing
+ * it performs zero simulations while printing byte-identical stdout —
+ * the store summary goes to stderr precisely so that holds.
  */
 
 #ifndef SPECLENS_BENCH_BENCH_COMMON_H
@@ -17,7 +23,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "core/analysis_session.h"
 #include "core/characterization.h"
 #include "suites/machines.h"
 
@@ -35,6 +43,12 @@ struct BenchOptions
 
     /** Simulation worker threads (0 = one per hardware thread). */
     std::size_t jobs = 0;
+
+    /** Seed salt forwarded to the trace generators. */
+    std::uint64_t seed_salt = 0;
+
+    /** Artifact-store directory; empty = no persistence. */
+    std::string store_dir;
 };
 
 /**
@@ -67,9 +81,24 @@ numericFlagValue(const char *flag, int argc, char **argv, int &i)
 }
 
 /**
- * Parse --instructions/--warmup/--jobs; exits on --help.  Unknown
- * flags and malformed values are hard errors (exit 1), never silently
- * ignored.
+ * Value of a string flag: @p argv[i + 1], advanced past.  Exits with a
+ * diagnostic when the value is missing.
+ */
+inline const char *
+stringFlagValue(const char *flag, int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "error: %s requires a value (try --help)\n", flag);
+        std::exit(1);
+    }
+    return argv[++i];
+}
+
+/**
+ * Parse --instructions/--warmup/--jobs/--seed-salt/--store; exits on
+ * --help.  Unknown flags and malformed values are hard errors
+ * (exit 1), never silently ignored.
  */
 inline BenchOptions
 parseOptions(int argc, char **argv)
@@ -79,11 +108,16 @@ parseOptions(int argc, char **argv)
         if (std::strcmp(argv[i], "--help") == 0) {
             std::printf(
                 "usage: %s [--instructions N] [--warmup N] [--jobs N]\n"
+                "       [--seed-salt N] [--store DIR]\n"
                 "  --instructions  measured instructions per pair "
                 "(default %llu)\n"
                 "  --warmup        warm-up instructions (default %llu)\n"
                 "  --jobs          simulation worker threads "
-                "(default: one per hardware thread)\n",
+                "(default: one per hardware thread)\n"
+                "  --seed-salt     extra seed entropy for independent "
+                "re-runs (default 0)\n"
+                "  --store         persistent artifact store directory "
+                "(reused results skip simulation)\n",
                 argv[0],
                 static_cast<unsigned long long>(opts.instructions),
                 static_cast<unsigned long long>(opts.warmup));
@@ -97,6 +131,12 @@ parseOptions(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--jobs") == 0) {
             opts.jobs = static_cast<std::size_t>(
                 numericFlagValue("--jobs", argc, argv, i));
+        } else if (std::strcmp(argv[i], "--seed-salt") == 0) {
+            opts.seed_salt =
+                numericFlagValue("--seed-salt", argc, argv, i);
+        } else if (std::strcmp(argv[i], "--store") == 0) {
+            opts.store_dir =
+                stringFlagValue("--store", argc, argv, i);
         } else {
             std::fprintf(stderr, "unknown option: %s (try --help)\n",
                          argv[i]);
@@ -106,15 +146,26 @@ parseOptions(int argc, char **argv)
     return opts;
 }
 
-/** Characterizer over the seven Table IV machines. */
-inline core::Characterizer
-makeCharacterizer(const BenchOptions &opts)
+/** Session over an explicit machine set. */
+inline core::AnalysisSession
+makeSession(const BenchOptions &opts,
+            std::vector<uarch::MachineConfig> machines)
 {
-    core::CharacterizationConfig config;
-    config.instructions = opts.instructions;
-    config.warmup = opts.warmup;
-    config.jobs = opts.jobs;
-    return core::Characterizer(suites::profilingMachines(), config);
+    core::SessionConfig config;
+    config.machines = std::move(machines);
+    config.characterization.instructions = opts.instructions;
+    config.characterization.warmup = opts.warmup;
+    config.characterization.seed_salt = opts.seed_salt;
+    config.characterization.jobs = opts.jobs;
+    config.store_dir = opts.store_dir;
+    return core::AnalysisSession(std::move(config));
+}
+
+/** Session over the seven Table IV machines. */
+inline core::AnalysisSession
+makeSession(const BenchOptions &opts)
+{
+    return makeSession(opts, suites::profilingMachines());
 }
 
 /** Section banner. */

@@ -36,6 +36,12 @@ main(int argc, char **argv)
     bench::banner("Extension: SimPoint-style phase reduction "
                   "(cluster phases, simulate representatives)");
 
+    // The session exists for its store wiring: the phased ground-truth
+    // runs and phase probes go through simpointEstimate rather than
+    // the characterizer, but persist to the same store.
+    core::AnalysisSession session =
+        bench::makeSession(opts, {suites::skylakeMachine()});
+
     const char *bases[] = {"502.gcc_r", "505.mcf_r", "538.imagick_r",
                            "554.roms_r"};
     const std::size_t num_phases = 8;
@@ -56,7 +62,8 @@ main(int argc, char **argv)
         config.instructions = opts.instructions;
         config.warmup = opts.warmup;
         core::SimPointResult result = core::simpointEstimate(
-            workload, suites::skylakeMachine(), config);
+            workload, suites::skylakeMachine(), config,
+            session.store());
 
         // Naive baseline: extrapolate the heaviest phase alone.
         std::size_t heaviest = 0;
@@ -67,9 +74,12 @@ main(int argc, char **argv)
         uarch::SimulationConfig probe;
         probe.instructions = config.probe_instructions;
         probe.warmup = config.probe_warmup;
+        // Same key as the simpointEstimate probe of the same phase, so
+        // this is a store hit even on the cold run.
         double naive_cpi =
-            uarch::simulate(workload.phases[heaviest].profile,
-                            suites::skylakeMachine(), probe)
+            core::storedSimulate(session.store(),
+                                 workload.phases[heaviest].profile,
+                                 suites::skylakeMachine(), probe)
                 .cpi();
         double naive_err =
             100.0 * std::fabs(naive_cpi - result.full_cpi) /

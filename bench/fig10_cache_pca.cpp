@@ -71,7 +71,8 @@ int
 main(int argc, char **argv)
 {
     bench::BenchOptions opts = bench::parseOptions(argc, argv);
-    core::Characterizer characterizer = bench::makeCharacterizer(opts);
+    core::AnalysisSession session = bench::makeSession(opts);
+    core::Characterizer &characterizer = session.characterizer();
 
     scatter(characterizer, core::MetricSelection::DataCache,
             "Fig. 10 (left): data-cache PC space (paper: mcf / "

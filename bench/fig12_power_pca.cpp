@@ -25,7 +25,8 @@ int
 main(int argc, char **argv)
 {
     bench::BenchOptions opts = bench::parseOptions(argc, argv);
-    core::Characterizer characterizer = bench::makeCharacterizer(opts);
+    core::AnalysisSession session = bench::makeSession(opts);
+    core::Characterizer &characterizer = session.characterizer();
 
     bench::banner("Fig. 12: power-characteristic PC space (3 Intel "
                   "machines, core/LLC/DRAM power)");

@@ -20,7 +20,8 @@ int
 main(int argc, char **argv)
 {
     bench::BenchOptions opts = bench::parseOptions(argc, argv);
-    core::Characterizer characterizer = bench::makeCharacterizer(opts);
+    core::AnalysisSession session = bench::makeSession(opts);
+    core::Characterizer &characterizer = session.characterizer();
 
     bench::banner("Fig. 3: SPECspeed FP dendrogram");
 

@@ -29,9 +29,15 @@ main(int argc, char **argv)
                   "across-benchmark signal (SPECrate INT, Skylake, "
                   "5 seeds)");
 
+    // The session exists for its store wiring: the (benchmark, trial)
+    // re-measurements run through analyzeStability, not the
+    // characterizer, but persist to (and replay from) the same store.
+    core::AnalysisSession session =
+        bench::makeSession(opts, {suites::skylakeMachine()});
+
     core::StabilityReport report = core::analyzeStability(
         suites::spec2017RateInt(), suites::skylakeMachine(), 5,
-        opts.instructions, opts.warmup);
+        opts.instructions, opts.warmup, opts.jobs, session.store());
 
     core::TextTable table({"Metric", "Noise (within)",
                            "Signal (across)", "SNR", "Informative?"});

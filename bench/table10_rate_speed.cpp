@@ -49,7 +49,8 @@ int
 main(int argc, char **argv)
 {
     bench::BenchOptions opts = bench::parseOptions(argc, argv);
-    core::Characterizer characterizer = bench::makeCharacterizer(opts);
+    core::AnalysisSession session = bench::makeSession(opts);
+    core::Characterizer &characterizer = session.characterizer();
 
     analyze(characterizer, false,
             "Rate vs. speed, INT pairs (paper: omnetpp, xalancbmk, "

@@ -21,7 +21,8 @@ int
 main(int argc, char **argv)
 {
     bench::BenchOptions opts = bench::parseOptions(argc, argv);
-    core::Characterizer characterizer = bench::makeCharacterizer(opts);
+    core::AnalysisSession session = bench::makeSession(opts);
+    core::Characterizer &characterizer = session.characterizer();
 
     bench::banner("Table I: Icount, instruction mix and CPI of the 43 "
                   "SPEC CPU2017 benchmarks (simulated Skylake)");

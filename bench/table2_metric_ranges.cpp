@@ -35,7 +35,8 @@ int
 main(int argc, char **argv)
 {
     bench::BenchOptions opts = bench::parseOptions(argc, argv);
-    core::Characterizer characterizer = bench::makeCharacterizer(opts);
+    core::AnalysisSession session = bench::makeSession(opts);
+    core::Characterizer &characterizer = session.characterizer();
 
     bench::banner("Table II: metric ranges (min - max) of the CPU2017 "
                   "sub-suites (simulated Skylake)");

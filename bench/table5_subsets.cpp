@@ -20,7 +20,8 @@ int
 main(int argc, char **argv)
 {
     bench::BenchOptions opts = bench::parseOptions(argc, argv);
-    core::Characterizer characterizer = bench::makeCharacterizer(opts);
+    core::AnalysisSession session = bench::makeSession(opts);
+    core::Characterizer &characterizer = session.characterizer();
 
     bench::banner("Table V: representative 3-benchmark subsets of the "
                   "CPU2017 sub-suites");

@@ -24,17 +24,10 @@ using namespace speclens;
 namespace {
 
 void
-classify(const bench::BenchOptions &opts, core::Metric metric,
+classify(core::Characterizer &characterizer, core::Metric metric,
          const char *title, const char *paper_high)
 {
     bench::banner(title);
-
-    // Sensitivity uses the paper's four-machine subset.
-    core::CharacterizationConfig config;
-    config.instructions = opts.instructions;
-    config.warmup = opts.warmup;
-    core::Characterizer characterizer(suites::sensitivityMachines(),
-                                      config);
 
     const auto &suite = suites::spec2017();
     core::SensitivityReport report =
@@ -78,13 +71,19 @@ main(int argc, char **argv)
 {
     bench::BenchOptions opts = bench::parseOptions(argc, argv);
 
-    classify(opts, core::Metric::BranchMpki,
+    // Sensitivity uses the paper's four-machine subset.  One shared
+    // session: the three classifications reuse the same 43 x 4
+    // campaign instead of re-measuring it per metric.
+    core::AnalysisSession session =
+        bench::makeSession(opts, suites::sensitivityMachines());
+
+    classify(session.characterizer(), core::Metric::BranchMpki,
              "Table IX (a): branch-prediction sensitivity",
              "603.bwaves_s, 503.bwaves_r");
-    classify(opts, core::Metric::L1dMpki,
+    classify(session.characterizer(), core::Metric::L1dMpki,
              "Table IX (b): L1 D-cache sensitivity",
              "549.fotonik3d_r, 649.fotonik3d_s");
-    classify(opts, core::Metric::DtlbMpmi,
+    classify(session.characterizer(), core::Metric::DtlbMpmi,
              "Table IX (c): L1 D-TLB sensitivity",
              "503.bwaves_r, 507.cactuBSSN_r, 557.xz_r, 511.povray_r, "
              "657.xz_s, 649.fotonik3d_s, 607.cactuBSSN_s");

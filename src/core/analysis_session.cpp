@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Analysis-session implementation.
+ */
+
+#include "analysis_session.h"
+
+#include <cstdio>
+#include <utility>
+
+namespace speclens {
+namespace core {
+
+AnalysisSession::AnalysisSession(SessionConfig config)
+    : characterizer_(std::make_unique<Characterizer>(
+          std::move(config.machines), config.characterization))
+{
+    if (!config.store_dir.empty()) {
+        store_ = std::make_shared<CampaignStore>(config.store_dir);
+        characterizer_->attachStore(store_);
+    }
+}
+
+AnalysisSession::~AnalysisSession()
+{
+    if (store_)
+        std::fprintf(stderr, "%s\n", summary().c_str());
+}
+
+std::string
+AnalysisSession::summary() const
+{
+    if (!store_)
+        return "[speclens-store] disabled";
+    StoreCounters c = store_->counters();
+    std::size_t rejected =
+        c.corrupt + c.stale_version + c.fingerprint_mismatch;
+    // `computed` counts every simulation executed against the store,
+    // including ones run outside the Characterizer (stability trials,
+    // SimPoint probes and phased ground-truth runs).
+    return "[speclens-store] dir=" + store_->directory() +
+           " entries=" + std::to_string(store_->entryCount()) +
+           " hits=" + std::to_string(c.hits) +
+           " simulations=" + std::to_string(c.computed) +
+           " saves=" + std::to_string(c.saves) +
+           " rejected=" + std::to_string(rejected);
+}
+
+} // namespace core
+} // namespace speclens

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shared analysis-session wiring: Characterizer + machines + store.
+ *
+ * Every entry point that runs a measurement campaign — the 27 bench
+ * binaries, the `speclens` CLI commands and the end-to-end tests —
+ * needs the same setup: build a CharacterizationConfig from the parsed
+ * window options, construct a Characterizer over a machine set, and
+ * (when the user passed `--store DIR`) open the persistent artifact
+ * store and attach it.  AnalysisSession is that setup, written once.
+ *
+ * When a store is attached, the session prints a one-line reuse
+ * summary to *stderr* on destruction (never stdout — warm and cold
+ * runs must stay byte-identical on stdout).  The summary includes
+ * `simulations=N`; CI asserts `simulations=0` on a warm run.
+ */
+
+#ifndef SPECLENS_CORE_ANALYSIS_SESSION_H
+#define SPECLENS_CORE_ANALYSIS_SESSION_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/artifact_store.h"
+#include "core/characterization.h"
+#include "uarch/machine.h"
+
+namespace speclens {
+namespace core {
+
+/** Everything an AnalysisSession is built from. */
+struct SessionConfig
+{
+    /** Machines to measure on (order defines feature layout). */
+    std::vector<uarch::MachineConfig> machines;
+
+    /** Simulation window parameters (including seed_salt and jobs). */
+    CharacterizationConfig characterization;
+
+    /**
+     * Artifact-store directory; empty disables persistence and the
+     * session degenerates to a plain in-process Characterizer.
+     */
+    std::string store_dir;
+};
+
+/** One analysis run's shared campaign machinery. */
+class AnalysisSession
+{
+  public:
+    explicit AnalysisSession(SessionConfig config);
+
+    // Movable (so factories can return sessions by value); a
+    // moved-from session owns nothing and prints nothing.
+    AnalysisSession(AnalysisSession &&) = default;
+    AnalysisSession &operator=(AnalysisSession &&) = default;
+
+    /** Prints the reuse summary to stderr when a store is attached. */
+    ~AnalysisSession();
+
+    Characterizer &characterizer() { return *characterizer_; }
+
+    /** The attached store; null when persistence is disabled. */
+    CampaignStore *store() const { return store_.get(); }
+
+    /** True when results persist across processes. */
+    bool persistent() const { return store_ != nullptr; }
+
+    /**
+     * One-line machine-parseable reuse summary, e.g.
+     * `[speclens-store] dir=... entries=301 hits=301 simulations=0
+     * saves=0 rejected=0`.  `rejected` counts defensively discarded
+     * entries (corrupt + stale + fingerprint-mismatched).
+     */
+    std::string summary() const;
+
+  private:
+    std::shared_ptr<CampaignStore> store_;
+    std::unique_ptr<Characterizer> characterizer_;
+};
+
+} // namespace core
+} // namespace speclens
+
+#endif // SPECLENS_CORE_ANALYSIS_SESSION_H

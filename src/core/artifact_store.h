@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Persistent campaign artifact store: content-addressed, versioned
+ * on-disk cache of simulation results.
+ *
+ * The paper's methodology is one expensive measurement campaign whose
+ * counter data feeds many downstream analyses, long after collection.
+ * SpecLens mirrors that: a (benchmark, machine) measurement is
+ * deterministic, so once computed it can be persisted and reused by
+ * every bench binary, CLI command and test — the in-process memo cache
+ * of the Characterizer extended across process boundaries.
+ *
+ * Entries are *content addressed*: the file name is the hex of a
+ * fingerprint over everything that determines the result — the engine
+ * version, the simulation window (instructions, warm-up, seed salt),
+ * the full workload model and the full machine model (see
+ * stats/fingerprint.h).  Recalibrating a profile, changing a cache
+ * geometry or bumping kStoreEngineVersion therefore changes the
+ * address, and stale entries simply stop being found.
+ *
+ * Entries are loaded defensively.  Every file carries a magic, the
+ * engine version, its own fingerprint, a payload checksum and a
+ * length-checked payload; truncated, corrupt, version-mismatched or
+ * fingerprint-mismatched entries are counted, reported and recomputed
+ * — never trusted.  A load can always fail soft: the caller falls back
+ * to simulation, exactly as if the entry had never existed.
+ *
+ * On-disk layout of one entry (`<16-hex-fingerprint>.slart`, all
+ * integers little-endian):
+ *
+ *   offset  size  field
+ *        0     8  magic "SLART001" (format version in the magic)
+ *        8     8  engine version (kStoreEngineVersion)
+ *       16     8  fingerprint (must equal the file name)
+ *       24     8  payload size in bytes
+ *       32     8  FNV-1a checksum of the payload bytes
+ *       40     -  payload: benchmark name, machine name, window
+ *                 (instructions, warmup, seed salt, transform and
+ *                 prewarm flags), an entry-kind marker, then the
+ *                 result — one SimulationResult (counters as u64s,
+ *                 CPI stack and power as IEEE-754 bit patterns) for a
+ *                 pair entry, or phase count + per-phase results +
+ *                 combined counters + combined CPI for a phased entry
+ *
+ * Thread safety: load/save/counters may be called concurrently (the
+ * Characterizer's workers do).  Distinct keys touch distinct files;
+ * concurrent saves of the same key write identical bytes through
+ * unique temp files and an atomic rename, so the last rename wins and
+ * every reader sees a complete entry.
+ */
+
+#ifndef SPECLENS_CORE_ARTIFACT_STORE_H
+#define SPECLENS_CORE_ARTIFACT_STORE_H
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "uarch/simulation.h"
+
+namespace speclens {
+namespace core {
+
+/**
+ * Version of the simulation engine baked into every fingerprint and
+ * entry header.  Bump it whenever a change to the trace generator,
+ * the cache/TLB/predictor models, the CPI stack or the power model
+ * alters what simulate() produces for an unchanged (profile, machine,
+ * window) triple — every persisted entry then invalidates at once.
+ */
+constexpr std::uint64_t kStoreEngineVersion = 1;
+
+/** File extension of store entries. */
+constexpr const char *kStoreEntrySuffix = ".slart";
+
+/**
+ * Address and descriptive metadata of one store entry.
+ *
+ * The fingerprint alone addresses the entry; the names and window are
+ * persisted alongside the payload so `speclens campaign info` and the
+ * SL016 store-integrity lint rule can describe an entry (and re-derive
+ * its expected fingerprint from the shipped models) without having to
+ * reverse the hash.
+ */
+struct StoreKey
+{
+    std::uint64_t fingerprint = 0;
+
+    std::string benchmark; //!< Workload profile name.
+    std::string machine;   //!< Machine full name.
+
+    // Simulation window.
+    std::uint64_t instructions = 0;
+    std::uint64_t warmup = 0;
+    std::uint64_t seed_salt = 0;
+    bool apply_machine_transform = true;
+    bool prewarm = true;
+};
+
+/**
+ * Store address of one raw simulate() measurement.  The engine
+ * version, the full window, the full workload model and the full
+ * machine model all feed the fingerprint, so changing any of them
+ * re-addresses the entry and stale data stops being found.
+ */
+StoreKey makeStoreKey(const trace::WorkloadProfile &profile,
+                      const uarch::MachineConfig &machine,
+                      const uarch::SimulationConfig &config);
+
+/**
+ * Store address of one simulatePhased() measurement.  Domain-separated
+ * from pair entries (different top-level tag), so a phased workload
+ * never collides with a plain profile of the same name.
+ */
+StoreKey makeStoreKey(const trace::PhasedWorkload &workload,
+                      const uarch::MachineConfig &machine,
+                      const uarch::SimulationConfig &config);
+
+/** Outcome of one load. */
+enum class StoreStatus {
+    Hit,                 //!< Entry present, consistent, deserialized.
+    Miss,                //!< No entry file.
+    Corrupt,             //!< Truncated / bad magic / checksum mismatch.
+    StaleVersion,        //!< Written by a different engine version.
+    FingerprintMismatch, //!< Header disagrees with the requested key.
+};
+
+/** Human-readable status name ("hit", "corrupt", ...). */
+std::string storeStatusName(StoreStatus status);
+
+/** Lifetime I/O counters of one store handle. */
+struct StoreCounters
+{
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t corrupt = 0;
+    std::size_t stale_version = 0;
+    std::size_t fingerprint_mismatch = 0;
+    std::size_t saves = 0;
+
+    /**
+     * Simulations actually executed against this store (every load
+     * that did not end in a Hit and was recomputed).  Zero on a warm
+     * run — the acceptance check behind `--store` reuse.
+     */
+    std::size_t computed = 0;
+};
+
+/** Verified description of one on-disk entry (see CampaignStore::scan). */
+struct StoreEntryInfo
+{
+    std::string filename;  //!< Entry file name within the store.
+    std::uint64_t file_bytes = 0;
+
+    /**
+     * Entry condition: Hit when fully consistent, otherwise the
+     * defect class (Corrupt / StaleVersion / FingerprintMismatch —
+     * the latter meaning the header disagrees with the file name).
+     */
+    StoreStatus status = StoreStatus::Hit;
+
+    /** Human-readable defect description; empty when status == Hit. */
+    std::string detail;
+
+    // Header fields (valid whenever the header was readable).
+    std::uint64_t engine_version = 0;
+    std::uint64_t fingerprint = 0;
+
+    // Metadata (valid when status is Hit or StaleVersion).
+    std::string benchmark;
+    std::string machine;
+    std::uint64_t instructions = 0;
+    std::uint64_t warmup = 0;
+    std::uint64_t seed_salt = 0;
+    bool apply_machine_transform = true;
+    bool prewarm = true;
+
+    /** Phase count of a phased entry; 0 for a plain pair entry. */
+    std::uint64_t phases = 0;
+};
+
+/**
+ * A directory of persisted simulation results.
+ *
+ * Opening a store creates the directory if needed.  All I/O failures
+ * degrade soft: load() reports Miss/Corrupt and save() returns false,
+ * so a read-only or vanished directory never takes an analysis down —
+ * it only costs recomputation.
+ */
+class CampaignStore
+{
+  public:
+    /** Open (creating if necessary) the store at @p directory. */
+    explicit CampaignStore(std::string directory);
+
+    const std::string &directory() const { return directory_; }
+
+    /**
+     * Load the entry for @p key into @p out.  Returns Hit on success;
+     * any other status means @p out is untouched and the caller should
+     * recompute (and may save() the fresh result over the bad entry).
+     */
+    StoreStatus load(const StoreKey &key, uarch::SimulationResult &out);
+
+    /**
+     * Persist @p result under @p key (temp file + atomic rename;
+     * overwrites any previous entry).  Returns false on I/O failure.
+     */
+    bool save(const StoreKey &key, const uarch::SimulationResult &result);
+
+    /** load() for a phased entry (full simulatePhased() result). */
+    StoreStatus loadPhased(const StoreKey &key,
+                           uarch::PhasedSimulationResult &out);
+
+    /** save() for a phased entry. */
+    bool savePhased(const StoreKey &key,
+                    const uarch::PhasedSimulationResult &result);
+
+    /**
+     * Record one simulation executed because the store could not
+     * serve it (miss or defensive rejection).  Callers that recompute
+     * an entry call this so `counters().computed` — the `simulations=`
+     * figure in the session summary — stays accurate.
+     */
+    void recordComputed();
+
+    /** Lifetime I/O counters of this handle. */
+    StoreCounters counters() const;
+
+    /** Number of entry files currently on disk. */
+    std::size_t entryCount() const;
+
+    /**
+     * Read and verify every entry in the store: magic, engine version,
+     * checksum, payload shape, and file-name/header fingerprint
+     * agreement.  Results are sorted by file name for stable output.
+     */
+    std::vector<StoreEntryInfo> scan() const;
+
+    /** Delete every entry; returns the number removed. */
+    std::size_t invalidate();
+
+    /**
+     * Delete only inconsistent entries (scan status != Hit); returns
+     * the number removed.  Healthy entries survive.
+     */
+    std::size_t invalidateStale();
+
+    /** Entry file path for @p key (diagnostics and tests). */
+    std::string entryPath(const StoreKey &key) const;
+
+  private:
+    /** Tally one load outcome. */
+    void recordLoad(StoreStatus status);
+
+    /** Temp-file + atomic-rename write of one serialized entry. */
+    bool writeEntry(const std::string &bytes, const std::string &path);
+
+    std::string directory_;
+
+    mutable std::mutex counters_mutex_;
+    StoreCounters counters_;
+};
+
+/**
+ * simulate() through an optional store: serve a Hit from disk,
+ * otherwise simulate, record the computation and persist the fresh
+ * result.  A null @p store degrades to a plain simulate() call, so
+ * analyses take the store as an always-valid optional dependency.
+ */
+uarch::SimulationResult storedSimulate(CampaignStore *store,
+                                       const trace::WorkloadProfile &profile,
+                                       const uarch::MachineConfig &machine,
+                                       const uarch::SimulationConfig &config);
+
+/** simulatePhased() through an optional store (see storedSimulate). */
+uarch::PhasedSimulationResult
+storedSimulatePhased(CampaignStore *store,
+                     const trace::PhasedWorkload &workload,
+                     const uarch::MachineConfig &machine,
+                     const uarch::SimulationConfig &config);
+
+} // namespace core
+} // namespace speclens
+
+#endif // SPECLENS_CORE_ARTIFACT_STORE_H

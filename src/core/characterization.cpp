@@ -14,6 +14,33 @@
 namespace speclens {
 namespace core {
 
+uarch::SimulationConfig
+CharacterizationConfig::simulationConfig() const
+{
+    uarch::SimulationConfig sim;
+    sim.instructions = instructions;
+    sim.warmup = warmup;
+    sim.seed_salt = seed_salt;
+    return sim;
+}
+
+void
+CharacterizationConfig::hashInto(stats::Fingerprinter &fp) const
+{
+    // Delegate to the canonical window hash so campaign entries and
+    // raw storedSimulate() entries with the same window share a
+    // fingerprint (and therefore a store entry).
+    simulationConfig().hashInto(fp);
+}
+
+StoreKey
+makeStoreKey(const trace::WorkloadProfile &profile,
+             const uarch::MachineConfig &machine,
+             const CharacterizationConfig &config)
+{
+    return makeStoreKey(profile, machine, config.simulationConfig());
+}
+
 Characterizer::Characterizer(std::vector<uarch::MachineConfig> machines,
                              CharacterizationConfig config)
     : machines_(std::move(machines)), config_(config)
@@ -33,12 +60,48 @@ uarch::SimulationResult
 Characterizer::runSimulation(const suites::BenchmarkInfo &benchmark,
                              std::size_t machine_index) const
 {
-    uarch::SimulationConfig sim;
-    sim.instructions = config_.instructions;
-    sim.warmup = config_.warmup;
-    sim.seed_salt = config_.seed_salt;
     return uarch::simulate(benchmark.profile, machines_[machine_index],
-                           sim);
+                           config_.simulationConfig());
+}
+
+void
+Characterizer::attachStore(std::shared_ptr<CampaignStore> store)
+{
+    store_ = std::move(store);
+}
+
+StoreKey
+Characterizer::storeKey(const suites::BenchmarkInfo &benchmark,
+                        std::size_t machine_index) const
+{
+    if (machine_index >= machines_.size())
+        throw std::out_of_range("Characterizer::storeKey: machine index");
+    return makeStoreKey(benchmark.profile, machines_[machine_index],
+                        config_);
+}
+
+uarch::SimulationResult
+Characterizer::obtainResult(const suites::BenchmarkInfo &benchmark,
+                            std::size_t machine_index)
+{
+    if (store_) {
+        StoreKey key = storeKey(benchmark, machine_index);
+        uarch::SimulationResult loaded;
+        if (store_->load(key, loaded) == StoreStatus::Hit)
+            return loaded;
+        // Miss, or a defensive rejection (corrupt / stale / mismatched
+        // entry): recompute and overwrite with a fresh entry.
+        uarch::SimulationResult result =
+            runSimulation(benchmark, machine_index);
+        simulations_run_.fetch_add(1, std::memory_order_relaxed);
+        store_->recordComputed();
+        store_->save(key, result);
+        return result;
+    }
+    uarch::SimulationResult result =
+        runSimulation(benchmark, machine_index);
+    simulations_run_.fetch_add(1, std::memory_order_relaxed);
+    return result;
 }
 
 void
@@ -84,7 +147,7 @@ Characterizer::prepare(
                 [&](std::size_t i) {
                     const auto &[benchmark, mi] = missing[i];
                     uarch::SimulationResult result =
-                        runSimulation(*benchmark, mi);
+                        obtainResult(*benchmark, mi);
                     std::lock_guard<std::mutex> lock(cache_mutex_);
                     cache_.emplace(
                         CacheKey{benchmark->profile.name, mi},
@@ -117,12 +180,12 @@ Characterizer::simulation(const suites::BenchmarkInfo &benchmark,
             return it->second;
     }
 
-    // Simulate outside the lock so concurrent misses on different
+    // Obtain outside the lock so concurrent misses on different
     // pairs proceed in parallel.  Two threads racing on the same pair
     // duplicate the (deterministic, identical) work; emplace keeps the
     // first insert, so the returned reference is stable either way.
     uarch::SimulationResult result =
-        runSimulation(benchmark, machine_index);
+        obtainResult(benchmark, machine_index);
     std::lock_guard<std::mutex> lock(cache_mutex_);
     return cache_.emplace(std::move(key), std::move(result))
         .first->second;

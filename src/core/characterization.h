@@ -19,14 +19,18 @@
 #ifndef SPECLENS_CORE_CHARACTERIZATION_H
 #define SPECLENS_CORE_CHARACTERIZATION_H
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "stats/fingerprint.h"
 #include "stats/matrix.h"
 #include "suites/benchmark_info.h"
+#include "core/artifact_store.h"
 #include "core/metrics.h"
 #include "uarch/machine.h"
 #include "uarch/simulation.h"
@@ -54,7 +58,31 @@ struct CharacterizationConfig
      * fixed by (benchmark, machine) identity, not completion order.
      */
     std::size_t jobs = 0;
+
+    /**
+     * The equivalent per-simulation window (default transform and
+     * prewarm behaviour).
+     */
+    uarch::SimulationConfig simulationConfig() const;
+
+    /**
+     * Feed the result-determining window parameters (instructions,
+     * warmup, seed_salt) to @p fp.  `jobs` is deliberately excluded:
+     * results are bit-identical for any thread count, so campaigns run
+     * at different parallelism share store entries.
+     */
+    void hashInto(stats::Fingerprinter &fp) const;
 };
+
+/**
+ * Store address of one (profile, machine, window) measurement: the
+ * engine version, the campaign window, the full workload model and the
+ * full machine model all feed the fingerprint, so changing any of them
+ * re-addresses the entry and stale data stops being found.
+ */
+StoreKey makeStoreKey(const trace::WorkloadProfile &profile,
+                      const uarch::MachineConfig &machine,
+                      const CharacterizationConfig &config);
 
 /** Runs and memoises benchmark-on-machine measurements. */
 class Characterizer
@@ -73,6 +101,33 @@ class Characterizer
     {
         return machines_;
     }
+
+    /**
+     * Attach a persistent artifact store.  From then on every cache
+     * miss first consults the store, and every fresh simulation is
+     * persisted, so a later process (any bench binary, CLI command or
+     * test sharing the directory) replays the campaign without
+     * simulating.  Corrupt or stale entries are recomputed and
+     * overwritten.  A null store detaches.
+     */
+    void attachStore(std::shared_ptr<CampaignStore> store);
+
+    /** The attached store; null when none. */
+    CampaignStore *store() const { return store_.get(); }
+
+    /**
+     * Number of actual simulations this instance ran (store hits and
+     * memo hits excluded).  A warm run over a populated store keeps
+     * this at zero — the acceptance check behind `--store` reuse.
+     */
+    std::size_t simulationsRun() const
+    {
+        return simulations_run_.load(std::memory_order_relaxed);
+    }
+
+    /** Store key for one (benchmark, machine) pair of this campaign. */
+    StoreKey storeKey(const suites::BenchmarkInfo &benchmark,
+                      std::size_t machine_index) const;
 
     /**
      * Simulate every missing (benchmark, machine) pair of the cross
@@ -149,8 +204,19 @@ class Characterizer
     runSimulation(const suites::BenchmarkInfo &benchmark,
                   std::size_t machine_index) const;
 
+    /**
+     * Produce the result for one pair not in the memo cache: consult
+     * the store (when attached), fall back to simulation, persist
+     * fresh results.  No lock held; safe from worker threads.
+     */
+    uarch::SimulationResult
+    obtainResult(const suites::BenchmarkInfo &benchmark,
+                 std::size_t machine_index);
+
     std::vector<uarch::MachineConfig> machines_;
     CharacterizationConfig config_;
+    std::shared_ptr<CampaignStore> store_;
+    std::atomic<std::size_t> simulations_run_{0};
 
     /**
      * Memo cache of finished measurements, shared across worker

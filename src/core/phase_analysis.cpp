@@ -8,6 +8,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/artifact_store.h"
 #include "core/metrics.h"
 #include "stats/distance.h"
 #include "stats/kmeans.h"
@@ -20,7 +21,7 @@ namespace core {
 SimPointResult
 simpointEstimate(const trace::PhasedWorkload &workload,
                  const uarch::MachineConfig &machine,
-                 const SimPointConfig &config)
+                 const SimPointConfig &config, CampaignStore *store)
 {
     workload.validate();
     std::size_t num_phases = workload.phases.size();
@@ -32,7 +33,7 @@ simpointEstimate(const trace::PhasedWorkload &workload,
     full_config.instructions = config.instructions;
     full_config.warmup = config.warmup;
     uarch::PhasedSimulationResult full =
-        uarch::simulatePhased(workload, machine, full_config);
+        storedSimulatePhased(store, workload, machine, full_config);
 
     SimPointResult out;
     out.full_cpi = full.combined_cpi;
@@ -48,8 +49,8 @@ simpointEstimate(const trace::PhasedWorkload &workload,
         uarch::SimulationConfig probe;
         probe.instructions = config.probe_instructions;
         probe.warmup = config.probe_warmup;
-        uarch::SimulationResult r = uarch::simulate(
-            workload.phases[k].profile, machine, probe);
+        uarch::SimulationResult r = storedSimulate(
+            store, workload.phases[k].profile, machine, probe);
         MetricVector mv = extractMetrics(r);
         probes.push_back(mv);
         probe_cpi[k] = r.cpi();

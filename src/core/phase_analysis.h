@@ -24,6 +24,8 @@
 namespace speclens {
 namespace core {
 
+class CampaignStore;
+
 /** Phase-analysis parameters. */
 struct SimPointConfig
 {
@@ -81,11 +83,15 @@ struct SimPointResult
 /**
  * Run the SimPoint-style estimation of @p workload on @p machine.
  *
+ * @param store Optional artifact store backing both the phased
+ *        ground-truth run and the per-phase probes; a warm store
+ *        serves the whole estimation without simulating.
  * @throws std::invalid_argument when clusters exceeds the phase count.
  */
 SimPointResult simpointEstimate(const trace::PhasedWorkload &workload,
                                 const uarch::MachineConfig &machine,
-                                const SimPointConfig &config = {});
+                                const SimPointConfig &config = {},
+                                CampaignStore *store = nullptr);
 
 } // namespace core
 } // namespace speclens

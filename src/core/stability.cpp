@@ -9,6 +9,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "core/artifact_store.h"
 #include "core/parallel.h"
 #include "stats/descriptive.h"
 #include "uarch/simulation.h"
@@ -32,7 +33,7 @@ StabilityReport
 analyzeStability(const std::vector<suites::BenchmarkInfo> &benchmarks,
                  const uarch::MachineConfig &machine, std::size_t trials,
                  std::uint64_t instructions, std::uint64_t warmup,
-                 std::size_t jobs)
+                 std::size_t jobs, CampaignStore *store)
 {
     if (benchmarks.size() < 2)
         throw std::invalid_argument("analyzeStability: >= 2 benchmarks");
@@ -57,8 +58,8 @@ analyzeStability(const std::vector<suites::BenchmarkInfo> &benchmarks,
             config.instructions = instructions;
             config.warmup = warmup;
             config.seed_salt = t;
-            MetricVector mv = extractMetrics(uarch::simulate(
-                benchmarks[b].profile, machine, config));
+            MetricVector mv = extractMetrics(storedSimulate(
+                store, benchmarks[b].profile, machine, config));
             for (std::size_t m = 0; m < canonical.size(); ++m)
                 values[m][b][t] = mv.get(canonical[m]);
         });

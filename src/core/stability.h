@@ -27,6 +27,8 @@
 namespace speclens {
 namespace core {
 
+class CampaignStore;
+
 /** Stability of one metric across re-measurements. */
 struct MetricStability
 {
@@ -90,6 +92,9 @@ struct StabilityReport
  * @param instructions Measured window per run.
  * @param warmup Warm-up window per run.
  * @param jobs Worker threads (0 = one per hardware thread).
+ * @param store Optional artifact store; each (benchmark, trial) run
+ *        is keyed by its trial-salted window, so a warm store serves
+ *        the whole study without simulating.
  */
 StabilityReport
 analyzeStability(const std::vector<suites::BenchmarkInfo> &benchmarks,
@@ -97,7 +102,8 @@ analyzeStability(const std::vector<suites::BenchmarkInfo> &benchmarks,
                  std::size_t trials = 5,
                  std::uint64_t instructions = 60'000,
                  std::uint64_t warmup = 15'000,
-                 std::size_t jobs = 0);
+                 std::size_t jobs = 0,
+                 CampaignStore *store = nullptr);
 
 } // namespace core
 } // namespace speclens

@@ -55,6 +55,12 @@ struct LintContext
     /** Worker threads for the deep checks; 0 = one per hardware thread. */
     std::size_t jobs = 0;
 
+    /**
+     * Artifact-store directory for the SL016 store-integrity checks;
+     * empty (the default) skips them with an info note.
+     */
+    std::string store_dir;
+
     /** All benchmarks of all databases, 2017 first. */
     std::vector<const suites::BenchmarkInfo *> allBenchmarks() const;
 };

@@ -13,10 +13,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <set>
 #include <sstream>
 #include <stdexcept>
 
+#include "core/artifact_store.h"
 #include "core/characterization.h"
 #include "suites/emerging.h"
 #include "suites/input_sets.h"
@@ -1040,6 +1042,125 @@ class PaperBoundsRule final : public RuleBase
     }
 };
 
+// ====================================================================
+// Store-integrity rule (SL016).
+// ====================================================================
+
+class StoreIntegrityRule final : public RuleBase
+{
+  public:
+    std::string code() const override { return "SL016"; }
+    std::string name() const override { return "store-integrity"; }
+    std::string
+    description() const override
+    {
+        return "artifact-store entries are checksum-clean and still "
+               "re-derivable from the shipped models";
+    }
+
+    void
+    run(const LintContext &context,
+        std::vector<Diagnostic> &out) const override
+    {
+        if (context.store_dir.empty()) {
+            emit(out, Severity::Info, "store",
+                 "store integrity skipped (no --store directory "
+                 "given)");
+            return;
+        }
+
+        // Every profile an entry could legitimately describe: the
+        // three databases plus the Fig. 7/8 input-set variants.
+        std::map<std::string, const trace::WorkloadProfile *> profiles;
+        for (const suites::BenchmarkInfo *b : context.allBenchmarks())
+            profiles.emplace(b->profile.name, &b->profile);
+        for (const suites::InputSetGroup &g : context.input_groups)
+            for (const suites::BenchmarkInfo &v : g.inputs)
+                profiles.emplace(v.profile.name, &v.profile);
+
+        std::map<std::string, const uarch::MachineConfig *> machines;
+        for (const uarch::MachineConfig &m : context.machines)
+            machines.emplace(m.name, &m);
+
+        core::CampaignStore store(context.store_dir);
+        std::size_t healthy = 0;
+        for (const core::StoreEntryInfo &info : store.scan()) {
+            const std::string loc = "store/" + info.filename;
+            switch (info.status) {
+              case core::StoreStatus::Corrupt:
+                error(out, loc, "corrupt entry: " + info.detail,
+                      "delete it with `speclens campaign invalidate "
+                      "stale --store DIR` (it will be recomputed)");
+                continue;
+              case core::StoreStatus::FingerprintMismatch:
+                error(out, loc,
+                      "entry does not belong under its file name: " +
+                          info.detail,
+                      "entries must not be renamed; invalidate stale "
+                      "entries and re-run the campaign");
+                continue;
+              case core::StoreStatus::StaleVersion:
+                emit(out, Severity::Warning, loc,
+                     "stale entry: " + info.detail,
+                     "re-run the campaign to refresh it");
+                continue;
+              default:
+                break;
+            }
+
+            // Consistent on disk; now hold it against the shipped
+            // models.  Derived workloads (phased ground truths and
+            // "@k" phase probes) cannot be re-derived without their
+            // derivation parameters, so only their base name is
+            // checked.
+            std::string base = info.benchmark;
+            std::string::size_type at = base.find('@');
+            bool derived = info.phases > 0 || at != std::string::npos;
+            if (at != std::string::npos)
+                base = base.substr(0, at);
+
+            auto machine = machines.find(info.machine);
+            auto profile = profiles.find(base);
+            if (machine == machines.end() ||
+                profile == profiles.end()) {
+                emit(out, Severity::Warning, loc,
+                     "orphaned entry: " +
+                         (machine == machines.end()
+                              ? "machine '" + info.machine + "'"
+                              : "benchmark '" + base + "'") +
+                         " is not a shipped model",
+                     "written by an ad-hoc configuration; invalidate "
+                     "if unwanted");
+                continue;
+            }
+            if (!derived) {
+                uarch::SimulationConfig window;
+                window.instructions = info.instructions;
+                window.warmup = info.warmup;
+                window.seed_salt = info.seed_salt;
+                window.apply_machine_transform =
+                    info.apply_machine_transform;
+                window.prewarm = info.prewarm;
+                core::StoreKey expect = core::makeStoreKey(
+                    *profile->second, *machine->second, window);
+                if (expect.fingerprint != info.fingerprint) {
+                    emit(out, Severity::Warning, loc,
+                         "stale entry: the shipped model of '" +
+                             info.benchmark + "' on '" + info.machine +
+                             "' no longer produces this fingerprint",
+                         "the model changed since the entry was "
+                         "written; invalidate and re-run");
+                    continue;
+                }
+            }
+            ++healthy;
+        }
+        emit(out, Severity::Info, "store",
+             std::to_string(healthy) +
+                 " healthy entries in " + context.store_dir);
+    }
+};
+
 } // namespace
 
 std::vector<const suites::BenchmarkInfo *>
@@ -1086,6 +1207,7 @@ defaultRules()
     rules.push_back(std::make_unique<InputSetRule>());
     rules.push_back(std::make_unique<ScoreDatabaseRule>());
     rules.push_back(std::make_unique<PaperBoundsRule>());
+    rules.push_back(std::make_unique<StoreIntegrityRule>());
     return rules;
 }
 

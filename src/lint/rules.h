@@ -21,6 +21,7 @@
  * | SL013 | input-sets         | variant counts/names/models resolve     |
  * | SL014 | score-database     | finite positive speedups for every pair |
  * | SL015 | paper-bounds       | Table I/II envelopes (deep: simulated)  |
+ * | SL016 | store-integrity    | artifact-store entries verify and match |
  */
 
 #ifndef SPECLENS_LINT_RULES_H

@@ -42,6 +42,32 @@ PhasedWorkload::dynamicInstructionsBillions() const
     return total;
 }
 
+void
+Phase::hashInto(stats::Fingerprinter &fp) const
+{
+    fp.tag("phase");
+    profile.hashInto(fp);
+    fp.f64(weight);
+}
+
+void
+PhasedWorkload::hashInto(stats::Fingerprinter &fp) const
+{
+    fp.tag("phased");
+    fp.str(name);
+    fp.u64(phases.size());
+    for (const Phase &phase : phases)
+        phase.hashInto(fp);
+}
+
+std::uint64_t
+PhasedWorkload::fingerprint() const
+{
+    stats::Fingerprinter fp;
+    hashInto(fp);
+    return fp.value();
+}
+
 PhasedWorkload
 derivePhases(const WorkloadProfile &base, std::size_t num_phases,
              double drift)

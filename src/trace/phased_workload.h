@@ -36,6 +36,9 @@ struct Phase
 
     /** Fraction of the whole run spent in this phase, (0, 1]. */
     double weight = 1.0;
+
+    /** Feed the phase (profile and weight) to @p fp. */
+    void hashInto(stats::Fingerprinter &fp) const;
 };
 
 /** A workload as an ordered sequence of weighted phases. */
@@ -55,6 +58,15 @@ struct PhasedWorkload
 
     /** Weighted mean dynamic instruction count (billions). */
     double dynamicInstructionsBillions() const;
+
+    /** Feed the whole phased model to @p fp. */
+    void hashInto(stats::Fingerprinter &fp) const;
+
+    /**
+     * Stable content fingerprint over the name, phase count, and every
+     * phase's full profile and weight (see WorkloadProfile::fingerprint).
+     */
+    std::uint64_t fingerprint() const;
 };
 
 /**

@@ -82,5 +82,85 @@ WorkloadProfile::seed() const
     return stats::hashName(name);
 }
 
+// ---------------------------------------------------------------------
+// Fingerprint hooks.  Each hook feeds its fields in declaration order,
+// prefixed by a type tag so structurally identical models of different
+// types cannot alias.  Adding a field to a model?  Feed it here too —
+// the store_test round-trip suite cross-checks that profiles differing
+// in any calibrated parameter get distinct fingerprints.
+// ---------------------------------------------------------------------
+
+void
+InstructionMix::hashInto(stats::Fingerprinter &hasher) const
+{
+    hasher.tag("mix");
+    hasher.f64(load);
+    hasher.f64(store);
+    hasher.f64(branch);
+    hasher.f64(fp);
+    hasher.f64(simd);
+}
+
+void
+WorkingSet::hashInto(stats::Fingerprinter &fp) const
+{
+    fp.tag("wset");
+    fp.f64(bytes);
+    fp.f64(weight);
+    fp.f64(sequential);
+    fp.f64(stride_bytes);
+}
+
+void
+MemoryModel::hashInto(stats::Fingerprinter &fp) const
+{
+    fp.tag("mem");
+    for (const WorkingSet &ws : data)
+        ws.hashInto(fp);
+    fp.f64(code_bytes);
+    fp.f64(code_locality);
+    fp.f64(hot_code_bytes);
+}
+
+void
+BranchModel::hashInto(stats::Fingerprinter &fp) const
+{
+    fp.tag("branch");
+    fp.u64(static_branches);
+    fp.f64(taken_fraction);
+    fp.f64(biased_fraction);
+    fp.f64(patterned_fraction);
+}
+
+void
+ExecutionModel::hashInto(stats::Fingerprinter &fp) const
+{
+    fp.tag("exec");
+    fp.f64(base_cpi);
+    fp.f64(dependency_cpi);
+    fp.f64(mlp);
+    fp.f64(kernel_fraction);
+}
+
+void
+WorkloadProfile::hashInto(stats::Fingerprinter &fp) const
+{
+    fp.tag("profile");
+    fp.str(name);
+    fp.f64(dynamic_instructions_billions);
+    mix.hashInto(fp);
+    memory.hashInto(fp);
+    branch.hashInto(fp);
+    exec.hashInto(fp);
+}
+
+std::uint64_t
+WorkloadProfile::fingerprint() const
+{
+    stats::Fingerprinter fp;
+    hashInto(fp);
+    return fp.value();
+}
+
 } // namespace trace
 } // namespace speclens

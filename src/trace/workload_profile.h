@@ -31,6 +31,8 @@
 #include <cstdint>
 #include <string>
 
+#include "stats/fingerprint.h"
+
 namespace speclens {
 namespace trace {
 
@@ -52,6 +54,9 @@ struct InstructionMix
 
     /** True when all fractions are in range and sum to <= 1. */
     bool valid() const;
+
+    /** Feed every field, in declaration order, to @p fp. */
+    void hashInto(stats::Fingerprinter &fp) const;
 };
 
 /** One component of the data working-set mixture. */
@@ -77,6 +82,9 @@ struct WorkingSet
      * pressure from TLB pressure.
      */
     double stride_bytes = 64;
+
+    /** Feed every field, in declaration order, to @p fp. */
+    void hashInto(stats::Fingerprinter &fp) const;
 };
 
 /** Data- and instruction-side locality model. */
@@ -114,6 +122,9 @@ struct MemoryModel
 
     /** True when all parameters are physically meaningful. */
     bool valid() const;
+
+    /** Feed every field, in declaration order, to @p fp. */
+    void hashInto(stats::Fingerprinter &fp) const;
 };
 
 /** Control-flow predictability model. */
@@ -141,6 +152,9 @@ struct BranchModel
     double patterned_fraction = 0.5;
 
     bool valid() const;
+
+    /** Feed every field, in declaration order, to @p fp. */
+    void hashInto(stats::Fingerprinter &fp) const;
 };
 
 /** Non-memory execution behaviour for the CPI model. */
@@ -169,6 +183,9 @@ struct ExecutionModel
     double kernel_fraction = 0.02;
 
     bool valid() const;
+
+    /** Feed every field, in declaration order, to @p fp. */
+    void hashInto(stats::Fingerprinter &fp) const;
 };
 
 /** Complete statistical description of one workload. */
@@ -193,6 +210,18 @@ struct WorkloadProfile
 
     /** Deterministic per-workload RNG seed derived from the name. */
     std::uint64_t seed() const;
+
+    /** Feed the whole model (name and every sub-model) to @p fp. */
+    void hashInto(stats::Fingerprinter &fp) const;
+
+    /**
+     * Stable content fingerprint of the complete model.  Any change to
+     * any calibrated parameter — not just the name — yields a new
+     * fingerprint, which is what lets the campaign artifact store
+     * (core/artifact_store.h) detect stale entries after a model
+     * recalibration.
+     */
+    std::uint64_t fingerprint() const;
 };
 
 } // namespace trace

@@ -52,6 +52,17 @@ CacheConfig::validate() const
     }
 }
 
+void
+CacheConfig::hashInto(stats::Fingerprinter &fp) const
+{
+    fp.tag("cache");
+    fp.str(name);
+    fp.u64(size_bytes);
+    fp.u64(associativity);
+    fp.u64(line_bytes);
+    fp.u64(static_cast<std::uint64_t>(policy));
+}
+
 Cache::Cache(const CacheConfig &config)
     : config_(config),
       num_sets_(config.sets()),

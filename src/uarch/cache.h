@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "stats/fingerprint.h"
 #include "stats/rng.h"
 
 namespace speclens {
@@ -53,6 +54,9 @@ struct CacheConfig
      * @throws std::invalid_argument on malformed geometry.
      */
     void validate() const;
+
+    /** Feed every field, in declaration order, to @p fp. */
+    void hashInto(stats::Fingerprinter &fp) const;
 };
 
 /**

@@ -8,6 +8,19 @@
 namespace speclens {
 namespace uarch {
 
+void
+CacheHierarchyConfig::hashInto(stats::Fingerprinter &fp) const
+{
+    fp.tag("caches");
+    l1i.hashInto(fp);
+    l1d.hashInto(fp);
+    l2.hashInto(fp);
+    fp.boolean(l3.has_value());
+    if (l3)
+        l3->hashInto(fp);
+    fp.u64(l2_prefetch_degree);
+}
+
 CacheHierarchy::CacheHierarchy(const CacheHierarchyConfig &config)
     : l1i_cache_(config.l1i),
       l1d_cache_(config.l1d),

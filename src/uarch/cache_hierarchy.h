@@ -45,6 +45,9 @@ struct CacheHierarchyConfig
      * design-space ablations turn it on explicitly.
      */
     unsigned l2_prefetch_degree = 0;
+
+    /** Feed every level's geometry and the prefetch degree to @p fp. */
+    void hashInto(stats::Fingerprinter &fp) const;
 };
 
 /** Side-specific miss counters for one level. */

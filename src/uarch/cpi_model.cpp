@@ -8,6 +8,19 @@
 namespace speclens {
 namespace uarch {
 
+void
+LatencyModel::hashInto(stats::Fingerprinter &fp) const
+{
+    fp.tag("latency");
+    fp.f64(l2_hit_cycles);
+    fp.f64(l3_hit_cycles);
+    fp.f64(memory_cycles);
+    fp.f64(mispredict_penalty);
+    fp.f64(icache_l2_penalty);
+    fp.f64(l2tlb_hit_cycles);
+    fp.f64(page_walk_cycles);
+}
+
 double
 CpiStack::total() const
 {

@@ -40,6 +40,9 @@ struct LatencyModel
     double icache_l2_penalty = 8.0;    //!< Front-end bubble on L1I miss.
     double l2tlb_hit_cycles = 5.0;     //!< L1 TLB miss, L2 TLB hit.
     double page_walk_cycles = 38.0;    //!< Full page table walk.
+
+    /** Feed every field, in declaration order, to @p fp. */
+    void hashInto(stats::Fingerprinter &fp) const;
 };
 
 /** Additive CPI decomposition. */

@@ -97,6 +97,41 @@ isaName(Isa isa)
     return "unknown";
 }
 
+void
+WorkloadTransform::hashInto(stats::Fingerprinter &fp) const
+{
+    fp.tag("transform");
+    fp.f64(memory_mix_scale);
+    fp.f64(branch_mix_scale);
+    fp.f64(code_scale);
+    fp.f64(mix_jitter);
+}
+
+void
+MachineConfig::hashInto(stats::Fingerprinter &fp) const
+{
+    fp.tag("machine");
+    fp.str(name);
+    fp.str(short_name);
+    fp.u64(static_cast<std::uint64_t>(isa));
+    fp.f64(frequency_ghz);
+    caches.hashInto(fp);
+    tlbs.hashInto(fp);
+    fp.u64(static_cast<std::uint64_t>(predictor));
+    fp.u64(predictor_size_log2);
+    latencies.hashInto(fp);
+    power.hashInto(fp);
+    transform.hashInto(fp);
+}
+
+std::uint64_t
+MachineConfig::fingerprint() const
+{
+    stats::Fingerprinter fp;
+    hashInto(fp);
+    return fp.value();
+}
+
 trace::WorkloadProfile
 transformForMachine(const trace::WorkloadProfile &profile,
                     const MachineConfig &machine)

@@ -59,6 +59,9 @@ struct WorkloadTransform
      * and library differences between result submitters.
      */
     double mix_jitter = 0.02;
+
+    /** Feed every field, in declaration order, to @p fp. */
+    void hashInto(stats::Fingerprinter &fp) const;
 };
 
 /** Complete machine configuration. */
@@ -78,6 +81,19 @@ struct MachineConfig
     LatencyModel latencies;
     PowerModelConfig power;
     WorkloadTransform transform;
+
+    /** Feed the complete machine description to @p fp. */
+    void hashInto(stats::Fingerprinter &fp) const;
+
+    /**
+     * Stable content fingerprint of the whole machine model: names,
+     * ISA, clock, every cache/TLB geometry, predictor, latency, power
+     * and transform parameter.  Both the name and the structural
+     * parameters matter — the ISA/compiler jitter stream is seeded
+     * from the machine name, so two structurally identical machines
+     * with different names measure differently.
+     */
+    std::uint64_t fingerprint() const;
 };
 
 /**

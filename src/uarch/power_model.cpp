@@ -8,6 +8,22 @@
 namespace speclens {
 namespace uarch {
 
+void
+PowerModelConfig::hashInto(stats::Fingerprinter &fp) const
+{
+    fp.tag("power");
+    fp.f64(frequency_ghz);
+    fp.f64(core_static_watts);
+    fp.f64(energy_per_instruction_nj);
+    fp.f64(fp_energy_extra_nj);
+    fp.f64(simd_energy_extra_nj);
+    fp.f64(mispredict_energy_nj);
+    fp.f64(llc_static_watts);
+    fp.f64(llc_access_energy_nj);
+    fp.f64(dram_static_watts);
+    fp.f64(dram_access_energy_nj);
+}
+
 PowerBreakdown
 computePower(const PerfCounters &counters, double cpi,
              const PowerModelConfig &config)

@@ -39,6 +39,9 @@ struct PowerModelConfig
     // DRAM domain.
     double dram_static_watts = 2.0;
     double dram_access_energy_nj = 18.0;
+
+    /** Feed every field, in declaration order, to @p fp. */
+    void hashInto(stats::Fingerprinter &fp) const;
 };
 
 /** Per-domain power estimate in watts. */

@@ -12,6 +12,17 @@
 namespace speclens {
 namespace uarch {
 
+void
+SimulationConfig::hashInto(stats::Fingerprinter &fp) const
+{
+    fp.tag("window");
+    fp.u64(instructions);
+    fp.u64(warmup);
+    fp.u64(seed_salt);
+    fp.boolean(apply_machine_transform);
+    fp.boolean(prewarm);
+}
+
 double
 SimulationResult::ipc() const
 {

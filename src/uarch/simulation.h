@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "stats/fingerprint.h"
 #include "trace/phased_workload.h"
 #include "trace/workload_profile.h"
 #include "uarch/cpi_model.h"
@@ -52,6 +53,13 @@ struct SimulationConfig
      * trillion-instruction runs).
      */
     bool prewarm = true;
+
+    /**
+     * Feed every result-determining field (the window sizes, the seed
+     * salt and both mode flags) to @p fp — the canonical "window" hash
+     * shared by all artifact-store fingerprints.
+     */
+    void hashInto(stats::Fingerprinter &fp) const;
 };
 
 /** Everything a measurement run produces. */

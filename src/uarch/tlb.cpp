@@ -20,6 +20,27 @@ TlbConfig::asCacheConfig() const
     return c;
 }
 
+void
+TlbConfig::hashInto(stats::Fingerprinter &fp) const
+{
+    fp.tag("tlb");
+    fp.str(name);
+    fp.u64(entries);
+    fp.u64(associativity);
+    fp.u64(page_bytes);
+}
+
+void
+TlbHierarchyConfig::hashInto(stats::Fingerprinter &fp) const
+{
+    fp.tag("tlbs");
+    itlb.hashInto(fp);
+    dtlb.hashInto(fp);
+    fp.boolean(l2tlb.has_value());
+    if (l2tlb)
+        l2tlb->hashInto(fp);
+}
+
 TlbHierarchy::TlbHierarchy(const TlbHierarchyConfig &config)
     : itlb_(config.itlb.asCacheConfig()),
       dtlb_(config.dtlb.asCacheConfig())

@@ -34,6 +34,9 @@ struct TlbConfig
     /** Page size translated by this TLB. */
     std::uint64_t page_bytes = 4096;
 
+    /** Feed every field, in declaration order, to @p fp. */
+    void hashInto(stats::Fingerprinter &fp) const;
+
     /** Equivalent cache geometry (entries as page-granular lines). */
     CacheConfig asCacheConfig() const;
 };
@@ -54,6 +57,9 @@ struct TlbHierarchyConfig
 
     /** Shared second-level TLB; absent on older machines. */
     std::optional<TlbConfig> l2tlb = TlbConfig{"L2TLB", 1536, 12, 4096};
+
+    /** Feed every level's geometry to @p fp. */
+    void hashInto(stats::Fingerprinter &fp) const;
 };
 
 /** Two-level TLB hierarchy. */

@@ -10,9 +10,12 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <limits>
 
+#include "core/artifact_store.h"
 #include "lint/rules.h"
+#include "uarch/simulation.h"
 
 namespace speclens {
 namespace lint {
@@ -239,6 +242,69 @@ TEST(Rules, SL015_SkipNoteWithoutDeep)
         runRule("SL015", cleanContext());
     ASSERT_EQ(found.size(), 1u);
     EXPECT_EQ(found[0].severity, Severity::Info);
+}
+
+TEST(Rules, SL016_SkipNoteWithoutStore)
+{
+    std::vector<Diagnostic> found =
+        runRule("SL016", cleanContext());
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].severity, Severity::Info);
+}
+
+TEST(Rules, SL016_StoreIntegrity)
+{
+    std::filesystem::path dir =
+        std::filesystem::temp_directory_path() /
+        "speclens_sl016_test";
+    std::filesystem::remove_all(dir);
+
+    // A healthy store (one shipped pair) lints clean...
+    core::CampaignStore store(dir.string());
+    uarch::SimulationConfig window;
+    window.instructions = 2'000;
+    window.warmup = 500;
+    LintContext context = cleanContext();
+    core::StoreKey key = core::makeStoreKey(
+        context.cpu2017[0].profile, context.machines[0], window);
+    store.save(key,
+               uarch::simulate(context.cpu2017[0].profile,
+                               context.machines[0], window));
+    context.store_dir = dir.string();
+    EXPECT_EQ(errorCount(runRule("SL016", context)), 0u);
+
+    // ...and a truncated entry is an error finding.
+    std::filesystem::resize_file(store.entryPath(key), 12);
+    expectFires("SL016", context);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Rules, SL016_OrphanedEntryWarns)
+{
+    std::filesystem::path dir =
+        std::filesystem::temp_directory_path() /
+        "speclens_sl016_orphan_test";
+    std::filesystem::remove_all(dir);
+
+    // A consistent entry whose benchmark no shipped model matches:
+    // warning, not error.
+    core::CampaignStore store(dir.string());
+    LintContext context = cleanContext();
+    trace::WorkloadProfile foreign = context.cpu2017[0].profile;
+    foreign.name = "999.nonesuch_r";
+    uarch::SimulationConfig window;
+    window.instructions = 2'000;
+    window.warmup = 500;
+    core::StoreKey key =
+        core::makeStoreKey(foreign, context.machines[0], window);
+    store.save(key, uarch::simulate(foreign, context.machines[0],
+                                    window));
+    context.store_dir = dir.string();
+
+    std::vector<Diagnostic> found = runRule("SL016", context);
+    EXPECT_EQ(errorCount(found), 0u);
+    EXPECT_EQ(countSeverity(found, Severity::Warning), 1u);
+    std::filesystem::remove_all(dir);
 }
 
 } // namespace

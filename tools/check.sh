@@ -83,4 +83,23 @@ step "model lint"
 step "ctest (-j${JOBS})"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
 
+step "artifact-store reuse"
+# A warm repeat of a campaign over a populated store must execute zero
+# simulations and print byte-identical stdout.  Short window: this
+# verifies the reuse contract, not the Table I numbers.
+STORE_DIR="$BUILD_DIR/check-store"
+rm -rf "$STORE_DIR"
+"$BUILD_DIR"/bench/table1_characterization --store "$STORE_DIR" \
+    --instructions 20000 --warmup 5000 \
+    >"$BUILD_DIR/store-cold.out" 2>"$BUILD_DIR/store-cold.err"
+"$BUILD_DIR"/bench/table1_characterization --store "$STORE_DIR" \
+    --instructions 20000 --warmup 5000 \
+    >"$BUILD_DIR/store-warm.out" 2>"$BUILD_DIR/store-warm.err"
+cmp "$BUILD_DIR/store-cold.out" "$BUILD_DIR/store-warm.out"
+grep -q 'simulations=0 ' "$BUILD_DIR/store-warm.err"
+"$BUILD_DIR"/tools/speclens lint --no-deep --store "$STORE_DIR" \
+    >/dev/null
+rm -rf "$STORE_DIR"
+echo "warm run: zero simulations, stdout byte-identical"
+
 step "all checks passed"

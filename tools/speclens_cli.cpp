@@ -12,14 +12,17 @@
  *   coverage <bench>...       are these workloads covered by CPU2017?
  *   sensitivity <metric>      Table IX-style sensitivity classes
  *                             (branch | l1d | dtlb)
+ *   campaign <run|info|invalidate>
+ *                             manage the persistent artifact store
  *   lint                      statically verify every workload model,
  *                             machine config and calibration table
  *
  * Global options: --instructions N, --warmup N (simulation window),
  * --jobs N (simulation worker threads; default one per hardware
- * thread).  Lint options: --format text|json, --severity
- * info|warning|error (display filter), --no-deep (skip the
- * simulation-backed Table II checks).
+ * thread), --seed-salt N (independent re-runs), --store DIR
+ * (persistent artifact store; reused results skip simulation).  Lint
+ * options: --format text|json, --severity info|warning|error (display
+ * filter), --no-deep (skip the simulation-backed Table II checks).
  */
 
 #include <cerrno>
@@ -33,6 +36,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "core/analysis_session.h"
 #include "core/characterization.h"
 #include "core/csv_export.h"
 #include "core/phase_analysis.h"
@@ -64,6 +68,8 @@ struct CliOptions
     std::uint64_t instructions = 120'000;
     std::uint64_t warmup = 30'000;
     std::size_t jobs = 0; //!< 0 = one worker per hardware thread.
+    std::uint64_t seed_salt = 0;
+    std::string store_dir; //!< Empty = no persistent artifact store.
 
     // Lint options.
     std::string format = "text";   //!< Report format: text | json.
@@ -77,6 +83,7 @@ usage(int code)
     std::fputs(
         "usage: speclens <command> [args] [--instructions N] "
         "[--warmup N] [--jobs N]\n"
+        "                [--seed-salt N] [--store DIR]\n"
         "\n"
         "commands:\n"
         "  list [cpu2017|cpu2006|emerging]   list benchmarks\n"
@@ -93,8 +100,16 @@ usage(int code)
         "                                    full markdown suite report\n"
         "  simpoints <bench> [phases] [clusters]\n"
         "                                    phase-reduction estimate\n"
+        "  campaign run [cpu2017|cpu2006|emerging|all]\n"
+        "                                    populate the --store with a\n"
+        "                                    full characterization\n"
+        "  campaign info                     describe and verify every\n"
+        "                                    --store entry\n"
+        "  campaign invalidate [stale]       delete all (or only bad)\n"
+        "                                    --store entries\n"
         "  lint [--format text|json] [--severity info|warning|error]\n"
-        "       [--no-deep]                  verify models and tables\n",
+        "       [--no-deep] [--store DIR]    verify models and tables\n"
+        "                                    (and store integrity)\n",
         code == 0 ? stdout : stderr);
     std::exit(code);
 }
@@ -150,6 +165,11 @@ parse(int argc, char **argv)
         else if (std::strcmp(argv[i], "--jobs") == 0)
             opts.jobs = static_cast<std::size_t>(
                 numericFlagValue("--jobs", argc, argv, i));
+        else if (std::strcmp(argv[i], "--seed-salt") == 0)
+            opts.seed_salt =
+                numericFlagValue("--seed-salt", argc, argv, i);
+        else if (std::strcmp(argv[i], "--store") == 0)
+            opts.store_dir = stringFlagValue("--store", argc, argv, i);
         else if (std::strcmp(argv[i], "--format") == 0)
             opts.format = stringFlagValue("--format", argc, argv, i);
         else if (std::strcmp(argv[i], "--severity") == 0)
@@ -183,14 +203,26 @@ lookup(const std::string &name)
     return nullptr;
 }
 
-core::Characterizer
-makeCharacterizer(const CliOptions &opts)
+/** Session over an explicit machine set (store attached per --store). */
+core::AnalysisSession
+makeSession(const CliOptions &opts,
+            std::vector<uarch::MachineConfig> machines)
 {
-    core::CharacterizationConfig config;
-    config.instructions = opts.instructions;
-    config.warmup = opts.warmup;
-    config.jobs = opts.jobs;
-    return core::Characterizer(suites::profilingMachines(), config);
+    core::SessionConfig config;
+    config.machines = std::move(machines);
+    config.characterization.instructions = opts.instructions;
+    config.characterization.warmup = opts.warmup;
+    config.characterization.seed_salt = opts.seed_salt;
+    config.characterization.jobs = opts.jobs;
+    config.store_dir = opts.store_dir;
+    return core::AnalysisSession(std::move(config));
+}
+
+/** Session over the seven Table IV machines. */
+core::AnalysisSession
+makeSession(const CliOptions &opts)
+{
+    return makeSession(opts, suites::profilingMachines());
 }
 
 int
@@ -247,7 +279,8 @@ cmdCharacterize(const CliOptions &opts)
 {
     if (opts.args.empty())
         usage(1);
-    core::Characterizer characterizer = makeCharacterizer(opts);
+    core::AnalysisSession session = makeSession(opts);
+    core::Characterizer &characterizer = session.characterizer();
 
     std::vector<suites::BenchmarkInfo> selected;
     for (const std::string &name : opts.args) {
@@ -323,7 +356,8 @@ cmdSubset(const CliOptions &opts)
         return 1;
     }
 
-    core::Characterizer characterizer = makeCharacterizer(opts);
+    core::AnalysisSession session = makeSession(opts);
+    core::Characterizer &characterizer = session.characterizer();
     core::SimilarityResult sim = core::analyzeSimilarity(
         characterizer.featureMatrix(suite),
         suites::benchmarkNames(suite));
@@ -352,7 +386,8 @@ cmdInputs(const CliOptions &opts)
 {
     if (opts.args.empty())
         usage(1);
-    core::Characterizer characterizer = makeCharacterizer(opts);
+    core::AnalysisSession session = makeSession(opts);
+    core::Characterizer &characterizer = session.characterizer();
     auto groups = opts.args[0] == "fp" ? suites::inputSetGroupsFp()
                                        : suites::inputSetGroupsInt();
     core::InputSetAnalysis analysis =
@@ -384,7 +419,8 @@ cmdCoverage(const CliOptions &opts)
         }
         candidates.push_back(*benchmark);
     }
-    core::Characterizer characterizer = makeCharacterizer(opts);
+    core::AnalysisSession session = makeSession(opts);
+    core::Characterizer &characterizer = session.characterizer();
     auto verdicts = core::coverageAnalysis(
         characterizer, suites::spec2017(), candidates);
     core::TextTable table({"Workload", "Nearest CPU2017", "Distance",
@@ -412,14 +448,10 @@ cmdSensitivity(const CliOptions &opts)
     else
         usage(1);
 
-    core::CharacterizationConfig config;
-    config.instructions = opts.instructions;
-    config.warmup = opts.warmup;
-    config.jobs = opts.jobs;
-    core::Characterizer characterizer(suites::sensitivityMachines(),
-                                      config);
+    core::AnalysisSession session =
+        makeSession(opts, suites::sensitivityMachines());
     core::SensitivityReport report = core::classifySensitivity(
-        characterizer, suites::spec2017(), metric);
+        session.characterizer(), suites::spec2017(), metric);
     for (core::SensitivityClass cls :
          {core::SensitivityClass::High, core::SensitivityClass::Medium,
           core::SensitivityClass::Low}) {
@@ -445,7 +477,8 @@ cmdExport(const CliOptions &opts)
     else
         usage(1);
 
-    core::Characterizer characterizer = makeCharacterizer(opts);
+    core::AnalysisSession session = makeSession(opts);
+    core::Characterizer &characterizer = session.characterizer();
     stats::Matrix features = characterizer.featureMatrix(list);
 
     if (opts.args.size() > 1) {
@@ -492,7 +525,8 @@ cmdReport(const CliOptions &opts)
     }
     report.title = "SpecLens report: SPEC CPU2017 " + which;
 
-    core::Characterizer characterizer = makeCharacterizer(opts);
+    core::AnalysisSession session = makeSession(opts);
+    core::Characterizer &characterizer = session.characterizer();
     if (opts.args.size() > 1) {
         std::ofstream file(opts.args[1]);
         if (!file) {
@@ -540,8 +574,10 @@ cmdSimpoints(const CliOptions &opts)
     config.clusters = clusters;
     config.instructions = opts.instructions;
     config.warmup = opts.warmup;
+    core::AnalysisSession session =
+        makeSession(opts, {suites::skylakeMachine()});
     core::SimPointResult result = core::simpointEstimate(
-        workload, suites::skylakeMachine(), config);
+        workload, suites::skylakeMachine(), config, session.store());
 
     std::printf("%s as %zu phases, %zu representative(s):\n",
                 benchmark->name.c_str(), phases,
@@ -557,6 +593,103 @@ cmdSimpoints(const CliOptions &opts)
                 result.cpi_error_pct,
                 100.0 * result.simulated_fraction);
     return 0;
+}
+
+/**
+ * `campaign run [suite]`: populate the store with a full
+ * characterization of the named suite(s) over the seven Table IV
+ * machines.  Stdout reports only the deterministic campaign shape;
+ * the cold/warm reuse numbers go to stderr with the session summary,
+ * so repeat runs stay byte-identical on stdout.
+ */
+int
+cmdCampaignRun(const CliOptions &opts)
+{
+    std::string which =
+        opts.args.size() > 1 ? opts.args[1] : std::string("cpu2017");
+    std::vector<std::vector<suites::BenchmarkInfo>> suite_sets;
+    if (which == "cpu2017" || which == "all")
+        suite_sets.push_back(suites::spec2017());
+    if (which == "cpu2006" || which == "all")
+        suite_sets.push_back(suites::spec2006());
+    if (which == "emerging" || which == "all")
+        suite_sets.push_back(suites::emergingBenchmarks());
+    if (suite_sets.empty())
+        usage(1);
+
+    core::AnalysisSession session = makeSession(opts);
+    std::size_t pairs = 0;
+    for (const auto &suite : suite_sets) {
+        session.characterizer().prepare(suite);
+        pairs += suite.size() * session.characterizer().machines().size();
+    }
+    std::printf("campaign %s: %zu (benchmark, machine) pairs ready\n",
+                which.c_str(), pairs);
+    return 0;
+}
+
+/** `campaign info`: describe and verify every store entry. */
+int
+cmdCampaignInfo(const CliOptions &opts)
+{
+    core::CampaignStore store(opts.store_dir);
+    std::vector<core::StoreEntryInfo> entries = store.scan();
+
+    core::TextTable table({"Entry", "Benchmark", "Machine", "Window",
+                           "Salt", "Phases", "Status"});
+    std::size_t healthy = 0;
+    for (const core::StoreEntryInfo &info : entries) {
+        bool ok = info.status == core::StoreStatus::Hit;
+        healthy += ok ? 1 : 0;
+        table.addRow(
+            {info.filename, info.benchmark, info.machine,
+             std::to_string(info.instructions) + "+" +
+                 std::to_string(info.warmup),
+             std::to_string(info.seed_salt),
+             info.phases ? std::to_string(info.phases) : std::string("-"),
+             ok ? "ok" : core::storeStatusName(info.status) +
+                             " (" + info.detail + ")"});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("%zu entries, %zu healthy, %zu inconsistent\n",
+                entries.size(), healthy, entries.size() - healthy);
+    return healthy == entries.size() ? 0 : 1;
+}
+
+/** `campaign invalidate [stale]`: delete all (or only bad) entries. */
+int
+cmdCampaignInvalidate(const CliOptions &opts)
+{
+    bool stale_only = opts.args.size() > 1 && opts.args[1] == "stale";
+    if (opts.args.size() > 1 && !stale_only)
+        usage(1);
+    core::CampaignStore store(opts.store_dir);
+    std::size_t removed =
+        stale_only ? store.invalidateStale() : store.invalidate();
+    std::printf("removed %zu %sentr%s from %s\n", removed,
+                stale_only ? "inconsistent " : "",
+                removed == 1 ? "y" : "ies", opts.store_dir.c_str());
+    return 0;
+}
+
+int
+cmdCampaign(const CliOptions &opts)
+{
+    if (opts.args.empty())
+        usage(1);
+    if (opts.store_dir.empty()) {
+        std::fprintf(stderr,
+                     "error: campaign %s requires --store DIR\n",
+                     opts.args[0].c_str());
+        return 1;
+    }
+    if (opts.args[0] == "run")
+        return cmdCampaignRun(opts);
+    if (opts.args[0] == "info")
+        return cmdCampaignInfo(opts);
+    if (opts.args[0] == "invalidate")
+        return cmdCampaignInvalidate(opts);
+    usage(1);
 }
 
 int
@@ -586,6 +719,7 @@ cmdLint(const CliOptions &opts)
     context.instructions = opts.instructions;
     context.warmup = opts.warmup;
     context.jobs = opts.jobs;
+    context.store_dir = opts.store_dir;
 
     lint::LintReport report = lint::Linter().run(context);
     std::string rendered =
@@ -625,6 +759,8 @@ main(int argc, char **argv)
         return cmdReport(opts);
     if (opts.command == "simpoints")
         return cmdSimpoints(opts);
+    if (opts.command == "campaign")
+        return cmdCampaign(opts);
     if (opts.command == "lint")
         return cmdLint(opts);
     if (opts.command == "help" || opts.command == "--help")
