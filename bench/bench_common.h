@@ -17,16 +17,18 @@
 #ifndef SPECLENS_BENCH_BENCH_COMMON_H
 #define SPECLENS_BENCH_BENCH_COMMON_H
 
-#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/analysis_session.h"
 #include "core/characterization.h"
+#include "core/option_parse.h"
+#include "obs/export.h"
 #include "suites/machines.h"
 
 namespace speclens {
@@ -49,6 +51,12 @@ struct BenchOptions
 
     /** Artifact-store directory; empty = no persistence. */
     std::string store_dir;
+
+    /** Metrics output file; empty = no metrics export. */
+    std::string metrics_path;
+
+    /** Metrics export format (--metrics-format prom|json). */
+    obs::ExportFormat metrics_format = obs::ExportFormat::Prometheus;
 };
 
 /**
@@ -65,16 +73,14 @@ numericFlagValue(const char *flag, int argc, char **argv, int &i)
         std::exit(1);
     }
     const char *text = argv[++i];
-    char *end = nullptr;
-    errno = 0;
-    // strtoull wraps "-3" to a huge value; reject signs outright.
-    unsigned long long value = std::strtoull(text, &end, 10);
-    if (text[0] == '-' || text[0] == '+' || end == text || *end != '\0' ||
-        errno == ERANGE) {
+    std::uint64_t value = 0;
+    core::ParseStatus status = core::parseUnsigned(text, value);
+    if (status != core::ParseStatus::Ok) {
         std::fprintf(stderr,
                      "error: %s expects a non-negative integer, got "
-                     "'%s' (try --help)\n",
-                     flag, text);
+                     "'%s': %s (try --help)\n",
+                     flag, text,
+                     core::parseStatusDetail(status).c_str());
         std::exit(1);
     }
     return value;
@@ -108,7 +114,8 @@ parseOptions(int argc, char **argv)
         if (std::strcmp(argv[i], "--help") == 0) {
             std::printf(
                 "usage: %s [--instructions N] [--warmup N] [--jobs N]\n"
-                "       [--seed-salt N] [--store DIR]\n"
+                "       [--seed-salt N] [--store DIR] [--metrics FILE]\n"
+                "       [--metrics-format prom|json]\n"
                 "  --instructions  measured instructions per pair "
                 "(default %llu)\n"
                 "  --warmup        warm-up instructions (default %llu)\n"
@@ -117,7 +124,10 @@ parseOptions(int argc, char **argv)
                 "  --seed-salt     extra seed entropy for independent "
                 "re-runs (default 0)\n"
                 "  --store         persistent artifact store directory "
-                "(reused results skip simulation)\n",
+                "(reused results skip simulation)\n"
+                "  --metrics       write a metrics snapshot to FILE at "
+                "exit (stdout is never touched)\n"
+                "  --metrics-format  prom (default) or json\n",
                 argv[0],
                 static_cast<unsigned long long>(opts.instructions),
                 static_cast<unsigned long long>(opts.warmup));
@@ -137,12 +147,27 @@ parseOptions(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--store") == 0) {
             opts.store_dir =
                 stringFlagValue("--store", argc, argv, i);
+        } else if (std::strcmp(argv[i], "--metrics") == 0) {
+            opts.metrics_path =
+                stringFlagValue("--metrics", argc, argv, i);
+        } else if (std::strcmp(argv[i], "--metrics-format") == 0) {
+            const char *name =
+                stringFlagValue("--metrics-format", argc, argv, i);
+            try {
+                opts.metrics_format = obs::exportFormatFromName(name);
+            } catch (const std::invalid_argument &e) {
+                std::fprintf(stderr, "error: %s (try --help)\n",
+                             e.what());
+                std::exit(1);
+            }
         } else {
             std::fprintf(stderr, "unknown option: %s (try --help)\n",
                          argv[i]);
             std::exit(1);
         }
     }
+    if (!opts.metrics_path.empty())
+        obs::exportAtExit(opts.metrics_path, opts.metrics_format);
     return opts;
 }
 

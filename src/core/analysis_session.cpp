@@ -8,13 +8,43 @@
 #include <cstdio>
 #include <utility>
 
+#include "obs/manifest.h"
+#include "obs/metrics.h"
+#include "stats/fingerprint.h"
+
 namespace speclens {
 namespace core {
+
+namespace {
+
+std::string
+hex16(std::uint64_t value)
+{
+    char buffer[17];
+    std::snprintf(buffer, sizeof(buffer), "%016llx",
+                  static_cast<unsigned long long>(value));
+    return std::string(buffer);
+}
+
+} // namespace
 
 AnalysisSession::AnalysisSession(SessionConfig config)
     : characterizer_(std::make_unique<Characterizer>(
           std::move(config.machines), config.characterization))
 {
+    // Fingerprint the run configuration: anything that changes what a
+    // campaign measures must change this, so manifests from different
+    // configurations never look comparable.
+    stats::Fingerprinter fp;
+    fp.tag("speclens.session");
+    fp.u64(kStoreEngineVersion);
+    config.characterization.hashInto(fp);
+    fp.u64(characterizer_->machines().size());
+    for (const uarch::MachineConfig &machine :
+         characterizer_->machines())
+        machine.hashInto(fp);
+    config_fingerprint_ = hex16(fp.value());
+
     if (!config.store_dir.empty()) {
         store_ = std::make_shared<CampaignStore>(config.store_dir);
         characterizer_->attachStore(store_);
@@ -23,8 +53,37 @@ AnalysisSession::AnalysisSession(SessionConfig config)
 
 AnalysisSession::~AnalysisSession()
 {
-    if (store_)
-        std::fprintf(stderr, "%s\n", summary().c_str());
+    if (!store_)
+        return;
+    std::fprintf(stderr, "%s\n", summary().c_str());
+
+    StoreCounters c = store_->counters();
+    obs::Manifest manifest;
+    manifest.engine_version = kStoreEngineVersion;
+    manifest.config_fingerprint = config_fingerprint_;
+    manifest.run = {
+        {"store_dir", store_->directory()},
+        {"machines",
+         std::to_string(characterizer_->machines().size())},
+        {"metrics", obs::kMetricsEnabled ? "on" : "off"},
+    };
+    manifest.totals = {
+        {"entries", store_->entryCount()},
+        {"hits", c.hits},
+        {"misses", c.misses},
+        {"simulations", c.computed},
+        {"saves", c.saves},
+    };
+    manifest.rejected = {
+        {"corrupt", c.corrupt},
+        {"stale_version", c.stale_version},
+        {"fingerprint_mismatch", c.fingerprint_mismatch},
+        {"orphaned_temp", c.orphaned_temp},
+    };
+    manifest.metrics = obs::Registry::global().snapshot();
+    obs::writeManifest(store_->directory() + "/" +
+                           obs::kManifestFileName,
+                       manifest);
 }
 
 std::string
@@ -33,8 +92,8 @@ AnalysisSession::summary() const
     if (!store_)
         return "[speclens-store] disabled";
     StoreCounters c = store_->counters();
-    std::size_t rejected =
-        c.corrupt + c.stale_version + c.fingerprint_mismatch;
+    std::size_t rejected = c.corrupt + c.stale_version +
+                           c.fingerprint_mismatch + c.orphaned_temp;
     // `computed` counts every simulation executed against the store,
     // including ones run outside the Characterizer (stability trials,
     // SimPoint probes and phased ground-truth runs).

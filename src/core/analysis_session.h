@@ -13,6 +13,11 @@
  * summary to *stderr* on destruction (never stdout — warm and cold
  * runs must stay byte-identical on stdout).  The summary includes
  * `simulations=N`; CI asserts `simulations=0` on a warm run.
+ *
+ * A store-backed session also leaves a run manifest
+ * (`run-manifest.json`, obs/manifest.h) in the store directory on
+ * destruction: engine version, configuration fingerprint, store
+ * totals, the rejected-entry breakdown and a full metric snapshot.
  */
 
 #ifndef SPECLENS_CORE_ANALYSIS_SESSION_H
@@ -56,7 +61,10 @@ class AnalysisSession
     AnalysisSession(AnalysisSession &&) = default;
     AnalysisSession &operator=(AnalysisSession &&) = default;
 
-    /** Prints the reuse summary to stderr when a store is attached. */
+    /**
+     * Prints the reuse summary to stderr and writes the run manifest
+     * into the store directory when a store is attached.
+     */
     ~AnalysisSession();
 
     Characterizer &characterizer() { return *characterizer_; }
@@ -71,13 +79,26 @@ class AnalysisSession
      * One-line machine-parseable reuse summary, e.g.
      * `[speclens-store] dir=... entries=301 hits=301 simulations=0
      * saves=0 rejected=0`.  `rejected` counts defensively discarded
-     * entries (corrupt + stale + fingerprint-mismatched).
+     * entries (corrupt + stale + fingerprint-mismatched) plus orphaned
+     * temp files swept when the store was opened.
      */
     std::string summary() const;
+
+    /**
+     * 16-hex fingerprint over everything that determines this
+     * session's results: engine version, simulation window and the
+     * full machine set.  Recorded in the run manifest so warm and
+     * cold runs of the same configuration are diffable.
+     */
+    const std::string &configFingerprint() const
+    {
+        return config_fingerprint_;
+    }
 
   private:
     std::shared_ptr<CampaignStore> store_;
     std::unique_ptr<Characterizer> characterizer_;
+    std::string config_fingerprint_;
 };
 
 } // namespace core

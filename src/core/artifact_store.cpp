@@ -17,12 +17,46 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace speclens {
 namespace core {
 
 namespace {
 
 namespace fs = std::filesystem;
+
+/** Store instruments, resolved once per process. */
+struct StoreInstruments
+{
+    obs::Counter &hits;
+    obs::Counter &misses;
+    obs::Counter &rejected;
+    obs::Counter &saves;
+    obs::Counter &bytes_read;
+    obs::Counter &bytes_written;
+    obs::Counter &orphaned_swept;
+    obs::Timing &load_time;
+    obs::Timing &save_time;
+
+    static const StoreInstruments &
+    get()
+    {
+        obs::Registry &registry = obs::Registry::global();
+        static StoreInstruments instruments{
+            registry.counter("core.store.hits"),
+            registry.counter("core.store.misses"),
+            registry.counter("core.store.rejected"),
+            registry.counter("core.store.saves"),
+            registry.counter("core.store.bytes_read"),
+            registry.counter("core.store.bytes_written"),
+            registry.counter("core.store.orphaned_temp_swept"),
+            registry.timing("core.store.load"),
+            registry.timing("core.store.save"),
+        };
+        return instruments;
+    }
+};
 
 constexpr char kMagic[8] = {'S', 'L', 'A', 'R', 'T', '0', '0', '1'};
 constexpr std::size_t kHeaderBytes = 40;
@@ -548,6 +582,35 @@ CampaignStore::CampaignStore(std::string directory)
     // store to misses + failed saves rather than aborting the run.
     std::error_code ec;
     fs::create_directories(directory_, ec);
+
+    std::size_t swept = sweepOrphanedTempFiles();
+    if (swept > 0) {
+        StoreInstruments::get().orphaned_swept.add(swept);
+        std::lock_guard<std::mutex> lock(counters_mutex_);
+        counters_.orphaned_temp += swept;
+    }
+}
+
+std::size_t
+CampaignStore::sweepOrphanedTempFiles()
+{
+    // A temp file is `<entry>.slart.tmp<thread-hash>`; anything with
+    // ".slart.tmp" in its name is a leftover from a writer that died
+    // between the temp write and the atomic rename.  No live writer
+    // can race this: temp names are keyed to running threads and the
+    // sweep happens before this handle serves any save.
+    const std::string marker = std::string(kStoreEntrySuffix) + ".tmp";
+    std::size_t removed = 0;
+    std::error_code ec;
+    for (const auto &file : fs::directory_iterator(directory_, ec)) {
+        std::string name = file.path().filename().string();
+        if (name.find(marker) == std::string::npos)
+            continue;
+        std::error_code remove_ec;
+        if (fs::remove(file.path(), remove_ec))
+            ++removed;
+    }
+    return removed;
 }
 
 std::string
@@ -560,11 +623,13 @@ CampaignStore::entryPath(const StoreKey &key) const
 StoreStatus
 CampaignStore::load(const StoreKey &key, uarch::SimulationResult &out)
 {
+    obs::Span span(StoreInstruments::get().load_time);
     std::string bytes;
     StoreStatus status;
     if (!readFile(entryPath(key), bytes)) {
         status = StoreStatus::Miss;
     } else {
+        StoreInstruments::get().bytes_read.add(bytes.size());
         status = verifyEntry(bytes, key.fingerprint, &out, nullptr,
                              nullptr);
     }
@@ -576,11 +641,13 @@ StoreStatus
 CampaignStore::loadPhased(const StoreKey &key,
                           uarch::PhasedSimulationResult &out)
 {
+    obs::Span span(StoreInstruments::get().load_time);
     std::string bytes;
     StoreStatus status;
     if (!readFile(entryPath(key), bytes)) {
         status = StoreStatus::Miss;
     } else {
+        StoreInstruments::get().bytes_read.add(bytes.size());
         status = verifyEntry(bytes, key.fingerprint, nullptr, &out,
                              nullptr);
     }
@@ -591,14 +658,28 @@ CampaignStore::loadPhased(const StoreKey &key,
 void
 CampaignStore::recordLoad(StoreStatus status)
 {
+    const StoreInstruments &instruments = StoreInstruments::get();
     std::lock_guard<std::mutex> lock(counters_mutex_);
     switch (status) {
-      case StoreStatus::Hit: ++counters_.hits; break;
-      case StoreStatus::Miss: ++counters_.misses; break;
-      case StoreStatus::Corrupt: ++counters_.corrupt; break;
-      case StoreStatus::StaleVersion: ++counters_.stale_version; break;
+      case StoreStatus::Hit:
+          ++counters_.hits;
+          instruments.hits.add();
+          break;
+      case StoreStatus::Miss:
+          ++counters_.misses;
+          instruments.misses.add();
+          break;
+      case StoreStatus::Corrupt:
+          ++counters_.corrupt;
+          instruments.rejected.add();
+          break;
+      case StoreStatus::StaleVersion:
+          ++counters_.stale_version;
+          instruments.rejected.add();
+          break;
       case StoreStatus::FingerprintMismatch:
           ++counters_.fingerprint_mismatch;
+          instruments.rejected.add();
           break;
     }
 }
@@ -628,6 +709,7 @@ bool
 CampaignStore::writeEntry(const std::string &bytes,
                           const std::string &path)
 {
+    obs::Span span(StoreInstruments::get().save_time);
 
     // Unique temp name per thread: two threads racing on the same key
     // write identical bytes to distinct temp files; both renames
@@ -652,6 +734,8 @@ CampaignStore::writeEntry(const std::string &bytes,
         return false;
     }
 
+    StoreInstruments::get().saves.add();
+    StoreInstruments::get().bytes_written.add(bytes.size());
     std::lock_guard<std::mutex> lock(counters_mutex_);
     ++counters_.saves;
     return true;

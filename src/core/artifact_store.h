@@ -145,6 +145,16 @@ struct StoreCounters
      * run — the acceptance check behind `--store` reuse.
      */
     std::size_t computed = 0;
+
+    /**
+     * Orphaned temp files (`*.slart.tmp*`) removed when the store was
+     * opened.  A writer that died between the temp write and the
+     * atomic rename leaves one behind; it never shadows an entry (the
+     * suffix excludes it from lookup and scan) but would otherwise
+     * accumulate silently.  Counted into the `rejected=` figure of the
+     * session summary so interrupted runs are visible.
+     */
+    std::size_t orphaned_temp = 0;
 };
 
 /** Verified description of one on-disk entry (see CampaignStore::scan). */
@@ -183,7 +193,9 @@ struct StoreEntryInfo
 /**
  * A directory of persisted simulation results.
  *
- * Opening a store creates the directory if needed.  All I/O failures
+ * Opening a store creates the directory if needed and sweeps any
+ * orphaned temp files an interrupted writer left behind (counted in
+ * counters().orphaned_temp).  All I/O failures
  * degrade soft: load() reports Miss/Corrupt and save() returns false,
  * so a read-only or vanished directory never takes an analysis down —
  * it only costs recomputation.
@@ -251,6 +263,12 @@ class CampaignStore
     std::string entryPath(const StoreKey &key) const;
 
   private:
+    /**
+     * Remove temp files a crashed writer left behind (constructor).
+     * Returns the number removed.
+     */
+    std::size_t sweepOrphanedTempFiles();
+
     /** Tally one load outcome. */
     void recordLoad(StoreStatus status);
 

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "core/parallel.h"
+#include "obs/metrics.h"
 
 namespace speclens {
 namespace core {
@@ -60,6 +61,9 @@ uarch::SimulationResult
 Characterizer::runSimulation(const suites::BenchmarkInfo &benchmark,
                              std::size_t machine_index) const
 {
+    static obs::Timing &simulate_time =
+        obs::Registry::global().timing("core.characterize.simulate");
+    obs::Span span(simulate_time);
     return uarch::simulate(benchmark.profile, machines_[machine_index],
                            config_.simulationConfig());
 }
@@ -84,6 +88,8 @@ uarch::SimulationResult
 Characterizer::obtainResult(const suites::BenchmarkInfo &benchmark,
                             std::size_t machine_index)
 {
+    static obs::Counter &simulations =
+        obs::Registry::global().counter("core.characterize.simulations");
     if (store_) {
         StoreKey key = storeKey(benchmark, machine_index);
         uarch::SimulationResult loaded;
@@ -94,6 +100,7 @@ Characterizer::obtainResult(const suites::BenchmarkInfo &benchmark,
         uarch::SimulationResult result =
             runSimulation(benchmark, machine_index);
         simulations_run_.fetch_add(1, std::memory_order_relaxed);
+        simulations.add();
         store_->recordComputed();
         store_->save(key, result);
         return result;
@@ -101,6 +108,7 @@ Characterizer::obtainResult(const suites::BenchmarkInfo &benchmark,
     uarch::SimulationResult result =
         runSimulation(benchmark, machine_index);
     simulations_run_.fetch_add(1, std::memory_order_relaxed);
+    simulations.add();
     return result;
 }
 
@@ -172,12 +180,17 @@ Characterizer::simulation(const suites::BenchmarkInfo &benchmark,
     if (machine_index >= machines_.size())
         throw std::out_of_range("Characterizer: machine index");
 
+    static obs::Counter &memo_hits =
+        obs::Registry::global().counter("core.characterize.memo_hits");
+
     CacheKey key{benchmark.profile.name, machine_index};
     {
         std::lock_guard<std::mutex> lock(cache_mutex_);
         auto it = cache_.find(key);
-        if (it != cache_.end())
+        if (it != cache_.end()) {
+            memo_hits.add();
             return it->second;
+        }
     }
 
     // Obtain outside the lock so concurrent misses on different

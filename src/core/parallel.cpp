@@ -8,8 +8,40 @@
 #include <algorithm>
 #include <atomic>
 
+#include "obs/metrics.h"
+
 namespace speclens {
 namespace core {
+
+namespace {
+
+/**
+ * Instruments for the fan-out engine, resolved once per process.
+ * Wrapped in a struct so one function-local static covers them all.
+ */
+struct ParallelInstruments
+{
+    obs::Counter &batches;
+    obs::Counter &tasks;
+    obs::Timing &task_time;
+    obs::Timing &batch_time;
+    obs::Gauge &utilization;
+
+    static const ParallelInstruments &
+    get()
+    {
+        static ParallelInstruments instruments{
+            obs::Registry::global().counter("core.parallel.batches"),
+            obs::Registry::global().counter("core.parallel.tasks"),
+            obs::Registry::global().timing("core.parallel.task"),
+            obs::Registry::global().timing("core.parallel.batch"),
+            obs::Registry::global().gauge("core.parallel.utilization"),
+        };
+        return instruments;
+    }
+};
+
+} // namespace
 
 std::size_t
 defaultJobCount()
@@ -29,9 +61,43 @@ parallelFor(std::size_t count, std::size_t jobs,
             const std::function<void(std::size_t)> &body)
 {
     std::size_t threads = std::min(resolveJobCount(jobs), count);
+    const ParallelInstruments &instruments = ParallelInstruments::get();
+    instruments.batches.add();
+    instruments.tasks.add(count);
+    std::uint64_t batch_start = obs::kMetricsEnabled ? obs::nowNs() : 0;
+    std::atomic<std::uint64_t> busy_ns{0};
+
+    auto timedBody = [&](std::size_t i) {
+        if constexpr (obs::kMetricsEnabled) {
+            std::uint64_t t0 = obs::nowNs();
+            body(i);
+            std::uint64_t elapsed = obs::nowNs() - t0;
+            instruments.task_time.record(elapsed);
+            busy_ns.fetch_add(elapsed, std::memory_order_relaxed);
+        } else {
+            body(i);
+        }
+    };
+
+    auto finishBatch = [&]() {
+        if constexpr (obs::kMetricsEnabled) {
+            std::uint64_t wall = obs::nowNs() - batch_start;
+            instruments.batch_time.record(wall);
+            // Fraction of worker wall-time spent inside task bodies —
+            // 1.0 means no claim/join overhead and no idle tail.
+            if (wall > 0 && threads > 0)
+                instruments.utilization.set(
+                    static_cast<double>(
+                        busy_ns.load(std::memory_order_relaxed)) /
+                    (static_cast<double>(wall) *
+                     static_cast<double>(threads)));
+        }
+    };
+
     if (threads <= 1) {
         for (std::size_t i = 0; i < count; ++i)
-            body(i);
+            timedBody(i);
+        finishBatch();
         return;
     }
 
@@ -46,7 +112,7 @@ parallelFor(std::size_t count, std::size_t jobs,
             if (i >= count || failed.load(std::memory_order_relaxed))
                 return;
             try {
-                body(i);
+                timedBody(i);
             } catch (...) {
                 std::lock_guard<std::mutex> lock(error_mutex);
                 if (!first_error)
@@ -63,6 +129,7 @@ parallelFor(std::size_t count, std::size_t jobs,
     work(); // The caller is worker zero.
     for (std::thread &helper : helpers)
         helper.join();
+    finishBatch();
 
     if (first_error)
         std::rethrow_exception(first_error);
@@ -93,9 +160,13 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::submit(std::function<void()> task)
 {
+    QueuedTask item;
+    item.fn = std::move(task);
+    if constexpr (obs::kMetricsEnabled)
+        item.enqueued_ns = obs::nowNs();
     {
         std::lock_guard<std::mutex> lock(mutex_);
-        queue_.push_back(std::move(task));
+        queue_.push_back(std::move(item));
     }
     task_ready_.notify_one();
 }
@@ -119,8 +190,12 @@ ThreadPool::wait()
 void
 ThreadPool::workerLoop()
 {
+    static obs::Timing &queue_wait =
+        obs::Registry::global().timing("core.parallel.queue_wait");
+    static obs::Counter &pool_tasks =
+        obs::Registry::global().counter("core.parallel.pool_tasks");
     for (;;) {
-        std::function<void()> task;
+        QueuedTask task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             task_ready_.wait(lock, [this]() {
@@ -132,8 +207,12 @@ ThreadPool::workerLoop()
             queue_.pop_front();
             ++running_;
         }
+        if constexpr (obs::kMetricsEnabled) {
+            queue_wait.record(obs::nowNs() - task.enqueued_ns);
+            pool_tasks.add();
+        }
         try {
-            task();
+            task.fn();
         } catch (...) {
             std::lock_guard<std::mutex> lock(mutex_);
             if (!first_error_)

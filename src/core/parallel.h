@@ -30,6 +30,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
@@ -101,10 +102,17 @@ class ThreadPool
     void wait();
 
   private:
+    /** A submitted task plus when it entered the queue (metrics). */
+    struct QueuedTask
+    {
+        std::function<void()> fn;
+        std::uint64_t enqueued_ns = 0;
+    };
+
     void workerLoop();
 
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
+    std::deque<QueuedTask> queue_;
     std::mutex mutex_;
     std::condition_variable task_ready_;
     std::condition_variable idle_;

@@ -20,6 +20,7 @@
 
 #include "core/artifact_store.h"
 #include "core/characterization.h"
+#include "stats/normalize.h"
 #include "suites/emerging.h"
 #include "suites/input_sets.h"
 #include "suites/machines.h"
@@ -1161,6 +1162,68 @@ class StoreIntegrityRule final : public RuleBase
     }
 };
 
+// ====================================================================
+// Degenerate-feature rule (SL017).
+// ====================================================================
+
+class DegenerateFeaturesRule final : public RuleBase
+{
+  public:
+    std::string code() const override { return "SL017"; }
+    std::string name() const override { return "degenerate-features"; }
+    std::string
+    description() const override
+    {
+        return "every CPU2017 feature column varies across the suite "
+               "(zero-variance columns are zeroed by normalization)";
+    }
+
+    void
+    run(const LintContext &context,
+        std::vector<Diagnostic> &out) const override
+    {
+        if (!context.deep) {
+            emit(out, Severity::Info, "features",
+                 "degenerate-feature check skipped (deep checks "
+                 "disabled)");
+            return;
+        }
+
+        // The same feature matrix the similarity pipeline consumes:
+        // CPU2017 on the simulated Skylake.  zscoreWith() maps a
+        // zero-variance column to all-zeros — mathematically forced,
+        // but a feature that never varies across 20 benchmarks means
+        // the underlying counter model is dead, so it must be
+        // surfaced, never silent (that silence was a real bug).
+        core::CharacterizationConfig config;
+        config.instructions = context.instructions;
+        config.warmup = context.warmup;
+        config.jobs = context.jobs;
+        core::Characterizer characterizer({suites::skylakeMachine()},
+                                          config);
+        stats::Matrix features =
+            characterizer.featureMatrix(context.cpu2017);
+        std::vector<std::string> names = characterizer.featureNames();
+
+        stats::NormalizeReport report;
+        (void)stats::zscore(features, &report);
+        for (std::size_t c : report.degenerate_columns) {
+            std::string column =
+                c < names.size() ? names[c] : std::to_string(c);
+            emit(out, Severity::Warning, "features/" + column,
+                 "feature column has zero variance across CPU2017 "
+                 "and is zeroed by normalization",
+                 "a counter that never varies usually means a dead "
+                 "metric model; recalibrate or drop the metric");
+        }
+        emit(out, Severity::Info, "features",
+             std::to_string(features.cols() -
+                            report.degenerate_columns.size()) +
+                 " of " + std::to_string(features.cols()) +
+                 " feature columns vary across CPU2017");
+    }
+};
+
 } // namespace
 
 std::vector<const suites::BenchmarkInfo *>
@@ -1208,6 +1271,7 @@ defaultRules()
     rules.push_back(std::make_unique<ScoreDatabaseRule>());
     rules.push_back(std::make_unique<PaperBoundsRule>());
     rules.push_back(std::make_unique<StoreIntegrityRule>());
+    rules.push_back(std::make_unique<DegenerateFeaturesRule>());
     return rules;
 }
 

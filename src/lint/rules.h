@@ -22,6 +22,7 @@
  * | SL014 | score-database     | finite positive speedups for every pair |
  * | SL015 | paper-bounds       | Table I/II envelopes (deep: simulated)  |
  * | SL016 | store-integrity    | artifact-store entries verify and match |
+ * | SL017 | degenerate-features| feature columns vary (deep: simulated)  |
  */
 
 #ifndef SPECLENS_LINT_RULES_H

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Run-manifest renderer implementation.
+ */
+
+#include "manifest.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "export.h"
+
+namespace speclens {
+namespace obs {
+
+namespace {
+
+/** JSON string literal (same escaping rules as the JSON exporter). */
+std::string
+quote(const std::string &text)
+{
+    std::string out = "\"";
+    for (char c : text) {
+        unsigned char u = static_cast<unsigned char>(c);
+        if (c == '"')
+            out += "\\\"";
+        else if (c == '\\')
+            out += "\\\\";
+        else if (u < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x", u);
+            out += buffer;
+        } else {
+            out.push_back(c);
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+void
+appendObject(
+    std::string &out, const char *key,
+    const std::vector<std::pair<std::string, std::string>> &fields)
+{
+    out += "  \"";
+    out += key;
+    out += "\": {";
+    const char *sep = "";
+    for (const auto &[name, value] : fields) {
+        out += sep;
+        out += "\n    " + quote(name) + ": " + quote(value);
+        sep = ",";
+    }
+    out += fields.empty() ? "},\n" : "\n  },\n";
+}
+
+void
+appendObject(
+    std::string &out, const char *key,
+    const std::vector<std::pair<std::string, std::uint64_t>> &fields)
+{
+    out += "  \"";
+    out += key;
+    out += "\": {";
+    const char *sep = "";
+    for (const auto &[name, value] : fields) {
+        out += sep;
+        out += "\n    " + quote(name) + ": " + std::to_string(value);
+        sep = ",";
+    }
+    out += fields.empty() ? "},\n" : "\n  },\n";
+}
+
+/** The metrics snapshot JSON, indented one level into the manifest. */
+std::string
+indentedMetrics(const Snapshot &snapshot)
+{
+    std::string flat = renderJson(snapshot);
+    std::string out;
+    out.reserve(flat.size() + 64);
+    for (std::size_t i = 0; i < flat.size(); ++i) {
+        out.push_back(flat[i]);
+        if (flat[i] == '\n' && i + 1 < flat.size())
+            out += "  ";
+    }
+    // renderJson ends with "}\n"; drop the trailing newline so the
+    // caller controls what follows.
+    while (!out.empty() && out.back() == '\n')
+        out.pop_back();
+    return out;
+}
+
+} // namespace
+
+std::string
+renderManifest(const Manifest &manifest)
+{
+    std::string out = "{\n";
+    out += "  \"manifest_version\": " +
+           std::to_string(manifest.manifest_version) + ",\n";
+    out += "  \"engine_version\": " +
+           std::to_string(manifest.engine_version) + ",\n";
+    out += "  \"config_fingerprint\": " +
+           quote(manifest.config_fingerprint) + ",\n";
+    appendObject(out, "run", manifest.run);
+    appendObject(out, "totals", manifest.totals);
+    appendObject(out, "rejected", manifest.rejected);
+    out += "  \"metrics\": " + indentedMetrics(manifest.metrics) + "\n";
+    out += "}\n";
+    return out;
+}
+
+bool
+writeManifest(const std::string &path, const Manifest &manifest)
+{
+    std::string rendered = renderManifest(manifest);
+    std::ofstream file(path, std::ios::binary | std::ios::trunc);
+    if (file)
+        file.write(rendered.data(),
+                   static_cast<std::streamsize>(rendered.size()));
+    if (!file) {
+        std::fprintf(stderr,
+                     "[speclens-obs] warning: cannot write manifest to "
+                     "%s\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace obs
+} // namespace speclens

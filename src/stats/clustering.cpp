@@ -12,6 +12,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace speclens {
 namespace stats {
 
@@ -250,6 +252,10 @@ agglomerate(const Matrix &distances, Linkage linkage)
         throw std::invalid_argument("agglomerate: matrix not symmetric");
     if (n == 1)
         return Dendrogram(1, {});
+
+    static obs::Timing &agglomerate_time =
+        obs::Registry::global().timing("stats.cluster.agglomerate");
+    obs::Span span(agglomerate_time);
 
     bool squared = linkage == Linkage::Ward;
 

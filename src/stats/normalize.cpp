@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "descriptive.h"
+#include "obs/metrics.h"
 
 namespace speclens {
 namespace stats {
@@ -26,25 +27,50 @@ columnStats(const Matrix &m)
     return out;
 }
 
-Matrix
-zscore(const Matrix &m)
+std::vector<std::size_t>
+degenerateColumns(const ColumnStats &stats)
 {
-    return zscoreWith(m, columnStats(m));
+    std::vector<std::size_t> out;
+    for (std::size_t c = 0; c < stats.stddevs.size(); ++c) {
+        if (!(stats.stddevs[c] > 0.0))
+            out.push_back(c);
+    }
+    return out;
 }
 
 Matrix
-zscoreWith(const Matrix &m, const ColumnStats &stats)
+zscore(const Matrix &m, NormalizeReport *report)
+{
+    return zscoreWith(m, columnStats(m), report);
+}
+
+Matrix
+zscoreWith(const Matrix &m, const ColumnStats &stats,
+           NormalizeReport *report)
 {
     if (stats.means.size() != m.cols() || stats.stddevs.size() != m.cols())
         throw std::invalid_argument("zscoreWith: stats dimension mismatch");
 
+    static obs::Timing &zscore_time =
+        obs::Registry::global().timing("stats.normalize.zscore");
+    static obs::Counter &zero_variance = obs::Registry::global().counter(
+        "stats.normalize.zero_variance_columns");
+    obs::Span span(zscore_time);
+
     Matrix out(m.rows(), m.cols());
+    std::vector<std::size_t> degenerate;
     for (std::size_t c = 0; c < m.cols(); ++c) {
         double mu = stats.means[c];
         double sd = stats.stddevs[c];
+        if (!(sd > 0.0))
+            degenerate.push_back(c);
         for (std::size_t r = 0; r < m.rows(); ++r)
             out(r, c) = sd > 0.0 ? (m(r, c) - mu) / sd : 0.0;
     }
+    if (!degenerate.empty())
+        zero_variance.add(degenerate.size());
+    if (report)
+        report->degenerate_columns = std::move(degenerate);
     return out;
 }
 

@@ -31,17 +31,40 @@ struct ColumnStats
 ColumnStats columnStats(const Matrix &m);
 
 /**
+ * What a standardisation pass had to do beyond the arithmetic.
+ *
+ * Zero-variance columns cannot be standardised — they are mapped to
+ * all-zeros — and a feature that never varies usually means an
+ * upstream modelling defect (a counter that never fires, duplicated
+ * workloads).  Historically that mapping happened silently; callers
+ * who care pass a report and surface the column indices (the SL017
+ * lint rule and the obs counter `stats.normalize.zero_variance_columns`
+ * are built on this).
+ */
+struct NormalizeReport
+{
+    /** Column indices with zero variance (mapped to all-zeros). */
+    std::vector<std::size_t> degenerate_columns;
+};
+
+/** Indices of zero-variance columns under @p stats. */
+std::vector<std::size_t> degenerateColumns(const ColumnStats &stats);
+
+/**
  * Z-score standardise every column of @p m in place semantics (returns a
  * copy).  Columns with zero variance are mapped to all-zeros rather than
  * dividing by zero; such columns carry no discriminating information.
+ * Pass @p report to learn which columns were degenerate (may be null).
  */
-Matrix zscore(const Matrix &m);
+Matrix zscore(const Matrix &m, NormalizeReport *report = nullptr);
 
 /**
  * Standardise @p m using externally supplied statistics, e.g. to project
  * new workloads into a feature space fitted on a reference suite.
+ * Pass @p report to learn which columns were degenerate (may be null).
  */
-Matrix zscoreWith(const Matrix &m, const ColumnStats &stats);
+Matrix zscoreWith(const Matrix &m, const ColumnStats &stats,
+                  NormalizeReport *report = nullptr);
 
 /**
  * Covariance matrix of the columns of @p m (sample covariance, n - 1

@@ -11,6 +11,7 @@
 #include <stdexcept>
 
 #include "eigen.h"
+#include "obs/metrics.h"
 
 namespace speclens {
 namespace stats {
@@ -81,6 +82,10 @@ fitPca(const Matrix &raw, const RetentionPolicy &policy)
 {
     if (raw.rows() < 2 || raw.cols() < 1)
         throw std::invalid_argument("fitPca: need >= 2 rows and >= 1 col");
+
+    static obs::Timing &fit_time =
+        obs::Registry::global().timing("stats.pca.fit");
+    obs::Span span(fit_time);
 
     PcaResult out;
     out.training_stats = columnStats(raw);

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Strict numeric option parsing tests.
+ *
+ * Every defect class that strtoull/atoi used to swallow silently must
+ * come back as its own ParseStatus: "8x" is Trailing (not 8), "-1" is
+ * Signed (not 18446744073709551615), 2^64 is Overflow (not saturated).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "core/option_parse.h"
+
+namespace speclens {
+namespace core {
+namespace {
+
+std::uint64_t
+mustParse(const std::string &text)
+{
+    std::uint64_t out = 0;
+    EXPECT_EQ(parseUnsigned(text, out), ParseStatus::Ok) << text;
+    return out;
+}
+
+TEST(ParseUnsigned, AcceptsPlainDecimals)
+{
+    EXPECT_EQ(mustParse("0"), 0u);
+    EXPECT_EQ(mustParse("8"), 8u);
+    EXPECT_EQ(mustParse("007"), 7u);
+    EXPECT_EQ(mustParse("30000"), 30'000u);
+    EXPECT_EQ(mustParse("18446744073709551615"),
+              std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ParseUnsigned, RejectsEmpty)
+{
+    std::uint64_t out = 99;
+    EXPECT_EQ(parseUnsigned("", out), ParseStatus::Empty);
+    EXPECT_EQ(out, 99u) << "out must be untouched on failure";
+}
+
+TEST(ParseUnsigned, RejectsSigns)
+{
+    std::uint64_t out = 0;
+    EXPECT_EQ(parseUnsigned("-1", out), ParseStatus::Signed);
+    EXPECT_EQ(parseUnsigned("+4", out), ParseStatus::Signed);
+}
+
+TEST(ParseUnsigned, RejectsNonDigitsAndTrailingJunk)
+{
+    std::uint64_t out = 0;
+    EXPECT_EQ(parseUnsigned("abc", out), ParseStatus::BadDigit);
+    EXPECT_EQ(parseUnsigned(" 8", out), ParseStatus::BadDigit);
+    EXPECT_EQ(parseUnsigned("8x", out), ParseStatus::Trailing);
+    EXPECT_EQ(parseUnsigned("8 ", out), ParseStatus::Trailing);
+    EXPECT_EQ(parseUnsigned("1e3", out), ParseStatus::Trailing);
+    EXPECT_EQ(parseUnsigned("0x10", out), ParseStatus::Trailing);
+    EXPECT_EQ(parseUnsigned("3.5", out), ParseStatus::Trailing);
+}
+
+TEST(ParseUnsigned, RejectsOverflow)
+{
+    std::uint64_t out = 0;
+    // One past uint64 max, and something absurdly long.
+    EXPECT_EQ(parseUnsigned("18446744073709551616", out),
+              ParseStatus::Overflow);
+    EXPECT_EQ(parseUnsigned(std::string(40, '9'), out),
+              ParseStatus::Overflow);
+}
+
+TEST(ParseStatusDetail, EveryStatusHasAMessage)
+{
+    for (ParseStatus status :
+         {ParseStatus::Ok, ParseStatus::Empty, ParseStatus::Signed,
+          ParseStatus::BadDigit, ParseStatus::Trailing,
+          ParseStatus::Overflow})
+        EXPECT_FALSE(parseStatusDetail(status).empty());
+    EXPECT_EQ(parseStatusDetail(ParseStatus::Trailing),
+              "trailing characters after number");
+}
+
+} // namespace
+} // namespace core
+} // namespace speclens

@@ -22,6 +22,8 @@
 #include "core/analysis_session.h"
 #include "core/artifact_store.h"
 #include "core/characterization.h"
+#include "obs/export.h"
+#include "obs/manifest.h"
 #include "suites/emerging.h"
 #include "suites/machines.h"
 #include "suites/spec2006.h"
@@ -483,6 +485,138 @@ TEST(CampaignStore, ScanAndInvalidateStale)
     EXPECT_EQ(store.invalidate(), 1u);
     EXPECT_EQ(store.entryCount(), 0u);
     std::filesystem::remove_all(dir);
+}
+
+// A process killed mid-save leaves a half-written `.slart.tmp` behind
+// (the atomic-rename protocol never publishes it).  Opening the store
+// again must sweep the orphan, count it, and leave healthy entries
+// alone.
+TEST(CampaignStore, OrphanedTempFilesSweptOnOpen)
+{
+    const std::string dir = storeDir("orphans");
+    const uarch::SimulationConfig window = tinyWindow();
+    const auto &benchmark = suites::spec2017Benchmark("505.mcf_r");
+    const auto &machine = suites::skylakeMachine();
+
+    {
+        core::CampaignStore store(dir);
+        EXPECT_EQ(store.counters().orphaned_temp, 0u);
+        core::storedSimulate(&store, benchmark.profile, machine,
+                             window);
+    }
+
+    // Seed two interrupted writes next to the healthy entry.
+    writeFile(dir + "/deadbeef00000001.slart.tmp", "half-written");
+    writeFile(dir + "/deadbeef00000002.slart.tmp.1234", "torn");
+
+    core::CampaignStore reopened(dir);
+    EXPECT_EQ(reopened.counters().orphaned_temp, 2u);
+    EXPECT_FALSE(std::filesystem::exists(
+        dir + "/deadbeef00000001.slart.tmp"));
+    EXPECT_FALSE(std::filesystem::exists(
+        dir + "/deadbeef00000002.slart.tmp.1234"));
+
+    // The published entry survives and still loads.
+    EXPECT_EQ(reopened.entryCount(), 1u);
+    core::StoreKey key =
+        core::makeStoreKey(benchmark.profile, machine, window);
+    uarch::SimulationResult out;
+    EXPECT_EQ(reopened.load(key, out), core::StoreStatus::Hit);
+    std::filesystem::remove_all(dir);
+}
+
+// Swept orphans surface in the session's `rejected=` summary rather
+// than disappearing silently.
+TEST(CampaignStore, OrphanSweepCountsIntoSessionSummary)
+{
+    const std::string dir = storeDir("orphan_summary");
+    std::filesystem::create_directories(dir);
+    writeFile(dir + "/feedface00000001.slart.tmp", "torn write");
+
+    core::SessionConfig config;
+    config.machines = {suites::skylakeMachine()};
+    config.characterization.instructions = 2'000;
+    config.characterization.warmup = 500;
+    config.store_dir = dir;
+    core::AnalysisSession session(config);
+    EXPECT_EQ(session.store()->counters().orphaned_temp, 1u);
+    EXPECT_NE(session.summary().find("rejected=1"), std::string::npos)
+        << session.summary();
+    std::filesystem::remove_all(dir);
+}
+
+// Every store-backed session leaves a run manifest in the store
+// directory: well-formed JSON carrying the v1 schema keys and the
+// session's configuration fingerprint.
+TEST(AnalysisSession, WritesRunManifestOnDestruction)
+{
+    const std::string dir = storeDir("manifest");
+    std::string fingerprint;
+    {
+        core::SessionConfig config;
+        config.machines = suites::profilingMachines();
+        config.characterization.instructions = 2'000;
+        config.characterization.warmup = 500;
+        config.store_dir = dir;
+        core::AnalysisSession session(config);
+        session.characterizer().prepare(suites::spec2017RateInt());
+        fingerprint = session.configFingerprint();
+        EXPECT_EQ(fingerprint.size(), 16u);
+    }
+
+    const std::string path =
+        dir + "/" + obs::kManifestFileName;
+    ASSERT_TRUE(std::filesystem::exists(path));
+    std::string body = readFile(path);
+    EXPECT_TRUE(obs::validateJson(body));
+    for (const char *key :
+         {"\"manifest_version\": 1", "\"engine_version\"",
+          "\"config_fingerprint\"", "\"run\"", "\"totals\"",
+          "\"rejected\"", "\"metrics\""})
+        EXPECT_NE(body.find(key), std::string::npos) << key;
+    EXPECT_NE(body.find(fingerprint), std::string::npos);
+    EXPECT_NE(body.find("\"orphaned_temp\": 0"), std::string::npos);
+
+    // A warm rerun rewrites the manifest with the same identity block.
+    {
+        core::SessionConfig config;
+        config.machines = suites::profilingMachines();
+        config.characterization.instructions = 2'000;
+        config.characterization.warmup = 500;
+        config.store_dir = dir;
+        core::AnalysisSession warm(config);
+        warm.characterizer().prepare(suites::spec2017RateInt());
+        EXPECT_EQ(warm.configFingerprint(), fingerprint);
+    }
+    std::string warm_body = readFile(path);
+    EXPECT_TRUE(obs::validateJson(warm_body));
+    EXPECT_NE(warm_body.find(fingerprint), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+// A different simulation window or machine set must change the
+// manifest's configuration fingerprint.
+TEST(AnalysisSession, ConfigFingerprintCoversWindowAndMachines)
+{
+    core::SessionConfig config;
+    config.machines = {suites::skylakeMachine()};
+    config.characterization.instructions = 2'000;
+    config.characterization.warmup = 500;
+    const std::string base =
+        core::AnalysisSession(config).configFingerprint();
+
+    core::SessionConfig wider = config;
+    wider.characterization.instructions = 4'000;
+    EXPECT_NE(core::AnalysisSession(wider).configFingerprint(), base);
+
+    core::SessionConfig more = config;
+    more.machines = suites::profilingMachines();
+    EXPECT_NE(core::AnalysisSession(more).configFingerprint(), base);
+
+    // jobs is execution policy, not measurement configuration.
+    core::SessionConfig jobs = config;
+    jobs.characterization.jobs = 7;
+    EXPECT_EQ(core::AnalysisSession(jobs).configFingerprint(), base);
 }
 
 // A store on an unwritable path degrades soft: analyses still run,

@@ -43,10 +43,10 @@ TEST(Severity, CountSeverity)
     EXPECT_EQ(countSeverity(diagnostics, Severity::Info), 0u);
 }
 
-TEST(RuleBattery, SixteenRulesWithUniqueOrderedCodes)
+TEST(RuleBattery, SeventeenRulesWithUniqueOrderedCodes)
 {
     auto rules = defaultRules();
-    ASSERT_EQ(rules.size(), 16u);
+    ASSERT_EQ(rules.size(), 17u);
     std::set<std::string> codes;
     for (std::size_t i = 0; i < rules.size(); ++i) {
         const Rule &rule = *rules[i];
@@ -165,7 +165,7 @@ TEST(CleanSuite, ShippedDataHasZeroFindings)
     LintContext context = shippedContext();
     context.deep = false;
     LintReport report = Linter().run(context);
-    ASSERT_EQ(report.rules_run, 16u);
+    ASSERT_EQ(report.rules_run, 17u);
     for (const Diagnostic &d : report.diagnostics)
         EXPECT_EQ(d.severity, Severity::Info)
             << d.code << " " << d.location << ": " << d.message;

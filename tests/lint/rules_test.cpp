@@ -307,6 +307,50 @@ TEST(Rules, SL016_OrphanedEntryWarns)
     std::filesystem::remove_all(dir);
 }
 
+TEST(Rules, SL017_SkipNoteWithoutDeep)
+{
+    std::vector<Diagnostic> found =
+        runRule("SL017", cleanContext());
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].severity, Severity::Info);
+    EXPECT_NE(found[0].message.find("skipped"), std::string::npos);
+}
+
+// A suite of identical workloads makes *every* feature column
+// degenerate: SL017 must warn per column (never error — a dead metric
+// is a calibration smell, not invalid data) and name each column.
+TEST(Rules, SL017_IdenticalWorkloadsDegenerateEveryColumn)
+{
+    LintContext context = cleanContext();
+    context.deep = true;
+    context.instructions = 2'000;
+    context.warmup = 500;
+    context.cpu2017.resize(2);
+    context.cpu2017[1] = context.cpu2017[0];
+
+    std::vector<Diagnostic> found = runRule("SL017", context);
+    EXPECT_EQ(errorCount(found), 0u);
+    std::size_t warnings = countSeverity(found, Severity::Warning);
+    EXPECT_GT(warnings, 0u);
+    for (const Diagnostic &d : found) {
+        EXPECT_EQ(d.code, "SL017");
+        if (d.severity == Severity::Warning) {
+            EXPECT_EQ(d.location.rfind("features/", 0), 0u)
+                << d.location;
+            EXPECT_FALSE(d.fix_hint.empty());
+        }
+    }
+    // The summary Info line reports "0 of N feature columns vary".
+    bool summary_seen = false;
+    for (const Diagnostic &d : found)
+        if (d.severity == Severity::Info &&
+            d.message.rfind("0 of ", 0) == 0)
+            summary_seen = true;
+    EXPECT_TRUE(summary_seen);
+    // Every column warned: warnings == N in "0 of N".
+    EXPECT_EQ(warnings, found.size() - 1);
+}
+
 } // namespace
 } // namespace lint
 } // namespace speclens

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Normalization tests, centred on the degenerate-column contract.
+ *
+ * zscore()/zscoreWith() used to zero out zero-variance columns
+ * *silently*; a dead feature column could flow through PCA and
+ * clustering without anyone noticing.  The NormalizeReport now names
+ * every such column — these tests pin down both the arithmetic and the
+ * reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/normalize.h"
+
+namespace speclens {
+namespace stats {
+namespace {
+
+/** Rows vary in columns 0 and 2; column 1 is constant. */
+Matrix
+matrixWithConstantMiddleColumn()
+{
+    return Matrix{
+        {1.0, 7.0, 10.0},
+        {2.0, 7.0, 20.0},
+        {3.0, 7.0, 60.0},
+    };
+}
+
+TEST(Normalize, ZscoreStandardisesVaryingColumns)
+{
+    NormalizeReport report;
+    Matrix z = zscore(matrixWithConstantMiddleColumn(), &report);
+    ASSERT_EQ(z.rows(), 3u);
+    ASSERT_EQ(z.cols(), 3u);
+    for (std::size_t c : {std::size_t{0}, std::size_t{2}}) {
+        double mean = 0.0;
+        for (std::size_t r = 0; r < z.rows(); ++r)
+            mean += z(r, c);
+        mean /= static_cast<double>(z.rows());
+        EXPECT_NEAR(mean, 0.0, 1e-12) << "column " << c;
+    }
+}
+
+TEST(Normalize, ZscoreReportsAndZeroesDegenerateColumns)
+{
+    NormalizeReport report;
+    Matrix z = zscore(matrixWithConstantMiddleColumn(), &report);
+    ASSERT_EQ(report.degenerate_columns.size(), 1u);
+    EXPECT_EQ(report.degenerate_columns[0], 1u);
+    for (std::size_t r = 0; r < z.rows(); ++r)
+        EXPECT_EQ(z(r, 1), 0.0);
+}
+
+TEST(Normalize, ZscoreNullReportStillZeroes)
+{
+    Matrix z = zscore(matrixWithConstantMiddleColumn());
+    for (std::size_t r = 0; r < z.rows(); ++r)
+        EXPECT_EQ(z(r, 1), 0.0);
+}
+
+TEST(Normalize, ReportIsOverwrittenWhenClean)
+{
+    NormalizeReport report;
+    report.degenerate_columns = {99}; // Stale state from a prior run.
+    Matrix varied{{1.0, 2.0}, {3.0, 5.0}, {4.0, 9.0}};
+    (void)zscore(varied, &report);
+    EXPECT_TRUE(report.degenerate_columns.empty());
+}
+
+TEST(Normalize, ZscoreWithExternalStatsReportsDegenerates)
+{
+    // Project a new matrix with stats fitted elsewhere; the stddev of
+    // column 0 is zero in the *training* stats, so the projection must
+    // flag and zero it regardless of the projected data's own spread.
+    ColumnStats stats;
+    stats.means = {5.0, 1.0};
+    stats.stddevs = {0.0, 2.0};
+    Matrix fresh{{4.0, 3.0}, {6.0, 5.0}};
+    NormalizeReport report;
+    Matrix z = zscoreWith(fresh, stats, &report);
+    ASSERT_EQ(report.degenerate_columns.size(), 1u);
+    EXPECT_EQ(report.degenerate_columns[0], 0u);
+    EXPECT_EQ(z(0, 0), 0.0);
+    EXPECT_EQ(z(1, 0), 0.0);
+    EXPECT_EQ(z(0, 1), 1.0);
+    EXPECT_EQ(z(1, 1), 2.0);
+}
+
+TEST(Normalize, DegenerateColumnsHelper)
+{
+    ColumnStats stats;
+    stats.means = {0.0, 0.0, 0.0, 0.0};
+    stats.stddevs = {1.0, 0.0, 2.5, std::nan("")};
+    std::vector<std::size_t> degenerate = degenerateColumns(stats);
+    // NaN stddev is degenerate too: !(nan > 0) holds, and dividing by
+    // NaN would poison the whole column.
+    ASSERT_EQ(degenerate.size(), 2u);
+    EXPECT_EQ(degenerate[0], 1u);
+    EXPECT_EQ(degenerate[1], 3u);
+}
+
+TEST(Normalize, AllColumnsDegenerateOnIdenticalRows)
+{
+    Matrix identical{{3.0, 4.0}, {3.0, 4.0}, {3.0, 4.0}};
+    NormalizeReport report;
+    Matrix z = zscore(identical, &report);
+    ASSERT_EQ(report.degenerate_columns.size(), 2u);
+    for (std::size_t r = 0; r < z.rows(); ++r)
+        for (std::size_t c = 0; c < z.cols(); ++c)
+            EXPECT_EQ(z(r, c), 0.0);
+}
+
+} // namespace
+} // namespace stats
+} // namespace speclens

@@ -15,6 +15,8 @@
 #   --format           also verify formatting with clang-format
 #                      (dry run only; never rewrites files)
 #   --tidy             also run clang-tidy over src/
+#   --no-metrics       configure with -DSPECLENS_METRICS=OFF (proves
+#                      the no-op instrumentation build stays green)
 #   --help             this text
 #
 # clang-tidy and clang-format stages are skipped with a notice when
@@ -30,6 +32,7 @@ SANITIZE=""
 JOBS="$(nproc 2>/dev/null || echo 2)"
 RUN_FORMAT=0
 RUN_TIDY=0
+METRICS=ON
 
 while [[ $# -gt 0 ]]; do
     case "$1" in
@@ -38,18 +41,20 @@ while [[ $# -gt 0 ]]; do
       --jobs) JOBS="$2"; shift 2 ;;
       --format) RUN_FORMAT=1; shift ;;
       --tidy) RUN_TIDY=1; shift ;;
-      --help) sed -n '2,24p' "$0"; exit 0 ;;
+      --no-metrics) METRICS=OFF; shift ;;
+      --help) sed -n '2,26p' "$0"; exit 0 ;;
       *) echo "check.sh: unknown option: $1" >&2; exit 2 ;;
     esac
 done
 
 step() { printf '\n== %s ==\n' "$*"; }
 
-step "configure (${BUILD_DIR}, sanitize='${SANITIZE:-none}', WERROR=ON)"
+step "configure (${BUILD_DIR}, sanitize='${SANITIZE:-none}', WERROR=ON, METRICS=${METRICS})"
 cmake -B "$BUILD_DIR" -S . \
     -DCMAKE_BUILD_TYPE=Release \
     -DSPECLENS_WERROR=ON \
     -DSPECLENS_VALIDATE=ON \
+    -DSPECLENS_METRICS="$METRICS" \
     -DSPECLENS_SANITIZE="$SANITIZE" \
     -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
 
@@ -99,7 +104,22 @@ cmp "$BUILD_DIR/store-cold.out" "$BUILD_DIR/store-warm.out"
 grep -q 'simulations=0 ' "$BUILD_DIR/store-warm.err"
 "$BUILD_DIR"/tools/speclens lint --no-deep --store "$STORE_DIR" \
     >/dev/null
-rm -rf "$STORE_DIR"
 echo "warm run: zero simulations, stdout byte-identical"
+
+step "observability"
+# `--metrics` must leave stdout untouched (byte-identical to the runs
+# above), export a parseable metrics file, and the campaign must leave
+# a well-formed run manifest next to the store.
+"$BUILD_DIR"/bench/table1_characterization --store "$STORE_DIR" \
+    --instructions 20000 --warmup 5000 \
+    --metrics "$BUILD_DIR/check-metrics.json" --metrics-format json \
+    >"$BUILD_DIR/store-metrics.out" 2>/dev/null
+cmp "$BUILD_DIR/store-cold.out" "$BUILD_DIR/store-metrics.out"
+if [[ "$METRICS" == ON ]]; then
+    grep -q 'core.store.hits' "$BUILD_DIR/check-metrics.json"
+fi
+"$BUILD_DIR"/tools/speclens campaign manifest --store "$STORE_DIR"
+rm -rf "$STORE_DIR" "$BUILD_DIR/check-metrics.json"
+echo "metrics on: stdout unchanged, metrics exported, manifest valid"
 
 step "all checks passed"

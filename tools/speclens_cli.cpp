@@ -12,7 +12,7 @@
  *   coverage <bench>...       are these workloads covered by CPU2017?
  *   sensitivity <metric>      Table IX-style sensitivity classes
  *                             (branch | l1d | dtlb)
- *   campaign <run|info|invalidate>
+ *   campaign <run|info|invalidate|manifest>
  *                             manage the persistent artifact store
  *   lint                      statically verify every workload model,
  *                             machine config and calibration table
@@ -20,12 +20,13 @@
  * Global options: --instructions N, --warmup N (simulation window),
  * --jobs N (simulation worker threads; default one per hardware
  * thread), --seed-salt N (independent re-runs), --store DIR
- * (persistent artifact store; reused results skip simulation).  Lint
- * options: --format text|json, --severity info|warning|error (display
- * filter), --no-deep (skip the simulation-backed Table II checks).
+ * (persistent artifact store; reused results skip simulation),
+ * --metrics FILE + --metrics-format prom|json (metric snapshot written
+ * at exit; never touches stdout).  Lint options: --format text|json,
+ * --severity info|warning|error (display filter), --no-deep (skip the
+ * simulation-backed Table II checks).
  */
 
-#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -39,6 +40,9 @@
 #include "core/analysis_session.h"
 #include "core/characterization.h"
 #include "core/csv_export.h"
+#include "core/option_parse.h"
+#include "obs/export.h"
+#include "obs/manifest.h"
 #include "core/phase_analysis.h"
 #include "core/suite_report.h"
 #include "core/input_set_analysis.h"
@@ -71,6 +75,9 @@ struct CliOptions
     std::uint64_t seed_salt = 0;
     std::string store_dir; //!< Empty = no persistent artifact store.
 
+    std::string metrics_path; //!< Empty = no metrics export.
+    obs::ExportFormat metrics_format = obs::ExportFormat::Prometheus;
+
     // Lint options.
     std::string format = "text";   //!< Report format: text | json.
     std::string severity = "info"; //!< Display filter threshold.
@@ -83,7 +90,9 @@ usage(int code)
     std::fputs(
         "usage: speclens <command> [args] [--instructions N] "
         "[--warmup N] [--jobs N]\n"
-        "                [--seed-salt N] [--store DIR]\n"
+        "                [--seed-salt N] [--store DIR] "
+        "[--metrics FILE]\n"
+        "                [--metrics-format prom|json]\n"
         "\n"
         "commands:\n"
         "  list [cpu2017|cpu2006|emerging]   list benchmarks\n"
@@ -107,6 +116,8 @@ usage(int code)
         "                                    --store entry\n"
         "  campaign invalidate [stale]       delete all (or only bad)\n"
         "                                    --store entries\n"
+        "  campaign manifest                 validate the run manifest\n"
+        "                                    written next to the --store\n"
         "  lint [--format text|json] [--severity info|warning|error]\n"
         "       [--no-deep] [--store DIR]    verify models and tables\n"
         "                                    (and store integrity)\n",
@@ -123,19 +134,40 @@ numericFlagValue(const char *flag, int argc, char **argv, int &i)
         std::exit(1);
     }
     const char *text = argv[++i];
-    char *end = nullptr;
-    errno = 0;
-    // strtoull wraps "-3" to a huge value; reject signs outright.
-    unsigned long long value = std::strtoull(text, &end, 10);
-    if (text[0] == '-' || text[0] == '+' || end == text || *end != '\0' ||
-        errno == ERANGE) {
+    std::uint64_t value = 0;
+    core::ParseStatus status = core::parseUnsigned(text, value);
+    if (status != core::ParseStatus::Ok) {
         std::fprintf(stderr,
                      "error: %s expects a non-negative integer, got "
-                     "'%s'\n",
-                     flag, text);
+                     "'%s': %s\n",
+                     flag, text,
+                     core::parseStatusDetail(status).c_str());
         std::exit(1);
     }
     return value;
+}
+
+/**
+ * Parse positional argument @p text as a strict non-negative integer.
+ * Returns false (with a diagnostic naming @p what) on any defect —
+ * the atoi it replaces treated "3x" as 3 and "x" as 0.
+ */
+bool
+parsePositional(const char *what, const std::string &text,
+                std::size_t &out)
+{
+    std::uint64_t value = 0;
+    core::ParseStatus status = core::parseUnsigned(text, value);
+    if (status != core::ParseStatus::Ok) {
+        std::fprintf(stderr,
+                     "error: %s expects a non-negative integer, got "
+                     "'%s': %s\n",
+                     what, text.c_str(),
+                     core::parseStatusDetail(status).c_str());
+        return false;
+    }
+    out = static_cast<std::size_t>(value);
+    return true;
 }
 
 /** String value of @p flag at argv[i + 1]; exits on missing value. */
@@ -170,7 +202,19 @@ parse(int argc, char **argv)
                 numericFlagValue("--seed-salt", argc, argv, i);
         else if (std::strcmp(argv[i], "--store") == 0)
             opts.store_dir = stringFlagValue("--store", argc, argv, i);
-        else if (std::strcmp(argv[i], "--format") == 0)
+        else if (std::strcmp(argv[i], "--metrics") == 0)
+            opts.metrics_path =
+                stringFlagValue("--metrics", argc, argv, i);
+        else if (std::strcmp(argv[i], "--metrics-format") == 0) {
+            const char *name =
+                stringFlagValue("--metrics-format", argc, argv, i);
+            try {
+                opts.metrics_format = obs::exportFormatFromName(name);
+            } catch (const std::invalid_argument &e) {
+                std::fprintf(stderr, "error: %s\n", e.what());
+                std::exit(1);
+            }
+        } else if (std::strcmp(argv[i], "--format") == 0)
             opts.format = stringFlagValue("--format", argc, argv, i);
         else if (std::strcmp(argv[i], "--severity") == 0)
             opts.severity =
@@ -182,6 +226,8 @@ parse(int argc, char **argv)
         else
             opts.args.emplace_back(argv[i]);
     }
+    if (!opts.metrics_path.empty())
+        obs::exportAtExit(opts.metrics_path, opts.metrics_format);
     return opts;
 }
 
@@ -347,10 +393,9 @@ cmdSubset(const CliOptions &opts)
     } else {
         usage(1);
     }
-    std::size_t k = opts.args.size() > 1
-                        ? static_cast<std::size_t>(
-                              std::atoi(opts.args[1].c_str()))
-                        : 3;
+    std::size_t k = 3;
+    if (opts.args.size() > 1 && !parsePositional("k", opts.args[1], k))
+        return 1;
     if (k < 1 || k > suite.size()) {
         std::fprintf(stderr, "k must be in [1, %zu]\n", suite.size());
         return 1;
@@ -554,14 +599,14 @@ cmdSimpoints(const CliOptions &opts)
                      opts.args[0].c_str());
         return 1;
     }
-    std::size_t phases =
-        opts.args.size() > 1
-            ? static_cast<std::size_t>(std::atoi(opts.args[1].c_str()))
-            : 8;
-    std::size_t clusters =
-        opts.args.size() > 2
-            ? static_cast<std::size_t>(std::atoi(opts.args[2].c_str()))
-            : 3;
+    std::size_t phases = 8;
+    std::size_t clusters = 3;
+    if (opts.args.size() > 1 &&
+        !parsePositional("phases", opts.args[1], phases))
+        return 1;
+    if (opts.args.size() > 2 &&
+        !parsePositional("clusters", opts.args[2], clusters))
+        return 1;
     if (phases < 1 || clusters < 1 || clusters > phases) {
         std::fprintf(stderr,
                      "need phases >= 1 and 1 <= clusters <= phases\n");
@@ -656,6 +701,50 @@ cmdCampaignInfo(const CliOptions &opts)
     return healthy == entries.size() ? 0 : 1;
 }
 
+/**
+ * `campaign manifest`: read, validate and summarise the run manifest a
+ * session left next to the store.  Exit 1 when the manifest is
+ * missing, is not well-formed JSON, or lacks a schema-v1 key — the CI
+ * metrics smoke stage is built on this being a real check.
+ */
+int
+cmdCampaignManifest(const CliOptions &opts)
+{
+    std::string path =
+        opts.store_dir + "/" + obs::kManifestFileName;
+    std::ifstream file(path, std::ios::binary);
+    if (!file) {
+        std::fprintf(stderr,
+                     "error: no manifest at %s (run a campaign with "
+                     "--store first)\n",
+                     path.c_str());
+        return 1;
+    }
+    std::string text((std::istreambuf_iterator<char>(file)),
+                     std::istreambuf_iterator<char>());
+    if (!obs::validateJson(text)) {
+        std::fprintf(stderr,
+                     "error: %s is not well-formed JSON\n",
+                     path.c_str());
+        return 1;
+    }
+    for (const char *key :
+         {"\"manifest_version\"", "\"engine_version\"",
+          "\"config_fingerprint\"", "\"run\"", "\"totals\"",
+          "\"rejected\"", "\"metrics\""}) {
+        if (text.find(key) == std::string::npos) {
+            std::fprintf(stderr,
+                         "error: manifest %s lacks required key %s\n",
+                         path.c_str(), key);
+            return 1;
+        }
+    }
+    std::printf("manifest %s: well-formed JSON, schema v1 keys "
+                "present (%zu bytes)\n",
+                path.c_str(), text.size());
+    return 0;
+}
+
 /** `campaign invalidate [stale]`: delete all (or only bad) entries. */
 int
 cmdCampaignInvalidate(const CliOptions &opts)
@@ -689,6 +778,8 @@ cmdCampaign(const CliOptions &opts)
         return cmdCampaignInfo(opts);
     if (opts.args[0] == "invalidate")
         return cmdCampaignInvalidate(opts);
+    if (opts.args[0] == "manifest")
+        return cmdCampaignManifest(opts);
     usage(1);
 }
 
