@@ -17,10 +17,15 @@ namespace {
 
 /**
  * Apply a Jacobi rotation eliminating element (p, q) of @p a, updating
- * the eigenvector accumulator @p v.
+ * the eigenvector accumulator @p vt, which is stored TRANSPOSED
+ * (vt(j, k) = V(k, j)) so that the rotation touches two contiguous
+ * rows instead of two strided columns.  Every floating-point operation
+ * and its order match the textbook column-wise formulation exactly, so
+ * the decomposition is bit-identical; only the memory walk changed, to
+ * give the autovectorizer contiguous double loops.
  */
 void
-rotate(Matrix &a, Matrix &v, std::size_t p, std::size_t q)
+rotate(Matrix &a, Matrix &vt, std::size_t p, std::size_t q)
 {
     double apq = a(p, q);
     if (apq == 0.0)
@@ -36,23 +41,33 @@ rotate(Matrix &a, Matrix &v, std::size_t p, std::size_t q)
     double s = t * c;
     std::size_t n = a.rows();
 
+    // Column update of a: stride-n walk over rows, two lanes at once.
+    double *colp = a.rowPtr(0) + p;
+    double *colq = a.rowPtr(0) + q;
     for (std::size_t k = 0; k < n; ++k) {
-        double akp = a(k, p);
-        double akq = a(k, q);
-        a(k, p) = c * akp - s * akq;
-        a(k, q) = s * akp + c * akq;
+        double akp = colp[k * n];
+        double akq = colq[k * n];
+        colp[k * n] = c * akp - s * akq;
+        colq[k * n] = s * akp + c * akq;
     }
+    // Row update of a: two contiguous rows.
+    double *rowp = a.rowPtr(p);
+    double *rowq = a.rowPtr(q);
     for (std::size_t k = 0; k < n; ++k) {
-        double apk = a(p, k);
-        double aqk = a(q, k);
-        a(p, k) = c * apk - s * aqk;
-        a(q, k) = s * apk + c * aqk;
+        double apk = rowp[k];
+        double aqk = rowq[k];
+        rowp[k] = c * apk - s * aqk;
+        rowq[k] = s * apk + c * aqk;
     }
+    // Accumulator update: thanks to the transposed layout this is two
+    // contiguous rows as well, not two strided columns.
+    double *vp = vt.rowPtr(p);
+    double *vq = vt.rowPtr(q);
     for (std::size_t k = 0; k < n; ++k) {
-        double vkp = v(k, p);
-        double vkq = v(k, q);
-        v(k, p) = c * vkp - s * vkq;
-        v(k, q) = s * vkp + c * vkq;
+        double vkp = vp[k];
+        double vkq = vq[k];
+        vp[k] = c * vkp - s * vkq;
+        vq[k] = s * vkp + c * vkq;
     }
 }
 
@@ -66,7 +81,8 @@ symmetricEigen(const Matrix &m, double tol, int max_sweeps)
 
     std::size_t n = m.rows();
     Matrix a = m;
-    Matrix v = Matrix::identity(n);
+    // Transposed accumulator; identity is its own transpose.
+    Matrix vt = Matrix::identity(n);
 
     // The convergence threshold is scaled by the matrix magnitude so
     // the solver behaves sensibly for matrices far from unit norm.
@@ -78,7 +94,7 @@ symmetricEigen(const Matrix &m, double tol, int max_sweeps)
             throw std::runtime_error("symmetricEigen: did not converge");
         for (std::size_t p = 0; p + 1 < n; ++p)
             for (std::size_t q = p + 1; q < n; ++q)
-                rotate(a, v, p, q);
+                rotate(a, vt, p, q);
     }
 
     // Extract the diagonal and sort descending, permuting eigenvectors
@@ -95,8 +111,10 @@ symmetricEigen(const Matrix &m, double tol, int max_sweeps)
     out.vectors = Matrix(n, n);
     for (std::size_t k = 0; k < n; ++k) {
         out.values[k] = a(order[k], order[k]);
+        // vt row order[k] is eigenvector column order[k] of V.
+        const double *vrow = vt.rowPtr(order[k]);
         for (std::size_t r = 0; r < n; ++r)
-            out.vectors(r, k) = v(r, order[k]);
+            out.vectors(r, k) = vrow[r];
     }
     return out;
 }

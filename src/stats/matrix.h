@@ -122,6 +122,21 @@ class Matrix
     /** Raw storage, row-major.  Exposed for tests and serialisation. */
     const std::vector<double> &data() const { return data_; }
 
+    /**
+     * Pointer to the start of row @p r in the row-major storage.  The
+     * compute kernels (pairwise distances, Jacobi rotations, z-score
+     * passes) iterate rows through this instead of the row() copy, so
+     * their inner loops run over contiguous memory the autovectorizer
+     * can handle.
+     */
+    const double *rowPtr(std::size_t r) const
+    {
+        return data_.data() + r * cols_;
+    }
+
+    /** Mutable overload of rowPtr(). */
+    double *rowPtr(std::size_t r) { return data_.data() + r * cols_; }
+
   private:
     std::size_t rows_ = 0;
     std::size_t cols_ = 0;

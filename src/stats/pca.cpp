@@ -92,7 +92,16 @@ fitPca(const Matrix &raw, const RetentionPolicy &policy)
 
     Matrix standardized = zscoreWith(raw, out.training_stats);
     Matrix corr = covarianceMatrix(standardized);
-    EigenDecomposition eig = symmetricEigen(corr);
+
+    // The eigensolve dominates fit cost for wide metric sets; timed
+    // separately so the bench trajectory can report the stage.
+    static obs::Timing &eigen_time =
+        obs::Registry::global().timing("stats.pca.eigen");
+    EigenDecomposition eig;
+    {
+        obs::Span eigen_span(eigen_time);
+        eig = symmetricEigen(corr);
+    }
 
     // Numerical noise can produce tiny negative eigenvalues on
     // rank-deficient correlation matrices; clamp them for the variance

@@ -41,33 +41,6 @@ DataAddressStream::DataAddressStream(const MemoryModel &model)
     regions_.back().cumulative_weight = 1.0;
 }
 
-std::uint64_t
-DataAddressStream::next(stats::Rng &rng)
-{
-    double u = rng.uniform();
-    Region *region = &regions_.back();
-    for (Region &r : regions_) {
-        if (u < r.cumulative_weight) {
-            region = &r;
-            break;
-        }
-    }
-
-    if (rng.bernoulli(region->sequential)) {
-        // Stream through the set in word-sized steps so consecutive
-        // accesses share cache lines (spatial locality): 8 accesses per
-        // line before the stream pays a miss on a large set.
-        std::uint64_t span = region->elements * region->stride;
-        std::uint64_t address = region->base + region->cursor;
-        region->cursor = (region->cursor + 8) % span;
-        return address;
-    }
-    std::uint64_t element = rng.below(region->elements);
-    // Offset within the element is irrelevant to any simulator here;
-    // use the element base for clarity.
-    return region->base + element * region->stride;
-}
-
 CodeAddressStream::CodeAddressStream(const MemoryModel &model)
     : base_(kCodeBase),
       size_(static_cast<std::uint64_t>(model.code_bytes)),
@@ -75,27 +48,6 @@ CodeAddressStream::CodeAddressStream(const MemoryModel &model)
       locality_(model.code_locality),
       pc_(kCodeBase)
 {
-}
-
-std::uint64_t
-CodeAddressStream::nextPc()
-{
-    std::uint64_t fetched = pc_;
-    pc_ += 4;
-    // Fall off the end of the code segment: wrap to the start, modelling
-    // the outermost loop.
-    if (pc_ >= base_ + size_)
-        pc_ = base_;
-    return fetched;
-}
-
-void
-CodeAddressStream::takeBranch(stats::Rng &rng)
-{
-    std::uint64_t span = rng.bernoulli(locality_) ? hot_size_ : size_;
-    // Branch targets are 4-byte aligned within the selected span.
-    std::uint64_t slots = span / 4;
-    pc_ = base_ + rng.below(slots ? slots : 1) * 4;
 }
 
 } // namespace trace

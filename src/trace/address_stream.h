@@ -53,7 +53,7 @@ class DataAddressStream
      */
     explicit DataAddressStream(const MemoryModel &model);
 
-    /** Produce the next effective address. */
+    /** Produce the next effective address (inline below; hot path). */
     std::uint64_t next(stats::Rng &rng);
 
   private:
@@ -98,6 +98,65 @@ class CodeAddressStream
     double locality_;           //!< P(target within hot region).
     std::uint64_t pc_;          //!< Current fetch address.
 };
+
+// ---------------------------------------------------------------------
+// Hot-path definitions.  One data address per load/store and one fetch
+// address per instruction, so these must inline into the generator's
+// batch fill loop.  Every change here must preserve the RNG draw
+// sequence and the produced addresses exactly — the streams are part
+// of the bit-identical reproducibility contract.
+
+inline std::uint64_t
+DataAddressStream::next(stats::Rng &rng)
+{
+    double u = rng.uniform();
+    Region *region = &regions_.back();
+    for (Region &r : regions_) {
+        if (u < r.cumulative_weight) {
+            region = &r;
+            break;
+        }
+    }
+
+    if (rng.bernoulli(region->sequential)) {
+        // Stream through the set in word-sized steps so consecutive
+        // accesses share cache lines (spatial locality): 8 accesses per
+        // line before the stream pays a miss on a large set.
+        std::uint64_t span = region->elements * region->stride;
+        std::uint64_t address = region->base + region->cursor;
+        // cursor < span on entry, so wrapping is rare: pay the 64-bit
+        // modulo only then, not on every access.  The stored value is
+        // exactly (cursor + 8) % span either way.
+        std::uint64_t advanced = region->cursor + 8;
+        region->cursor = advanced >= span ? advanced % span : advanced;
+        return address;
+    }
+    std::uint64_t element = rng.below(region->elements);
+    // Offset within the element is irrelevant to any simulator here;
+    // use the element base for clarity.
+    return region->base + element * region->stride;
+}
+
+inline std::uint64_t
+CodeAddressStream::nextPc()
+{
+    std::uint64_t fetched = pc_;
+    pc_ += 4;
+    // Fall off the end of the code segment: wrap to the start, modelling
+    // the outermost loop.
+    if (pc_ >= base_ + size_)
+        pc_ = base_;
+    return fetched;
+}
+
+inline void
+CodeAddressStream::takeBranch(stats::Rng &rng)
+{
+    std::uint64_t span = rng.bernoulli(locality_) ? hot_size_ : size_;
+    // Branch targets are 4-byte aligned within the selected span.
+    std::uint64_t slots = span / 4;
+    pc_ = base_ + rng.below(slots ? slots : 1) * 4;
+}
 
 } // namespace trace
 } // namespace speclens

@@ -109,36 +109,6 @@ BranchStream::BranchStream(const BranchModel &model, stats::Rng &rng)
     }
 }
 
-BranchStream::Outcome
-BranchStream::next(stats::Rng &rng)
-{
-    // Mostly walk the loop body; occasionally take an irregular jump
-    // to a random sequence position (outer loop restart, call through
-    // a pointer), which perturbs global history realistically.  Kept
-    // rare: every jump invalidates ~one history-window of context for
-    // all history-based predictors.
-    if (rng.bernoulli(0.005))
-        position_ = static_cast<std::size_t>(rng.below(sequence_.size()));
-    std::uint32_t id = sequence_[position_];
-    position_ = (position_ + 1) % sequence_.size();
-
-    StaticBranch &b = branches_[id];
-    bool taken;
-    if (b.patterned) {
-        // The pattern phase advances with the *global* control-flow
-        // walk, so a patterned branch's outcome is a deterministic
-        // function of where the loop nest currently is — exactly the
-        // correlation global-history predictors exploit.  A per-branch
-        // starting phase keeps distinct branches out of lockstep.
-        taken = (b.pattern >>
-                 ((step_ + b.position) % b.period)) & 1u;
-    } else {
-        taken = rng.bernoulli(b.taken_prob);
-    }
-    ++step_;
-    return {id, taken};
-}
-
 double
 BranchStream::patternedShare() const
 {

@@ -60,7 +60,7 @@ class BranchStream
         bool taken;        //!< Resolved direction.
     };
 
-    /** Produce the next dynamic branch. */
+    /** Produce the next dynamic branch (inline below; hot path). */
     Outcome next(stats::Rng &rng);
 
     /** Number of static branches in the population. */
@@ -90,6 +90,45 @@ class BranchStream
     std::size_t position_ = 0;
     std::uint64_t step_ = 0; //!< Global dynamic-branch counter.
 };
+
+// ---------------------------------------------------------------------
+// Hot-path definition, in the header so the per-branch draw inlines
+// into the generator's batch fill loop.  The RNG draw sequence and the
+// produced outcomes are part of the bit-identical contract.
+
+inline BranchStream::Outcome
+BranchStream::next(stats::Rng &rng)
+{
+    // Mostly walk the loop body; occasionally take an irregular jump
+    // to a random sequence position (outer loop restart, call through
+    // a pointer), which perturbs global history realistically.  Kept
+    // rare: every jump invalidates ~one history-window of context for
+    // all history-based predictors.
+    if (rng.bernoulli(0.005))
+        position_ = static_cast<std::size_t>(rng.below(sequence_.size()));
+    std::uint32_t id = sequence_[position_];
+    // position_ + 1 <= size, so the cyclic wrap is a compare, not the
+    // modulo it used to be; the stored value is identical.
+    ++position_;
+    if (position_ == sequence_.size())
+        position_ = 0;
+
+    StaticBranch &b = branches_[id];
+    bool taken;
+    if (b.patterned) {
+        // The pattern phase advances with the *global* control-flow
+        // walk, so a patterned branch's outcome is a deterministic
+        // function of where the loop nest currently is — exactly the
+        // correlation global-history predictors exploit.  A per-branch
+        // starting phase keeps distinct branches out of lockstep.
+        taken = (b.pattern >>
+                 ((step_ + b.position) % b.period)) & 1u;
+    } else {
+        taken = rng.bernoulli(b.taken_prob);
+    }
+    ++step_;
+    return {id, taken};
+}
 
 } // namespace trace
 } // namespace speclens

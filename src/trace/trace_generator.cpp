@@ -5,6 +5,8 @@
 
 #include "trace_generator.h"
 
+#include <algorithm>
+
 namespace speclens {
 namespace trace {
 
@@ -36,37 +38,66 @@ TraceGenerator::TraceGenerator(const WorkloadProfile &profile,
     p_other_ = p_simd_ + mix.remainder() * kOtherShareOfRemainder;
 }
 
+void
+TraceGenerator::step(std::uint64_t &pc, OpClass &op,
+                     std::uint64_t &address, std::uint32_t &branch_id,
+                     bool &taken, bool &kernel)
+{
+    pc = code_.nextPc();
+    kernel = rng_.bernoulli(profile_.exec.kernel_fraction);
+    address = 0;
+    branch_id = 0;
+    taken = false;
+
+    double u = rng_.uniform();
+    if (u < p_load_) {
+        op = OpClass::Load;
+        address = data_.next(rng_);
+    } else if (u < p_store_) {
+        op = OpClass::Store;
+        address = data_.next(rng_);
+    } else if (u < p_branch_) {
+        op = OpClass::Branch;
+        BranchStream::Outcome outcome = branches_.next(rng_);
+        branch_id = outcome.id;
+        taken = outcome.taken;
+        if (outcome.taken)
+            code_.takeBranch(rng_);
+    } else if (u < p_fp_) {
+        op = OpClass::FpAlu;
+    } else if (u < p_simd_) {
+        op = OpClass::Simd;
+    } else if (u < p_other_) {
+        op = OpClass::Other;
+    } else {
+        op = OpClass::IntAlu;
+    }
+}
+
 Instruction
 TraceGenerator::next()
 {
     Instruction inst;
-    inst.pc = code_.nextPc();
-    inst.kernel = rng_.bernoulli(profile_.exec.kernel_fraction);
-
-    double u = rng_.uniform();
-    if (u < p_load_) {
-        inst.op = OpClass::Load;
-        inst.address = data_.next(rng_);
-    } else if (u < p_store_) {
-        inst.op = OpClass::Store;
-        inst.address = data_.next(rng_);
-    } else if (u < p_branch_) {
-        inst.op = OpClass::Branch;
-        BranchStream::Outcome outcome = branches_.next(rng_);
-        inst.branch_id = outcome.id;
-        inst.taken = outcome.taken;
-        if (outcome.taken)
-            code_.takeBranch(rng_);
-    } else if (u < p_fp_) {
-        inst.op = OpClass::FpAlu;
-    } else if (u < p_simd_) {
-        inst.op = OpClass::Simd;
-    } else if (u < p_other_) {
-        inst.op = OpClass::Other;
-    } else {
-        inst.op = OpClass::IntAlu;
-    }
+    step(inst.pc, inst.op, inst.address, inst.branch_id, inst.taken,
+         inst.kernel);
     return inst;
+}
+
+std::size_t
+TraceGenerator::fill(RecordBatch &batch, std::uint64_t count)
+{
+    std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(count, kRecordBatchCapacity));
+    for (std::size_t i = 0; i < n; ++i) {
+        bool taken = false, kernel = false;
+        step(batch.pc[i], batch.op[i], batch.address[i],
+             batch.branch_id[i], taken, kernel);
+        batch.flags[i] =
+            static_cast<std::uint8_t>((taken ? RecordBatch::kTakenBit : 0) |
+                                      (kernel ? RecordBatch::kKernelBit : 0));
+    }
+    batch.size = n;
+    return n;
 }
 
 std::vector<Instruction>
@@ -74,8 +105,14 @@ TraceGenerator::generate(std::size_t count)
 {
     std::vector<Instruction> out;
     out.reserve(count);
-    for (std::size_t i = 0; i < count; ++i)
-        out.push_back(next());
+    RecordBatch batch;
+    std::size_t remaining = count;
+    while (remaining > 0) {
+        std::size_t n = fill(batch, remaining);
+        for (std::size_t i = 0; i < n; ++i)
+            out.push_back(batch.instruction(i));
+        remaining -= n;
+    }
     return out;
 }
 

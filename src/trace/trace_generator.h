@@ -19,6 +19,7 @@
 #include "trace/address_stream.h"
 #include "trace/branch_stream.h"
 #include "trace/instruction.h"
+#include "trace/record_batch.h"
 #include "trace/workload_profile.h"
 
 namespace speclens {
@@ -40,13 +41,32 @@ class TraceGenerator
     /** Generate the next dynamic instruction. */
     Instruction next();
 
-    /** Generate @p count instructions into a vector (testing helper). */
+    /**
+     * Generate up to min(@p count, capacity) records into @p batch,
+     * overwriting its previous contents, and return the number
+     * produced.  This is the hot-path form: the fused simulation
+     * pipeline pulls one batch at a time so records never accumulate
+     * into a window-sized buffer.  The record stream is bit-identical
+     * to repeated next() calls — both are emitted by the same
+     * primitive.
+     */
+    std::size_t fill(RecordBatch &batch, std::uint64_t count);
+
+    /**
+     * Generate @p count instructions into a vector.  Thin adapter over
+     * fill() kept for tests and the materialized baseline path; the
+     * stream is identical to the batched form by construction.
+     */
     std::vector<Instruction> generate(std::size_t count);
 
     /** The profile this generator draws from. */
     const WorkloadProfile &profile() const { return profile_; }
 
   private:
+    /** Emit one record; the single primitive behind next() and fill(). */
+    void step(std::uint64_t &pc, OpClass &op, std::uint64_t &address,
+              std::uint32_t &branch_id, bool &taken, bool &kernel);
+
     WorkloadProfile profile_;
     stats::Rng rng_;
     DataAddressStream data_;

@@ -14,42 +14,6 @@
 namespace speclens {
 namespace uarch {
 
-namespace {
-
-/**
- * Hash the static-branch identity into a well-distributed index base.
- *
- * Only the id participates: the synthetic trace reports the dynamic
- * fetch address separately from branch identity, and a real predictor
- * indexes by the branch's *home* PC, which is stable per static
- * branch.  The id is that stable identity here.
- */
-inline std::uint64_t
-mixPcId(std::uint64_t /* pc */, std::uint32_t id)
-{
-    std::uint64_t x = (static_cast<std::uint64_t>(id) + 0x2545f491ull) *
-                      0x9e3779b97f4a7c15ull;
-    x ^= x >> 29;
-    x *= 0xbf58476d1ce4e5b9ull;
-    x ^= x >> 32;
-    return x;
-}
-
-/** Saturating 2-bit counter update. */
-inline void
-updateCounter2(std::uint8_t &counter, bool taken)
-{
-    if (taken) {
-        if (counter < 3)
-            ++counter;
-    } else {
-        if (counter > 0)
-            --counter;
-    }
-}
-
-} // namespace
-
 std::string
 predictorKindName(PredictorKind kind)
 {
@@ -107,23 +71,8 @@ BimodalPredictor::BimodalPredictor(unsigned size_log2)
 {
 }
 
-std::size_t
-BimodalPredictor::index(std::uint64_t pc, std::uint32_t id) const
-{
-    return static_cast<std::size_t>(mixPcId(pc, id)) & mask_;
-}
 
-bool
-BimodalPredictor::predict(std::uint64_t pc, std::uint32_t id)
-{
-    return counters_[index(pc, id)] >= 2;
-}
 
-void
-BimodalPredictor::update(std::uint64_t pc, std::uint32_t id, bool taken)
-{
-    updateCounter2(counters_[index(pc, id)], taken);
-}
 
 // ---------------------------------------------------------------------
 // Gshare
@@ -136,24 +85,8 @@ GsharePredictor::GsharePredictor(unsigned size_log2, unsigned history_bits)
 {
 }
 
-std::size_t
-GsharePredictor::index(std::uint64_t pc, std::uint32_t id) const
-{
-    return static_cast<std::size_t>(mixPcId(pc, id) ^ history_) & mask_;
-}
 
-bool
-GsharePredictor::predict(std::uint64_t pc, std::uint32_t id)
-{
-    return counters_[index(pc, id)] >= 2;
-}
 
-void
-GsharePredictor::update(std::uint64_t pc, std::uint32_t id, bool taken)
-{
-    updateCounter2(counters_[index(pc, id)], taken);
-    history_ = ((history_ << 1) | (taken ? 1u : 0u)) & history_mask_;
-}
 
 // ---------------------------------------------------------------------
 // Tournament
@@ -167,26 +100,7 @@ TournamentPredictor::TournamentPredictor(unsigned size_log2)
 {
 }
 
-bool
-TournamentPredictor::predict(std::uint64_t pc, std::uint32_t id)
-{
-    last_bimodal_ = bimodal_.predict(pc, id);
-    last_gshare_ = gshare_.predict(pc, id);
-    std::size_t i = static_cast<std::size_t>(mixPcId(pc, id)) & mask_;
-    return chooser_[i] >= 2 ? last_gshare_ : last_bimodal_;
-}
 
-void
-TournamentPredictor::update(std::uint64_t pc, std::uint32_t id, bool taken)
-{
-    std::size_t i = static_cast<std::size_t>(mixPcId(pc, id)) & mask_;
-    bool bimodal_right = last_bimodal_ == taken;
-    bool gshare_right = last_gshare_ == taken;
-    if (bimodal_right != gshare_right)
-        updateCounter2(chooser_[i], gshare_right);
-    bimodal_.update(pc, id, taken);
-    gshare_.update(pc, id, taken);
-}
 
 // ---------------------------------------------------------------------
 // Perceptron
@@ -202,11 +116,6 @@ PerceptronPredictor::PerceptronPredictor(unsigned size_log2,
 {
 }
 
-std::size_t
-PerceptronPredictor::index(std::uint64_t pc, std::uint32_t id) const
-{
-    return static_cast<std::size_t>(mixPcId(pc, id)) & mask_;
-}
 
 bool
 PerceptronPredictor::predict(std::uint64_t pc, std::uint32_t id)
@@ -258,53 +167,8 @@ TageLitePredictor::TageLitePredictor(unsigned size_log2, unsigned num_tables)
     }
 }
 
-std::size_t
-TageLitePredictor::tableIndex(unsigned table, std::uint64_t pc,
-                              std::uint32_t id) const
-{
-    std::uint64_t h_mask = (std::uint64_t{1} << history_lengths_[table]) - 1;
-    std::uint64_t folded = history_ & h_mask;
-    // Fold long histories down to the index width.
-    folded ^= folded >> 13;
-    folded ^= folded >> 7;
-    return static_cast<std::size_t>(mixPcId(pc, id) ^ folded ^
-                                    (table * 0x9e3779b9ull)) &
-           mask_;
-}
 
-std::uint16_t
-TageLitePredictor::tableTag(unsigned table, std::uint64_t pc,
-                            std::uint32_t id) const
-{
-    std::uint64_t h_mask = (std::uint64_t{1} << history_lengths_[table]) - 1;
-    std::uint64_t v = mixPcId(pc * 31 + 7, id) ^ (history_ & h_mask) ^
-                      (table * 0x2545f491ull);
-    return static_cast<std::uint16_t>(v & 0x3ff); // 10-bit tags
-}
 
-bool
-TageLitePredictor::predict(std::uint64_t pc, std::uint32_t id)
-{
-    base_pred_ = base_.predict(pc, id);
-    provider_ = -1;
-    provider_pred_ = base_pred_;
-    // Longest-history matching component wins.
-    for (int t = static_cast<int>(tables_.size()) - 1; t >= 0; --t) {
-        const Entry &e =
-            tables_[static_cast<unsigned>(t)]
-                   [tableIndex(static_cast<unsigned>(t), pc, id)];
-        if (e.tag == tableTag(static_cast<unsigned>(t), pc, id)) {
-            provider_ = t;
-            // A freshly allocated (weak) entry carries no confidence;
-            // fall back to the base prediction in that case, as real
-            // TAGE does via its alternate-prediction path.
-            bool weak = e.counter == 0 || e.counter == -1;
-            provider_pred_ = weak ? base_pred_ : e.counter >= 0;
-            break;
-        }
-    }
-    return provider_pred_;
-}
 
 void
 TageLitePredictor::update(std::uint64_t pc, std::uint32_t id, bool taken)

@@ -5,6 +5,7 @@
 
 #include "cache.h"
 
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
 
@@ -71,55 +72,29 @@ Cache::Cache(const CacheConfig &config)
       rng_(stats::hashName(config.name))
 {
     config_.validate();
-    lines_.assign(num_sets_ * config_.associativity, Line{});
+    sets_pow2_ = num_sets_ > 0 && std::has_single_bit(num_sets_);
+    if (sets_pow2_) {
+        set_mask_ = num_sets_ - 1;
+        set_shift_ = static_cast<std::uint32_t>(std::countr_zero(num_sets_));
+    }
+    tags_.assign(num_sets_ * config_.associativity, kInvalidTag);
+    // Stamps are written before any read (see the member comment), so
+    // the allocation skips the zero pass.
+    stamps_ = std::make_unique_for_overwrite<std::uint64_t[]>(
+        num_sets_ * config_.associativity);
     plru_.assign(config_.policy == ReplacementPolicy::TreePlru ? num_sets_
                                                                : 0,
                  0);
 }
 
 bool
-Cache::access(std::uint64_t address)
-{
-    ++accesses_;
-    std::uint64_t line_addr = address >> line_shift_;
-    std::uint64_t set = line_addr % num_sets_;
-    std::uint64_t tag = line_addr / num_sets_;
-
-    Line *base = &lines_[set * config_.associativity];
-    for (std::uint32_t w = 0; w < config_.associativity; ++w) {
-        if (base[w].valid && base[w].tag == tag) {
-            ++hits_;
-            touch(set, w, /*is_fill=*/false);
-            return true;
-        }
-    }
-
-    // Miss: fill into an invalid way if one exists, else evict.
-    std::uint32_t way = config_.associativity;
-    for (std::uint32_t w = 0; w < config_.associativity; ++w) {
-        if (!base[w].valid) {
-            way = w;
-            break;
-        }
-    }
-    if (way == config_.associativity)
-        way = victimWay(set);
-
-    base[way].valid = true;
-    base[way].tag = tag;
-    touch(set, way, /*is_fill=*/true);
-    return false;
-}
-
-bool
 Cache::contains(std::uint64_t address) const
 {
-    std::uint64_t line_addr = address >> line_shift_;
-    std::uint64_t set = line_addr % num_sets_;
-    std::uint64_t tag = line_addr / num_sets_;
-    const Line *base = &lines_[set * config_.associativity];
+    std::uint64_t set, tag;
+    splitAddress(address, set, tag);
+    const std::uint64_t *tags = &tags_[set * config_.associativity];
     for (std::uint32_t w = 0; w < config_.associativity; ++w)
-        if (base[w].valid && base[w].tag == tag)
+        if (tags[w] == tag)
             return true;
     return false;
 }
@@ -127,13 +102,14 @@ Cache::contains(std::uint64_t address) const
 void
 Cache::reset()
 {
-    for (Line &line : lines_)
-        line = Line{};
+    std::fill(tags_.begin(), tags_.end(), kInvalidTag);
     for (std::uint32_t &state : plru_)
         state = 0;
     tick_ = 0;
     accesses_ = 0;
     hits_ = 0;
+    cold_fills_.clear();
+    last_index_ = 0;
 }
 
 double
@@ -143,88 +119,6 @@ Cache::missRatio() const
                ? 0.0
                : static_cast<double>(misses()) /
                      static_cast<double>(accesses_);
-}
-
-std::uint32_t
-Cache::victimWay(std::uint64_t set)
-{
-    const Line *base = &lines_[set * config_.associativity];
-    switch (config_.policy) {
-      case ReplacementPolicy::Lru:
-      case ReplacementPolicy::Fifo: {
-        // Smallest stamp is the least-recently used / first inserted.
-        std::uint32_t victim = 0;
-        std::uint64_t oldest = base[0].stamp;
-        for (std::uint32_t w = 1; w < config_.associativity; ++w) {
-            if (base[w].stamp < oldest) {
-                oldest = base[w].stamp;
-                victim = w;
-            }
-        }
-        return victim;
-      }
-      case ReplacementPolicy::TreePlru: {
-        // Walk the binary decision tree; each bit points away from the
-        // most recently used half.
-        std::uint32_t assoc = config_.associativity;
-        std::uint32_t state = plru_[set];
-        std::uint32_t node = 0; // root of the implicit tree
-        std::uint32_t index = 0;
-        std::uint32_t span = assoc;
-        while (span > 1) {
-            bool right = (state >> node) & 1u;
-            span /= 2;
-            if (right)
-                index += span;
-            node = 2 * node + (right ? 2 : 1);
-        }
-        return index;
-      }
-      case ReplacementPolicy::Random:
-        return static_cast<std::uint32_t>(
-            rng_.below(config_.associativity));
-    }
-    return 0;
-}
-
-void
-Cache::touch(std::uint64_t set, std::uint32_t way, bool is_fill)
-{
-    Line &line = lines_[set * config_.associativity + way];
-    switch (config_.policy) {
-      case ReplacementPolicy::Lru:
-        line.stamp = ++tick_;
-        break;
-      case ReplacementPolicy::Fifo:
-        // Only insertion order matters; hits do not refresh the stamp.
-        if (is_fill)
-            line.stamp = ++tick_;
-        break;
-      case ReplacementPolicy::TreePlru: {
-        // Flip the path bits to point away from this way.
-        std::uint32_t assoc = config_.associativity;
-        std::uint32_t state = plru_[set];
-        std::uint32_t node = 0;
-        std::uint32_t lo = 0;
-        std::uint32_t span = assoc;
-        while (span > 1) {
-            span /= 2;
-            bool went_right = way >= lo + span;
-            if (went_right) {
-                state &= ~(1u << node); // point left next time
-                lo += span;
-                node = 2 * node + 2;
-            } else {
-                state |= (1u << node);  // point right next time
-                node = 2 * node + 1;
-            }
-        }
-        plru_[set] = state;
-        break;
-      }
-      case ReplacementPolicy::Random:
-        break;
-    }
 }
 
 } // namespace uarch

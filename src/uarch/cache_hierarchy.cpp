@@ -53,64 +53,15 @@ CacheHierarchy::prefetchAfterMiss(std::uint64_t address)
         prefetched_lines_.clear();
 }
 
-ServiceLevel
-CacheHierarchy::accessCommon(Cache &l1, SideCounters &l1_stats,
-                             SideCounters &l2_side, std::uint64_t address,
-                             bool allow_prefetch)
+void
+CacheHierarchy::confirmPrefetchedHit(std::uint64_t address)
 {
-    ++l1_stats.accesses;
-    if (l1.access(address))
-        return ServiceLevel::L1;
-    ++l1_stats.misses;
-
-    ++l2_side.accesses;
-    if (l2_cache_.access(address)) {
-        if (allow_prefetch && prefetch_degree_ > 0) {
-            // Consuming a prefetched line confirms the stream: fetch
-            // the next window so the prefetcher stays ahead.
-            std::uint64_t line_addr =
-                address / l2_cache_.config().line_bytes;
-            auto it = prefetched_lines_.find(line_addr);
-            if (it != prefetched_lines_.end()) {
-                prefetched_lines_.erase(it);
-                prefetchAfterMiss(address);
-            }
-        }
-        return ServiceLevel::L2;
-    }
-    ++l2_side.misses;
-    if (allow_prefetch && prefetch_degree_ > 0)
+    std::uint64_t line_addr = address / l2_cache_.config().line_bytes;
+    auto it = prefetched_lines_.find(line_addr);
+    if (it != prefetched_lines_.end()) {
+        prefetched_lines_.erase(it);
         prefetchAfterMiss(address);
-
-    if (!l3_cache_) {
-        // Two-level machine: an L2 miss goes to memory; the "L3"
-        // counters then mirror the L2 miss stream so last-level MPKI
-        // remains well-defined for the metric set.
-        ++l3_stats_.accesses;
-        ++l3_stats_.misses;
-        return ServiceLevel::Memory;
     }
-
-    ++l3_stats_.accesses;
-    if (l3_cache_->access(address))
-        return ServiceLevel::L3;
-    ++l3_stats_.misses;
-    return ServiceLevel::Memory;
-}
-
-ServiceLevel
-CacheHierarchy::accessData(std::uint64_t address)
-{
-    return accessCommon(l1d_cache_, l1d_stats_, l2d_stats_, address,
-                        /*allow_prefetch=*/true);
-}
-
-ServiceLevel
-CacheHierarchy::accessInstr(std::uint64_t pc)
-{
-    // The modelled prefetcher is a data-stream prefetcher.
-    return accessCommon(l1i_cache_, l1i_stats_, l2i_stats_, pc,
-                        /*allow_prefetch=*/false);
 }
 
 void

@@ -72,6 +72,94 @@ class CacheHierarchy
     /** Perform an instruction fetch. */
     ServiceLevel accessInstr(std::uint64_t pc);
 
+    /**
+     * Apply @p count repeat instruction fetches of the line touched by
+     * the immediately preceding accessInstr(), all L1I hits.  Exactly
+     * equivalent to calling accessInstr() that many more times with an
+     * address on the same line: the line is resident (fetched or
+     * filled by the preceding access, and nothing else touches L1I),
+     * so the hierarchy never looks past L1 and only the L1I counters
+     * and replacement state move — which Cache::repeatLastHit applies
+     * in one step.  The playback loop uses this to collapse the
+     * sequential-fetch runs that dominate instruction streams.
+     */
+    void
+    repeatInstrHits(std::uint64_t count)
+    {
+        l1i_stats_.accesses += count;
+        l1i_cache_.repeatLastHit(count);
+    }
+
+    /** Same as repeatInstrHits() for the data side / L1D. */
+    void
+    repeatDataHits(std::uint64_t count)
+    {
+        l1d_stats_.accesses += count;
+        l1d_cache_.repeatLastHit(count);
+    }
+
+    /**
+     * True when the prewarm walk may use the cold fast path: nothing
+     * has been accessed yet (so every level is empty and every probe
+     * of a distinct-line walk must miss) and the prefetcher is off (a
+     * prefetch fill would break the guaranteed-miss argument by
+     * planting successor lines in L2/L3 ahead of the walk).
+     */
+    bool
+    coldFillEligible() const
+    {
+        return prefetch_degree_ == 0 && l1i_stats_.accesses == 0 &&
+               l1d_stats_.accesses == 0;
+    }
+
+    /**
+     * Fill one distinct line of the cold data walk — exactly what
+     * accessData() does when every level misses, minus the futile hit
+     * scans.  Only valid under coldFillEligible() at walk start.
+     */
+    void
+    prewarmFillData(std::uint64_t address)
+    {
+        ++l1d_stats_.accesses;
+        ++l1d_stats_.misses;
+        l1d_cache_.coldFill(address);
+        ++l2d_stats_.accesses;
+        ++l2d_stats_.misses;
+        l2_cache_.coldFill(address);
+        ++l3_stats_.accesses;
+        ++l3_stats_.misses;
+        if (l3_cache_)
+            l3_cache_->coldFill(address);
+    }
+
+    /** Instruction-side counterpart of prewarmFillData(). */
+    void
+    prewarmFillInstr(std::uint64_t pc)
+    {
+        ++l1i_stats_.accesses;
+        ++l1i_stats_.misses;
+        l1i_cache_.coldFill(pc);
+        ++l2i_stats_.accesses;
+        ++l2i_stats_.misses;
+        l2_cache_.coldFill(pc);
+        ++l3_stats_.accesses;
+        ++l3_stats_.misses;
+        if (l3_cache_)
+            l3_cache_->coldFill(pc);
+    }
+
+    /** L1I line size, for the playback loop's same-line run tracking. */
+    std::uint32_t instrLineBytes() const
+    {
+        return l1i_cache_.config().line_bytes;
+    }
+
+    /** L1D line size, for the playback loop's same-line run tracking. */
+    std::uint32_t dataLineBytes() const
+    {
+        return l1d_cache_.config().line_bytes;
+    }
+
     const SideCounters &l1d() const { return l1d_stats_; }
     const SideCounters &l1i() const { return l1i_stats_; }
     const SideCounters &l2d() const { return l2d_stats_; }
@@ -88,9 +176,15 @@ class CacheHierarchy
     void reset();
 
   private:
+    /** Defined inline below; one call per instruction fetch or memory
+     *  op, so it must fold into the playback loop. */
     ServiceLevel accessCommon(Cache &l1, SideCounters &l1_stats,
                               SideCounters &l2_side, std::uint64_t address,
                               bool allow_prefetch);
+
+    /** Confirm-or-extend the stream window on a demand hit of a
+     *  prefetched L2 line (cold path, out of line). */
+    void confirmPrefetchedHit(std::uint64_t address);
 
     /** Fill the next-line window after a demand L2 data miss. */
     void prefetchAfterMiss(std::uint64_t address);
@@ -118,6 +212,66 @@ class CacheHierarchy
      */
     std::unordered_set<std::uint64_t> prefetched_lines_;
 };
+
+// ---------------------------------------------------------------------
+// Hot-path definitions, in the header so the L1 -> L2 -> L3
+// fallthrough inlines into the playback loop.  Prefetch handling is
+// the exception: it is rare and hash-set heavy, so it stays out of
+// line behind the prefetch_degree_ check.
+
+inline ServiceLevel
+CacheHierarchy::accessCommon(Cache &l1, SideCounters &l1_stats,
+                             SideCounters &l2_side, std::uint64_t address,
+                             bool allow_prefetch)
+{
+    ++l1_stats.accesses;
+    if (l1.access(address))
+        return ServiceLevel::L1;
+    ++l1_stats.misses;
+
+    ++l2_side.accesses;
+    if (l2_cache_.access(address)) {
+        if (allow_prefetch && prefetch_degree_ > 0) {
+            // Consuming a prefetched line confirms the stream: fetch
+            // the next window so the prefetcher stays ahead.
+            confirmPrefetchedHit(address);
+        }
+        return ServiceLevel::L2;
+    }
+    ++l2_side.misses;
+    if (allow_prefetch && prefetch_degree_ > 0)
+        prefetchAfterMiss(address);
+
+    if (!l3_cache_) {
+        // Two-level machine: an L2 miss goes to memory; the "L3"
+        // counters then mirror the L2 miss stream so last-level MPKI
+        // remains well-defined for the metric set.
+        ++l3_stats_.accesses;
+        ++l3_stats_.misses;
+        return ServiceLevel::Memory;
+    }
+
+    ++l3_stats_.accesses;
+    if (l3_cache_->access(address))
+        return ServiceLevel::L3;
+    ++l3_stats_.misses;
+    return ServiceLevel::Memory;
+}
+
+inline ServiceLevel
+CacheHierarchy::accessData(std::uint64_t address)
+{
+    return accessCommon(l1d_cache_, l1d_stats_, l2d_stats_, address,
+                        /*allow_prefetch=*/true);
+}
+
+inline ServiceLevel
+CacheHierarchy::accessInstr(std::uint64_t pc)
+{
+    // The modelled prefetcher is a data-stream prefetcher.
+    return accessCommon(l1i_cache_, l1i_stats_, l2i_stats_, pc,
+                        /*allow_prefetch=*/false);
+}
 
 } // namespace uarch
 } // namespace speclens

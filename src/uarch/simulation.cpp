@@ -6,6 +6,8 @@
 #include "simulation.h"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 
 #include "trace/trace_generator.h"
 
@@ -100,6 +102,23 @@ class Playback
             (machine.caches.l3 ? machine.caches.l3->size_bytes
                                : machine.caches.l2.size_bytes) /
             trace::kLineBytes;
+        const unsigned d_line_shift = static_cast<unsigned>(
+            std::countr_zero(std::uint64_t{caches_.dataLineBytes()}));
+        const unsigned d_page_shift = static_cast<unsigned>(
+            std::countr_zero(tlbs_.dataPageBytes()));
+        const unsigned i_page_shift = static_cast<unsigned>(
+            std::countr_zero(tlbs_.instrPageBytes()));
+        std::uint64_t last_dline = ~0ull, last_dpage = ~0ull;
+        std::uint64_t drun = 0, dprun = 0;
+
+        // On a never-touched hierarchy with the prefetcher off, every
+        // distinct line/page of the walk is a guaranteed compulsory
+        // miss at every level, so the dedicated cold-fill path can
+        // skip the futile hit scans.  Both branches produce the exact
+        // same state and counters; prewarming an already-used
+        // hierarchy (or one with a prefetcher) takes the general path.
+        const bool cold = caches_.coldFillEligible() && tlbs_.untouched();
+
         const auto &sets = profile.memory.data;
         for (std::size_t i = sets.size(); i-- > 0;) {
             auto stride =
@@ -113,19 +132,76 @@ class Playback
                 continue;
             std::uint64_t base =
                 trace::kDataBase + i * trace::kDataRegionStride;
+            // Sub-line strides re-probe the same line (and page) many
+            // times in a row; collapse those guaranteed hits exactly,
+            // as in the playback loop (see Cache::repeatLastHit).
             for (std::uint64_t e = 0; e < elements; ++e) {
-                caches_.accessData(base + e * stride);
-                tlbs_.accessData(base + e * stride);
+                std::uint64_t address = base + e * stride;
+                std::uint64_t dline = address >> d_line_shift;
+                if (dline == last_dline) {
+                    ++drun;
+                } else {
+                    if (drun) {
+                        caches_.repeatDataHits(drun);
+                        drun = 0;
+                    }
+                    if (cold)
+                        caches_.prewarmFillData(address);
+                    else
+                        caches_.accessData(address);
+                    last_dline = dline;
+                }
+                std::uint64_t dpage = address >> d_page_shift;
+                if (dpage == last_dpage) {
+                    ++dprun;
+                } else {
+                    if (dprun) {
+                        tlbs_.repeatDataHits(dprun);
+                        dprun = 0;
+                    }
+                    if (cold)
+                        tlbs_.prewarmFillData(address);
+                    else
+                        tlbs_.accessData(address);
+                    last_dpage = dpage;
+                }
             }
         }
-        // Code last so the hot region ends up most recently used.
+        if (drun)
+            caches_.repeatDataHits(drun);
+        if (dprun)
+            tlbs_.repeatDataHits(dprun);
+
+        // Code last so the hot region ends up most recently used.  The
+        // line walk still touches a fresh I-line every step, but the
+        // ITLB sees each page line_count-per-page times in a row.
         auto code_bytes =
             static_cast<std::uint64_t>(profile.memory.code_bytes);
+        std::uint64_t last_ipage = ~0ull, iprun = 0;
         for (std::uint64_t offset = 0; offset < code_bytes;
              offset += trace::kLineBytes) {
-            caches_.accessInstr(trace::kCodeBase + offset);
-            tlbs_.accessInstr(trace::kCodeBase + offset);
+            std::uint64_t pc = trace::kCodeBase + offset;
+            if (cold)
+                caches_.prewarmFillInstr(pc);
+            else
+                caches_.accessInstr(pc);
+            std::uint64_t ipage = pc >> i_page_shift;
+            if (ipage == last_ipage) {
+                ++iprun;
+            } else {
+                if (iprun) {
+                    tlbs_.repeatInstrHits(iprun);
+                    iprun = 0;
+                }
+                if (cold)
+                    tlbs_.prewarmFillInstr(pc);
+                else
+                    tlbs_.accessInstr(pc);
+                last_ipage = ipage;
+            }
         }
+        if (iprun)
+            tlbs_.repeatInstrHits(iprun);
     }
 
     /**
@@ -133,13 +209,19 @@ class Playback
      * non-null, retirement counters accumulate there and the structure
      * deltas of the window are added at the end.
      *
-     * The instruction loop is the hottest code in SpecLens (hundreds
-     * of millions of iterations per campaign), so it is specialised
-     * two ways: std::visit resolves the predictor's concrete type once
-     * per window so predict()/update() are direct, inlinable calls
-     * rather than per-branch virtual dispatch, and the record/no-record
-     * decision is lifted to a template parameter so the warm-up loop
-     * carries no retirement bookkeeping at all.
+     * This is the hottest code in SpecLens (hundreds of millions of
+     * iterations per campaign).  Records stream from the generator in
+     * structure-of-arrays batches (trace::RecordBatch) instead of a
+     * materialized window, so the in-flight buffer stays L1/L2
+     * resident.  Each batch is consumed in two passes: an ordered pass
+     * drives the stateful structures (caches, TLBs, predictor) in
+     * exact stream order — preserving bit-identical results — and a
+     * branchless counting pass reduces the SoA arrays into retirement
+     * counters with loops the compiler can vectorize.  std::visit
+     * resolves the predictor's concrete type once per window so
+     * predict()/update() are direct, inlinable calls, and the
+     * record/no-record decision is a template parameter so the warm-up
+     * loop carries no retirement bookkeeping.
      */
     void
     play(trace::TraceGenerator &generator, std::uint64_t count,
@@ -156,7 +238,56 @@ class Playback
             predictor_);
     }
 
+    /**
+     * Play a pre-materialized instruction vector (the pre-batching
+     * playback form).  Kept as the baseline side of the streaming-vs-
+     * materialized parity contract and of the `bench trajectory`
+     * speedup measurement; access order is identical to the fused
+     * path, so results are bit-identical.
+     */
+    void
+    playVector(const std::vector<trace::Instruction> &window,
+               PerfCounters *record)
+    {
+        std::visit(
+            [&](auto &predictor) {
+                if (record)
+                    playVectorLoop<true>(predictor, window, record);
+                else
+                    playVectorLoop<false>(predictor, window, nullptr);
+            },
+            predictor_);
+    }
+
   private:
+    /**
+     * Ordered structure pass over one record: I-side access, branch
+     * resolution, D-side access.  Shared by the fused and materialized
+     * loops so both apply the exact same access sequence.
+     * @return true when a branch record mispredicted.
+     */
+    template <typename Predictor>
+    bool
+    stepStructures(Predictor &predictor, std::uint64_t pc,
+                   trace::OpClass op, std::uint64_t address,
+                   std::uint32_t branch_id, bool taken)
+    {
+        caches_.accessInstr(pc);
+        tlbs_.accessInstr(pc);
+
+        bool mispredicted = false;
+        if (op == trace::OpClass::Branch) {
+            bool predicted = predictor.predict(pc, branch_id);
+            mispredicted = predicted != taken;
+            predictor.update(pc, branch_id, taken);
+        }
+        if (op == trace::OpClass::Load || op == trace::OpClass::Store) {
+            caches_.accessData(address);
+            tlbs_.accessData(address);
+        }
+        return mispredicted;
+    }
+
     template <bool Record, typename Predictor>
     void
     playLoop(Predictor &predictor, trace::TraceGenerator &generator,
@@ -170,23 +301,184 @@ class Playback
         std::uint64_t simd_ops = 0, branches = 0, taken_branches = 0;
         std::uint64_t mispredictions = 0;
 
-        for (std::uint64_t i = 0; i < count; ++i) {
-            trace::Instruction inst = generator.next();
+        trace::RecordBatch batch;
+        // Per-record branch outcomes of the ordered pass, reduced by
+        // the counting pass.
+        std::array<std::uint8_t, trace::kRecordBatchCapacity> mispred;
 
-            caches_.accessInstr(inst.pc);
-            tlbs_.accessInstr(inst.pc);
+        // Same-line / same-page run collapsing.  Sequential fetch
+        // re-probes the same L1I line up to line_bytes/4 times in a
+        // row and the same ITLB page thousands of times; each repeat
+        // is a guaranteed hit (the line was resident or filled on the
+        // previous record, and nothing else touches that structure in
+        // between), and its state update collapses exactly (see
+        // Cache::repeatLastHit).  So the loop only probes a structure
+        // when the line/page changes and counts the repeats, flushing
+        // the run right before the next real probe.  Final counters
+        // and replacement state are bit-identical to probing every
+        // record — the materialized baseline and the parity tests
+        // check exactly that.
+        constexpr std::uint64_t kNoRun = ~0ull;
+        const unsigned i_line_shift = static_cast<unsigned>(
+            std::countr_zero(std::uint64_t{caches_.instrLineBytes()}));
+        const unsigned d_line_shift = static_cast<unsigned>(
+            std::countr_zero(std::uint64_t{caches_.dataLineBytes()}));
+        const unsigned i_page_shift = static_cast<unsigned>(
+            std::countr_zero(tlbs_.instrPageBytes()));
+        const unsigned d_page_shift = static_cast<unsigned>(
+            std::countr_zero(tlbs_.dataPageBytes()));
+        std::uint64_t last_iline = kNoRun, last_ipage = kNoRun;
+        std::uint64_t last_dline = kNoRun, last_dpage = kNoRun;
+        std::uint64_t irun = 0, iprun = 0, drun = 0, dprun = 0;
 
-            bool mispredicted = false;
-            if (inst.isBranch()) {
-                bool predicted =
-                    predictor.predict(inst.pc, inst.branch_id);
-                mispredicted = predicted != inst.taken;
-                predictor.update(inst.pc, inst.branch_id, inst.taken);
+        std::uint64_t remaining = count;
+        while (remaining > 0) {
+            std::size_t n = generator.fill(batch, remaining);
+            remaining -= n;
+
+            // Pass 1 (ordered): drive the stateful structures in
+            // exact stream order, with run collapsing.
+            for (std::size_t i = 0; i < n; ++i) {
+                std::uint64_t pc = batch.pc[i];
+
+                std::uint64_t iline = pc >> i_line_shift;
+                if (iline == last_iline) {
+                    ++irun;
+                } else {
+                    if (irun) {
+                        caches_.repeatInstrHits(irun);
+                        irun = 0;
+                    }
+                    caches_.accessInstr(pc);
+                    last_iline = iline;
+                }
+                std::uint64_t ipage = pc >> i_page_shift;
+                if (ipage == last_ipage) {
+                    ++iprun;
+                } else {
+                    if (iprun) {
+                        tlbs_.repeatInstrHits(iprun);
+                        iprun = 0;
+                    }
+                    tlbs_.accessInstr(pc);
+                    last_ipage = ipage;
+                }
+
+                trace::OpClass op = batch.op[i];
+                bool mispredicted = false;
+                if (op == trace::OpClass::Branch) {
+                    bool taken = batch.taken(i);
+                    bool predicted =
+                        predictor.predict(pc, batch.branch_id[i]);
+                    mispredicted = predicted != taken;
+                    predictor.update(pc, batch.branch_id[i], taken);
+                } else if (op == trace::OpClass::Load ||
+                           op == trace::OpClass::Store) {
+                    std::uint64_t address = batch.address[i];
+                    std::uint64_t dline = address >> d_line_shift;
+                    if (dline == last_dline) {
+                        ++drun;
+                    } else {
+                        if (drun) {
+                            caches_.repeatDataHits(drun);
+                            drun = 0;
+                        }
+                        caches_.accessData(address);
+                        last_dline = dline;
+                    }
+                    std::uint64_t dpage = address >> d_page_shift;
+                    if (dpage == last_dpage) {
+                        ++dprun;
+                    } else {
+                        if (dprun) {
+                            tlbs_.repeatDataHits(dprun);
+                            dprun = 0;
+                        }
+                        tlbs_.accessData(address);
+                        last_dpage = dpage;
+                    }
+                }
+                if constexpr (Record)
+                    mispred[i] = mispredicted ? 1 : 0;
             }
-            if (inst.isMemory()) {
-                caches_.accessData(inst.address);
-                tlbs_.accessData(inst.address);
+
+            // Pass 2 (counting): branchless SoA reductions.  32-bit
+            // lane accumulators are safe (n <= 4096) and give the
+            // vectorizer narrower, denser lanes.
+            if constexpr (Record) {
+                const trace::OpClass *op = batch.op.data();
+                const std::uint8_t *flags = batch.flags.data();
+                std::uint32_t b_kernel = 0, b_loads = 0, b_stores = 0;
+                std::uint32_t b_fp = 0, b_simd = 0, b_branches = 0;
+                std::uint32_t b_taken = 0, b_mispred = 0;
+                for (std::size_t i = 0; i < n; ++i) {
+                    bool is_branch = op[i] == trace::OpClass::Branch;
+                    b_kernel +=
+                        (flags[i] & trace::RecordBatch::kKernelBit) >> 1;
+                    b_loads += op[i] == trace::OpClass::Load ? 1 : 0;
+                    b_stores += op[i] == trace::OpClass::Store ? 1 : 0;
+                    b_fp += op[i] == trace::OpClass::FpAlu ? 1 : 0;
+                    b_simd += op[i] == trace::OpClass::Simd ? 1 : 0;
+                    b_branches += is_branch ? 1 : 0;
+                    b_taken +=
+                        is_branch
+                            ? (flags[i] & trace::RecordBatch::kTakenBit)
+                            : 0;
+                    b_mispred += mispred[i];
+                }
+                kernel += b_kernel;
+                loads += b_loads;
+                stores += b_stores;
+                fp_ops += b_fp;
+                simd_ops += b_simd;
+                branches += b_branches;
+                taken_branches += b_taken;
+                mispredictions += b_mispred;
             }
+        }
+
+        // Flush the trailing runs so the window's counters are
+        // complete before the closing snapshot.
+        if (irun)
+            caches_.repeatInstrHits(irun);
+        if (iprun)
+            tlbs_.repeatInstrHits(iprun);
+        if (drun)
+            caches_.repeatDataHits(drun);
+        if (dprun)
+            tlbs_.repeatDataHits(dprun);
+
+        if constexpr (Record) {
+            PerfCounters &c = *record;
+            c.instructions += count;
+            c.kernel_instructions += kernel;
+            c.loads += loads;
+            c.stores += stores;
+            c.fp_ops += fp_ops;
+            c.simd_ops += simd_ops;
+            c.branches += branches;
+            c.taken_branches += taken_branches;
+            c.branch_mispredictions += mispredictions;
+            addDelta(c, start, capture(caches_, tlbs_));
+        }
+    }
+
+    template <bool Record, typename Predictor>
+    void
+    playVectorLoop(Predictor &predictor,
+                   const std::vector<trace::Instruction> &window,
+                   PerfCounters *record)
+    {
+        Snapshot start = capture(caches_, tlbs_);
+
+        std::uint64_t kernel = 0, loads = 0, stores = 0, fp_ops = 0;
+        std::uint64_t simd_ops = 0, branches = 0, taken_branches = 0;
+        std::uint64_t mispredictions = 0;
+
+        for (const trace::Instruction &inst : window) {
+            bool mispredicted =
+                stepStructures(predictor, inst.pc, inst.op, inst.address,
+                               inst.branch_id, inst.taken);
 
             if constexpr (Record) {
                 kernel += inst.kernel ? 1 : 0;
@@ -208,7 +500,7 @@ class Playback
 
         if constexpr (Record) {
             PerfCounters &c = *record;
-            c.instructions += count;
+            c.instructions += window.size();
             c.kernel_instructions += kernel;
             c.loads += loads;
             c.stores += stores;
@@ -252,6 +544,82 @@ simulate(const trace::WorkloadProfile &profile, const MachineConfig &machine,
     result.power = computePower(result.counters,
                                 result.cpi_stack.total(), machine.power);
     return result;
+}
+
+SimulationResult
+simulateMaterialized(const trace::WorkloadProfile &profile,
+                     const MachineConfig &machine,
+                     const SimulationConfig &config)
+{
+    trace::WorkloadProfile effective =
+        config.apply_machine_transform
+            ? transformForMachine(profile, machine)
+            : profile;
+
+    trace::TraceGenerator generator(effective, config.seed_salt);
+    Playback playback(machine);
+    if (config.prewarm)
+        playback.prewarm(effective, machine);
+
+    // Materialize both windows up front — the pre-batching memory
+    // profile this path exists to preserve.
+    std::vector<trace::Instruction> warmup =
+        generator.generate(static_cast<std::size_t>(config.warmup));
+    std::vector<trace::Instruction> measured =
+        generator.generate(static_cast<std::size_t>(config.instructions));
+
+    SimulationResult result;
+    playback.playVector(warmup, nullptr);
+    playback.playVector(measured, &result.counters);
+
+    result.cpi_stack = computeCpiStack(result.counters,
+                                       machine.latencies,
+                                       effective.exec);
+    result.power = computePower(result.counters,
+                                result.cpi_stack.total(), machine.power);
+    return result;
+}
+
+bool
+bitIdentical(const SimulationResult &a, const SimulationResult &b)
+{
+    const PerfCounters &x = a.counters;
+    const PerfCounters &y = b.counters;
+    bool counters_equal =
+        x.instructions == y.instructions && x.loads == y.loads &&
+        x.stores == y.stores && x.branches == y.branches &&
+        x.taken_branches == y.taken_branches && x.fp_ops == y.fp_ops &&
+        x.simd_ops == y.simd_ops &&
+        x.kernel_instructions == y.kernel_instructions &&
+        x.l1d_accesses == y.l1d_accesses && x.l1d_misses == y.l1d_misses &&
+        x.l1i_accesses == y.l1i_accesses && x.l1i_misses == y.l1i_misses &&
+        x.l2d_accesses == y.l2d_accesses && x.l2d_misses == y.l2d_misses &&
+        x.l2i_accesses == y.l2i_accesses && x.l2i_misses == y.l2i_misses &&
+        x.l3_accesses == y.l3_accesses && x.l3_misses == y.l3_misses &&
+        x.dtlb_accesses == y.dtlb_accesses &&
+        x.dtlb_misses == y.dtlb_misses &&
+        x.itlb_accesses == y.itlb_accesses &&
+        x.itlb_misses == y.itlb_misses &&
+        x.l2tlb_misses == y.l2tlb_misses && x.page_walks == y.page_walks &&
+        x.branch_mispredictions == y.branch_mispredictions;
+    if (!counters_equal)
+        return false;
+
+    const CpiStack &s = a.cpi_stack;
+    const CpiStack &t = b.cpi_stack;
+    bool stack_equal =
+        s.base == t.base && s.dependency == t.dependency &&
+        s.frontend_icache == t.frontend_icache &&
+        s.frontend_branch == t.frontend_branch &&
+        s.backend_l2 == t.backend_l2 && s.backend_l3 == t.backend_l3 &&
+        s.backend_memory == t.backend_memory &&
+        s.backend_tlb == t.backend_tlb;
+    if (!stack_equal)
+        return false;
+
+    return a.power.core_watts == b.power.core_watts &&
+           a.power.llc_watts == b.power.llc_watts &&
+           a.power.dram_watts == b.power.dram_watts;
 }
 
 PhasedSimulationResult

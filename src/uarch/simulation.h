@@ -79,11 +79,36 @@ struct SimulationResult
 /**
  * Measure @p profile on @p machine.
  *
- * Deterministic for a given (profile, machine, config) triple.
+ * Deterministic for a given (profile, machine, config) triple.  The
+ * instruction stream is fused into the structure models: records flow
+ * from the generator in small structure-of-arrays batches, never as a
+ * window-sized buffer.
  */
 SimulationResult simulate(const trace::WorkloadProfile &profile,
                           const MachineConfig &machine,
                           const SimulationConfig &config = {});
+
+/**
+ * simulate(), but through the pre-batching playback form: the whole
+ * window is materialized as a std::vector<Instruction> and replayed
+ * per instruction.  Kept as the baseline side of the streaming-vs-
+ * materialized parity contract (results must satisfy bitIdentical
+ * against simulate()) and of the `bench trajectory` speedup
+ * measurement.
+ */
+SimulationResult
+simulateMaterialized(const trace::WorkloadProfile &profile,
+                     const MachineConfig &machine,
+                     const SimulationConfig &config = {});
+
+/**
+ * True when two results agree bit-for-bit: every event count equal and
+ * every derived double (CPI-stack components, power rails) identical
+ * under exact floating-point comparison.  This is the contract the
+ * fused pipeline must honour against the materialized baseline and a
+ * warm artifact-store rerun against a cold one.
+ */
+bool bitIdentical(const SimulationResult &a, const SimulationResult &b);
 
 /** Result of simulating a phased workload. */
 struct PhasedSimulationResult

@@ -49,41 +49,6 @@ TlbHierarchy::TlbHierarchy(const TlbHierarchyConfig &config)
         l2tlb_ = std::make_unique<Cache>(config.l2tlb->asCacheConfig());
 }
 
-TlbAccessResult
-TlbHierarchy::accessCommon(Cache &l1, std::uint64_t address)
-{
-    TlbAccessResult result;
-    if (l1.access(address)) {
-        result.l1_hit = true;
-        return result;
-    }
-    if (l2tlb_) {
-        if (l2tlb_->access(address)) {
-            result.l2_hit = true;
-            return result;
-        }
-        ++l2tlb_misses_;
-    } else {
-        // Without a second level every L1 miss is a last-level miss.
-        ++l2tlb_misses_;
-    }
-    result.page_walk = true;
-    ++page_walks_;
-    return result;
-}
-
-TlbAccessResult
-TlbHierarchy::accessData(std::uint64_t address)
-{
-    return accessCommon(dtlb_, address);
-}
-
-TlbAccessResult
-TlbHierarchy::accessInstr(std::uint64_t pc)
-{
-    return accessCommon(itlb_, pc);
-}
-
 void
 TlbHierarchy::reset()
 {

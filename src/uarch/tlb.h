@@ -74,6 +74,69 @@ class TlbHierarchy
     /** Translate an instruction-fetch address. */
     TlbAccessResult accessInstr(std::uint64_t pc);
 
+    /**
+     * Apply @p count repeat translations of the page touched by the
+     * immediately preceding accessInstr(), all ITLB hits — equivalent
+     * to that many more accessInstr() calls on the same page, because
+     * the entry is resident after the preceding access and the hit
+     * state update collapses (see Cache::repeatLastHit).
+     */
+    void repeatInstrHits(std::uint64_t count)
+    {
+        itlb_.repeatLastHit(count);
+    }
+
+    /** Same as repeatInstrHits() for the data side / DTLB. */
+    void repeatDataHits(std::uint64_t count)
+    {
+        dtlb_.repeatLastHit(count);
+    }
+
+    /** True when no translation has happened yet (all levels empty). */
+    bool
+    untouched() const
+    {
+        return itlb_.accesses() == 0 && dtlb_.accesses() == 0;
+    }
+
+    /**
+     * Translate one distinct page of the cold prewarm walk — exactly
+     * accessData() when every level misses, minus the futile hit
+     * scans.  Only valid when untouched() held at walk start.
+     */
+    void
+    prewarmFillData(std::uint64_t address)
+    {
+        dtlb_.coldFill(address);
+        if (l2tlb_)
+            l2tlb_->coldFill(address);
+        ++l2tlb_misses_;
+        ++page_walks_;
+    }
+
+    /** Instruction-side counterpart of prewarmFillData(). */
+    void
+    prewarmFillInstr(std::uint64_t pc)
+    {
+        itlb_.coldFill(pc);
+        if (l2tlb_)
+            l2tlb_->coldFill(pc);
+        ++l2tlb_misses_;
+        ++page_walks_;
+    }
+
+    /** ITLB page size, for same-page run tracking in playback. */
+    std::uint64_t instrPageBytes() const
+    {
+        return itlb_.config().line_bytes;
+    }
+
+    /** DTLB page size, for same-page run tracking in playback. */
+    std::uint64_t dataPageBytes() const
+    {
+        return dtlb_.config().line_bytes;
+    }
+
     std::uint64_t dtlbAccesses() const { return dtlb_.accesses(); }
     std::uint64_t dtlbMisses() const { return dtlb_.misses(); }
     std::uint64_t itlbAccesses() const { return itlb_.accesses(); }
@@ -85,6 +148,7 @@ class TlbHierarchy
     void reset();
 
   private:
+    /** Defined inline below; called once or twice per instruction. */
     TlbAccessResult accessCommon(Cache &l1, std::uint64_t address);
 
     Cache itlb_;
@@ -93,6 +157,45 @@ class TlbHierarchy
     std::uint64_t l2tlb_misses_ = 0;
     std::uint64_t page_walks_ = 0;
 };
+
+// ---------------------------------------------------------------------
+// Hot-path definitions, in the header so translation folds into the
+// playback loop next to the cache probes.
+
+inline TlbAccessResult
+TlbHierarchy::accessCommon(Cache &l1, std::uint64_t address)
+{
+    TlbAccessResult result;
+    if (l1.access(address)) {
+        result.l1_hit = true;
+        return result;
+    }
+    if (l2tlb_) {
+        if (l2tlb_->access(address)) {
+            result.l2_hit = true;
+            return result;
+        }
+        ++l2tlb_misses_;
+    } else {
+        // Without a second level every L1 miss is a last-level miss.
+        ++l2tlb_misses_;
+    }
+    result.page_walk = true;
+    ++page_walks_;
+    return result;
+}
+
+inline TlbAccessResult
+TlbHierarchy::accessData(std::uint64_t address)
+{
+    return accessCommon(dtlb_, address);
+}
+
+inline TlbAccessResult
+TlbHierarchy::accessInstr(std::uint64_t pc)
+{
+    return accessCommon(itlb_, pc);
+}
 
 } // namespace uarch
 } // namespace speclens

@@ -61,6 +61,36 @@ cmake -B "$BUILD_DIR" -S . \
 step "build (-j${JOBS})"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
+step "autovectorization report (stats kernels)"
+# Informational, never fatal: recompile the contiguous stats kernels
+# with the compiler's vectorization report and count the loops it
+# vectorized.  Catches silent regressions (a kernel rewritten in a way
+# the autovectorizer no longer handles) without pinning the gate to
+# one compiler version's judgement.
+CXX_BIN="${CXX:-c++}"
+VEC_FLAGS=""
+if "$CXX_BIN" --version 2>/dev/null | grep -qi clang; then
+    VEC_FLAGS="-Rpass=loop-vectorize"
+elif "$CXX_BIN" --version 2>/dev/null | grep -qi 'free software'; then
+    VEC_FLAGS="-fopt-info-vec-optimized"
+fi
+if [[ -n "$VEC_FLAGS" ]]; then
+    VEC_LOG="$BUILD_DIR/vectorize-report.txt"
+    : >"$VEC_LOG"
+    for f in src/stats/distance.cpp src/stats/eigen.cpp \
+             src/stats/normalize.cpp; do
+        "$CXX_BIN" -O3 -std=c++20 -Isrc $VEC_FLAGS -c "$f" \
+            -o /dev/null 2>>"$VEC_LOG" || true
+    done
+    VEC_COUNT="$(grep -ci 'vectorized' "$VEC_LOG" || true)"
+    echo "vectorized-loop reports: ${VEC_COUNT} (details: ${VEC_LOG})"
+    if [[ "${VEC_COUNT}" -eq 0 ]]; then
+        echo "warning: no stats kernel loop vectorized (non-fatal)"
+    fi
+else
+    echo "no recognized compiler vectorization report; skipping"
+fi
+
 if [[ "$RUN_FORMAT" -eq 1 ]]; then
     step "clang-format (dry run)"
     if command -v clang-format >/dev/null 2>&1; then
@@ -105,6 +135,28 @@ grep -q 'simulations=0 ' "$BUILD_DIR/store-warm.err"
 "$BUILD_DIR"/tools/speclens lint --no-deep --store "$STORE_DIR" \
     >/dev/null
 echo "warm run: zero simulations, stdout byte-identical"
+
+step "bench trajectory (small window)"
+# The perf-trajectory runner re-proves fused-vs-materialized parity and
+# warm-store reuse itself (nonzero exit when either fails); the stdout
+# facts block must be byte-identical between a cold and a warm rerun.
+TRAJ_STORE="$BUILD_DIR/traj-store"
+rm -rf "$TRAJ_STORE"
+"$BUILD_DIR"/tools/speclens bench trajectory --pr 0 \
+    --out "$BUILD_DIR/BENCH_check.json" --store "$TRAJ_STORE" \
+    --instructions 5000 --warmup 1500 \
+    >"$BUILD_DIR/traj-cold.out" 2>/dev/null
+"$BUILD_DIR"/tools/speclens bench trajectory --pr 0 \
+    --out "$BUILD_DIR/BENCH_check_warm.json" --store "$TRAJ_STORE" \
+    --instructions 5000 --warmup 1500 \
+    >"$BUILD_DIR/traj-warm.out" 2>/dev/null
+cmp "$BUILD_DIR/traj-cold.out" "$BUILD_DIR/traj-warm.out"
+grep -q 'parity: fused-vs-materialized bit-identical: yes' \
+    "$BUILD_DIR/traj-cold.out"
+grep -q 'store: warm rerun simulations=0 bit-identical: yes' \
+    "$BUILD_DIR/traj-warm.out"
+rm -rf "$TRAJ_STORE"
+echo "trajectory: parity + warm reuse proven, stdout byte-identical"
 
 step "observability"
 # `--metrics` must leave stdout untouched (byte-identical to the runs

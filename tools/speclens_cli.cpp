@@ -41,6 +41,7 @@
 #include "core/characterization.h"
 #include "core/csv_export.h"
 #include "core/option_parse.h"
+#include "core/perf_trajectory.h"
 #include "obs/export.h"
 #include "obs/manifest.h"
 #include "core/phase_analysis.h"
@@ -71,6 +72,12 @@ struct CliOptions
     std::vector<std::string> args;
     std::uint64_t instructions = 120'000;
     std::uint64_t warmup = 30'000;
+
+    // True when the user passed the flag explicitly.  `bench
+    // trajectory` pins its own window (150k+40k) and must not inherit
+    // the CLI defaults above, but an explicit flag still wins.
+    bool instructions_set = false;
+    bool warmup_set = false;
     std::size_t jobs = 0; //!< 0 = one worker per hardware thread.
     std::uint64_t seed_salt = 0;
     std::string store_dir; //!< Empty = no persistent artifact store.
@@ -118,6 +125,10 @@ usage(int code)
         "                                    --store entries\n"
         "  campaign manifest                 validate the run manifest\n"
         "                                    written next to the --store\n"
+        "  bench trajectory [--pr N] [--out FILE]\n"
+        "                                    pinned perf campaign; facts\n"
+        "                                    to stdout, BENCH_<pr>.json\n"
+        "                                    with timings to FILE\n"
         "  lint [--format text|json] [--severity info|warning|error]\n"
         "       [--no-deep] [--store DIR]    verify models and tables\n"
         "                                    (and store integrity)\n",
@@ -189,11 +200,14 @@ parse(int argc, char **argv)
         usage(1);
     opts.command = argv[1];
     for (int i = 2; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--instructions") == 0)
+        if (std::strcmp(argv[i], "--instructions") == 0) {
             opts.instructions =
                 numericFlagValue("--instructions", argc, argv, i);
-        else if (std::strcmp(argv[i], "--warmup") == 0)
+            opts.instructions_set = true;
+        } else if (std::strcmp(argv[i], "--warmup") == 0) {
             opts.warmup = numericFlagValue("--warmup", argc, argv, i);
+            opts.warmup_set = true;
+        }
         else if (std::strcmp(argv[i], "--jobs") == 0)
             opts.jobs = static_cast<std::size_t>(
                 numericFlagValue("--jobs", argc, argv, i));
@@ -784,6 +798,92 @@ cmdCampaign(const CliOptions &opts)
 }
 
 int
+cmdBenchTrajectory(const CliOptions &opts)
+{
+    core::TrajectoryConfig config;
+    // The pinned window, not the CLI defaults — explicit flags win.
+    config.instructions = opts.instructions_set
+                              ? opts.instructions
+                              : core::kTrajectoryInstructions;
+    config.warmup =
+        opts.warmup_set ? opts.warmup : core::kTrajectoryWarmup;
+    config.seed_salt = opts.seed_salt;
+    config.store_dir = opts.store_dir;
+
+    std::string out_path;
+    for (std::size_t i = 1; i < opts.args.size(); ++i) {
+        const std::string &arg = opts.args[i];
+        if (arg == "--pr" || arg == "--out") {
+            if (i + 1 >= opts.args.size()) {
+                std::fprintf(stderr, "error: %s requires a value\n",
+                             arg.c_str());
+                return 1;
+            }
+            if (arg == "--out") {
+                out_path = opts.args[++i];
+            } else {
+                std::size_t pr = 0;
+                if (!parsePositional("--pr", opts.args[++i], pr))
+                    return 1;
+                config.pr = static_cast<int>(pr);
+            }
+        } else {
+            std::fprintf(stderr,
+                         "error: bench trajectory: unknown argument "
+                         "'%s'\n",
+                         arg.c_str());
+            return 1;
+        }
+    }
+    if (out_path.empty())
+        out_path = core::trajectoryArtifactName(config.pr);
+
+    core::TrajectoryResult result = core::runTrajectory(config);
+
+    // Deterministic facts only on stdout: a warm-store rerun must be
+    // byte-identical to the cold run there.  Timings go to the JSON
+    // artifact and stderr.
+    std::fputs(core::renderTrajectoryFacts(result).c_str(), stdout);
+
+    std::string json = core::renderTrajectoryJson(result);
+    if (!obs::validateJson(json)) {
+        std::fprintf(stderr,
+                     "error: rendered trajectory JSON is malformed\n");
+        return 1;
+    }
+    std::ofstream file(out_path);
+    file << json;
+    if (!file) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    file.close();
+    std::fprintf(stderr,
+                 "[speclens-bench] wrote %s: fused=%.3fs "
+                 "materialized=%.3fs speedup=%.2fx stats=%.3fs\n",
+                 out_path.c_str(), result.fused_seconds,
+                 result.materialized_seconds,
+                 result.speedup_vs_materialized, result.stats_seconds);
+
+    // Exit code doubles as the contract check: parity and (when a
+    // store was given) warm reuse must both hold.
+    bool ok = result.parity_bit_identical &&
+              (!result.store_checked ||
+               (result.warm_bit_identical &&
+                result.warm_simulations_run == 0));
+    return ok ? 0 : 1;
+}
+
+int
+cmdBench(const CliOptions &opts)
+{
+    if (opts.args.empty() || opts.args[0] != "trajectory")
+        usage(1);
+    return cmdBenchTrajectory(opts);
+}
+
+int
 cmdLint(const CliOptions &opts)
 {
     // lint is a verification gate: a stray token is more likely a
@@ -852,6 +952,8 @@ main(int argc, char **argv)
         return cmdSimpoints(opts);
     if (opts.command == "campaign")
         return cmdCampaign(opts);
+    if (opts.command == "bench")
+        return cmdBench(opts);
     if (opts.command == "lint")
         return cmdLint(opts);
     if (opts.command == "help" || opts.command == "--help")
