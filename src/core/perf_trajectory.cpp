@@ -139,6 +139,8 @@ runTrajectory(const TrajectoryConfig &config)
             static_cast<double>(out.simulations) / out.fused_seconds;
         out.records_per_second =
             static_cast<double>(out.records_total) / out.fused_seconds;
+        out.speedup_vs_seed =
+            out.records_per_second / kSeedRecordsPerSecond;
     }
 
     stats::Fingerprinter campaign_fp;
@@ -262,8 +264,14 @@ renderTrajectoryJson(const TrajectoryResult &r)
 {
     std::ostringstream os;
     os << "{\n";
-    os << "  \"schema\": \"speclens-bench-trajectory-v1\",\n";
+    os << "  \"schema\": \"speclens-bench-trajectory-v2\",\n";
     os << "  \"pr\": " << r.config.pr << ",\n";
+    os << "  \"seed_baseline\": {\n";
+    os << "    \"records_per_second\": "
+       << jsonNumber(kSeedRecordsPerSecond) << ",\n";
+    os << "    \"simulations_per_second\": "
+       << jsonNumber(kSeedSimulationsPerSecond) << "\n";
+    os << "  },\n";
     os << "  \"config\": {\n";
     os << "    \"suite\": \"cpu2017\",\n";
     os << "    \"benchmarks\": " << r.benchmarks << ",\n";
@@ -285,6 +293,8 @@ renderTrajectoryJson(const TrajectoryResult &r)
        << jsonNumber(r.materialized_seconds) << ",\n";
     os << "    \"speedup_vs_materialized\": "
        << jsonNumber(r.speedup_vs_materialized) << ",\n";
+    os << "    \"speedup_vs_seed\": " << jsonNumber(r.speedup_vs_seed)
+       << ",\n";
     os << "    \"simulations_per_second\": "
        << jsonNumber(r.simulations_per_second) << ",\n";
     os << "    \"records_per_second\": " << jsonNumber(r.records_per_second)

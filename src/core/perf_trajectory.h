@@ -43,6 +43,18 @@ constexpr std::uint64_t kTrajectoryInstructions = 150'000;
 /** Pinned warm-up window size. */
 constexpr std::uint64_t kTrajectoryWarmup = 40'000;
 
+/**
+ * Seed-tree baseline for the pinned campaign, measured once on the
+ * reference container (single thread, best of 3) by replaying the
+ * seed commit's Characterizer over the same 43 x 7 / 150k+40k / salt 0
+ * configuration.  Recorded as constants so every BENCH_<pr>.json can
+ * report a cumulative `speedup_vs_seed` alongside the in-binary
+ * `speedup_vs_materialized`, whose shared-win baseline understates
+ * the trajectory (DESIGN.md §5e).
+ */
+constexpr double kSeedRecordsPerSecond = 8.221188e6;
+constexpr double kSeedSimulationsPerSecond = 43.269411;
+
 /** Trajectory run parameters.  Defaults are the pinned configuration. */
 struct TrajectoryConfig
 {
@@ -95,6 +107,8 @@ struct TrajectoryResult
     double materialized_seconds = 0.0;
     /** materialized / fused wall-clock ratio. */
     double speedup_vs_materialized = 0.0;
+    /** records_per_second / kSeedRecordsPerSecond (cumulative). */
+    double speedup_vs_seed = 0.0;
     /** Every pair bit-identical between the two pipelines. */
     bool parity_bit_identical = false;
 

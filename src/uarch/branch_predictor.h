@@ -65,12 +65,32 @@ class BranchPredictor
 std::unique_ptr<BranchPredictor> makePredictor(PredictorKind kind,
                                                unsigned size_log2 = 12);
 
+/*
+ * Batched prediction: every concrete predictor also exposes
+ *
+ *   updateBatch(pc, id, taken, mispred, n)
+ *
+ * which processes n resolved branches exactly as n predict()/update()
+ * pairs would — mispred[k] records whether branch k mispredicted —
+ * but restructured for throughput: per-branch table indices (and the
+ * global-history value each branch observes, a prefix scan over the
+ * outcomes) are precomputed in contiguous autovectorizable loops, and
+ * only the inherently sequential counter/state updates run in the
+ * ordered tail loop.  Results are bit-exact against the scalar pair
+ * (tests/uarch/branch_predictor_test.cpp); the kernels live out of
+ * line in branch_predictor.cpp so the autovectorization report stage
+ * of tools/check.sh covers them.
+ */
+
 /** Always-taken baseline. */
 class StaticTakenPredictor final : public BranchPredictor
 {
   public:
     bool predict(std::uint64_t, std::uint32_t) override { return true; }
     void update(std::uint64_t, std::uint32_t, bool) override {}
+    void updateBatch(const std::uint64_t *pc, const std::uint32_t *id,
+                     const std::uint8_t *taken, std::uint8_t *mispred,
+                     std::size_t n);
     std::string name() const override { return "static-taken"; }
 };
 
@@ -81,12 +101,21 @@ class BimodalPredictor final : public BranchPredictor
     explicit BimodalPredictor(unsigned size_log2);
     bool predict(std::uint64_t pc, std::uint32_t id) override;
     void update(std::uint64_t pc, std::uint32_t id, bool taken) override;
+    void updateBatch(const std::uint64_t *pc, const std::uint32_t *id,
+                     const std::uint8_t *taken, std::uint8_t *mispred,
+                     std::size_t n);
     std::string name() const override { return "bimodal"; }
 
   private:
     std::size_t index(std::uint64_t pc, std::uint32_t id) const;
     std::vector<std::uint8_t> counters_;
     std::size_t mask_;
+    std::vector<std::uint32_t> batch_idx_; //!< updateBatch scratch.
+
+    // Composite predictors drive the bimodal table directly in their
+    // own batch kernels.
+    friend class TournamentPredictor;
+    friend class TageLitePredictor;
 };
 
 /** Gshare: global history XORed into the table index. */
@@ -96,6 +125,9 @@ class GsharePredictor final : public BranchPredictor
     GsharePredictor(unsigned size_log2, unsigned history_bits);
     bool predict(std::uint64_t pc, std::uint32_t id) override;
     void update(std::uint64_t pc, std::uint32_t id, bool taken) override;
+    void updateBatch(const std::uint64_t *pc, const std::uint32_t *id,
+                     const std::uint8_t *taken, std::uint8_t *mispred,
+                     std::size_t n);
     std::string name() const override { return "gshare"; }
 
   private:
@@ -104,6 +136,10 @@ class GsharePredictor final : public BranchPredictor
     std::size_t mask_;
     std::uint64_t history_ = 0;
     std::uint64_t history_mask_;
+    std::vector<std::uint32_t> batch_idx_;  //!< updateBatch scratch.
+    std::vector<std::uint64_t> batch_hist_; //!< History prefix scan.
+
+    friend class TournamentPredictor;
 };
 
 /** Tournament of bimodal and gshare with a 2-bit meta chooser. */
@@ -113,6 +149,9 @@ class TournamentPredictor final : public BranchPredictor
     explicit TournamentPredictor(unsigned size_log2);
     bool predict(std::uint64_t pc, std::uint32_t id) override;
     void update(std::uint64_t pc, std::uint32_t id, bool taken) override;
+    void updateBatch(const std::uint64_t *pc, const std::uint32_t *id,
+                     const std::uint8_t *taken, std::uint8_t *mispred,
+                     std::size_t n);
     std::string name() const override { return "tournament"; }
 
   private:
@@ -122,6 +161,11 @@ class TournamentPredictor final : public BranchPredictor
     std::size_t mask_;
     bool last_bimodal_ = false;
     bool last_gshare_ = false;
+    std::vector<std::uint64_t> batch_mix_;   //!< updateBatch scratch.
+    std::vector<std::uint64_t> batch_ghist_; //!< Gshare history scan.
+    std::vector<std::uint32_t> batch_bidx_;
+    std::vector<std::uint32_t> batch_gidx_;
+    std::vector<std::uint32_t> batch_cidx_;
 };
 
 /** Perceptron predictor (Jimenez & Lin, HPCA'01) over global history. */
@@ -131,6 +175,9 @@ class PerceptronPredictor final : public BranchPredictor
     PerceptronPredictor(unsigned size_log2, unsigned history_bits);
     bool predict(std::uint64_t pc, std::uint32_t id) override;
     void update(std::uint64_t pc, std::uint32_t id, bool taken) override;
+    void updateBatch(const std::uint64_t *pc, const std::uint32_t *id,
+                     const std::uint8_t *taken, std::uint8_t *mispred,
+                     std::size_t n);
     std::string name() const override { return "perceptron"; }
 
   private:
@@ -154,6 +201,9 @@ class TageLitePredictor final : public BranchPredictor
     explicit TageLitePredictor(unsigned size_log2, unsigned num_tables = 4);
     bool predict(std::uint64_t pc, std::uint32_t id) override;
     void update(std::uint64_t pc, std::uint32_t id, bool taken) override;
+    void updateBatch(const std::uint64_t *pc, const std::uint32_t *id,
+                     const std::uint8_t *taken, std::uint8_t *mispred,
+                     std::size_t n);
     std::string name() const override { return "tage-lite"; }
 
   private:
@@ -164,10 +214,23 @@ class TageLitePredictor final : public BranchPredictor
         std::uint8_t useful = 0;
     };
 
+    // History-parameterized forms, shared by the scalar path (which
+    // passes history_) and the batch kernel (which passes each
+    // branch's prefix-scanned history value).
     std::size_t tableIndex(unsigned table, std::uint64_t pc,
-                           std::uint32_t id) const;
+                           std::uint32_t id, std::uint64_t history) const;
     std::uint16_t tableTag(unsigned table, std::uint64_t pc,
-                           std::uint32_t id) const;
+                           std::uint32_t id, std::uint64_t history) const;
+    std::size_t
+    tableIndex(unsigned table, std::uint64_t pc, std::uint32_t id) const
+    {
+        return tableIndex(table, pc, id, history_);
+    }
+    std::uint16_t
+    tableTag(unsigned table, std::uint64_t pc, std::uint32_t id) const
+    {
+        return tableTag(table, pc, id, history_);
+    }
 
     BimodalPredictor base_;
     std::vector<std::vector<Entry>> tables_;
@@ -179,6 +242,13 @@ class TageLitePredictor final : public BranchPredictor
     int provider_ = -1;
     bool provider_pred_ = false;
     bool base_pred_ = false;
+
+    // updateBatch scratch: per-branch history values, plus per-table
+    // index/tag arrays laid out table-major (table * n + branch).
+    std::vector<std::uint64_t> batch_hist_;
+    std::vector<std::uint32_t> batch_idx_;
+    std::vector<std::uint16_t> batch_tag_;
+    std::vector<std::uint32_t> batch_base_idx_;
 };
 
 /**
@@ -319,10 +389,10 @@ PerceptronPredictor::index(std::uint64_t pc, std::uint32_t id) const
 
 inline std::size_t
 TageLitePredictor::tableIndex(unsigned table, std::uint64_t pc,
-                              std::uint32_t id) const
+                              std::uint32_t id, std::uint64_t history) const
 {
     std::uint64_t h_mask = (std::uint64_t{1} << history_lengths_[table]) - 1;
-    std::uint64_t folded = history_ & h_mask;
+    std::uint64_t folded = history & h_mask;
     // Fold long histories down to the index width.
     folded ^= folded >> 13;
     folded ^= folded >> 7;
@@ -333,11 +403,11 @@ TageLitePredictor::tableIndex(unsigned table, std::uint64_t pc,
 
 inline std::uint16_t
 TageLitePredictor::tableTag(unsigned table, std::uint64_t pc,
-                            std::uint32_t id) const
+                            std::uint32_t id, std::uint64_t history) const
 {
     std::uint64_t h_mask = (std::uint64_t{1} << history_lengths_[table]) - 1;
     std::uint64_t v = predictor_detail::mixPcId(pc * 31 + 7, id) ^
-                      (history_ & h_mask) ^ (table * 0x2545f491ull);
+                      (history & h_mask) ^ (table * 0x2545f491ull);
     return static_cast<std::uint16_t>(v & 0x3ff); // 10-bit tags
 }
 

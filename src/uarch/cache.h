@@ -25,6 +25,8 @@
 namespace speclens {
 namespace uarch {
 
+class PrewarmSolver;
+
 /** Replacement policy for a set-associative cache. */
 enum class ReplacementPolicy {
     Lru,      //!< True least-recently-used.
@@ -201,7 +203,63 @@ class Cache
 
     /** Flat index (set * assoc + way) touched by the last access(). */
     std::size_t last_index_ = 0;
+
+    /**
+     * The closed-form prewarm solver (src/uarch/prewarm.{h,cpp})
+     * reconstructs the exact state a cold-fill walk would leave —
+     * tags, stamps, tree-PLRU words, fill counters, tick and the
+     * access statistics — directly from the warmup stream's summary,
+     * so it writes every private array a walk would have written.
+     */
+    friend class PrewarmSolver;
 };
+
+// ---------------------------------------------------------------------
+// Tree-PLRU primitives, shared by Cache::victimWay()/touch() and the
+// closed-form prewarm solver (which replays them on a scratch state to
+// derive — and verify — the cold-fill victim schedule).
+
+/** Victim way selected by tree-PLRU @p state for a @p assoc -way set. */
+inline std::uint32_t
+plruVictimWay(std::uint32_t state, std::uint32_t assoc)
+{
+    // Walk the binary decision tree; each bit points away from the
+    // most recently used half.
+    std::uint32_t node = 0; // root of the implicit tree
+    std::uint32_t index = 0;
+    std::uint32_t span = assoc;
+    while (span > 1) {
+        bool right = (state >> node) & 1u;
+        span /= 2;
+        if (right)
+            index += span;
+        node = 2 * node + (right ? 2 : 1);
+    }
+    return index;
+}
+
+/** Tree-PLRU @p state after touching @p way (hit or fill). */
+inline std::uint32_t
+plruTouchState(std::uint32_t state, std::uint32_t assoc, std::uint32_t way)
+{
+    // Flip the path bits to point away from this way.
+    std::uint32_t node = 0;
+    std::uint32_t lo = 0;
+    std::uint32_t span = assoc;
+    while (span > 1) {
+        span /= 2;
+        bool went_right = way >= lo + span;
+        if (went_right) {
+            state &= ~(1u << node); // point left next time
+            lo += span;
+            node = 2 * node + 2;
+        } else {
+            state |= (1u << node);  // point right next time
+            node = 2 * node + 1;
+        }
+    }
+    return state;
+}
 
 // ---------------------------------------------------------------------
 // Hot-path definitions.  Kept in the header so the per-access chain
@@ -243,23 +301,8 @@ Cache::victimWay(std::uint64_t set)
         }
         return victim;
       }
-      case ReplacementPolicy::TreePlru: {
-        // Walk the binary decision tree; each bit points away from the
-        // most recently used half.
-        std::uint32_t assoc = config_.associativity;
-        std::uint32_t state = plru_[set];
-        std::uint32_t node = 0; // root of the implicit tree
-        std::uint32_t index = 0;
-        std::uint32_t span = assoc;
-        while (span > 1) {
-            bool right = (state >> node) & 1u;
-            span /= 2;
-            if (right)
-                index += span;
-            node = 2 * node + (right ? 2 : 1);
-        }
-        return index;
-      }
+      case ReplacementPolicy::TreePlru:
+        return plruVictimWay(plru_[set], config_.associativity);
       case ReplacementPolicy::Random:
         return static_cast<std::uint32_t>(
             rng_.below(config_.associativity));
@@ -279,28 +322,10 @@ Cache::touch(std::uint64_t set, std::uint32_t way, bool is_fill)
         if (is_fill)
             stamps_[set * config_.associativity + way] = ++tick_;
         break;
-      case ReplacementPolicy::TreePlru: {
-        // Flip the path bits to point away from this way.
-        std::uint32_t assoc = config_.associativity;
-        std::uint32_t state = plru_[set];
-        std::uint32_t node = 0;
-        std::uint32_t lo = 0;
-        std::uint32_t span = assoc;
-        while (span > 1) {
-            span /= 2;
-            bool went_right = way >= lo + span;
-            if (went_right) {
-                state &= ~(1u << node); // point left next time
-                lo += span;
-                node = 2 * node + 2;
-            } else {
-                state |= (1u << node);  // point right next time
-                node = 2 * node + 1;
-            }
-        }
-        plru_[set] = state;
+      case ReplacementPolicy::TreePlru:
+        plru_[set] =
+            plruTouchState(plru_[set], config_.associativity, way);
         break;
-      }
       case ReplacementPolicy::Random:
         break;
     }

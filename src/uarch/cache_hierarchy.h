@@ -211,6 +211,10 @@ class CacheHierarchy
      * streams.
      */
     std::unordered_set<std::uint64_t> prefetched_lines_;
+
+    /** Closed-form prewarm writes per-level caches and side counters
+     *  directly (see src/uarch/prewarm.h). */
+    friend class PrewarmSolver;
 };
 
 // ---------------------------------------------------------------------

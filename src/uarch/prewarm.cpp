@@ -1,0 +1,685 @@
+/**
+ * @file
+ * Closed-form prewarm solver (see prewarm.h for the proof sketch).
+ */
+
+#include "uarch/prewarm.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <numeric>
+
+#include "trace/address_stream.h"
+
+namespace speclens {
+namespace uarch {
+
+namespace {
+
+using Segment = PrewarmSolver::Segment;
+
+/**
+ * One warmup reference stream for one structure: its segments plus the
+ * running element and fill totals that anchor each segment's absolute
+ * stamps.
+ */
+struct Stream
+{
+    std::vector<Segment> segments;
+    std::uint64_t elems = 0;
+    std::uint64_t fills = 0;
+};
+
+/**
+ * Append one walked region (base / stride / element count) to @p st at
+ * unit granularity @p unit (a line or page size), or return false when
+ * the pattern is outside the provable regime:
+ *
+ *  - the stride must tile the unit evenly in one direction (a multiple
+ *    of it, giving one fill per element, or a divisor of it, giving
+ *    unit/stride consecutive elements per fill) — anything else makes
+ *    the elements-per-unit grouping uneven;
+ *  - sub-unit strides additionally need a unit-aligned base, so the
+ *    first unit gets a full group;
+ *  - the region's first unit must differ from the previous region's
+ *    last unit, because the walk's run collapsing spans the region
+ *    boundary and would turn that first fill into a repeat hit.
+ */
+bool
+appendRegion(Stream &st, std::uint64_t base, std::uint64_t stride,
+             std::uint64_t elements, std::uint64_t unit)
+{
+    Segment seg;
+    seg.tick0 = st.elems;
+    seg.fills0 = st.fills;
+    seg.elems = elements;
+    if (stride % unit == 0) {
+        // Every element lands on its own unit.  No alignment needed:
+        // floor((base + k*stride) / unit) is an exact arithmetic
+        // progression whenever unit divides stride.
+        seg.u0 = base / unit;
+        seg.step = stride / unit;
+        seg.rep = 1;
+        seg.fills = elements;
+    } else if (unit % stride == 0) {
+        if (base % unit != 0)
+            return false;
+        std::uint64_t rep = unit / stride;
+        seg.u0 = base / unit;
+        seg.step = 1;
+        seg.rep = rep;
+        seg.fills = (elements + rep - 1) / rep;
+    } else {
+        return false;
+    }
+    if (!st.segments.empty()) {
+        const Segment &prev = st.segments.back();
+        if (prev.fills != 0 &&
+            prev.u0 + (prev.fills - 1) * prev.step == seg.u0)
+            return false; // the walk would collapse across the boundary
+    }
+    st.elems += elements;
+    st.fills += seg.fills;
+    st.segments.push_back(seg);
+    return true;
+}
+
+/**
+ * The fill-event stream a lower level observes: one event per upper-
+ * level fill of @p a then @p b, re-anchored so that the LRU/FIFO stamp
+ * formulas count fills (the walk only ticks these structures on fills —
+ * repeat hits never reach past the first level).
+ */
+std::vector<Segment>
+fillStream(const Stream &a, const Stream &b)
+{
+    std::vector<Segment> out;
+    std::uint64_t fills = 0;
+    for (const Stream *st : {&a, &b}) {
+        for (Segment seg : st->segments) {
+            seg.rep = 1;
+            seg.elems = seg.fills;
+            seg.tick0 = fills;
+            seg.fills0 = fills;
+            fills += seg.fills;
+            out.push_back(seg);
+        }
+    }
+    return out;
+}
+
+/**
+ * Cold-fill victim schedule of a tree-PLRU set, derived by replaying
+ * 2*assoc fills through the exact primitives: fill p < assoc takes the
+ * invalid-suffix way p, later fills take the tree's victim.  After the
+ * first assoc fills the schedule is periodic with period assoc — which
+ * build() verifies rather than assumes (see verified()).
+ */
+struct PlruSchedule
+{
+    std::vector<std::uint32_t> way;   //!< Way of fill p, p < 2*assoc.
+    std::vector<std::uint32_t> state; //!< Tree state after fill p.
+    std::vector<std::uint32_t> pos;   //!< pos[w]: offset of way w in the period.
+
+    void
+    build(std::uint32_t assoc)
+    {
+        way.resize(2 * assoc);
+        state.resize(2 * assoc);
+        pos.assign(assoc, 0);
+        std::uint32_t s = 0;
+        for (std::uint32_t p = 0; p < 2 * assoc; ++p) {
+            std::uint32_t w = p < assoc ? p : plruVictimWay(s, assoc);
+            s = plruTouchState(s, assoc, w);
+            way[p] = w;
+            state[p] = s;
+        }
+        for (std::uint32_t q = 0; q < assoc; ++q)
+            pos[way[assoc + q]] = q;
+    }
+
+    /**
+     * True when the replay proves periodicity: fills assoc..2*assoc-1
+     * visit every way exactly once, and the tree state returns to its
+     * value after fill assoc-1 — so the victim sequence from fill
+     * assoc onward repeats with period assoc forever (it is a pure
+     * function of the state).
+     */
+    bool
+    verified(std::uint32_t assoc) const
+    {
+        std::vector<bool> seen(assoc, false);
+        for (std::uint32_t q = 0; q < assoc; ++q) {
+            std::uint32_t w = way[assoc + q];
+            if (w >= assoc || seen[w])
+                return false;
+            seen[w] = true;
+        }
+        return state[2 * assoc - 1] == state[assoc - 1];
+    }
+
+    /** Way of fill ordinal @p p (any p, via the verified period). */
+    std::uint32_t
+    wayOf(std::uint64_t p, std::uint32_t assoc) const
+    {
+        return p < assoc ? static_cast<std::uint32_t>(p)
+                         : way[assoc + (p - assoc) % assoc];
+    }
+};
+
+/**
+ * Incremental (unit / S, unit % S) walker for unit = u0 + j * step:
+ * replaces a division per fill with one add and one conditional
+ * subtract, valid for any S (the non-power-of-two LLCs included).
+ */
+struct SetCursor
+{
+    std::uint64_t q, r, dq, dr, S;
+
+    SetCursor(const Segment &seg, std::uint64_t sets)
+        : q(seg.u0 / sets), r(seg.u0 % sets), dq(seg.step / sets),
+          dr(seg.step % sets), S(sets)
+    {
+    }
+
+    void
+    advance()
+    {
+        q += dq;
+        r += dr;
+        if (r >= S) {
+            r -= S;
+            ++q;
+        }
+    }
+
+    void
+    retreat()
+    {
+        q -= dq;
+        if (r < dr) {
+            r += S;
+            --q;
+        }
+        r -= dr;
+    }
+
+    /** Jump straight to fill ordinal @p j. */
+    void
+    seek(const Segment &seg, std::uint64_t j)
+    {
+        std::uint64_t unit = seg.u0 + j * seg.step;
+        q = unit / S;
+        r = unit % S;
+    }
+};
+
+} // namespace
+
+bool
+PrewarmSolver::fitsWithoutEviction(const Cache &cache,
+                                   const std::vector<Segment> &segments)
+{
+    const std::uint64_t S = cache.num_sets_;
+    const std::uint32_t assoc = cache.config_.associativity;
+    std::vector<std::uint32_t> count(S, 0);
+    for (const Segment &seg : segments) {
+        if (seg.fills == 0)
+            continue;
+        std::uint64_t a = seg.step % S;
+        std::uint64_t period = S / std::gcd(a, S); // gcd(0, S) == S
+        std::uint64_t q = seg.fills / period;
+        std::uint64_t rem = seg.fills % period;
+        std::uint64_t n = std::min(seg.fills, period);
+        std::uint64_t s = seg.u0 % S;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            count[s] += static_cast<std::uint32_t>(q + (i < rem ? 1 : 0));
+            if (count[s] > assoc)
+                return false;
+            s += a;
+            if (s >= S)
+                s -= S;
+        }
+    }
+    return true;
+}
+
+void
+PrewarmSolver::solveCache(Cache &cache,
+                          const std::vector<Segment> &segments,
+                          std::uint64_t accesses, std::uint64_t hits)
+{
+    cache.accesses_ += accesses;
+    cache.hits_ += hits;
+
+    const std::uint64_t S = cache.num_sets_;
+    const std::uint32_t assoc = cache.config_.associativity;
+    const ReplacementPolicy policy = cache.config_.policy;
+
+    std::uint64_t total_fills = 0, total_elems = 0;
+    for (const Segment &seg : segments) {
+        total_fills += seg.fills;
+        total_elems += seg.elems;
+    }
+    if (total_fills == 0)
+        return; // the walk would not have touched the arrays either
+
+    // The walk ticks LRU structures once per element (fills plus
+    // collapsed repeat hits) and FIFO structures once per fill; tree-
+    // PLRU and Random never touch the tick or the stamps.
+    if (policy == ReplacementPolicy::Lru)
+        cache.tick_ = total_elems;
+    else if (policy == ReplacementPolicy::Fifo)
+        cache.tick_ = total_fills;
+
+    cache.cold_fills_.assign(S, 0);
+
+    PlruSchedule sched;
+    if (policy == ReplacementPolicy::TreePlru)
+        sched.build(assoc); // verified during the plan phase
+
+    // A way's occupant is a pure function of its set's fill count, so
+    // only the tail of the stream ever has to be visited.  Step 1:
+    // closed-form per-set fill counts.  A segment's set sequence is
+    // cyclic with period P = S / gcd(step, S); every reachable set
+    // takes floor(fills / P) fills and the first (fills mod P) cycle
+    // positions one more — O(min(fills, S)) per segment, no per-fill
+    // work.
+    std::vector<std::uint32_t> count(S, 0);
+    for (const Segment &seg : segments) {
+        if (seg.fills == 0)
+            continue;
+        std::uint64_t a = seg.step % S;
+        std::uint64_t period = S / std::gcd(a, S); // gcd(0, S) == S
+        std::uint64_t q = seg.fills / period;
+        std::uint64_t rem = seg.fills % period;
+        std::uint64_t n = std::min(seg.fills, period);
+        std::uint64_t s = seg.u0 % S;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            count[s] += static_cast<std::uint32_t>(q + (i < rem ? 1 : 0));
+            s += a;
+            if (s >= S)
+                s -= S;
+        }
+    }
+
+    // Step 2: per-set summary state, plus the number of way writes the
+    // reverse scan still owes.  Each touched set ends with
+    // min(k, assoc) occupied ways for every policy (round-robin and
+    // the verified PLRU period both cycle through all ways; Random
+    // stays in the invalid suffix).
+    std::uint64_t remaining = 0;
+    for (std::uint64_t set = 0; set < S; ++set) {
+        std::uint64_t k = count[set];
+        if (k == 0)
+            continue;
+        cache.cold_fills_[set] = static_cast<std::uint32_t>(
+            policy == ReplacementPolicy::Lru ||
+                    policy == ReplacementPolicy::Fifo
+                ? k % assoc
+                : std::min<std::uint64_t>(k, assoc));
+        if (policy == ReplacementPolicy::TreePlru)
+            cache.plru_[set] = k <= assoc
+                                   ? sched.state[k - 1]
+                                   : sched.state[assoc + (k - assoc - 1) % assoc];
+        remaining += std::min<std::uint64_t>(k, assoc);
+    }
+
+    // Step 3: scan fills newest-first, writing each way once.  The
+    // current fill's in-set ordinal is one below the set's count of
+    // not-yet-visited fills, and its way follows from that ordinal
+    // (round-robin, PLRU schedule, or invalid suffix).  For LRU/FIFO/
+    // Random the last min(k, assoc) ordinals map to distinct ways, so
+    // a per-set write counter identifies survivors; tree-PLRU can
+    // revisit a way within the last assoc fills (initial-to-periodic
+    // crossover), so it keeps a per-set way bitmask (its assoc is
+    // bounded at 32).  The scan stops the moment every surviving way
+    // is written — for dense streams that is the last capacity's worth
+    // of fills, not the stream.  The first fill visited is the walk's
+    // globally last, which pins last_index_ (repeatLastHit never moves
+    // it).
+    const bool plru = policy == ReplacementPolicy::TreePlru;
+    std::vector<std::uint32_t> written(S, 0);
+    bool last_fill = true;
+    for (std::size_t si = segments.size(); si-- > 0 && remaining != 0;) {
+        const Segment &seg = segments[si];
+        if (seg.fills == 0)
+            continue;
+        SetCursor cur(seg, S);
+        cur.seek(seg, seg.fills - 1);
+        for (std::uint64_t j = seg.fills; j-- > 0;) {
+            std::uint32_t k = --count[cur.r];
+            std::uint32_t w;
+            bool survives;
+            if (plru) {
+                w = sched.wayOf(k, assoc);
+                std::uint32_t bit = 1u << w;
+                survives = (written[cur.r] & bit) == 0;
+                written[cur.r] |= bit;
+            } else {
+                survives = written[cur.r] < assoc;
+                ++written[cur.r];
+                w = policy == ReplacementPolicy::Random
+                        ? k // proven < assoc by the plan phase
+                        : k % assoc;
+            }
+            if (survives) {
+                std::size_t idx =
+                    static_cast<std::size_t>(cur.r) * assoc + w;
+                cache.tags_[idx] = cur.q;
+                if (policy == ReplacementPolicy::Lru) {
+                    // Final stamp: the tick of the unit's last element
+                    // (the collapsed repeat run re-stamps the just-
+                    // filled way).
+                    cache.stamps_[idx] =
+                        seg.tick0 +
+                        std::min((j + 1) * seg.rep, seg.elems);
+                } else if (policy == ReplacementPolicy::Fifo) {
+                    cache.stamps_[idx] = seg.fills0 + j + 1;
+                }
+                if (last_fill) {
+                    cache.last_index_ = idx;
+                    last_fill = false;
+                }
+                if (--remaining == 0)
+                    break;
+            }
+            cur.retreat();
+        }
+    }
+}
+
+bool
+PrewarmSolver::apply(CacheHierarchy &caches, TlbHierarchy &tlbs,
+                     const trace::WorkloadProfile &profile,
+                     std::uint64_t llc_lines)
+{
+    // The closed forms describe a cold-fill walk; a touched hierarchy
+    // (phased simulation) or an active prefetcher takes the walking
+    // path, exactly as the walk's own cold fast path does.
+    if (!caches.coldFillEligible() || !tlbs.untouched())
+        return false;
+
+    // The walk streams one address through every level, keyed on the
+    // L1 line (page): uniform unit sizes are what make each lower
+    // level's fill stream equal the upper level's — a 128-byte L2 line
+    // would see duplicate fills the segment model cannot express.
+    const std::uint64_t line = trace::kLineBytes;
+    const Cache *levels[] = {&caches.l1i_cache_, &caches.l1d_cache_,
+                             &caches.l2_cache_, caches.l3_cache_.get()};
+    for (const Cache *level : levels)
+        if (level != nullptr && level->config_.line_bytes != line)
+            return false;
+
+    const std::uint64_t dpage = tlbs.dtlb_.config_.line_bytes;
+    const std::uint64_t ipage = tlbs.itlb_.config_.line_bytes;
+    if (tlbs.l2tlb_ != nullptr &&
+        (tlbs.l2tlb_->config_.line_bytes != dpage || ipage != dpage))
+        return false;
+
+    // Summarise the walk's reference streams as segments, bailing out
+    // on any pattern outside the provable regime.  Region order,
+    // skip rule and element arithmetic mirror Playback::prewarm().
+    Stream d_lines, d_pages, i_lines, i_pages;
+    const auto &sets = profile.memory.data;
+    for (std::size_t i = sets.size(); i-- > 0;) {
+        auto stride = static_cast<std::uint64_t>(sets[i].stride_bytes);
+        if (stride == 0)
+            return false;
+        std::uint64_t elements = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(sets[i].bytes) / stride);
+        if (elements > llc_lines)
+            continue;
+        std::uint64_t base =
+            trace::kDataBase + i * trace::kDataRegionStride;
+        if (!appendRegion(d_lines, base, stride, elements, line) ||
+            !appendRegion(d_pages, base, stride, elements, dpage))
+            return false;
+    }
+    auto code_bytes =
+        static_cast<std::uint64_t>(profile.memory.code_bytes);
+    std::uint64_t code_lines = (code_bytes + line - 1) / line;
+    if (code_lines != 0) {
+        // The code walk is itself a region: stride one line over
+        // code_lines elements.
+        if (!appendRegion(i_lines, trace::kCodeBase, line, code_lines,
+                          line) ||
+            !appendRegion(i_pages, trace::kCodeBase, line, code_lines,
+                          ipage))
+            return false;
+    }
+
+    const std::vector<Segment> l2_stream = fillStream(d_lines, i_lines);
+    const std::vector<Segment> l2tlb_stream = fillStream(d_pages, i_pages);
+
+    const std::uint64_t data_elems = d_lines.elems;
+    const std::uint64_t d_fills = d_lines.fills;
+    const std::uint64_t dp_fills = d_pages.fills;
+    const std::uint64_t i_fills = i_pages.fills;
+
+    struct Target
+    {
+        Cache *cache;
+        const std::vector<Segment> *segments;
+        std::uint64_t accesses;
+        std::uint64_t hits;
+    };
+    const Target targets[] = {
+        {&caches.l1d_cache_, &d_lines.segments, data_elems,
+         data_elems - d_fills},
+        {&caches.l1i_cache_, &i_lines.segments, code_lines, 0},
+        {&caches.l2_cache_, &l2_stream, d_fills + code_lines, 0},
+        {caches.l3_cache_.get(), &l2_stream, d_fills + code_lines, 0},
+        {&tlbs.dtlb_, &d_pages.segments, data_elems,
+         data_elems - dp_fills},
+        {&tlbs.itlb_, &i_pages.segments, code_lines,
+         code_lines - i_fills},
+        {tlbs.l2tlb_.get(), &l2tlb_stream, dp_fills + i_fills, 0},
+    };
+
+    // Plan phase: prove every structure before mutating any — the
+    // fallback contract is all-or-nothing.
+    for (const Target &target : targets) {
+        if (target.cache == nullptr)
+            continue;
+        switch (target.cache->config_.policy) {
+          case ReplacementPolicy::TreePlru: {
+            PlruSchedule sched;
+            sched.build(target.cache->config_.associativity);
+            if (!sched.verified(target.cache->config_.associativity))
+                return false;
+            break;
+          }
+          case ReplacementPolicy::Random:
+            if (!fitsWithoutEviction(*target.cache, *target.segments))
+                return false;
+            break;
+          default:
+            break;
+        }
+    }
+
+    for (const Target &target : targets)
+        if (target.cache != nullptr)
+            solveCache(*target.cache, *target.segments, target.accesses,
+                       target.hits);
+
+    // Hierarchy side counters and walk totals, exactly as the cold
+    // fill helpers would have accumulated them.
+    caches.l1d_stats_.accesses += data_elems;
+    caches.l1d_stats_.misses += d_fills;
+    caches.l2d_stats_.accesses += d_fills;
+    caches.l2d_stats_.misses += d_fills;
+    caches.l1i_stats_.accesses += code_lines;
+    caches.l1i_stats_.misses += code_lines;
+    caches.l2i_stats_.accesses += code_lines;
+    caches.l2i_stats_.misses += code_lines;
+    caches.l3_stats_.accesses += d_fills + code_lines;
+    caches.l3_stats_.misses += d_fills + code_lines;
+    tlbs.l2tlb_misses_ += dp_fills + i_fills;
+    tlbs.page_walks_ += dp_fills + i_fills;
+    return true;
+}
+
+void
+PrewarmSolver::walk(CacheHierarchy &caches, TlbHierarchy &tlbs,
+                    const trace::WorkloadProfile &profile,
+                    std::uint64_t llc_lines)
+{
+    const unsigned d_line_shift = static_cast<unsigned>(
+        std::countr_zero(std::uint64_t{caches.dataLineBytes()}));
+    const unsigned d_page_shift =
+        static_cast<unsigned>(std::countr_zero(tlbs.dataPageBytes()));
+    const unsigned i_page_shift =
+        static_cast<unsigned>(std::countr_zero(tlbs.instrPageBytes()));
+    std::uint64_t last_dline = ~0ull, last_dpage = ~0ull;
+    std::uint64_t drun = 0, dprun = 0;
+
+    // On a never-touched hierarchy with the prefetcher off, every
+    // distinct line/page of the walk is a guaranteed compulsory miss
+    // at every level, so the dedicated cold-fill path can skip the
+    // futile hit scans.  Both branches produce the exact same state
+    // and counters; prewarming an already-used hierarchy (or one with
+    // a prefetcher) takes the general path.
+    const bool cold = caches.coldFillEligible() && tlbs.untouched();
+
+    const auto &sets = profile.memory.data;
+    for (std::size_t i = sets.size(); i-- > 0;) {
+        auto stride = static_cast<std::uint64_t>(sets[i].stride_bytes);
+        std::uint64_t elements = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(sets[i].bytes) / stride);
+        // Each element occupies one cache line, so a set is
+        // LLC-resident exactly when its element count fits the last
+        // level's line capacity.
+        if (elements > llc_lines)
+            continue;
+        std::uint64_t base =
+            trace::kDataBase + i * trace::kDataRegionStride;
+        // Sub-line strides re-probe the same line (and page) many
+        // times in a row; collapse those guaranteed hits exactly, as
+        // in the playback loop (see Cache::repeatLastHit).
+        for (std::uint64_t e = 0; e < elements; ++e) {
+            std::uint64_t address = base + e * stride;
+            std::uint64_t dline = address >> d_line_shift;
+            if (dline == last_dline) {
+                ++drun;
+            } else {
+                if (drun) {
+                    caches.repeatDataHits(drun);
+                    drun = 0;
+                }
+                if (cold)
+                    caches.prewarmFillData(address);
+                else
+                    caches.accessData(address);
+                last_dline = dline;
+            }
+            std::uint64_t dpage = address >> d_page_shift;
+            if (dpage == last_dpage) {
+                ++dprun;
+            } else {
+                if (dprun) {
+                    tlbs.repeatDataHits(dprun);
+                    dprun = 0;
+                }
+                if (cold)
+                    tlbs.prewarmFillData(address);
+                else
+                    tlbs.accessData(address);
+                last_dpage = dpage;
+            }
+        }
+    }
+    if (drun)
+        caches.repeatDataHits(drun);
+    if (dprun)
+        tlbs.repeatDataHits(dprun);
+
+    // Code last so the hot region ends up most recently used.  The
+    // line walk still touches a fresh I-line every step, but the ITLB
+    // sees each page line_count-per-page times in a row.
+    auto code_bytes =
+        static_cast<std::uint64_t>(profile.memory.code_bytes);
+    std::uint64_t last_ipage = ~0ull, iprun = 0;
+    for (std::uint64_t offset = 0; offset < code_bytes;
+         offset += trace::kLineBytes) {
+        std::uint64_t pc = trace::kCodeBase + offset;
+        if (cold)
+            caches.prewarmFillInstr(pc);
+        else
+            caches.accessInstr(pc);
+        std::uint64_t ipage = pc >> i_page_shift;
+        if (ipage == last_ipage) {
+            ++iprun;
+        } else {
+            if (iprun) {
+                tlbs.repeatInstrHits(iprun);
+                iprun = 0;
+            }
+            if (cold)
+                tlbs.prewarmFillInstr(pc);
+            else
+                tlbs.accessInstr(pc);
+            last_ipage = ipage;
+        }
+    }
+    if (iprun)
+        tlbs.repeatInstrHits(iprun);
+}
+
+void
+PrewarmSolver::appendCacheState(const Cache &cache,
+                                std::vector<std::uint64_t> &out)
+{
+    const CacheConfig &config = cache.config_;
+    const std::uint64_t sets = cache.num_sets_;
+    const std::uint64_t assoc = config.associativity;
+    const bool stamped = config.policy == ReplacementPolicy::Lru ||
+                         config.policy == ReplacementPolicy::Fifo;
+    out.push_back(cache.accesses_);
+    out.push_back(cache.hits_);
+    out.push_back(cache.tick_);
+    out.push_back(cache.last_index_);
+    out.push_back(cache.cold_fills_.size());
+    out.insert(out.end(), cache.cold_fills_.begin(),
+               cache.cold_fills_.end());
+    out.insert(out.end(), cache.plru_.begin(), cache.plru_.end());
+    for (std::uint64_t i = 0; i < sets * assoc; ++i) {
+        std::uint64_t tag = cache.tags_[i];
+        out.push_back(tag);
+        // Stamps are deliberately uninitialized until written: only
+        // LRU/FIFO write them, and only for filled ways.
+        if (stamped && tag != Cache::kInvalidTag)
+            out.push_back(cache.stamps_[i]);
+    }
+}
+
+std::vector<std::uint64_t>
+PrewarmSolver::stateDigest(const CacheHierarchy &caches,
+                           const TlbHierarchy &tlbs)
+{
+    std::vector<std::uint64_t> out;
+    appendCacheState(caches.l1i_cache_, out);
+    appendCacheState(caches.l1d_cache_, out);
+    appendCacheState(caches.l2_cache_, out);
+    if (caches.l3_cache_)
+        appendCacheState(*caches.l3_cache_, out);
+    for (const SideCounters *side :
+         {&caches.l1i_stats_, &caches.l1d_stats_, &caches.l2i_stats_,
+          &caches.l2d_stats_, &caches.l3_stats_}) {
+        out.push_back(side->accesses);
+        out.push_back(side->misses);
+    }
+    out.push_back(caches.prefetch_fills_);
+    appendCacheState(tlbs.itlb_, out);
+    appendCacheState(tlbs.dtlb_, out);
+    if (tlbs.l2tlb_)
+        appendCacheState(*tlbs.l2tlb_, out);
+    out.push_back(tlbs.l2tlb_misses_);
+    out.push_back(tlbs.page_walks_);
+    return out;
+}
+
+} // namespace uarch
+} // namespace speclens

@@ -9,7 +9,9 @@
 #include <array>
 #include <bit>
 
+#include "obs/metrics.h"
 #include "trace/trace_generator.h"
+#include "uarch/prewarm.h"
 
 namespace speclens {
 namespace uarch {
@@ -96,112 +98,30 @@ class Playback
      */
     void
     prewarm(const trace::WorkloadProfile &profile,
-            const MachineConfig &machine)
+            const MachineConfig &machine, bool force_walk)
     {
         std::uint64_t llc_lines =
             (machine.caches.l3 ? machine.caches.l3->size_bytes
                                : machine.caches.l2.size_bytes) /
             trace::kLineBytes;
-        const unsigned d_line_shift = static_cast<unsigned>(
-            std::countr_zero(std::uint64_t{caches_.dataLineBytes()}));
-        const unsigned d_page_shift = static_cast<unsigned>(
-            std::countr_zero(tlbs_.dataPageBytes()));
-        const unsigned i_page_shift = static_cast<unsigned>(
-            std::countr_zero(tlbs_.instrPageBytes()));
-        std::uint64_t last_dline = ~0ull, last_dpage = ~0ull;
-        std::uint64_t drun = 0, dprun = 0;
 
-        // On a never-touched hierarchy with the prefetcher off, every
-        // distinct line/page of the walk is a guaranteed compulsory
-        // miss at every level, so the dedicated cold-fill path can
-        // skip the futile hit scans.  Both branches produce the exact
-        // same state and counters; prewarming an already-used
-        // hierarchy (or one with a prefetcher) takes the general path.
-        const bool cold = caches_.coldFillEligible() && tlbs_.untouched();
-
-        const auto &sets = profile.memory.data;
-        for (std::size_t i = sets.size(); i-- > 0;) {
-            auto stride =
-                static_cast<std::uint64_t>(sets[i].stride_bytes);
-            std::uint64_t elements = std::max<std::uint64_t>(
-                1, static_cast<std::uint64_t>(sets[i].bytes) / stride);
-            // Each element occupies one cache line, so a set is
-            // LLC-resident exactly when its element count fits the
-            // last level's line capacity.
-            if (elements > llc_lines)
-                continue;
-            std::uint64_t base =
-                trace::kDataBase + i * trace::kDataRegionStride;
-            // Sub-line strides re-probe the same line (and page) many
-            // times in a row; collapse those guaranteed hits exactly,
-            // as in the playback loop (see Cache::repeatLastHit).
-            for (std::uint64_t e = 0; e < elements; ++e) {
-                std::uint64_t address = base + e * stride;
-                std::uint64_t dline = address >> d_line_shift;
-                if (dline == last_dline) {
-                    ++drun;
-                } else {
-                    if (drun) {
-                        caches_.repeatDataHits(drun);
-                        drun = 0;
-                    }
-                    if (cold)
-                        caches_.prewarmFillData(address);
-                    else
-                        caches_.accessData(address);
-                    last_dline = dline;
-                }
-                std::uint64_t dpage = address >> d_page_shift;
-                if (dpage == last_dpage) {
-                    ++dprun;
-                } else {
-                    if (dprun) {
-                        tlbs_.repeatDataHits(dprun);
-                        dprun = 0;
-                    }
-                    if (cold)
-                        tlbs_.prewarmFillData(address);
-                    else
-                        tlbs_.accessData(address);
-                    last_dpage = dpage;
-                }
-            }
+        // Closed-form fast path: when the warmup stream is provably
+        // regular (see prewarm.h), the solver writes the exact final
+        // state without the per-line walk.  Any structure outside the
+        // provable regime — or a touched hierarchy, as in phase 2+ of
+        // a phased run — falls back to the walk below, which remains
+        // the semantic definition.
+        if (!force_walk &&
+            PrewarmSolver::apply(caches_, tlbs_, profile, llc_lines)) {
+            static obs::Counter &analytic =
+                obs::Registry::global().counter("uarch.prewarm.analytic");
+            analytic.add();
+            return;
         }
-        if (drun)
-            caches_.repeatDataHits(drun);
-        if (dprun)
-            tlbs_.repeatDataHits(dprun);
-
-        // Code last so the hot region ends up most recently used.  The
-        // line walk still touches a fresh I-line every step, but the
-        // ITLB sees each page line_count-per-page times in a row.
-        auto code_bytes =
-            static_cast<std::uint64_t>(profile.memory.code_bytes);
-        std::uint64_t last_ipage = ~0ull, iprun = 0;
-        for (std::uint64_t offset = 0; offset < code_bytes;
-             offset += trace::kLineBytes) {
-            std::uint64_t pc = trace::kCodeBase + offset;
-            if (cold)
-                caches_.prewarmFillInstr(pc);
-            else
-                caches_.accessInstr(pc);
-            std::uint64_t ipage = pc >> i_page_shift;
-            if (ipage == last_ipage) {
-                ++iprun;
-            } else {
-                if (iprun) {
-                    tlbs_.repeatInstrHits(iprun);
-                    iprun = 0;
-                }
-                if (cold)
-                    tlbs_.prewarmFillInstr(pc);
-                else
-                    tlbs_.accessInstr(pc);
-                last_ipage = ipage;
-            }
-        }
-        if (iprun)
-            tlbs_.repeatInstrHits(iprun);
+        static obs::Counter &walked =
+            obs::Registry::global().counter("uarch.prewarm.walked");
+        walked.add();
+        PrewarmSolver::walk(caches_, tlbs_, profile, llc_lines);
     }
 
     /**
@@ -302,9 +222,16 @@ class Playback
         std::uint64_t mispredictions = 0;
 
         trace::RecordBatch batch;
-        // Per-record branch outcomes of the ordered pass, reduced by
-        // the counting pass.
-        std::array<std::uint8_t, trace::kRecordBatchCapacity> mispred;
+        // Branch records compacted out of the ordered pass, resolved
+        // per batch by the predictor's batch kernel (see updateBatch
+        // in branch_predictor.h).  The predictor shares no state with
+        // the caches or TLBs and branch outcomes are trace data, so
+        // deferring all of a batch's predictor work behind the
+        // structure pass is bit-exact.
+        std::array<std::uint64_t, trace::kRecordBatchCapacity> branch_pc;
+        std::array<std::uint32_t, trace::kRecordBatchCapacity> branch_id;
+        std::array<std::uint8_t, trace::kRecordBatchCapacity> branch_taken;
+        std::array<std::uint8_t, trace::kRecordBatchCapacity> branch_mispred;
 
         // Same-line / same-page run collapsing.  Sequential fetch
         // re-probes the same L1I line up to line_bytes/4 times in a
@@ -338,6 +265,7 @@ class Playback
 
             // Pass 1 (ordered): drive the stateful structures in
             // exact stream order, with run collapsing.
+            std::size_t branches_in_batch = 0;
             for (std::size_t i = 0; i < n; ++i) {
                 std::uint64_t pc = batch.pc[i];
 
@@ -365,13 +293,12 @@ class Playback
                 }
 
                 trace::OpClass op = batch.op[i];
-                bool mispredicted = false;
                 if (op == trace::OpClass::Branch) {
-                    bool taken = batch.taken(i);
-                    bool predicted =
-                        predictor.predict(pc, batch.branch_id[i]);
-                    mispredicted = predicted != taken;
-                    predictor.update(pc, batch.branch_id[i], taken);
+                    branch_pc[branches_in_batch] = pc;
+                    branch_id[branches_in_batch] = batch.branch_id[i];
+                    branch_taken[branches_in_batch] =
+                        batch.taken(i) ? 1 : 0;
+                    ++branches_in_batch;
                 } else if (op == trace::OpClass::Load ||
                            op == trace::OpClass::Store) {
                     std::uint64_t address = batch.address[i];
@@ -398,9 +325,15 @@ class Playback
                         last_dpage = dpage;
                     }
                 }
-                if constexpr (Record)
-                    mispred[i] = mispredicted ? 1 : 0;
             }
+
+            // Resolve the batch's branches through the predictor's
+            // batch kernel (also needed when not recording: predictor
+            // state must advance through warm-up windows).
+            predictor.updateBatch(branch_pc.data(), branch_id.data(),
+                                  branch_taken.data(),
+                                  branch_mispred.data(),
+                                  branches_in_batch);
 
             // Pass 2 (counting): branchless SoA reductions.  32-bit
             // lane accumulators are safe (n <= 4096) and give the
@@ -424,8 +357,9 @@ class Playback
                         is_branch
                             ? (flags[i] & trace::RecordBatch::kTakenBit)
                             : 0;
-                    b_mispred += mispred[i];
                 }
+                for (std::size_t k = 0; k < branches_in_batch; ++k)
+                    b_mispred += branch_mispred[k];
                 kernel += b_kernel;
                 loads += b_loads;
                 stores += b_stores;
@@ -532,7 +466,7 @@ simulate(const trace::WorkloadProfile &profile, const MachineConfig &machine,
     trace::TraceGenerator generator(effective, config.seed_salt);
     Playback playback(machine);
     if (config.prewarm)
-        playback.prewarm(effective, machine);
+        playback.prewarm(effective, machine, config.force_prewarm_walk);
 
     SimulationResult result;
     playback.play(generator, config.warmup, nullptr);
@@ -559,7 +493,7 @@ simulateMaterialized(const trace::WorkloadProfile &profile,
     trace::TraceGenerator generator(effective, config.seed_salt);
     Playback playback(machine);
     if (config.prewarm)
-        playback.prewarm(effective, machine);
+        playback.prewarm(effective, machine, config.force_prewarm_walk);
 
     // Materialize both windows up front — the pre-batching memory
     // profile this path exists to preserve.
@@ -639,7 +573,7 @@ simulatePhased(const trace::PhasedWorkload &workload,
                 ? transformForMachine(phase.profile, machine)
                 : phase.profile;
         if (config.prewarm)
-            playback.prewarm(effective, machine);
+            playback.prewarm(effective, machine, config.force_prewarm_walk);
 
         auto share = [&phase](std::uint64_t total) {
             return std::max<std::uint64_t>(

@@ -55,6 +55,16 @@ struct SimulationConfig
     bool prewarm = true;
 
     /**
+     * Skip the closed-form prewarm solver and run the walking path
+     * even when the pattern is provable.  Both paths leave bit-for-bit
+     * identical state (enforced by tests/uarch/prewarm_equivalence_
+     * test.cpp), so this knob is not result-determining and is
+     * excluded from hashInto(); it exists for equivalence tests and
+     * A/B timing.
+     */
+    bool force_prewarm_walk = false;
+
+    /**
      * Feed every result-determining field (the window sizes, the seed
      * salt and both mode flags) to @p fp — the canonical "window" hash
      * shared by all artifact-store fingerprints.

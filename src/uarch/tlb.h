@@ -156,6 +156,10 @@ class TlbHierarchy
     std::unique_ptr<Cache> l2tlb_;
     std::uint64_t l2tlb_misses_ = 0;
     std::uint64_t page_walks_ = 0;
+
+    /** Closed-form prewarm writes the per-level TLBs and walk counters
+     *  directly (see src/uarch/prewarm.h). */
+    friend class PrewarmSolver;
 };
 
 // ---------------------------------------------------------------------

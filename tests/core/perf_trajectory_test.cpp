@@ -137,7 +137,7 @@ TEST(Trajectory, JsonIsWellFormedAndCarriesTheFacts)
     EXPECT_TRUE(obs::validateJson(json));
 
     // Schema marker and the determinism-bearing fields must be present.
-    EXPECT_NE(json.find("\"schema\": \"speclens-bench-trajectory-v1\""),
+    EXPECT_NE(json.find("\"schema\": \"speclens-bench-trajectory-v2\""),
               std::string::npos);
     EXPECT_NE(json.find("\"pr\": 6"), std::string::npos);
     EXPECT_NE(json.find("\"simulations\": 301"), std::string::npos);
@@ -145,6 +145,14 @@ TEST(Trajectory, JsonIsWellFormedAndCarriesTheFacts)
               std::string::npos);
     EXPECT_NE(json.find("\"fingerprint\""), std::string::npos);
     EXPECT_NE(json.find("\"checked\": false"), std::string::npos);
+
+    // v2 additions: the recorded seed baseline plus the cumulative
+    // speedup derived from it.
+    EXPECT_NE(json.find("\"seed_baseline\""), std::string::npos);
+    EXPECT_NE(json.find("\"speedup_vs_seed\""), std::string::npos);
+    EXPECT_GT(r.speedup_vs_seed, 0.0);
+    EXPECT_DOUBLE_EQ(r.speedup_vs_seed,
+                     r.records_per_second / core::kSeedRecordsPerSecond);
 
     // Facts block never leaks timings: no "seconds" token on stdout.
     std::string facts = core::renderTrajectoryFacts(r);

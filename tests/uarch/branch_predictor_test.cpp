@@ -5,7 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <memory>
+#include <tuple>
+#include <type_traits>
+#include <vector>
 
 #include "stats/rng.h"
 #include "uarch/branch_predictor.h"
@@ -177,6 +181,89 @@ TEST(PredictorDispatchTest, VariantMatchesVirtualInterfaceStepByStep)
                 }
             },
             variant);
+    }
+}
+
+/**
+ * The playback loop feeds resolved branches to updateBatch() in
+ * per-RecordBatch chunks; the kernel must be bit-exact against the
+ * scalar predict()/update() pair — same misprediction verdict for
+ * every branch AND the same internal state afterwards.  Drive one
+ * predictor through batches of varied (including empty and
+ * single-branch) lengths and a twin through the scalar pair in
+ * lock-step, then confirm the two still agree on a fresh probe stream.
+ */
+TEST(PredictorDispatchTest, BatchKernelMatchesScalarPairsBitExactly)
+{
+    for (PredictorKind kind : allKinds()) {
+        PredictorVariant batched_variant = makePredictorVariant(kind, 12);
+        PredictorVariant scalar_variant = makePredictorVariant(kind, 12);
+        std::visit(
+            [&](auto &batched) {
+                auto &scalar =
+                    std::get<std::decay_t<decltype(batched)>>(
+                        scalar_variant);
+                stats::Rng rng(17);
+                int step = 0;
+                auto nextBranch = [&] {
+                    std::uint64_t pc =
+                        0x400000 +
+                        (static_cast<std::uint64_t>(step) % 777) * 4;
+                    std::uint32_t id =
+                        static_cast<std::uint32_t>(step) % 97;
+                    bool taken = id % 3 == 0   ? true
+                                 : id % 3 == 1 ? step % 2 == 0
+                                               : rng.bernoulli(0.5);
+                    ++step;
+                    return std::tuple{pc, id, taken};
+                };
+
+                // Batch lengths the playback loop can produce: empty
+                // (branchless record batch), a lone branch, and
+                // larger odd sizes that stress any vector tail.
+                const std::size_t lengths[] = {1,  0,   2,  7,   64, 1,
+                                               33, 513, 3,  256, 0,  1000,
+                                               5,  127, 96, 2048};
+                std::vector<std::uint64_t> pc;
+                std::vector<std::uint32_t> id;
+                std::vector<std::uint8_t> taken;
+                std::vector<std::uint8_t> mispred;
+                for (std::size_t len : lengths) {
+                    pc.resize(len);
+                    id.resize(len);
+                    taken.resize(len);
+                    mispred.assign(len, 0xaa);
+                    for (std::size_t k = 0; k < len; ++k) {
+                        auto [p, i, t] = nextBranch();
+                        pc[k] = p;
+                        id[k] = i;
+                        taken[k] = t ? 1 : 0;
+                    }
+                    batched.updateBatch(pc.data(), id.data(),
+                                        taken.data(), mispred.data(),
+                                        len);
+                    for (std::size_t k = 0; k < len; ++k) {
+                        bool predicted = scalar.predict(pc[k], id[k]);
+                        std::uint8_t expected =
+                            predicted != (taken[k] != 0) ? 1 : 0;
+                        ASSERT_EQ(mispred[k], expected)
+                            << predictorKindName(kind) << " len " << len
+                            << " branch " << k;
+                        scalar.update(pc[k], id[k], taken[k] != 0);
+                    }
+                }
+
+                // Same state afterwards: the twins must keep agreeing
+                // (and keep mutating identically) on a probe stream.
+                for (int probe = 0; probe < 2000; ++probe) {
+                    auto [p, i, t] = nextBranch();
+                    ASSERT_EQ(batched.predict(p, i), scalar.predict(p, i))
+                        << predictorKindName(kind) << " probe " << probe;
+                    batched.update(p, i, t);
+                    scalar.update(p, i, t);
+                }
+            },
+            batched_variant);
     }
 }
 

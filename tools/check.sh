@@ -61,12 +61,13 @@ cmake -B "$BUILD_DIR" -S . \
 step "build (-j${JOBS})"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 
-step "autovectorization report (stats kernels)"
+step "autovectorization report (stats + predictor kernels)"
 # Informational, never fatal: recompile the contiguous stats kernels
-# with the compiler's vectorization report and count the loops it
-# vectorized.  Catches silent regressions (a kernel rewritten in a way
-# the autovectorizer no longer handles) without pinning the gate to
-# one compiler version's judgement.
+# and the batched predictor/prewarm kernels with the compiler's
+# vectorization report and count the loops it vectorized.  Catches
+# silent regressions (a kernel rewritten in a way the autovectorizer
+# no longer handles) without pinning the gate to one compiler
+# version's judgement.
 CXX_BIN="${CXX:-c++}"
 VEC_FLAGS=""
 if "$CXX_BIN" --version 2>/dev/null | grep -qi clang; then
@@ -78,7 +79,8 @@ if [[ -n "$VEC_FLAGS" ]]; then
     VEC_LOG="$BUILD_DIR/vectorize-report.txt"
     : >"$VEC_LOG"
     for f in src/stats/distance.cpp src/stats/eigen.cpp \
-             src/stats/normalize.cpp; do
+             src/stats/normalize.cpp src/uarch/branch_predictor.cpp \
+             src/uarch/prewarm.cpp; do
         "$CXX_BIN" -O3 -std=c++20 -Isrc $VEC_FLAGS -c "$f" \
             -o /dev/null 2>>"$VEC_LOG" || true
     done

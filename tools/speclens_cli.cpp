@@ -27,9 +27,11 @@
  * simulation-backed Table II checks).
  */
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -128,7 +130,9 @@ usage(int code)
         "  bench trajectory [--pr N] [--out FILE]\n"
         "                                    pinned perf campaign; facts\n"
         "                                    to stdout, BENCH_<pr>.json\n"
-        "                                    with timings to FILE\n"
+        "                                    with timings to FILE; no\n"
+        "                                    --pr: highest BENCH_* + 1,\n"
+        "                                    delta table on stderr\n"
         "  lint [--format text|json] [--severity info|warning|error]\n"
         "       [--no-deep] [--store DIR]    verify models and tables\n"
         "                                    (and store integrity)\n",
@@ -797,6 +801,104 @@ cmdCampaign(const CliOptions &opts)
     usage(1);
 }
 
+/**
+ * Highest N among BENCH_<N>.json files in @p dir, or -1 when none
+ * exist.  Drives both --pr auto-detection (next PR = highest + 1) and
+ * the previous-artifact lookup for the delta table.
+ */
+int
+highestBenchPr(const std::filesystem::path &dir)
+{
+    int highest = -1;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        std::string name = entry.path().filename().string();
+        if (name.size() <= 11 || name.rfind("BENCH_", 0) != 0 ||
+            name.substr(name.size() - 5) != ".json")
+            continue;
+        std::string digits = name.substr(6, name.size() - 11);
+        if (digits.empty() ||
+            digits.find_first_not_of("0123456789") != std::string::npos)
+            continue;
+        highest = std::max(highest, std::atoi(digits.c_str()));
+    }
+    return highest;
+}
+
+/**
+ * Pull the number following `"key":` out of @p text (enough JSON for
+ * the BENCH_* artifacts we write ourselves, v1 and v2 alike).
+ */
+bool
+jsonNumberField(const std::string &text, const std::string &key,
+                double &out, std::size_t from = 0)
+{
+    std::string needle = "\"" + key + "\":";
+    std::size_t pos = text.find(needle, from);
+    if (pos == std::string::npos)
+        return false;
+    pos += needle.size();
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])))
+        ++pos;
+    char *end = nullptr;
+    out = std::strtod(text.c_str() + pos, &end);
+    return end != text.c_str() + pos;
+}
+
+/**
+ * Print a previous-vs-current delta table to stderr (never stdout:
+ * rates are timing-dependent, and stdout stays byte-deterministic).
+ * Parses both schema v1 (no speedup_vs_seed) and v2 artifacts.
+ */
+void
+printTrajectoryDelta(const std::string &prev_path,
+                     const core::TrajectoryResult &r)
+{
+    std::ifstream in(prev_path);
+    if (!in)
+        return;
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    // Rates live in the campaign block; searching from there skips the
+    // v2 seed_baseline object, whose fields share these key names.
+    std::size_t campaign = text.find("\"campaign\"");
+    if (campaign == std::string::npos)
+        campaign = 0;
+    double prev_sims = 0.0, prev_records = 0.0;
+    if (!jsonNumberField(text, "simulations_per_second", prev_sims,
+                         campaign) ||
+        !jsonNumberField(text, "records_per_second", prev_records,
+                         campaign) ||
+        prev_sims <= 0.0 || prev_records <= 0.0) {
+        std::fprintf(stderr,
+                     "[speclens-bench] no rates in %s; delta skipped\n",
+                     prev_path.c_str());
+        return;
+    }
+    std::fprintf(stderr, "[speclens-bench] delta vs %s:\n",
+                 prev_path.c_str());
+    std::fprintf(stderr,
+                 "  sims/s:    %10.3f -> %10.3f  (%+.1f%%)\n",
+                 prev_sims, r.simulations_per_second,
+                 (r.simulations_per_second / prev_sims - 1.0) * 100.0);
+    std::fprintf(stderr,
+                 "  records/s: %10.0f -> %10.0f  (%+.1f%%)\n",
+                 prev_records, r.records_per_second,
+                 (r.records_per_second / prev_records - 1.0) * 100.0);
+    double prev_seed = 0.0;
+    if (jsonNumberField(text, "speedup_vs_seed", prev_seed) &&
+        prev_seed > 0.0)
+        std::fprintf(stderr,
+                     "  speedup_vs_seed: %.3fx -> %.3fx\n", prev_seed,
+                     r.speedup_vs_seed);
+    else
+        std::fprintf(stderr,
+                     "  speedup_vs_seed: n/a (v1 artifact) -> %.3fx\n",
+                     r.speedup_vs_seed);
+}
+
 int
 cmdBenchTrajectory(const CliOptions &opts)
 {
@@ -811,6 +913,7 @@ cmdBenchTrajectory(const CliOptions &opts)
     config.store_dir = opts.store_dir;
 
     std::string out_path;
+    bool pr_given = false;
     for (std::size_t i = 1; i < opts.args.size(); ++i) {
         const std::string &arg = opts.args[i];
         if (arg == "--pr" || arg == "--out") {
@@ -826,6 +929,7 @@ cmdBenchTrajectory(const CliOptions &opts)
                 if (!parsePositional("--pr", opts.args[++i], pr))
                     return 1;
                 config.pr = static_cast<int>(pr);
+                pr_given = true;
             }
         } else {
             std::fprintf(stderr,
@@ -834,6 +938,15 @@ cmdBenchTrajectory(const CliOptions &opts)
                          arg.c_str());
             return 1;
         }
+    }
+    if (!pr_given) {
+        // No --pr: continue the committed trajectory — one past the
+        // highest BENCH_<n>.json in the working directory.
+        config.pr = highestBenchPr(".") + 1;
+        std::fprintf(stderr,
+                     "[speclens-bench] --pr not given; auto-detected "
+                     "--pr %d\n",
+                     config.pr);
     }
     if (out_path.empty())
         out_path = core::trajectoryArtifactName(config.pr);
@@ -865,6 +978,15 @@ cmdBenchTrajectory(const CliOptions &opts)
                  out_path.c_str(), result.fused_seconds,
                  result.materialized_seconds,
                  result.speedup_vs_materialized, result.stats_seconds);
+
+    // Delta table against the most recent earlier artifact (v1 or v2).
+    for (int prev = config.pr - 1; prev >= 0; --prev) {
+        std::string prev_path = core::trajectoryArtifactName(prev);
+        if (std::filesystem::exists(prev_path)) {
+            printTrajectoryDelta(prev_path, result);
+            break;
+        }
+    }
 
     // Exit code doubles as the contract check: parity and (when a
     // store was given) warm reuse must both hold.
