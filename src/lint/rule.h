@@ -56,10 +56,17 @@ struct LintContext
     std::size_t jobs = 0;
 
     /**
-     * Artifact-store directory for the SL016 store-integrity checks;
-     * empty (the default) skips them with an info note.
+     * Artifact-store directory for the SL016 store-integrity checks
+     * and the SL018/SL019/SL022-SL024 artifact re-audit rules; empty
+     * (the default) skips them with an info note.
      */
     std::string store_dir;
+
+    /**
+     * Directory holding committed BENCH_<pr>.json trajectory artifacts
+     * for the SL020/SL021 trajectory rules; empty skips them.
+     */
+    std::string bench_dir;
 
     /** All benchmarks of all databases, 2017 first. */
     std::vector<const suites::BenchmarkInfo *> allBenchmarks() const;

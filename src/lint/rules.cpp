@@ -13,6 +13,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
@@ -20,6 +23,9 @@
 
 #include "core/artifact_store.h"
 #include "core/characterization.h"
+#include "core/perf_trajectory.h"
+#include "obs/export.h"
+#include "obs/manifest.h"
 #include "stats/normalize.h"
 #include "suites/emerging.h"
 #include "suites/input_sets.h"
@@ -1224,6 +1230,937 @@ class DegenerateFeaturesRule final : public RuleBase
     }
 };
 
+// ====================================================================
+// Artifact-lint family (SL018-SL024): structural re-audit of on-disk
+// artifacts — store entries, BENCH_<pr>.json trajectory files and the
+// run manifest.  These rules re-open what past runs persisted and
+// hold it against the same invariants the live simulator satisfies,
+// so silent corruption (bad serialization, hand edits, drifted
+// constants) cannot survive a lint pass.
+// ====================================================================
+
+/** Slurp a whole text file; false when unreadable. */
+bool
+readTextFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    out = buffer.str();
+    return true;
+}
+
+/**
+ * Position of the value of @p key at or after @p from, or npos.
+ *
+ * The artifact JSON is machine-rendered with a fixed section order,
+ * so a quoted-key scan (not a full parser) addresses fields reliably:
+ * callers scope nested keys by first locating their section's key.
+ */
+std::size_t
+jsonValuePos(const std::string &text, const std::string &key,
+             std::size_t from)
+{
+    const std::string needle = "\"" + key + "\"";
+    std::size_t at = text.find(needle, from);
+    if (at == std::string::npos)
+        return std::string::npos;
+    std::size_t pos = at + needle.size();
+    while (pos < text.size() && std::isspace(
+                                    static_cast<unsigned char>(text[pos])))
+        ++pos;
+    if (pos >= text.size() || text[pos] != ':')
+        return std::string::npos;
+    ++pos;
+    while (pos < text.size() && std::isspace(
+                                    static_cast<unsigned char>(text[pos])))
+        ++pos;
+    return pos < text.size() ? pos : std::string::npos;
+}
+
+bool
+jsonNumber(const std::string &text, const std::string &key, double &out,
+           std::size_t from = 0)
+{
+    std::size_t pos = jsonValuePos(text, key, from);
+    if (pos == std::string::npos)
+        return false;
+    try {
+        std::size_t consumed = 0;
+        out = std::stod(text.substr(pos, 64), &consumed);
+        return consumed > 0;
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+bool
+jsonString(const std::string &text, const std::string &key,
+           std::string &out, std::size_t from = 0)
+{
+    std::size_t pos = jsonValuePos(text, key, from);
+    if (pos == std::string::npos || text[pos] != '"')
+        return false;
+    std::size_t end = text.find('"', pos + 1);
+    if (end == std::string::npos)
+        return false;
+    out = text.substr(pos + 1, end - pos - 1);
+    return true;
+}
+
+bool
+jsonBool(const std::string &text, const std::string &key, bool &out,
+         std::size_t from = 0)
+{
+    std::size_t pos = jsonValuePos(text, key, from);
+    if (pos == std::string::npos)
+        return false;
+    if (text.compare(pos, 4, "true") == 0) {
+        out = true;
+        return true;
+    }
+    if (text.compare(pos, 5, "false") == 0) {
+        out = false;
+        return true;
+    }
+    return false;
+}
+
+bool
+isHex16(const std::string &s)
+{
+    if (s.size() != 16)
+        return false;
+    for (char c : s)
+        if (!std::isxdigit(static_cast<unsigned char>(c)) ||
+            std::isupper(static_cast<unsigned char>(c)))
+            return false;
+    return true;
+}
+
+bool
+nearRel(double a, double b, double rel)
+{
+    double scale = std::max(std::abs(a), std::abs(b));
+    return std::isfinite(a) && std::isfinite(b) &&
+           std::abs(a - b) <= rel * std::max(scale, 1.0);
+}
+
+/** Store address reconstructed from a scanned entry's metadata. */
+core::StoreKey
+keyFromInfo(const core::StoreEntryInfo &info)
+{
+    core::StoreKey key;
+    key.fingerprint = info.fingerprint;
+    key.benchmark = info.benchmark;
+    key.machine = info.machine;
+    key.instructions = info.instructions;
+    key.warmup = info.warmup;
+    key.seed_salt = info.seed_salt;
+    key.apply_machine_transform = info.apply_machine_transform;
+    key.prewarm = info.prewarm;
+    return key;
+}
+
+/** Named access to every PerfCounters event field. */
+struct CounterField
+{
+    const char *name;
+    std::uint64_t uarch::PerfCounters::*field;
+};
+
+constexpr CounterField kCounterFields[] = {
+    {"instructions", &uarch::PerfCounters::instructions},
+    {"loads", &uarch::PerfCounters::loads},
+    {"stores", &uarch::PerfCounters::stores},
+    {"branches", &uarch::PerfCounters::branches},
+    {"taken_branches", &uarch::PerfCounters::taken_branches},
+    {"fp_ops", &uarch::PerfCounters::fp_ops},
+    {"simd_ops", &uarch::PerfCounters::simd_ops},
+    {"kernel_instructions", &uarch::PerfCounters::kernel_instructions},
+    {"l1d_accesses", &uarch::PerfCounters::l1d_accesses},
+    {"l1d_misses", &uarch::PerfCounters::l1d_misses},
+    {"l1i_accesses", &uarch::PerfCounters::l1i_accesses},
+    {"l1i_misses", &uarch::PerfCounters::l1i_misses},
+    {"l2d_accesses", &uarch::PerfCounters::l2d_accesses},
+    {"l2d_misses", &uarch::PerfCounters::l2d_misses},
+    {"l2i_accesses", &uarch::PerfCounters::l2i_accesses},
+    {"l2i_misses", &uarch::PerfCounters::l2i_misses},
+    {"l3_accesses", &uarch::PerfCounters::l3_accesses},
+    {"l3_misses", &uarch::PerfCounters::l3_misses},
+    {"dtlb_accesses", &uarch::PerfCounters::dtlb_accesses},
+    {"dtlb_misses", &uarch::PerfCounters::dtlb_misses},
+    {"itlb_accesses", &uarch::PerfCounters::itlb_accesses},
+    {"itlb_misses", &uarch::PerfCounters::itlb_misses},
+    {"l2tlb_misses", &uarch::PerfCounters::l2tlb_misses},
+    {"page_walks", &uarch::PerfCounters::page_walks},
+    {"branch_mispredictions",
+     &uarch::PerfCounters::branch_mispredictions},
+};
+
+class StoreResultAuditRule final : public RuleBase
+{
+  public:
+    std::string code() const override { return "SL018"; }
+    std::string name() const override { return "store-result-audit"; }
+    std::string
+    description() const override
+    {
+        return "deserialized store results satisfy the simulator's "
+               "counter accounting identities";
+    }
+
+    void
+    run(const LintContext &context,
+        std::vector<Diagnostic> &out) const override
+    {
+        if (context.store_dir.empty()) {
+            emit(out, Severity::Info, "store",
+                 "store result audit skipped (no --store directory "
+                 "given)");
+            return;
+        }
+        core::CampaignStore store(context.store_dir);
+        std::size_t audited = 0;
+        for (const core::StoreEntryInfo &info : store.scan()) {
+            if (info.status != core::StoreStatus::Hit)
+                continue; // SL016 reports defective entries.
+            const std::string loc = "store/" + info.filename;
+            core::StoreKey key = keyFromInfo(info);
+            if (info.phases == 0) {
+                uarch::SimulationResult result;
+                if (store.load(key, result) != core::StoreStatus::Hit) {
+                    error(out, loc,
+                          "entry scanned clean but failed to load",
+                          "invalidate the entry and re-run the "
+                          "campaign");
+                    continue;
+                }
+                auditResult(loc, result, out);
+            } else {
+                uarch::PhasedSimulationResult result;
+                if (store.loadPhased(key, result) !=
+                    core::StoreStatus::Hit) {
+                    error(out, loc,
+                          "phased entry scanned clean but failed to "
+                          "load",
+                          "invalidate the entry and re-run the "
+                          "campaign");
+                    continue;
+                }
+                auditCounters(loc + "/combined",
+                              result.combined_counters, out);
+                for (std::size_t i = 0; i < result.per_phase.size();
+                     ++i)
+                    auditResult(loc + "/phase" + std::to_string(i),
+                                result.per_phase[i], out);
+            }
+            ++audited;
+        }
+        emit(out, Severity::Info, "store",
+             std::to_string(audited) + " entries re-audited in " +
+                 context.store_dir);
+    }
+
+  private:
+    void
+    auditCounters(const std::string &loc,
+                  const uarch::PerfCounters &c,
+                  std::vector<Diagnostic> &out) const
+    {
+        if (c.instructions == 0) {
+            error(out, loc, "stored window retired zero instructions",
+                  "an empty measurement window cannot produce the "
+                  "paper's rates; invalidate and re-run");
+            return;
+        }
+        if (c.loads + c.stores + c.branches + c.fp_ops + c.simd_ops >
+            c.instructions)
+            error(out, loc,
+                  "instruction classes sum past the retired total",
+                  "classes are disjoint; the entry bytes are "
+                  "inconsistent");
+        if (c.taken_branches > c.branches ||
+            c.branch_mispredictions > c.branches)
+            error(out, loc,
+                  "taken/mispredicted branches exceed retired "
+                  "branches");
+        if (c.kernel_instructions > c.instructions)
+            error(out, loc,
+                  "kernel instructions exceed retired instructions");
+        const struct
+        {
+            const char *level;
+            std::uint64_t accesses;
+            std::uint64_t misses;
+        } levels[] = {
+            {"l1d", c.l1d_accesses, c.l1d_misses},
+            {"l1i", c.l1i_accesses, c.l1i_misses},
+            {"l2d", c.l2d_accesses, c.l2d_misses},
+            {"l2i", c.l2i_accesses, c.l2i_misses},
+            {"l3", c.l3_accesses, c.l3_misses},
+            {"dtlb", c.dtlb_accesses, c.dtlb_misses},
+            {"itlb", c.itlb_accesses, c.itlb_misses},
+        };
+        for (const auto &l : levels) {
+            if (l.misses > l.accesses)
+                error(out, loc + "/" + l.level,
+                      "misses (" + std::to_string(l.misses) +
+                          ") exceed accesses (" +
+                          std::to_string(l.accesses) + ")");
+        }
+        if (c.l2tlb_misses > c.itlb_misses + c.dtlb_misses)
+            error(out, loc,
+                  "L2 TLB misses exceed the L1 TLB miss stream that "
+                  "feeds them");
+        if (c.page_walks != c.l2tlb_misses)
+            error(out, loc,
+                  "page walks (" + std::to_string(c.page_walks) +
+                      ") != L2 TLB misses (" +
+                      std::to_string(c.l2tlb_misses) + ")",
+                  "every last-level TLB miss walks the page table, "
+                  "and nothing else does");
+    }
+
+    void
+    auditResult(const std::string &loc,
+                const uarch::SimulationResult &result,
+                std::vector<Diagnostic> &out) const
+    {
+        auditCounters(loc, result.counters, out);
+        if (!(std::isfinite(result.cpi()) && result.cpi() > 0.0))
+            error(out, loc,
+                  "stored CPI is " + num(result.cpi()) +
+                      ", not finite-positive");
+        for (double component : result.cpi_stack.components())
+            if (!(std::isfinite(component) && component >= 0.0)) {
+                error(out, loc,
+                      "CPI-stack component is " + num(component) +
+                          ", not finite and non-negative");
+                break;
+            }
+        const double rails[] = {result.power.core_watts,
+                                result.power.llc_watts,
+                                result.power.dram_watts};
+        for (double watts : rails)
+            if (!(std::isfinite(watts) && watts >= 0.0)) {
+                error(out, loc,
+                      "power rail is " + num(watts) +
+                          " W, not finite and non-negative");
+                break;
+            }
+    }
+};
+
+class StoreMetricRangeRule final : public RuleBase
+{
+  public:
+    std::string code() const override { return "SL019"; }
+    std::string name() const override { return "store-metric-range"; }
+    std::string
+    description() const override
+    {
+        return "stored metrics stay inside physical envelopes and "
+               "match the describing machine's topology";
+    }
+
+    void
+    run(const LintContext &context,
+        std::vector<Diagnostic> &out) const override
+    {
+        if (context.store_dir.empty()) {
+            emit(out, Severity::Info, "store",
+                 "store metric-range check skipped (no --store "
+                 "directory given)");
+            return;
+        }
+        std::map<std::string, const uarch::MachineConfig *> machines;
+        for (const uarch::MachineConfig &m : context.machines)
+            machines.emplace(m.name, &m);
+
+        core::CampaignStore store(context.store_dir);
+        std::size_t checked = 0;
+        for (const core::StoreEntryInfo &info : store.scan()) {
+            if (info.status != core::StoreStatus::Hit ||
+                info.phases != 0)
+                continue;
+            const std::string loc = "store/" + info.filename;
+            uarch::SimulationResult result;
+            if (store.load(keyFromInfo(info), result) !=
+                core::StoreStatus::Hit)
+                continue; // SL018 reports the load failure.
+            const uarch::PerfCounters &c = result.counters;
+            if (c.instructions == 0)
+                continue; // SL018 reports the empty window.
+
+            double ipc = result.ipc();
+            if (!(ipc > 0.0 && ipc <= 8.0))
+                error(out, loc,
+                      "IPC is " + num(ipc) +
+                          ", outside the plausible (0, 8] range");
+            if (result.cpi() > 100.0)
+                error(out, loc,
+                      "CPI is " + num(result.cpi()) +
+                          ", beyond any modelled stall mix");
+            const struct
+            {
+                const char *metric;
+                double value;
+            } mpki[] = {
+                {"l1d_mpki", c.l1dMpki()},
+                {"l1i_mpki", c.l1iMpki()},
+                {"l2d_mpki", c.l2dMpki()},
+                {"l2i_mpki", c.l2iMpki()},
+                {"l3_mpki", c.l3Mpki()},
+                {"branch_mpki", c.branchMpki()},
+            };
+            for (const auto &m : mpki)
+                if (!(m.value >= 0.0 && m.value <= 1000.0))
+                    error(out, loc,
+                          std::string(m.metric) + " is " +
+                              num(m.value) +
+                              ", outside [0, 1000] (at most one "
+                              "event per instruction)");
+
+            // Demand-miss plumbing: each level's access stream is the
+            // previous level's miss stream (prefetch fills bypass the
+            // demand counters, so this holds with prefetching too).
+            if (c.l2d_accesses != c.l1d_misses ||
+                c.l2i_accesses != c.l1i_misses)
+                error(out, loc,
+                      "L2 demand accesses do not equal the L1 miss "
+                      "streams that generate them");
+            if (c.l3_accesses != c.l2d_misses + c.l2i_misses)
+                error(out, loc,
+                      "last-level accesses (" +
+                          std::to_string(c.l3_accesses) +
+                          ") do not equal the L2 miss total (" +
+                          std::to_string(c.l2d_misses +
+                                         c.l2i_misses) +
+                          ")");
+
+            auto machine = machines.find(info.machine);
+            if (machine != machines.end()) {
+                const uarch::MachineConfig &m = *machine->second;
+                if (!m.caches.l3 && c.l3_accesses != c.l3_misses)
+                    error(out, loc,
+                          "two-level machine '" + info.machine +
+                              "' must mirror every last-level access "
+                              "as a miss");
+                if (!m.tlbs.l2tlb &&
+                    c.l2tlb_misses != c.itlb_misses + c.dtlb_misses)
+                    error(out, loc,
+                          "machine '" + info.machine +
+                              "' has no L2 TLB, so every L1 TLB miss "
+                              "must walk");
+            }
+            ++checked;
+        }
+        emit(out, Severity::Info, "store",
+             std::to_string(checked) +
+                 " pair entries range-checked in " +
+                 context.store_dir);
+    }
+};
+
+/** Parsed identity of one BENCH_<pr>.json artifact. */
+struct BenchArtifact
+{
+    std::string filename;
+    std::string text;
+    std::uint64_t pr = 0; //!< From the file name.
+    int version = 0;      //!< 1 or 2; 0 when the schema is foreign.
+};
+
+/** Collect BENCH_<pr>.json artifacts under @p dir, name-sorted. */
+std::vector<BenchArtifact>
+collectBenchArtifacts(const std::string &dir)
+{
+    std::vector<BenchArtifact> artifacts;
+    std::error_code ec;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        const std::string name = entry.path().filename().string();
+        if (name.size() <= 11 || name.compare(0, 6, "BENCH_") != 0 ||
+            name.compare(name.size() - 5, 5, ".json") != 0)
+            continue;
+        const std::string digits = name.substr(6, name.size() - 11);
+        if (digits.empty() ||
+            digits.find_first_not_of("0123456789") !=
+                std::string::npos)
+            continue;
+        BenchArtifact artifact;
+        artifact.filename = name;
+        artifact.pr = std::stoull(digits);
+        if (readTextFile(entry.path().string(), artifact.text)) {
+            std::string schema;
+            if (jsonString(artifact.text, "schema", schema)) {
+                if (schema == "speclens-bench-trajectory-v1")
+                    artifact.version = 1;
+                else if (schema == "speclens-bench-trajectory-v2")
+                    artifact.version = 2;
+            }
+        }
+        artifacts.push_back(std::move(artifact));
+    }
+    std::sort(artifacts.begin(), artifacts.end(),
+              [](const BenchArtifact &a, const BenchArtifact &b) {
+                  return a.pr < b.pr;
+              });
+    return artifacts;
+}
+
+class BenchSchemaRule final : public RuleBase
+{
+  public:
+    std::string code() const override { return "SL020"; }
+    std::string name() const override { return "bench-schema"; }
+    std::string
+    description() const override
+    {
+        return "each BENCH_<pr>.json trajectory artifact is "
+               "well-formed and internally consistent";
+    }
+
+    void
+    run(const LintContext &context,
+        std::vector<Diagnostic> &out) const override
+    {
+        if (context.bench_dir.empty()) {
+            emit(out, Severity::Info, "bench",
+                 "trajectory-artifact checks skipped (no --bench "
+                 "directory given)");
+            return;
+        }
+        std::vector<BenchArtifact> artifacts =
+            collectBenchArtifacts(context.bench_dir);
+        if (artifacts.empty()) {
+            emit(out, Severity::Info, "bench",
+                 "no BENCH_<pr>.json artifacts under " +
+                     context.bench_dir);
+            return;
+        }
+        for (const BenchArtifact &a : artifacts)
+            checkArtifact(a, out);
+        emit(out, Severity::Info, "bench",
+             std::to_string(artifacts.size()) +
+                 " trajectory artifacts checked in " +
+                 context.bench_dir);
+    }
+
+  private:
+    void
+    checkArtifact(const BenchArtifact &a,
+                  std::vector<Diagnostic> &out) const
+    {
+        const std::string loc = "bench/" + a.filename;
+        if (a.text.empty()) {
+            error(out, loc, "artifact is unreadable or empty");
+            return;
+        }
+        if (!obs::validateJson(a.text)) {
+            error(out, loc, "artifact is not well-formed JSON",
+                  "regenerate it with `speclens bench trajectory "
+                  "--pr N`");
+            return;
+        }
+        if (a.version == 0) {
+            std::string schema;
+            jsonString(a.text, "schema", schema);
+            error(out, loc,
+                  "unknown trajectory schema '" + schema + "'",
+                  "expected speclens-bench-trajectory-v1 or -v2");
+            return;
+        }
+        double pr = 0.0;
+        if (!jsonNumber(a.text, "pr", pr) ||
+            static_cast<std::uint64_t>(pr) != a.pr)
+            error(out, loc,
+                  "embedded pr number does not match the file name",
+                  "trajectory files must be named BENCH_<pr>.json");
+
+        std::size_t campaign = a.text.find("\"campaign\"");
+        if (campaign == std::string::npos) {
+            error(out, loc, "missing campaign section");
+            return;
+        }
+        double simulations = 0.0, per_sim = 0.0, total = 0.0;
+        if (jsonNumber(a.text, "simulations", simulations, campaign) &&
+            jsonNumber(a.text, "records_per_simulation", per_sim,
+                       campaign) &&
+            jsonNumber(a.text, "records_total", total, campaign)) {
+            if (total != simulations * per_sim)
+                error(out, loc,
+                      "records_total != simulations * "
+                      "records_per_simulation");
+        } else {
+            error(out, loc, "campaign volume fields missing");
+        }
+        std::string fingerprint;
+        if (!jsonString(a.text, "fingerprint", fingerprint,
+                        campaign) ||
+            !isHex16(fingerprint))
+            error(out, loc,
+                  "campaign fingerprint is not a 16-hex digest");
+        bool parity = false;
+        if (!jsonBool(a.text, "parity_bit_identical", parity,
+                      campaign) ||
+            !parity)
+            error(out, loc,
+                  "fused/materialized parity is not bit-identical",
+                  "the streaming pipeline diverged from the "
+                  "materialized baseline; never commit such a run");
+        double fused = 0.0, materialized = 0.0, speedup = 0.0;
+        if (jsonNumber(a.text, "fused_seconds", fused, campaign) &&
+            jsonNumber(a.text, "materialized_seconds", materialized,
+                       campaign) &&
+            jsonNumber(a.text, "speedup_vs_materialized", speedup,
+                       campaign)) {
+            if (!(fused > 0.0) || !(materialized > 0.0))
+                error(out, loc, "non-positive campaign timings");
+            else if (!nearRel(speedup, materialized / fused, 1e-6))
+                error(out, loc,
+                      "speedup_vs_materialized does not equal "
+                      "materialized_seconds / fused_seconds");
+        }
+        if (a.version >= 2)
+            checkSeedBaseline(a, loc, campaign, out);
+    }
+
+    void
+    checkSeedBaseline(const BenchArtifact &a, const std::string &loc,
+                      std::size_t campaign,
+                      std::vector<Diagnostic> &out) const
+    {
+        std::size_t baseline = a.text.find("\"seed_baseline\"");
+        if (baseline == std::string::npos) {
+            error(out, loc, "v2 artifact lacks a seed_baseline block");
+            return;
+        }
+        double seed_rps = 0.0, seed_sps = 0.0;
+        if (!jsonNumber(a.text, "records_per_second", seed_rps,
+                        baseline) ||
+            !jsonNumber(a.text, "simulations_per_second", seed_sps,
+                        baseline) ||
+            !nearRel(seed_rps, core::kSeedRecordsPerSecond, 1e-6) ||
+            !nearRel(seed_sps, core::kSeedSimulationsPerSecond, 1e-6))
+            error(out, loc,
+                  "seed_baseline does not match the pinned PR-5 "
+                  "constants",
+                  "kSeedRecordsPerSecond / kSeedSimulationsPerSecond "
+                  "in core/perf_trajectory.h are the trajectory's "
+                  "fixed origin");
+        double rps = 0.0, vs_seed = 0.0;
+        if (jsonNumber(a.text, "records_per_second", rps, campaign) &&
+            jsonNumber(a.text, "speedup_vs_seed", vs_seed, campaign) &&
+            !nearRel(vs_seed, rps / core::kSeedRecordsPerSecond, 1e-6))
+            error(out, loc,
+                  "speedup_vs_seed does not equal records_per_second "
+                  "/ seed records_per_second");
+    }
+};
+
+class BenchTrajectoryRule final : public RuleBase
+{
+  public:
+    std::string code() const override { return "SL021"; }
+    std::string name() const override { return "bench-trajectory"; }
+    std::string
+    description() const override
+    {
+        return "the BENCH_<pr>.json series is mutually comparable: "
+               "distinct PRs, one pinned configuration";
+    }
+
+    void
+    run(const LintContext &context,
+        std::vector<Diagnostic> &out) const override
+    {
+        if (context.bench_dir.empty()) {
+            emit(out, Severity::Info, "bench",
+                 "trajectory-series checks skipped (no --bench "
+                 "directory given)");
+            return;
+        }
+        std::vector<BenchArtifact> artifacts =
+            collectBenchArtifacts(context.bench_dir);
+        if (artifacts.empty()) {
+            emit(out, Severity::Info, "bench",
+                 "no BENCH_<pr>.json artifacts under " +
+                     context.bench_dir);
+            return;
+        }
+        std::set<std::uint64_t> prs;
+        for (const BenchArtifact &a : artifacts) {
+            const std::string loc = "bench/" + a.filename;
+            if (!prs.insert(a.pr).second)
+                error(out, loc,
+                      "duplicate trajectory point for PR " +
+                          std::to_string(a.pr),
+                      "each PR contributes exactly one BENCH file");
+            if (a.version == 0)
+                continue; // SL020 reports the schema defect.
+            double instructions = 0.0, warmup = 0.0, salt = 0.0,
+                   jobs = 0.0;
+            bool have =
+                jsonNumber(a.text, "instructions", instructions) &&
+                jsonNumber(a.text, "warmup", warmup) &&
+                jsonNumber(a.text, "seed_salt", salt) &&
+                jsonNumber(a.text, "jobs", jobs);
+            if (!have ||
+                instructions !=
+                    static_cast<double>(
+                        core::kTrajectoryInstructions) ||
+                warmup !=
+                    static_cast<double>(core::kTrajectoryWarmup) ||
+                salt != 0.0 || jobs != 1.0)
+                error(out, loc,
+                      "measurement configuration is not the pinned "
+                      "trajectory window",
+                      "points are only comparable when every PR "
+                      "measures the same pinned configuration "
+                      "(core/perf_trajectory.h)");
+        }
+        emit(out, Severity::Info, "bench",
+             std::to_string(prs.size()) +
+                 " trajectory points span PRs " +
+                 std::to_string(artifacts.front().pr) + ".." +
+                 std::to_string(artifacts.back().pr));
+    }
+};
+
+class ManifestSchemaRule final : public RuleBase
+{
+  public:
+    std::string code() const override { return "SL022"; }
+    std::string name() const override { return "manifest-schema"; }
+    std::string
+    description() const override
+    {
+        return "the store's run-manifest.json carries the version-1 "
+               "schema with every required block";
+    }
+
+    void
+    run(const LintContext &context,
+        std::vector<Diagnostic> &out) const override
+    {
+        if (context.store_dir.empty()) {
+            emit(out, Severity::Info, "manifest",
+                 "manifest checks skipped (no --store directory "
+                 "given)");
+            return;
+        }
+        const std::string path =
+            context.store_dir + "/" + obs::kManifestFileName;
+        std::string text;
+        if (!readTextFile(path, text)) {
+            emit(out, Severity::Info, "manifest",
+                 "store has no run manifest (written by campaign "
+                 "runs; nothing to check)");
+            return;
+        }
+        const std::string loc = "store/run-manifest.json";
+        if (!obs::validateJson(text)) {
+            error(out, loc, "manifest is not well-formed JSON",
+                  "delete it and re-run a campaign with --store");
+            return;
+        }
+        double version = 0.0;
+        if (!jsonNumber(text, "manifest_version", version) ||
+            version != 1.0)
+            error(out, loc,
+                  "manifest_version is not 1",
+                  "this checker understands schema version 1 only");
+        double engine = 0.0;
+        if (jsonNumber(text, "engine_version", engine) &&
+            engine !=
+                static_cast<double>(core::kStoreEngineVersion))
+            emit(out, Severity::Warning, loc,
+                 "manifest was written by engine version " +
+                     num(engine) + ", current is " +
+                     std::to_string(core::kStoreEngineVersion),
+                 "re-run the campaign to refresh it");
+        std::string fingerprint;
+        if (!jsonString(text, "config_fingerprint", fingerprint) ||
+            !isHex16(fingerprint))
+            error(out, loc,
+                  "config_fingerprint is not a 16-hex digest");
+        for (const char *block :
+             {"\"run\"", "\"totals\"", "\"rejected\"", "\"metrics\""})
+            if (text.find(block) == std::string::npos)
+                error(out, loc,
+                      std::string("missing manifest block ") + block);
+        std::size_t totals = text.find("\"totals\"");
+        if (totals != std::string::npos) {
+            for (const char *key : {"entries", "hits", "misses",
+                                    "simulations", "saves"}) {
+                double value = 0.0;
+                if (!jsonNumber(text, key, value, totals))
+                    error(out, loc,
+                          std::string("totals block lacks '") + key +
+                              "'");
+            }
+        }
+        std::size_t rejected = text.find("\"rejected\"");
+        if (rejected != std::string::npos) {
+            for (const char *key :
+                 {"corrupt", "stale_version", "fingerprint_mismatch",
+                  "orphaned_temp"}) {
+                double value = 0.0;
+                if (!jsonNumber(text, key, value, rejected))
+                    error(out, loc,
+                          std::string("rejected block lacks '") +
+                              key + "'");
+            }
+        }
+    }
+};
+
+class ManifestStoreRule final : public RuleBase
+{
+  public:
+    std::string code() const override { return "SL023"; }
+    std::string name() const override { return "manifest-store"; }
+    std::string
+    description() const override
+    {
+        return "the run manifest's totals agree with the store "
+               "directory it describes";
+    }
+
+    void
+    run(const LintContext &context,
+        std::vector<Diagnostic> &out) const override
+    {
+        if (context.store_dir.empty()) {
+            emit(out, Severity::Info, "manifest",
+                 "manifest cross-check skipped (no --store directory "
+                 "given)");
+            return;
+        }
+        const std::string path =
+            context.store_dir + "/" + obs::kManifestFileName;
+        std::string text;
+        if (!readTextFile(path, text)) {
+            emit(out, Severity::Info, "manifest",
+                 "store has no run manifest to cross-check");
+            return;
+        }
+        const std::string loc = "store/run-manifest.json";
+        std::size_t totals = text.find("\"totals\"");
+        double entries = 0.0, misses = 0.0, simulations = 0.0,
+               saves = 0.0;
+        if (totals == std::string::npos ||
+            !jsonNumber(text, "entries", entries, totals) ||
+            !jsonNumber(text, "misses", misses, totals) ||
+            !jsonNumber(text, "simulations", simulations, totals) ||
+            !jsonNumber(text, "saves", saves, totals))
+            return; // SL022 reports the schema defect.
+
+        core::CampaignStore store(context.store_dir);
+        const double on_disk =
+            static_cast<double>(store.entryCount());
+        if (entries != on_disk)
+            error(out, loc,
+                  "manifest records " + num(entries) +
+                      " entries but the store holds " + num(on_disk),
+                  "the store changed since the manifest was written; "
+                  "re-run the campaign with --store to refresh it");
+        if (saves > simulations)
+            error(out, loc,
+                  "manifest records more saves than simulations",
+                  "every save is preceded by a computed simulation");
+        if (simulations > misses)
+            error(out, loc,
+                  "manifest records more simulations than store "
+                  "misses",
+                  "a simulation is only computed after a store miss");
+    }
+};
+
+class StorePhasedConsistencyRule final : public RuleBase
+{
+  public:
+    std::string code() const override { return "SL024"; }
+    std::string name() const override { return "store-phased"; }
+    std::string
+    description() const override
+    {
+        return "phased store entries combine exactly: counters sum "
+               "field-wise and combined CPI lies within phase CPIs";
+    }
+
+    void
+    run(const LintContext &context,
+        std::vector<Diagnostic> &out) const override
+    {
+        if (context.store_dir.empty()) {
+            emit(out, Severity::Info, "store",
+                 "phased-consistency check skipped (no --store "
+                 "directory given)");
+            return;
+        }
+        core::CampaignStore store(context.store_dir);
+        std::size_t checked = 0;
+        for (const core::StoreEntryInfo &info : store.scan()) {
+            if (info.status != core::StoreStatus::Hit ||
+                info.phases == 0)
+                continue;
+            const std::string loc = "store/" + info.filename;
+            uarch::PhasedSimulationResult result;
+            if (store.loadPhased(keyFromInfo(info), result) !=
+                core::StoreStatus::Hit)
+                continue; // SL018 reports the load failure.
+            if (result.per_phase.size() != info.phases) {
+                error(out, loc,
+                      "header claims " + std::to_string(info.phases) +
+                          " phases but the payload holds " +
+                          std::to_string(result.per_phase.size()));
+                continue;
+            }
+            uarch::PerfCounters sum;
+            for (const uarch::SimulationResult &phase :
+                 result.per_phase)
+                sum += phase.counters;
+            for (const CounterField &f : kCounterFields) {
+                if (result.combined_counters.*(f.field) !=
+                    sum.*(f.field)) {
+                    error(out, loc,
+                          std::string("combined counter '") + f.name +
+                              "' is not the sum of its phases",
+                          "phased results are combined by exact "
+                          "field-wise accumulation");
+                    break;
+                }
+            }
+            double lo = result.per_phase.front().cpi();
+            double hi = lo;
+            for (const uarch::SimulationResult &phase :
+                 result.per_phase) {
+                lo = std::min(lo, phase.cpi());
+                hi = std::max(hi, phase.cpi());
+            }
+            if (!(result.combined_cpi >= lo * (1.0 - 1e-9) - 1e-9 &&
+                  result.combined_cpi <= hi * (1.0 + 1e-9) + 1e-9))
+                error(out, loc,
+                      "combined CPI " + num(result.combined_cpi) +
+                          " lies outside the per-phase range [" +
+                          num(lo) + ", " + num(hi) + "]",
+                      "the execution-weighted mean cannot leave the "
+                      "convex hull of its phases");
+            ++checked;
+        }
+        emit(out, Severity::Info, "store",
+             checked == 0
+                 ? "no phased entries to check"
+                 : std::to_string(checked) +
+                       " phased entries combine consistently");
+    }
+};
+
 } // namespace
 
 std::vector<const suites::BenchmarkInfo *>
@@ -1272,6 +2209,13 @@ defaultRules()
     rules.push_back(std::make_unique<PaperBoundsRule>());
     rules.push_back(std::make_unique<StoreIntegrityRule>());
     rules.push_back(std::make_unique<DegenerateFeaturesRule>());
+    rules.push_back(std::make_unique<StoreResultAuditRule>());
+    rules.push_back(std::make_unique<StoreMetricRangeRule>());
+    rules.push_back(std::make_unique<BenchSchemaRule>());
+    rules.push_back(std::make_unique<BenchTrajectoryRule>());
+    rules.push_back(std::make_unique<ManifestSchemaRule>());
+    rules.push_back(std::make_unique<ManifestStoreRule>());
+    rules.push_back(std::make_unique<StorePhasedConsistencyRule>());
     return rules;
 }
 

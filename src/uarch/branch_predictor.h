@@ -24,6 +24,9 @@
 #include <vector>
 
 namespace speclens {
+namespace verify {
+class StateAuditor;
+}
 namespace uarch {
 
 /** Available predictor designs. */
@@ -116,6 +119,9 @@ class BimodalPredictor final : public BranchPredictor
     // own batch kernels.
     friend class TournamentPredictor;
     friend class TageLitePredictor;
+
+    /** The invariant prover checks counter range and table geometry. */
+    friend class verify::StateAuditor;
 };
 
 /** Gshare: global history XORed into the table index. */
@@ -140,6 +146,7 @@ class GsharePredictor final : public BranchPredictor
     std::vector<std::uint64_t> batch_hist_; //!< History prefix scan.
 
     friend class TournamentPredictor;
+    friend class verify::StateAuditor;
 };
 
 /** Tournament of bimodal and gshare with a 2-bit meta chooser. */
@@ -166,6 +173,8 @@ class TournamentPredictor final : public BranchPredictor
     std::vector<std::uint32_t> batch_bidx_;
     std::vector<std::uint32_t> batch_gidx_;
     std::vector<std::uint32_t> batch_cidx_;
+
+    friend class verify::StateAuditor;
 };
 
 /** Perceptron predictor (Jimenez & Lin, HPCA'01) over global history. */
@@ -188,6 +197,8 @@ class PerceptronPredictor final : public BranchPredictor
     std::size_t mask_;
     std::uint64_t history_ = 0;
     int last_output_ = 0;
+
+    friend class verify::StateAuditor;
 };
 
 /**
@@ -249,6 +260,8 @@ class TageLitePredictor final : public BranchPredictor
     std::vector<std::uint32_t> batch_idx_;
     std::vector<std::uint16_t> batch_tag_;
     std::vector<std::uint32_t> batch_base_idx_;
+
+    friend class verify::StateAuditor;
 };
 
 /**

@@ -23,6 +23,9 @@
 #include "stats/rng.h"
 
 namespace speclens {
+namespace verify {
+class StateAuditor;
+}
 namespace uarch {
 
 class PrewarmSolver;
@@ -212,6 +215,10 @@ class Cache
      * so it writes every private array a walk would have written.
      */
     friend class PrewarmSolver;
+
+    /** The invariant prover (src/verify/state_audit.h) reads — never
+     *  writes — the private arrays to prove structural invariants. */
+    friend class verify::StateAuditor;
 };
 
 // ---------------------------------------------------------------------

@@ -20,6 +20,9 @@
 #include "uarch/cache.h"
 
 namespace speclens {
+namespace verify {
+class StateAuditor;
+}
 namespace uarch {
 
 /** Level that serviced a request. */
@@ -215,6 +218,9 @@ class CacheHierarchy
     /** Closed-form prewarm writes per-level caches and side counters
      *  directly (see src/uarch/prewarm.h). */
     friend class PrewarmSolver;
+
+    /** The invariant prover audits every level (src/verify). */
+    friend class verify::StateAuditor;
 };
 
 // ---------------------------------------------------------------------

@@ -8,10 +8,12 @@
 #include <algorithm>
 #include <array>
 #include <bit>
+#include <iostream>
 
 #include "obs/metrics.h"
 #include "trace/trace_generator.h"
 #include "uarch/prewarm.h"
+#include "verify/state_audit.h"
 
 namespace speclens {
 namespace uarch {
@@ -122,6 +124,44 @@ class Playback
             obs::Registry::global().counter("uarch.prewarm.walked");
         walked.add();
         PrewarmSolver::walk(caches_, tlbs_, profile, llc_lines);
+    }
+
+    /**
+     * Attach an audit trail: subsequent auditPoint() calls (and the
+     * sampled batch-boundary audits inside playLoop) prove the
+     * structural invariants and append violations there.  With no
+     * trail attached the hooks reduce to one well-predicted null test
+     * per 4096-record batch.
+     */
+    void attachAudit(verify::AuditTrail *trail) { trail_ = trail; }
+
+    /**
+     * Run one audit point.  @p post_prewarm selects the stricter
+     * prewarm-boundary audit (fill counters and newest-first stamp
+     * order are only defined before demand accesses start).
+     */
+    void
+    auditPoint(bool post_prewarm)
+    {
+        if (!trail_)
+            return;
+        ++trail_->audits;
+        std::size_t before = trail_->violations.size();
+        if (post_prewarm) {
+            verify::StateAuditor::auditPrewarm(caches_, tlbs_,
+                                               trail_->violations);
+            verify::StateAuditor::auditPredictor(predictor_,
+                                                 trail_->violations);
+        } else {
+            verify::StateAuditor::auditAll(caches_, tlbs_, predictor_,
+                                           trail_->violations);
+        }
+        static obs::Counter &audits =
+            obs::Registry::global().counter("verify.audits");
+        static obs::Counter &violations =
+            obs::Registry::global().counter("verify.violations");
+        audits.add();
+        violations.add(trail_->violations.size() - before);
     }
 
     /**
@@ -258,10 +298,17 @@ class Playback
         std::uint64_t last_dline = kNoRun, last_dpage = kNoRun;
         std::uint64_t irun = 0, iprun = 0, drun = 0, dprun = 0;
 
+        // Sampled batch-boundary audits: every kAuditBatchInterval-th
+        // batch when a trail is attached (the mid-run invariants hold
+        // with runs still open — pending repeats only add counts).
+        constexpr std::uint64_t kAuditBatchInterval = 16;
+
         std::uint64_t remaining = count;
         while (remaining > 0) {
             std::size_t n = generator.fill(batch, remaining);
             remaining -= n;
+            if (trail_ && ++audit_batches_ % kAuditBatchInterval == 0)
+                auditPoint(/*post_prewarm=*/false);
 
             // Pass 1 (ordered): drive the stateful structures in
             // exact stream order, with run collapsing.
@@ -450,13 +497,15 @@ class Playback
     CacheHierarchy caches_;
     TlbHierarchy tlbs_;
     PredictorVariant predictor_;
+    verify::AuditTrail *trail_ = nullptr;
+    std::uint64_t audit_batches_ = 0;
 };
 
-} // namespace
-
+/** Fused-pipeline simulate() body, with an optional audit trail. */
 SimulationResult
-simulate(const trace::WorkloadProfile &profile, const MachineConfig &machine,
-         const SimulationConfig &config)
+simulateFused(const trace::WorkloadProfile &profile,
+              const MachineConfig &machine, const SimulationConfig &config,
+              verify::AuditTrail *trail)
 {
     trace::WorkloadProfile effective =
         config.apply_machine_transform
@@ -465,12 +514,16 @@ simulate(const trace::WorkloadProfile &profile, const MachineConfig &machine,
 
     trace::TraceGenerator generator(effective, config.seed_salt);
     Playback playback(machine);
-    if (config.prewarm)
+    playback.attachAudit(trail);
+    if (config.prewarm) {
         playback.prewarm(effective, machine, config.force_prewarm_walk);
+        playback.auditPoint(/*post_prewarm=*/true);
+    }
 
     SimulationResult result;
     playback.play(generator, config.warmup, nullptr);
     playback.play(generator, config.instructions, &result.counters);
+    playback.auditPoint(/*post_prewarm=*/false);
 
     result.cpi_stack = computeCpiStack(result.counters,
                                        machine.latencies,
@@ -478,6 +531,45 @@ simulate(const trace::WorkloadProfile &profile, const MachineConfig &machine,
     result.power = computePower(result.counters,
                                 result.cpi_stack.total(), machine.power);
     return result;
+}
+
+#ifndef SPECLENS_AUDIT_OFF
+/**
+ * Surface violations found by the implicit (SPECLENS_AUDIT=ON) hooks:
+ * nothing holds the trail after simulate() returns, so print each
+ * record to stderr.  The verify.violations counter has already moved.
+ */
+void
+reportImplicitAudit(const verify::AuditTrail &trail)
+{
+    for (const verify::Violation &v : trail.violations)
+        std::cerr << "speclens: audit violation: "
+                  << verify::renderViolation(v) << "\n";
+}
+#endif
+
+} // namespace
+
+SimulationResult
+simulate(const trace::WorkloadProfile &profile, const MachineConfig &machine,
+         const SimulationConfig &config)
+{
+#ifndef SPECLENS_AUDIT_OFF
+    verify::AuditTrail trail;
+    SimulationResult result = simulateFused(profile, machine, config, &trail);
+    reportImplicitAudit(trail);
+    return result;
+#else
+    return simulateFused(profile, machine, config, nullptr);
+#endif
+}
+
+SimulationResult
+simulateAudited(const trace::WorkloadProfile &profile,
+                const MachineConfig &machine, const SimulationConfig &config,
+                verify::AuditTrail &trail)
+{
+    return simulateFused(profile, machine, config, &trail);
 }
 
 SimulationResult
@@ -492,8 +584,14 @@ simulateMaterialized(const trace::WorkloadProfile &profile,
 
     trace::TraceGenerator generator(effective, config.seed_salt);
     Playback playback(machine);
-    if (config.prewarm)
+#ifndef SPECLENS_AUDIT_OFF
+    verify::AuditTrail trail;
+    playback.attachAudit(&trail);
+#endif
+    if (config.prewarm) {
         playback.prewarm(effective, machine, config.force_prewarm_walk);
+        playback.auditPoint(/*post_prewarm=*/true);
+    }
 
     // Materialize both windows up front — the pre-batching memory
     // profile this path exists to preserve.
@@ -505,6 +603,10 @@ simulateMaterialized(const trace::WorkloadProfile &profile,
     SimulationResult result;
     playback.playVector(warmup, nullptr);
     playback.playVector(measured, &result.counters);
+    playback.auditPoint(/*post_prewarm=*/false);
+#ifndef SPECLENS_AUDIT_OFF
+    reportImplicitAudit(trail);
+#endif
 
     result.cpi_stack = computeCpiStack(result.counters,
                                        machine.latencies,
@@ -564,16 +666,27 @@ simulatePhased(const trace::PhasedWorkload &workload,
     workload.validate();
 
     Playback playback(machine);
+#ifndef SPECLENS_AUDIT_OFF
+    verify::AuditTrail trail;
+    playback.attachAudit(&trail);
+#endif
     PhasedSimulationResult result;
     double weighted_cpi = 0.0;
 
+    bool first_phase = true;
     for (const trace::Phase &phase : workload.phases) {
         trace::WorkloadProfile effective =
             config.apply_machine_transform
                 ? transformForMachine(phase.profile, machine)
                 : phase.profile;
-        if (config.prewarm)
+        if (config.prewarm) {
             playback.prewarm(effective, machine, config.force_prewarm_walk);
+            // The prewarm-boundary fill invariants only hold while the
+            // structures are untouched; later phases warm into state
+            // the previous phase left behind.
+            playback.auditPoint(/*post_prewarm=*/first_phase);
+        }
+        first_phase = false;
 
         auto share = [&phase](std::uint64_t total) {
             return std::max<std::uint64_t>(
@@ -597,6 +710,10 @@ simulatePhased(const trace::PhasedWorkload &workload,
         weighted_cpi += phase.weight * phase_result.cpi();
         result.per_phase.push_back(std::move(phase_result));
     }
+    playback.auditPoint(/*post_prewarm=*/false);
+#ifndef SPECLENS_AUDIT_OFF
+    reportImplicitAudit(trail);
+#endif
 
     result.combined_cpi = weighted_cpi;
     return result;

@@ -24,6 +24,7 @@
 #include "uarch/machine.h"
 #include "uarch/perf_counters.h"
 #include "uarch/power_model.h"
+#include "verify/violation.h"
 
 namespace speclens {
 namespace uarch {
@@ -97,6 +98,21 @@ struct SimulationResult
 SimulationResult simulate(const trace::WorkloadProfile &profile,
                           const MachineConfig &machine,
                           const SimulationConfig &config = {});
+
+/**
+ * simulate() with the structural invariant prover forced on,
+ * independent of the SPECLENS_AUDIT build switch: the live structures
+ * are audited after prewarm, at sampled batch boundaries and at end of
+ * run, and the evidence accumulates in @p trail (verify.audits /
+ * verify.violations obs counters move in step).  Auditing never
+ * mutates structure state, so the returned result is bit-identical to
+ * simulate() on the same inputs.  This is the entry point behind
+ * `speclens audit`.
+ */
+SimulationResult simulateAudited(const trace::WorkloadProfile &profile,
+                                 const MachineConfig &machine,
+                                 const SimulationConfig &config,
+                                 verify::AuditTrail &trail);
 
 /**
  * simulate(), but through the pre-batching playback form: the whole

@@ -20,6 +20,9 @@
 #include "uarch/cache.h"
 
 namespace speclens {
+namespace verify {
+class StateAuditor;
+}
 namespace uarch {
 
 /** Geometry of a single TLB. */
@@ -160,6 +163,9 @@ class TlbHierarchy
     /** Closed-form prewarm writes the per-level TLBs and walk counters
      *  directly (see src/uarch/prewarm.h). */
     friend class PrewarmSolver;
+
+    /** The invariant prover audits level geometry and walk counters. */
+    friend class verify::StateAuditor;
 };
 
 // ---------------------------------------------------------------------

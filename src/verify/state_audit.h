@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Structural invariant prover over live simulator state.
+ *
+ * The auditor walks the private state of the cache hierarchy, the TLB
+ * hierarchy and the branch predictor (it is a friend of each) and
+ * proves the invariants catalogued in DESIGN.md section 5f:
+ *
+ *   cache      tag-domain bounds, no duplicate lines per set, invalid
+ *              ways form a suffix, LRU/FIFO stamps in [1, tick] and
+ *              unique per set, tree-PLRU node word in domain,
+ *              fill-counter bounds, hits <= accesses
+ *   TLB        power-of-two page size, L2 reach covers the L1s,
+ *              page_walks == l2tlb misses <= itlb+dtlb misses,
+ *              plus the cache invariants on each level
+ *   predictor  saturating-counter range, history-register width,
+ *              table-index domain (size == mask+1) for all six kinds
+ *   prewarm    the survivor set is a legal end-state: per-set valid
+ *              count matches the fill counter and LRU/FIFO stamps
+ *              are cyclically increasing from the oldest way
+ *
+ * Every audit entry point appends Violation records; a clean structure
+ * appends nothing.  The *ForTest helpers let the corruption tests poke
+ * private state without widening the production API.
+ */
+
+#ifndef SPECLENS_VERIFY_STATE_AUDIT_H
+#define SPECLENS_VERIFY_STATE_AUDIT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "uarch/branch_predictor.h"
+#include "uarch/cache.h"
+#include "uarch/cache_hierarchy.h"
+#include "uarch/tlb.h"
+#include "verify/violation.h"
+
+namespace speclens {
+namespace verify {
+
+class StateAuditor {
+  public:
+    /// Upper bound on violations appended by one audit* call so a
+    /// corrupt structure cannot flood memory with millions of records.
+    static constexpr std::size_t kMaxViolationsPerAudit = 64;
+
+    /** Audit one cache (or TLB level) under the given instance name. */
+    static void auditCache(const uarch::Cache &cache,
+                           std::vector<Violation> &out);
+
+    /** Audit every level of a cache hierarchy. */
+    static void auditCaches(const uarch::CacheHierarchy &caches,
+                            std::vector<Violation> &out);
+
+    /** Audit TLB geometry, walk counters and the per-level caches. */
+    static void auditTlbs(const uarch::TlbHierarchy &tlbs,
+                          std::vector<Violation> &out);
+
+    /** Audit whichever predictor the variant holds. */
+    static void auditPredictor(const uarch::PredictorVariant &predictor,
+                               std::vector<Violation> &out);
+
+    /**
+     * Post-prewarm audit: on top of the structural invariants, prove
+     * the survivor set is a legal end-state of a pure fill stream
+     * (fill counters match per-set valid counts; LRU/FIFO stamps are
+     * cyclically increasing from the oldest way).  Only valid at the
+     * prewarm -> measurement boundary: demand accesses update stamps
+     * but never the cold-fill counters.
+     */
+    static void auditPrewarm(const uarch::CacheHierarchy &caches,
+                             const uarch::TlbHierarchy &tlbs,
+                             std::vector<Violation> &out);
+
+    /** Full structural audit of one simulation's state. */
+    static void auditAll(const uarch::CacheHierarchy &caches,
+                         const uarch::TlbHierarchy &tlbs,
+                         const uarch::PredictorVariant &predictor,
+                         std::vector<Violation> &out);
+
+    // ---- corruption helpers for the seeded-violation tests ----
+    // Each pokes exactly one private field; see tests/verify.
+
+    static void pokeTagForTest(uarch::Cache &cache, std::size_t set,
+                               std::size_t way, std::uint64_t tag);
+    static void pokeStampForTest(uarch::Cache &cache, std::size_t set,
+                                 std::size_t way, std::uint64_t stamp);
+    static void pokePlruForTest(uarch::Cache &cache, std::size_t set,
+                                std::uint32_t state);
+    static void pokeColdFillForTest(uarch::Cache &cache, std::size_t set,
+                                    std::uint32_t fills);
+    static void pokeHitsForTest(uarch::Cache &cache, std::uint64_t hits);
+    static void pokeLineBytesForTest(uarch::Cache &cache,
+                                     std::uint32_t line_bytes);
+    static void pokePageWalksForTest(uarch::TlbHierarchy &tlbs,
+                                     std::uint64_t walks);
+    static uarch::Cache &l1dForTest(uarch::CacheHierarchy &caches);
+    static uarch::Cache &dtlbForTest(uarch::TlbHierarchy &tlbs);
+
+    static void pokeBimodalCounterForTest(uarch::BimodalPredictor &predictor,
+                                          std::size_t index,
+                                          std::uint8_t value);
+    static void pokeGshareHistoryForTest(uarch::GsharePredictor &predictor,
+                                         std::uint64_t history);
+    static void pokeChooserCounterForTest(uarch::TournamentPredictor &predictor,
+                                          std::size_t index,
+                                          std::uint8_t value);
+    static void pokePerceptronWeightForTest(uarch::PerceptronPredictor &predictor,
+                                            std::size_t row, std::size_t column,
+                                            int weight);
+    static void pokeTageEntryForTest(uarch::TageLitePredictor &predictor,
+                                     std::size_t table, std::size_t index,
+                                     std::uint16_t tag, std::int8_t counter,
+                                     std::uint8_t useful);
+    /** Shrink the predictor's primary table by one entry (any kind). */
+    static void shrinkTableForTest(uarch::PredictorVariant &predictor);
+
+  private:
+    // Out-of-line helpers that read private structure state; member
+    // functions so the friend grants extend to them.
+    static void auditBimodal(const char *structure,
+                             const uarch::BimodalPredictor &p,
+                             std::vector<Violation> &out);
+    static void auditGshare(const char *structure,
+                            const uarch::GsharePredictor &p,
+                            std::vector<Violation> &out);
+    static void auditCacheFillState(const uarch::Cache &cache,
+                                    std::vector<Violation> &out);
+};
+
+} // namespace verify
+} // namespace speclens
+
+#endif // SPECLENS_VERIFY_STATE_AUDIT_H

@@ -10,11 +10,17 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <filesystem>
+#include <fstream>
 #include <limits>
+#include <sstream>
 
 #include "core/artifact_store.h"
+#include "core/perf_trajectory.h"
 #include "lint/rules.h"
+#include "obs/manifest.h"
+#include "trace/phased_workload.h"
 #include "uarch/simulation.h"
 
 namespace speclens {
@@ -349,6 +355,333 @@ TEST(Rules, SL017_IdenticalWorkloadsDegenerateEveryColumn)
     EXPECT_TRUE(summary_seen);
     // Every column warned: warnings == N in "0 of N".
     EXPECT_EQ(warnings, found.size() - 1);
+}
+
+// ---------------------------------------------------------------------
+// Artifact-lint family (SL018-SL024).
+
+/** RAII temp directory under the system temp root. */
+struct TempDir {
+    std::filesystem::path path;
+
+    explicit TempDir(const char *name)
+        : path(std::filesystem::temp_directory_path() / name)
+    {
+        std::filesystem::remove_all(path);
+        std::filesystem::create_directories(path);
+    }
+    ~TempDir() { std::filesystem::remove_all(path); }
+};
+
+void
+writeFile(const std::filesystem::path &file, const std::string &text)
+{
+    std::ofstream os(file);
+    os << text;
+}
+
+/** @p text with the first occurrence of @p from swapped for @p to. */
+std::string
+replaced(std::string text, const std::string &from, const std::string &to)
+{
+    std::size_t pos = text.find(from);
+    EXPECT_NE(pos, std::string::npos) << from;
+    if (pos != std::string::npos)
+        text.replace(pos, from.size(), to);
+    return text;
+}
+
+/** A fully consistent v2 trajectory artifact for PR @p pr. */
+std::string
+benchArtifactText(std::uint64_t pr)
+{
+    const double fused = 2.0, materialized = 4.0;
+    const double records_per_second = 12'880'000.0 / fused;
+    std::ostringstream os;
+    os.precision(17);
+    os << "{\n";
+    os << "  \"schema\": \"speclens-bench-trajectory-v2\",\n";
+    os << "  \"pr\": " << pr << ",\n";
+    os << "  \"seed_baseline\": {\n";
+    os << "    \"records_per_second\": " << core::kSeedRecordsPerSecond
+       << ",\n";
+    os << "    \"simulations_per_second\": "
+       << core::kSeedSimulationsPerSecond << "\n";
+    os << "  },\n";
+    os << "  \"config\": {\n";
+    os << "    \"suite\": \"cpu2017\",\n";
+    os << "    \"benchmarks\": 23,\n";
+    os << "    \"machines\": 7,\n";
+    os << "    \"instructions\": " << core::kTrajectoryInstructions
+       << ",\n";
+    os << "    \"warmup\": " << core::kTrajectoryWarmup << ",\n";
+    os << "    \"seed_salt\": 0,\n";
+    os << "    \"jobs\": 1\n";
+    os << "  },\n";
+    os << "  \"campaign\": {\n";
+    os << "    \"simulations\": 161,\n";
+    os << "    \"records_per_simulation\": 80000,\n";
+    os << "    \"records_total\": 12880000,\n";
+    os << "    \"fingerprint\": \"00112233aabbccdd\",\n";
+    os << "    \"fused_seconds\": " << fused << ",\n";
+    os << "    \"materialized_seconds\": " << materialized << ",\n";
+    os << "    \"speedup_vs_materialized\": " << materialized / fused
+       << ",\n";
+    os << "    \"speedup_vs_seed\": "
+       << records_per_second / core::kSeedRecordsPerSecond << ",\n";
+    os << "    \"simulations_per_second\": " << 161.0 / fused << ",\n";
+    os << "    \"records_per_second\": " << records_per_second << ",\n";
+    os << "    \"parity_bit_identical\": true\n";
+    os << "  },\n";
+    os << "  \"stats\": {\n";
+    os << "    \"seconds\": 0.5,\n";
+    os << "    \"feature_rows\": 23,\n";
+    os << "    \"feature_cols\": 30,\n";
+    os << "    \"fingerprint\": \"ffeeddccbbaa9988\"\n";
+    os << "  },\n";
+    os << "  \"store\": {\n";
+    os << "    \"checked\": false\n";
+    os << "  }\n";
+    os << "}\n";
+    return os.str();
+}
+
+/** A well-formed version-1 run manifest claiming @p entries entries. */
+std::string
+manifestText(std::uint64_t entries)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"manifest_version\": 1,\n";
+    os << "  \"engine_version\": " << core::kStoreEngineVersion << ",\n";
+    os << "  \"config_fingerprint\": \"0123456789abcdef\",\n";
+    os << "  \"run\": {\n";
+    os << "    \"benchmarks\": 23,\n";
+    os << "    \"machines\": 7\n";
+    os << "  },\n";
+    os << "  \"totals\": {\n";
+    os << "    \"entries\": " << entries << ",\n";
+    os << "    \"hits\": 0,\n";
+    os << "    \"misses\": " << entries << ",\n";
+    os << "    \"simulations\": " << entries << ",\n";
+    os << "    \"saves\": " << entries << "\n";
+    os << "  },\n";
+    os << "  \"rejected\": {\n";
+    os << "    \"corrupt\": 0,\n";
+    os << "    \"stale_version\": 0,\n";
+    os << "    \"fingerprint_mismatch\": 0,\n";
+    os << "    \"orphaned_temp\": 0\n";
+    os << "  },\n";
+    os << "  \"metrics\": {\n";
+    os << "    \"spans\": 0\n";
+    os << "  }\n";
+    os << "}\n";
+    return os.str();
+}
+
+TEST(Rules, SL018_SkipNoteWithoutStore)
+{
+    std::vector<Diagnostic> found = runRule("SL018", cleanContext());
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].severity, Severity::Info);
+}
+
+TEST(Rules, SL018_StoreResultAudit)
+{
+    TempDir dir("speclens_sl018_test");
+    core::CampaignStore store(dir.path.string());
+    LintContext context = cleanContext();
+    context.store_dir = dir.path.string();
+    uarch::SimulationConfig window;
+    window.instructions = 2'000;
+    window.warmup = 500;
+
+    // A faithfully saved result re-audits clean...
+    uarch::SimulationResult result = uarch::simulate(
+        context.cpu2017[0].profile, context.machines[0], window);
+    store.save(core::makeStoreKey(context.cpu2017[0].profile,
+                                  context.machines[0], window),
+               result);
+    EXPECT_EQ(errorCount(runRule("SL018", context)), 0u);
+
+    // ...and a page-walk/last-level-miss mismatch is a finding.
+    window.seed_salt = 7;
+    uarch::SimulationResult bad = uarch::simulate(
+        context.cpu2017[0].profile, context.machines[0], window);
+    bad.counters.page_walks += 1;
+    store.save(core::makeStoreKey(context.cpu2017[0].profile,
+                                  context.machines[0], window),
+               bad);
+    expectFires("SL018", context);
+}
+
+TEST(Rules, SL019_StoreMetricRange)
+{
+    TempDir dir("speclens_sl019_test");
+    core::CampaignStore store(dir.path.string());
+    LintContext context = cleanContext();
+    context.store_dir = dir.path.string();
+    uarch::SimulationConfig window;
+    window.instructions = 2'000;
+    window.warmup = 500;
+
+    uarch::SimulationResult result = uarch::simulate(
+        context.cpu2017[0].profile, context.machines[0], window);
+    store.save(core::makeStoreKey(context.cpu2017[0].profile,
+                                  context.machines[0], window),
+               result);
+    EXPECT_EQ(errorCount(runRule("SL019", context)), 0u);
+
+    // An L3 access that no L2 miss explains breaks demand plumbing.
+    window.seed_salt = 7;
+    uarch::SimulationResult bad = uarch::simulate(
+        context.cpu2017[0].profile, context.machines[0], window);
+    bad.counters.l3_accesses += 1;
+    store.save(core::makeStoreKey(context.cpu2017[0].profile,
+                                  context.machines[0], window),
+               bad);
+    expectFires("SL019", context);
+}
+
+TEST(Rules, SL020_SkipNoteWithoutBenchDir)
+{
+    std::vector<Diagnostic> found = runRule("SL020", cleanContext());
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].severity, Severity::Info);
+}
+
+TEST(Rules, SL020_BenchSchemaVolumeMismatch)
+{
+    TempDir dir("speclens_sl020_test");
+    LintContext context = cleanContext();
+    context.bench_dir = dir.path.string();
+
+    writeFile(dir.path / "BENCH_3.json", benchArtifactText(3));
+    EXPECT_EQ(errorCount(runRule("SL020", context)), 0u);
+
+    writeFile(dir.path / "BENCH_3.json",
+              replaced(benchArtifactText(3),
+                       "\"records_total\": 12880000",
+                       "\"records_total\": 12880001"));
+    expectFires("SL020", context);
+}
+
+TEST(Rules, SL020_ParityRegressionIsAnError)
+{
+    TempDir dir("speclens_sl020_parity_test");
+    LintContext context = cleanContext();
+    context.bench_dir = dir.path.string();
+    writeFile(dir.path / "BENCH_4.json",
+              replaced(benchArtifactText(4),
+                       "\"parity_bit_identical\": true",
+                       "\"parity_bit_identical\": false"));
+    expectFires("SL020", context);
+}
+
+TEST(Rules, SL020_SeedBaselineDrift)
+{
+    TempDir dir("speclens_sl020_seed_test");
+    LintContext context = cleanContext();
+    context.bench_dir = dir.path.string();
+    // A rewritten baseline silently re-bases every later speedup.
+    std::string text = benchArtifactText(5);
+    std::size_t baseline = text.find("\"seed_baseline\"");
+    std::size_t pos = text.find("\"records_per_second\": ", baseline);
+    ASSERT_NE(pos, std::string::npos);
+    text.replace(pos, std::string("\"records_per_second\": ").size(),
+                 "\"records_per_second\": 1");
+    writeFile(dir.path / "BENCH_5.json", text);
+    expectFires("SL020", context);
+}
+
+TEST(Rules, SL021_SkipNoteWithoutBenchDir)
+{
+    std::vector<Diagnostic> found = runRule("SL021", cleanContext());
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].severity, Severity::Info);
+}
+
+TEST(Rules, SL021_UnpinnedConfigBreaksTheSeries)
+{
+    TempDir dir("speclens_sl021_test");
+    LintContext context = cleanContext();
+    context.bench_dir = dir.path.string();
+
+    writeFile(dir.path / "BENCH_3.json", benchArtifactText(3));
+    writeFile(dir.path / "BENCH_4.json", benchArtifactText(4));
+    EXPECT_EQ(errorCount(runRule("SL021", context)), 0u);
+
+    // A salted point measures a different workload: not comparable.
+    writeFile(dir.path / "BENCH_4.json",
+              replaced(benchArtifactText(4), "\"seed_salt\": 0",
+                       "\"seed_salt\": 1"));
+    expectFires("SL021", context);
+}
+
+TEST(Rules, SL022_ManifestSchema)
+{
+    TempDir dir("speclens_sl022_test");
+    LintContext context = cleanContext();
+    context.store_dir = dir.path.string();
+
+    // No manifest: an Info note, never a finding (API-created stores
+    // legitimately lack one).
+    std::vector<Diagnostic> found = runRule("SL022", context);
+    EXPECT_EQ(errorCount(found), 0u);
+    EXPECT_EQ(countSeverity(found, Severity::Info), 1u);
+
+    writeFile(dir.path / obs::kManifestFileName, manifestText(0));
+    EXPECT_EQ(errorCount(runRule("SL022", context)), 0u);
+
+    writeFile(dir.path / obs::kManifestFileName,
+              replaced(manifestText(0), "\"manifest_version\": 1",
+                       "\"manifest_version\": 2"));
+    expectFires("SL022", context);
+}
+
+TEST(Rules, SL023_ManifestStoreDrift)
+{
+    TempDir dir("speclens_sl023_test");
+    LintContext context = cleanContext();
+    context.store_dir = dir.path.string();
+
+    // Consistent: empty store, manifest claiming zero entries.
+    writeFile(dir.path / obs::kManifestFileName, manifestText(0));
+    EXPECT_EQ(errorCount(runRule("SL023", context)), 0u);
+
+    // A manifest describing five entries over an empty store is stale.
+    writeFile(dir.path / obs::kManifestFileName, manifestText(5));
+    expectFires("SL023", context);
+}
+
+TEST(Rules, SL024_StorePhasedConsistency)
+{
+    TempDir dir("speclens_sl024_test");
+    core::CampaignStore store(dir.path.string());
+    LintContext context = cleanContext();
+    context.store_dir = dir.path.string();
+    uarch::SimulationConfig window;
+    window.instructions = 2'000;
+    window.warmup = 500;
+
+    trace::PhasedWorkload workload = trace::derivePhases(
+        context.cpu2017[0].profile, 3, 0.35);
+    uarch::PhasedSimulationResult result = uarch::simulatePhased(
+        workload, context.machines[0], window);
+    store.savePhased(
+        core::makeStoreKey(workload, context.machines[0], window),
+        result);
+    EXPECT_EQ(errorCount(runRule("SL024", context)), 0u);
+
+    // A combined counter that is not the sum of its phases.
+    window.seed_salt = 7;
+    uarch::PhasedSimulationResult bad = uarch::simulatePhased(
+        workload, context.machines[0], window);
+    bad.combined_counters.instructions += 1;
+    store.savePhased(
+        core::makeStoreKey(workload, context.machines[0], window),
+        bad);
+    expectFires("SL024", context);
 }
 
 } // namespace

@@ -114,8 +114,14 @@ if [[ "$RUN_TIDY" -eq 1 ]]; then
     fi
 fi
 
-step "model lint"
-"$BUILD_DIR"/tools/speclens lint --instructions 30000 --warmup 8000
+step "model lint (+ committed BENCH trajectory artifacts)"
+"$BUILD_DIR"/tools/speclens lint --instructions 30000 --warmup 8000 \
+    --bench .
+
+step "invariant audit"
+# The structural prover over live simulator state plus the jobs/salt
+# determinism matrix; nonzero exit on any violation or divergence.
+"$BUILD_DIR"/tools/speclens audit --instructions 8000 --warmup 2000
 
 step "ctest (-j${JOBS})"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

@@ -16,6 +16,9 @@
  *                             manage the persistent artifact store
  *   lint                      statically verify every workload model,
  *                             machine config and calibration table
+ *   audit                     prove structural invariants over a
+ *                             pinned mini-campaign and diff result
+ *                             fingerprints across job counts / salts
  *
  * Global options: --instructions N, --warmup N (simulation window),
  * --jobs N (simulation worker threads; default one per hardware
@@ -83,6 +86,7 @@ struct CliOptions
     std::size_t jobs = 0; //!< 0 = one worker per hardware thread.
     std::uint64_t seed_salt = 0;
     std::string store_dir; //!< Empty = no persistent artifact store.
+    std::string bench_dir; //!< BENCH_<pr>.json directory for lint.
 
     std::string metrics_path; //!< Empty = no metrics export.
     obs::ExportFormat metrics_format = obs::ExportFormat::Prometheus;
@@ -135,7 +139,13 @@ usage(int code)
         "                                    delta table on stderr\n"
         "  lint [--format text|json] [--severity info|warning|error]\n"
         "       [--no-deep] [--store DIR]    verify models and tables\n"
-        "                                    (and store integrity)\n",
+        "       [--bench DIR]                (and store integrity plus\n"
+        "                                    BENCH/manifest artifacts)\n"
+        "  audit                             prove structural invariants\n"
+        "                                    over a pinned mini-campaign\n"
+        "                                    and replay it across job\n"
+        "                                    counts and seed salts,\n"
+        "                                    diffing result fingerprints\n",
         code == 0 ? stdout : stderr);
     std::exit(code);
 }
@@ -220,6 +230,8 @@ parse(int argc, char **argv)
                 numericFlagValue("--seed-salt", argc, argv, i);
         else if (std::strcmp(argv[i], "--store") == 0)
             opts.store_dir = stringFlagValue("--store", argc, argv, i);
+        else if (std::strcmp(argv[i], "--bench") == 0)
+            opts.bench_dir = stringFlagValue("--bench", argc, argv, i);
         else if (std::strcmp(argv[i], "--metrics") == 0)
             opts.metrics_path =
                 stringFlagValue("--metrics", argc, argv, i);
@@ -1005,6 +1017,182 @@ cmdBench(const CliOptions &opts)
     return cmdBenchTrajectory(opts);
 }
 
+// ====================================================================
+// audit: run the structural invariant prover over a pinned
+// mini-campaign, then prove scheduling determinism by replaying the
+// campaign across worker counts and seed salts.
+// ====================================================================
+
+std::string
+auditHex16(std::uint64_t value)
+{
+    char buffer[17];
+    std::snprintf(buffer, sizeof buffer, "%016llx",
+                  static_cast<unsigned long long>(value));
+    return buffer;
+}
+
+/** Every counter and derived double of @p r, bit-exact. */
+void
+hashResultForAudit(stats::Fingerprinter &fp,
+                   const uarch::SimulationResult &r)
+{
+    const uarch::PerfCounters &c = r.counters;
+    for (std::uint64_t v :
+         {c.instructions, c.loads, c.stores, c.branches,
+          c.taken_branches, c.fp_ops, c.simd_ops,
+          c.kernel_instructions, c.l1d_accesses, c.l1d_misses,
+          c.l1i_accesses, c.l1i_misses, c.l2d_accesses, c.l2d_misses,
+          c.l2i_accesses, c.l2i_misses, c.l3_accesses, c.l3_misses,
+          c.dtlb_accesses, c.dtlb_misses, c.itlb_accesses,
+          c.itlb_misses, c.l2tlb_misses, c.page_walks,
+          c.branch_mispredictions})
+        fp.u64(v);
+    for (double v : r.cpi_stack.components())
+        fp.f64(v);
+    fp.f64(r.power.core_watts);
+    fp.f64(r.power.llc_watts);
+    fp.f64(r.power.dram_watts);
+}
+
+/** The audit campaign: a pinned benchmark subset on every machine. */
+std::vector<suites::BenchmarkInfo>
+auditBenchmarks()
+{
+    // Every 7th CPU2017 entry: six benchmarks spanning INT and FP,
+    // small enough that the audited replay matrix (3 job counts x 2
+    // salts) stays interactive.
+    std::vector<suites::BenchmarkInfo> picked;
+    const std::vector<suites::BenchmarkInfo> &all = suites::spec2017();
+    for (std::size_t i = 0; i < all.size(); i += 7)
+        picked.push_back(all[i]);
+    return picked;
+}
+
+/**
+ * Fingerprint of the full audit campaign run at @p jobs workers.
+ * Results are memoised per Characterizer, so each call simulates the
+ * whole campaign afresh under its own thread pool.
+ */
+std::uint64_t
+campaignFingerprint(const std::vector<suites::BenchmarkInfo> &benchmarks,
+                    const std::vector<uarch::MachineConfig> &machines,
+                    const core::CharacterizationConfig &config)
+{
+    core::Characterizer characterizer(machines, config);
+    std::vector<std::size_t> machine_indices;
+    for (std::size_t m = 0; m < machines.size(); ++m)
+        machine_indices.push_back(m);
+    characterizer.prepare(benchmarks, machine_indices, config.jobs);
+    stats::Fingerprinter fp;
+    fp.tag("speclens-audit-campaign-v1");
+    for (const suites::BenchmarkInfo &b : benchmarks)
+        for (std::size_t m = 0; m < machines.size(); ++m)
+            hashResultForAudit(fp, characterizer.simulation(b, m));
+    return fp.value();
+}
+
+int
+cmdAudit(const CliOptions &opts)
+{
+    if (!opts.args.empty()) {
+        std::fprintf(stderr,
+                     "error: audit takes no arguments, got '%s'\n",
+                     opts.args[0].c_str());
+        return 1;
+    }
+
+    // Pinned window unless overridden: large enough to exercise
+    // prewarm, warm-up exclusion and sampled mid-run audit points,
+    // small enough that 7 replays of the campaign stay fast.
+    uarch::SimulationConfig window;
+    window.instructions =
+        opts.instructions_set ? opts.instructions : 60'000;
+    window.warmup = opts.warmup_set ? opts.warmup : 20'000;
+    window.seed_salt = opts.seed_salt;
+
+    const std::vector<suites::BenchmarkInfo> benchmarks =
+        auditBenchmarks();
+    const std::vector<uarch::MachineConfig> machines =
+        suites::profilingMachines();
+
+    // -- Stage 1: invariant prover, forced on regardless of build. --
+    std::uint64_t audits = 0;
+    std::size_t violations = 0;
+    std::size_t simulations = 0;
+    for (const suites::BenchmarkInfo &b : benchmarks) {
+        for (const uarch::MachineConfig &machine : machines) {
+            verify::AuditTrail trail;
+            (void)uarch::simulateAudited(b.profile, machine, window,
+                                         trail);
+            ++simulations;
+            audits += trail.audits;
+            for (const verify::Violation &v : trail.violations)
+                std::fprintf(stderr, "audit: %s on %s: %s\n",
+                             b.name.c_str(), machine.name.c_str(),
+                             verify::renderViolation(v).c_str());
+            violations += trail.violations.size();
+        }
+    }
+    std::printf("invariants: %zu simulations, %llu audit points, %zu "
+                "violations\n",
+                simulations, static_cast<unsigned long long>(audits),
+                violations);
+
+    // -- Stage 2: determinism across worker counts and seed salts. --
+    // The campaign contract says results are bit-identical for any
+    // job count; replay the same configuration at 1, 2 and
+    // one-per-hardware-thread workers and diff full-result
+    // fingerprints.  Two salts prove the salt both perturbs results
+    // and stays deterministic itself.
+    bool deterministic = true;
+    std::vector<std::uint64_t> salt_fingerprints;
+    for (std::uint64_t salt_offset : {0ull, 1ull}) {
+        core::CharacterizationConfig config;
+        config.instructions = window.instructions;
+        config.warmup = window.warmup;
+        config.seed_salt = opts.seed_salt + salt_offset;
+        std::uint64_t first = 0;
+        bool agree = true;
+        for (std::size_t jobs : {std::size_t{1}, std::size_t{2},
+                                 std::size_t{0}}) {
+            config.jobs = jobs;
+            std::uint64_t fp =
+                campaignFingerprint(benchmarks, machines, config);
+            if (jobs == 1)
+                first = fp;
+            else if (fp != first) {
+                agree = false;
+                std::fprintf(stderr,
+                             "audit: salt %llu: --jobs %zu diverged: "
+                             "%s != %s\n",
+                             static_cast<unsigned long long>(
+                                 config.seed_salt),
+                             jobs, auditHex16(fp).c_str(),
+                             auditHex16(first).c_str());
+            }
+        }
+        std::printf("determinism: salt %llu: jobs {1, 2, auto} %s "
+                    "(fingerprint %s)\n",
+                    static_cast<unsigned long long>(config.seed_salt),
+                    agree ? "agree" : "DIVERGED",
+                    auditHex16(first).c_str());
+        deterministic = deterministic && agree;
+        salt_fingerprints.push_back(first);
+    }
+    if (salt_fingerprints[0] == salt_fingerprints[1]) {
+        std::fprintf(stderr,
+                     "audit: distinct seed salts produced identical "
+                     "results; the salt is not reaching the "
+                     "generator\n");
+        deterministic = false;
+    }
+
+    bool ok = violations == 0 && deterministic;
+    std::printf("audit: %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}
+
 int
 cmdLint(const CliOptions &opts)
 {
@@ -1033,6 +1221,7 @@ cmdLint(const CliOptions &opts)
     context.warmup = opts.warmup;
     context.jobs = opts.jobs;
     context.store_dir = opts.store_dir;
+    context.bench_dir = opts.bench_dir;
 
     lint::LintReport report = lint::Linter().run(context);
     std::string rendered =
@@ -1076,6 +1265,8 @@ main(int argc, char **argv)
         return cmdCampaign(opts);
     if (opts.command == "bench")
         return cmdBench(opts);
+    if (opts.command == "audit")
+        return cmdAudit(opts);
     if (opts.command == "lint")
         return cmdLint(opts);
     if (opts.command == "help" || opts.command == "--help")
