@@ -5,104 +5,40 @@
 
 #include "analysis_session.h"
 
-#include <cstdio>
+#include <stdexcept>
 #include <utility>
-
-#include "obs/manifest.h"
-#include "obs/metrics.h"
-#include "stats/fingerprint.h"
 
 namespace speclens {
 namespace core {
 
-namespace {
-
-std::string
-hex16(std::uint64_t value)
-{
-    char buffer[17];
-    std::snprintf(buffer, sizeof(buffer), "%016llx",
-                  static_cast<unsigned long long>(value));
-    return std::string(buffer);
-}
-
-} // namespace
-
 AnalysisSession::AnalysisSession(SessionConfig config)
-    : characterizer_(std::make_unique<Characterizer>(
-          std::move(config.machines), config.characterization))
 {
-    // Fingerprint the run configuration: anything that changes what a
-    // campaign measures must change this, so manifests from different
-    // configurations never look comparable.
-    stats::Fingerprinter fp;
-    fp.tag("speclens.session");
-    fp.u64(kStoreEngineVersion);
-    config.characterization.hashInto(fp);
-    fp.u64(characterizer_->machines().size());
-    for (const uarch::MachineConfig &machine :
-         characterizer_->machines())
-        machine.hashInto(fp);
-    config_fingerprint_ = hex16(fp.value());
-
-    if (!config.store_dir.empty()) {
-        store_ = std::make_shared<CampaignStore>(config.store_dir);
-        characterizer_->attachStore(store_);
-    }
+    ServiceConfig service;
+    service.characterization = config.characterization;
+    service.store_dir = config.store_dir;
+    context_ = std::make_shared<ServiceContext>(std::move(service));
+    // First pooled set: pins the context's config fingerprint to this
+    // machine set, matching the pre-split session computation.
+    characterizer_ = &context_->characterizerFor(config.machines);
 }
 
-AnalysisSession::~AnalysisSession()
+AnalysisSession::AnalysisSession(
+    std::shared_ptr<ServiceContext> context,
+    const std::vector<uarch::MachineConfig> &machines)
+    : context_(std::move(context))
 {
-    if (!store_)
-        return;
-    std::fprintf(stderr, "%s\n", summary().c_str());
-
-    StoreCounters c = store_->counters();
-    obs::Manifest manifest;
-    manifest.engine_version = kStoreEngineVersion;
-    manifest.config_fingerprint = config_fingerprint_;
-    manifest.run = {
-        {"store_dir", store_->directory()},
-        {"machines",
-         std::to_string(characterizer_->machines().size())},
-        {"metrics", obs::kMetricsEnabled ? "on" : "off"},
-    };
-    manifest.totals = {
-        {"entries", store_->entryCount()},
-        {"hits", c.hits},
-        {"misses", c.misses},
-        {"simulations", c.computed},
-        {"saves", c.saves},
-    };
-    manifest.rejected = {
-        {"corrupt", c.corrupt},
-        {"stale_version", c.stale_version},
-        {"fingerprint_mismatch", c.fingerprint_mismatch},
-        {"orphaned_temp", c.orphaned_temp},
-    };
-    manifest.metrics = obs::Registry::global().snapshot();
-    obs::writeManifest(store_->directory() + "/" +
-                           obs::kManifestFileName,
-                       manifest);
+    if (!context_)
+        throw std::invalid_argument("AnalysisSession: null context");
+    characterizer_ = &context_->characterizerFor(machines);
 }
 
-std::string
-AnalysisSession::summary() const
+AnalysisSession::AnalysisSession(std::shared_ptr<ServiceContext> context)
+    : context_(std::move(context))
 {
-    if (!store_)
-        return "[speclens-store] disabled";
-    StoreCounters c = store_->counters();
-    std::size_t rejected = c.corrupt + c.stale_version +
-                           c.fingerprint_mismatch + c.orphaned_temp;
-    // `computed` counts every simulation executed against the store,
-    // including ones run outside the Characterizer (stability trials,
-    // SimPoint probes and phased ground-truth runs).
-    return "[speclens-store] dir=" + store_->directory() +
-           " entries=" + std::to_string(store_->entryCount()) +
-           " hits=" + std::to_string(c.hits) +
-           " simulations=" + std::to_string(c.computed) +
-           " saves=" + std::to_string(c.saves) +
-           " rejected=" + std::to_string(rejected);
+    if (!context_)
+        throw std::invalid_argument("AnalysisSession: null context");
+    characterizer_ =
+        &context_->characterizerFor(context_->profilingMachines());
 }
 
 } // namespace core

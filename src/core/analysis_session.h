@@ -1,23 +1,31 @@
 /**
  * @file
- * Shared analysis-session wiring: Characterizer + machines + store.
+ * Per-request analysis session: a cheap borrow of a ServiceContext.
  *
  * Every entry point that runs a measurement campaign — the 27 bench
- * binaries, the `speclens` CLI commands and the end-to-end tests —
- * needs the same setup: build a CharacterizationConfig from the parsed
- * window options, construct a Characterizer over a machine set, and
- * (when the user passed `--store DIR`) open the persistent artifact
- * store and attach it.  AnalysisSession is that setup, written once.
+ * binaries, the `speclens` CLI commands, the serve daemon's request
+ * handlers and the end-to-end tests — needs the same wiring: a
+ * CharacterizationConfig built from the parsed window options, a
+ * Characterizer over a machine set, and (when the user passed
+ * `--store DIR`) the persistent artifact store attached.
  *
- * When a store is attached, the session prints a one-line reuse
- * summary to *stderr* on destruction (never stdout — warm and cold
- * runs must stay byte-identical on stdout).  The summary includes
- * `simulations=N`; CI asserts `simulations=0` on a warm run.
+ * The process-lifetime half of that wiring (immutable model registry,
+ * shared sharded store, worker pool, pooled Characterizers) lives in
+ * ServiceContext (service_context.h).  An AnalysisSession is the
+ * per-request half: it borrows a context (shared_ptr) and names the
+ * machine set this request measures on.  Constructing one costs a
+ * refcount bump and a map lookup — cheap enough for a daemon to build
+ * per query.
  *
- * A store-backed session also leaves a run manifest
- * (`run-manifest.json`, obs/manifest.h) in the store directory on
- * destruction: engine version, configuration fingerprint, store
- * totals, the rejected-entry breakdown and a full metric snapshot.
+ * Batch compatibility: the SessionConfig constructor builds a session
+ * that owns a private context, which preserves the original one-shot
+ * behaviour end to end — when the last session sharing a store-backed
+ * context dies, the context prints the one-line reuse summary to
+ * *stderr* (never stdout — warm and cold runs must stay byte-identical
+ * on stdout; the summary includes `simulations=N` and CI asserts
+ * `simulations=0` on a warm run) and leaves a run manifest
+ * (`run-manifest.json`, obs/manifest.h, atomic temp+rename write) in
+ * the store directory.
  */
 
 #ifndef SPECLENS_CORE_ANALYSIS_SESSION_H
@@ -29,12 +37,13 @@
 
 #include "core/artifact_store.h"
 #include "core/characterization.h"
+#include "core/service_context.h"
 #include "uarch/machine.h"
 
 namespace speclens {
 namespace core {
 
-/** Everything an AnalysisSession is built from. */
+/** Everything a batch (context-owning) AnalysisSession is built from. */
 struct SessionConfig
 {
     /** Machines to measure on (order defines feature layout). */
@@ -50,39 +59,56 @@ struct SessionConfig
     std::string store_dir;
 };
 
-/** One analysis run's shared campaign machinery. */
+/** One analysis run's (or one request's) campaign machinery. */
 class AnalysisSession
 {
   public:
+    /**
+     * Batch constructor: build and own a private ServiceContext.
+     * Behaviour matches the pre-split one-shot session exactly
+     * (summary + manifest on destruction when a store is attached).
+     */
     explicit AnalysisSession(SessionConfig config);
+
+    /**
+     * Per-request constructor: borrow @p context and measure on
+     * @p machines through its pooled Characterizer.  The context
+     * outlives the session (shared ownership); summary/manifest are
+     * emitted when the *context* dies, not per request.
+     */
+    AnalysisSession(std::shared_ptr<ServiceContext> context,
+                    const std::vector<uarch::MachineConfig> &machines);
+
+    /** Per-request constructor over the context's profiling machines. */
+    explicit AnalysisSession(std::shared_ptr<ServiceContext> context);
 
     // Movable (so factories can return sessions by value); a
     // moved-from session owns nothing and prints nothing.
     AnalysisSession(AnalysisSession &&) = default;
     AnalysisSession &operator=(AnalysisSession &&) = default;
 
-    /**
-     * Prints the reuse summary to stderr and writes the run manifest
-     * into the store directory when a store is attached.
-     */
-    ~AnalysisSession();
+    ~AnalysisSession() = default;
 
     Characterizer &characterizer() { return *characterizer_; }
 
+    /** The borrowed (or owned) process-lifetime context. */
+    ServiceContext &context() { return *context_; }
+    const ServiceContext &context() const { return *context_; }
+
+    /** Shared ownership of the context (to hand to a daemon/session). */
+    const std::shared_ptr<ServiceContext> &contextPtr() const
+    {
+        return context_;
+    }
+
     /** The attached store; null when persistence is disabled. */
-    CampaignStore *store() const { return store_.get(); }
+    CampaignStore *store() const { return context_->store(); }
 
     /** True when results persist across processes. */
-    bool persistent() const { return store_ != nullptr; }
+    bool persistent() const { return context_->persistent(); }
 
-    /**
-     * One-line machine-parseable reuse summary, e.g.
-     * `[speclens-store] dir=... entries=301 hits=301 simulations=0
-     * saves=0 rejected=0`.  `rejected` counts defensively discarded
-     * entries (corrupt + stale + fingerprint-mismatched) plus orphaned
-     * temp files swept when the store was opened.
-     */
-    std::string summary() const;
+    /** The context's one-line reuse summary (see ServiceContext). */
+    std::string summary() const { return context_->summary(); }
 
     /**
      * 16-hex fingerprint over everything that determines this
@@ -92,13 +118,12 @@ class AnalysisSession
      */
     const std::string &configFingerprint() const
     {
-        return config_fingerprint_;
+        return context_->configFingerprint();
     }
 
   private:
-    std::shared_ptr<CampaignStore> store_;
-    std::unique_ptr<Characterizer> characterizer_;
-    std::string config_fingerprint_;
+    std::shared_ptr<ServiceContext> context_;
+    Characterizer *characterizer_ = nullptr;
 };
 
 } // namespace core

@@ -17,6 +17,7 @@
 #include <thread>
 #include <utility>
 
+#include "obs/manifest.h"
 #include "obs/metrics.h"
 
 namespace speclens {
@@ -36,8 +37,11 @@ struct StoreInstruments
     obs::Counter &bytes_read;
     obs::Counter &bytes_written;
     obs::Counter &orphaned_swept;
+    obs::Counter &lru_hits;
+    obs::Counter &lru_evictions;
     obs::Timing &load_time;
     obs::Timing &save_time;
+    obs::Timing &shard_wait;
 
     static const StoreInstruments &
     get()
@@ -51,8 +55,11 @@ struct StoreInstruments
             registry.counter("core.store.bytes_read"),
             registry.counter("core.store.bytes_written"),
             registry.counter("core.store.orphaned_temp_swept"),
+            registry.counter("core.store.lru.hits"),
+            registry.counter("core.store.lru.evictions"),
             registry.timing("core.store.load"),
             registry.timing("core.store.save"),
+            registry.timing("core.store.shard.wait"),
         };
         return instruments;
     }
@@ -474,6 +481,14 @@ verifyEntry(const std::string &bytes, std::uint64_t expect_fingerprint,
 
 } // namespace
 
+std::string
+storeShardDirName(std::size_t shard)
+{
+    static const char digits[] = "0123456789abcdef";
+    return std::string(kStoreShardPrefix) +
+           digits[shard & (kStoreShardCount - 1)];
+}
+
 StoreKey
 makeStoreKey(const trace::WorkloadProfile &profile,
              const uarch::MachineConfig &machine,
@@ -575,64 +590,230 @@ storeStatusName(StoreStatus status)
     return "unknown";
 }
 
-CampaignStore::CampaignStore(std::string directory)
-    : directory_(std::move(directory))
+CampaignStore::CampaignStore(std::string directory,
+                             std::size_t lru_capacity)
+    : directory_(std::move(directory)), lru_capacity_(lru_capacity)
 {
     // Best effort: a directory that cannot be created degrades the
     // store to misses + failed saves rather than aborting the run.
     std::error_code ec;
     fs::create_directories(directory_, ec);
+    for (std::size_t shard = 0; shard < kStoreShardCount; ++shard)
+        fs::create_directories(shardPath(shard), ec);
 
     std::size_t swept = sweepOrphanedTempFiles();
     if (swept > 0) {
         StoreInstruments::get().orphaned_swept.add(swept);
-        std::lock_guard<std::mutex> lock(counters_mutex_);
-        counters_.orphaned_temp += swept;
+        orphaned_temp_.fetch_add(swept, std::memory_order_relaxed);
     }
+}
+
+std::string
+CampaignStore::shardPath(std::size_t shard) const
+{
+    return directory_ + "/" + storeShardDirName(shard);
 }
 
 std::size_t
 CampaignStore::sweepOrphanedTempFiles()
 {
-    // A temp file is `<entry>.slart.tmp<thread-hash>`; anything with
-    // ".slart.tmp" in its name is a leftover from a writer that died
-    // between the temp write and the atomic rename.  No live writer
-    // can race this: temp names are keyed to running threads and the
-    // sweep happens before this handle serves any save.
-    const std::string marker = std::string(kStoreEntrySuffix) + ".tmp";
+    // A temp file is `<entry>.slart.tmp<thread-hash>` (or a
+    // half-written `run-manifest.json.tmp<hash>`); anything matching
+    // is a leftover from a writer that died between the temp write and
+    // the atomic rename.  No live writer can race this: temp names are
+    // keyed to running threads and the sweep happens before this
+    // handle serves any save.
+    const std::string entry_marker =
+        std::string(kStoreEntrySuffix) + ".tmp";
+    const std::string manifest_marker =
+        std::string(obs::kManifestFileName) + ".tmp";
     std::size_t removed = 0;
-    std::error_code ec;
-    for (const auto &file : fs::directory_iterator(directory_, ec)) {
-        std::string name = file.path().filename().string();
-        if (name.find(marker) == std::string::npos)
-            continue;
-        std::error_code remove_ec;
-        if (fs::remove(file.path(), remove_ec))
-            ++removed;
-    }
+    auto sweepDir = [&](const std::string &dir) {
+        std::error_code ec;
+        for (const auto &file : fs::directory_iterator(dir, ec)) {
+            std::string name = file.path().filename().string();
+            if (name.find(entry_marker) == std::string::npos &&
+                name.rfind(manifest_marker, 0) != 0)
+                continue;
+            std::error_code remove_ec;
+            if (fs::remove(file.path(), remove_ec))
+                ++removed;
+        }
+    };
+    sweepDir(directory_);
+    for (std::size_t shard = 0; shard < kStoreShardCount; ++shard)
+        sweepDir(shardPath(shard));
     return removed;
 }
 
 std::string
 CampaignStore::entryPath(const StoreKey &key) const
 {
+    return shardPath(storeShardIndex(key.fingerprint)) + "/" +
+           fingerprintHex(key.fingerprint) + kStoreEntrySuffix;
+}
+
+std::string
+CampaignStore::legacyEntryPath(const StoreKey &key) const
+{
     return directory_ + "/" + fingerprintHex(key.fingerprint) +
            kStoreEntrySuffix;
+}
+
+std::unique_lock<std::mutex>
+CampaignStore::lockShard(const Shard &shard) const
+{
+    if (obs::kMetricsEnabled) {
+        std::unique_lock<std::mutex> lock(shard.mutex,
+                                          std::try_to_lock);
+        if (lock.owns_lock()) {
+            StoreInstruments::get().shard_wait.record(0);
+            return lock;
+        }
+        const std::uint64_t start = obs::nowNs();
+        lock.lock();
+        StoreInstruments::get().shard_wait.record(obs::nowNs() - start);
+        return lock;
+    }
+    return std::unique_lock<std::mutex>(shard.mutex);
+}
+
+bool
+CampaignStore::lruLookup(Shard &shard, const StoreKey &key,
+                         uarch::SimulationResult &out)
+{
+    if (lru_capacity_ == 0)
+        return false;
+
+    std::string path;
+    std::uint64_t cached_bytes = 0;
+    {
+        std::unique_lock<std::mutex> lock = lockShard(shard);
+        auto it = shard.index.find(key.fingerprint);
+        if (it == shard.index.end())
+            return false;
+        path = it->second->path;
+        cached_bytes = it->second->file_bytes;
+    }
+
+    // Revalidate with one stat: a rewritten entry (different size) or
+    // a vanished file drops the cached value and falls back to a full
+    // defensive disk load.
+    std::error_code ec;
+    std::uint64_t on_disk = fs::file_size(path, ec);
+    std::unique_lock<std::mutex> lock = lockShard(shard);
+    auto it = shard.index.find(key.fingerprint);
+    if (it == shard.index.end())
+        return false;
+    if (ec || on_disk != cached_bytes) {
+        shard.lru.erase(it->second);
+        shard.index.erase(it);
+        lru_size_.fetch_sub(1, std::memory_order_relaxed);
+        return false;
+    }
+    // Refresh recency.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    out = it->second->result;
+    lru_hits_.fetch_add(1, std::memory_order_relaxed);
+    StoreInstruments::get().lru_hits.add();
+    return true;
+}
+
+void
+CampaignStore::lruInsert(Shard &shard, std::uint64_t fingerprint,
+                         const uarch::SimulationResult &result,
+                         const std::string &path,
+                         std::uint64_t file_bytes)
+{
+    if (lru_capacity_ == 0)
+        return;
+    const std::size_t per_shard =
+        std::max<std::size_t>(1, lru_capacity_ / kStoreShardCount);
+
+    std::unique_lock<std::mutex> lock = lockShard(shard);
+    auto it = shard.index.find(fingerprint);
+    if (it != shard.index.end()) {
+        it->second->result = result;
+        it->second->path = path;
+        it->second->file_bytes = file_bytes;
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        return;
+    }
+    shard.lru.push_front(
+        Shard::CachedResult{fingerprint, result, path, file_bytes});
+    shard.index.emplace(fingerprint, shard.lru.begin());
+    lru_size_.fetch_add(1, std::memory_order_relaxed);
+    while (shard.lru.size() > per_shard) {
+        shard.index.erase(shard.lru.back().fingerprint);
+        shard.lru.pop_back();
+        lru_size_.fetch_sub(1, std::memory_order_relaxed);
+        lru_evictions_.fetch_add(1, std::memory_order_relaxed);
+        StoreInstruments::get().lru_evictions.add();
+    }
+}
+
+void
+CampaignStore::lruErase(std::uint64_t fingerprint)
+{
+    if (lru_capacity_ == 0)
+        return;
+    Shard &shard = shards_[storeShardIndex(fingerprint)];
+    std::unique_lock<std::mutex> lock = lockShard(shard);
+    auto it = shard.index.find(fingerprint);
+    if (it == shard.index.end())
+        return;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    lru_size_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+CampaignStore::lruClear()
+{
+    for (Shard &shard : shards_) {
+        std::unique_lock<std::mutex> lock = lockShard(shard);
+        lru_size_.fetch_sub(shard.lru.size(),
+                            std::memory_order_relaxed);
+        shard.lru.clear();
+        shard.index.clear();
+    }
+}
+
+std::size_t
+CampaignStore::lruSize() const
+{
+    return lru_size_.load(std::memory_order_relaxed);
 }
 
 StoreStatus
 CampaignStore::load(const StoreKey &key, uarch::SimulationResult &out)
 {
     obs::Span span(StoreInstruments::get().load_time);
+    Shard &shard = shards_[storeShardIndex(key.fingerprint)];
+    if (lruLookup(shard, key, out)) {
+        recordLoad(StoreStatus::Hit);
+        return StoreStatus::Hit;
+    }
+
     std::string bytes;
+    std::string path = entryPath(key);
+    bool readable = readFile(path, bytes);
+    if (!readable) {
+        // Pre-shard stores keep entries flat in the root.
+        path = legacyEntryPath(key);
+        readable = readFile(path, bytes);
+    }
+
     StoreStatus status;
-    if (!readFile(entryPath(key), bytes)) {
+    if (!readable) {
         status = StoreStatus::Miss;
     } else {
         StoreInstruments::get().bytes_read.add(bytes.size());
         status = verifyEntry(bytes, key.fingerprint, &out, nullptr,
                              nullptr);
     }
+    if (status == StoreStatus::Hit)
+        lruInsert(shard, key.fingerprint, out, path, bytes.size());
     recordLoad(status);
     return status;
 }
@@ -643,8 +824,12 @@ CampaignStore::loadPhased(const StoreKey &key,
 {
     obs::Span span(StoreInstruments::get().load_time);
     std::string bytes;
+    bool readable = readFile(entryPath(key), bytes);
+    if (!readable)
+        readable = readFile(legacyEntryPath(key), bytes);
+
     StoreStatus status;
-    if (!readFile(entryPath(key), bytes)) {
+    if (!readable) {
         status = StoreStatus::Miss;
     } else {
         StoreInstruments::get().bytes_read.add(bytes.size());
@@ -659,26 +844,25 @@ void
 CampaignStore::recordLoad(StoreStatus status)
 {
     const StoreInstruments &instruments = StoreInstruments::get();
-    std::lock_guard<std::mutex> lock(counters_mutex_);
     switch (status) {
       case StoreStatus::Hit:
-          ++counters_.hits;
+          hits_.fetch_add(1, std::memory_order_relaxed);
           instruments.hits.add();
           break;
       case StoreStatus::Miss:
-          ++counters_.misses;
+          misses_.fetch_add(1, std::memory_order_relaxed);
           instruments.misses.add();
           break;
       case StoreStatus::Corrupt:
-          ++counters_.corrupt;
+          corrupt_.fetch_add(1, std::memory_order_relaxed);
           instruments.rejected.add();
           break;
       case StoreStatus::StaleVersion:
-          ++counters_.stale_version;
+          stale_version_.fetch_add(1, std::memory_order_relaxed);
           instruments.rejected.add();
           break;
       case StoreStatus::FingerprintMismatch:
-          ++counters_.fingerprint_mismatch;
+          fingerprint_mismatch_.fetch_add(1, std::memory_order_relaxed);
           instruments.rejected.add();
           break;
     }
@@ -687,14 +871,16 @@ CampaignStore::recordLoad(StoreStatus status)
 void
 CampaignStore::recordComputed()
 {
-    std::lock_guard<std::mutex> lock(counters_mutex_);
-    ++counters_.computed;
+    computed_.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool
 CampaignStore::save(const StoreKey &key,
                     const uarch::SimulationResult &result)
 {
+    // The cached copy (if any) predates this write; drop it so the
+    // next load re-verifies the fresh bytes.
+    lruErase(key.fingerprint);
     return writeEntry(serializeEntry(key, result), entryPath(key));
 }
 
@@ -702,6 +888,7 @@ bool
 CampaignStore::savePhased(const StoreKey &key,
                           const uarch::PhasedSimulationResult &result)
 {
+    lruErase(key.fingerprint);
     return writeEntry(serializePhasedEntry(key, result), entryPath(key));
 }
 
@@ -736,27 +923,43 @@ CampaignStore::writeEntry(const std::string &bytes,
 
     StoreInstruments::get().saves.add();
     StoreInstruments::get().bytes_written.add(bytes.size());
-    std::lock_guard<std::mutex> lock(counters_mutex_);
-    ++counters_.saves;
+    saves_.fetch_add(1, std::memory_order_relaxed);
     return true;
 }
 
 StoreCounters
 CampaignStore::counters() const
 {
-    std::lock_guard<std::mutex> lock(counters_mutex_);
-    return counters_;
+    StoreCounters out;
+    out.hits = hits_.load(std::memory_order_relaxed);
+    out.misses = misses_.load(std::memory_order_relaxed);
+    out.corrupt = corrupt_.load(std::memory_order_relaxed);
+    out.stale_version = stale_version_.load(std::memory_order_relaxed);
+    out.fingerprint_mismatch =
+        fingerprint_mismatch_.load(std::memory_order_relaxed);
+    out.saves = saves_.load(std::memory_order_relaxed);
+    out.computed = computed_.load(std::memory_order_relaxed);
+    out.orphaned_temp = orphaned_temp_.load(std::memory_order_relaxed);
+    out.lru_hits = lru_hits_.load(std::memory_order_relaxed);
+    out.lru_evictions = lru_evictions_.load(std::memory_order_relaxed);
+    return out;
 }
 
 std::size_t
 CampaignStore::entryCount() const
 {
-    std::error_code ec;
-    std::size_t count = 0;
-    for (const auto &entry : fs::directory_iterator(directory_, ec)) {
-        if (entry.path().extension() == kStoreEntrySuffix)
-            ++count;
-    }
+    auto countDir = [](const std::string &dir) {
+        std::error_code ec;
+        std::size_t count = 0;
+        for (const auto &entry : fs::directory_iterator(dir, ec)) {
+            if (entry.path().extension() == kStoreEntrySuffix)
+                ++count;
+        }
+        return count;
+    };
+    std::size_t count = countDir(directory_);
+    for (std::size_t shard = 0; shard < kStoreShardCount; ++shard)
+        count += countDir(shardPath(shard));
     return count;
 }
 
@@ -764,40 +967,48 @@ std::vector<StoreEntryInfo>
 CampaignStore::scan() const
 {
     std::vector<StoreEntryInfo> entries;
-    std::error_code ec;
-    for (const auto &file : fs::directory_iterator(directory_, ec)) {
-        if (file.path().extension() != kStoreEntrySuffix)
-            continue;
+    auto scanDir = [&](const std::string &dir,
+                       const std::string &rel_prefix) {
+        std::error_code ec;
+        for (const auto &file : fs::directory_iterator(dir, ec)) {
+            if (file.path().extension() != kStoreEntrySuffix)
+                continue;
 
-        StoreEntryInfo info;
-        info.filename = file.path().filename().string();
-        std::error_code size_ec;
-        auto size = fs::file_size(file.path(), size_ec);
-        info.file_bytes = size_ec ? 0 : size;
+            StoreEntryInfo info;
+            info.filename =
+                rel_prefix + file.path().filename().string();
+            std::error_code size_ec;
+            auto size = fs::file_size(file.path(), size_ec);
+            info.file_bytes = size_ec ? 0 : size;
 
-        // The entry's address is its file name; a rename is a
-        // fingerprint mismatch even when the content is intact.
-        std::string stem = file.path().stem().string();
-        std::uint64_t addressed = 0;
-        bool valid_name = stem.size() == 16;
-        if (valid_name) {
-            char *end = nullptr;
-            addressed = std::strtoull(stem.c_str(), &end, 16);
-            valid_name = end && *end == '\0';
+            // The entry's address is its file name; a rename is a
+            // fingerprint mismatch even when the content is intact.
+            std::string stem = file.path().stem().string();
+            std::uint64_t addressed = 0;
+            bool valid_name = stem.size() == 16;
+            if (valid_name) {
+                char *end = nullptr;
+                addressed = std::strtoull(stem.c_str(), &end, 16);
+                valid_name = end && *end == '\0';
+            }
+
+            std::string bytes;
+            if (!readFile(file.path().string(), bytes)) {
+                info.status = StoreStatus::Corrupt;
+                info.detail = "unreadable";
+            } else if (!valid_name) {
+                info.status = StoreStatus::Corrupt;
+                info.detail =
+                    "file name is not a 16-digit hex fingerprint";
+            } else {
+                verifyEntry(bytes, addressed, nullptr, nullptr, &info);
+            }
+            entries.push_back(std::move(info));
         }
-
-        std::string bytes;
-        if (!readFile(file.path().string(), bytes)) {
-            info.status = StoreStatus::Corrupt;
-            info.detail = "unreadable";
-        } else if (!valid_name) {
-            info.status = StoreStatus::Corrupt;
-            info.detail = "file name is not a 16-digit hex fingerprint";
-        } else {
-            verifyEntry(bytes, addressed, nullptr, nullptr, &info);
-        }
-        entries.push_back(std::move(info));
-    }
+    };
+    scanDir(directory_, "");
+    for (std::size_t shard = 0; shard < kStoreShardCount; ++shard)
+        scanDir(shardPath(shard), storeShardDirName(shard) + "/");
     std::sort(entries.begin(), entries.end(),
               [](const StoreEntryInfo &a, const StoreEntryInfo &b) {
                   return a.filename < b.filename;
@@ -808,21 +1019,29 @@ CampaignStore::scan() const
 std::size_t
 CampaignStore::invalidate()
 {
-    std::size_t removed = 0;
-    std::error_code ec;
-    for (const auto &file : fs::directory_iterator(directory_, ec)) {
-        if (file.path().extension() != kStoreEntrySuffix)
-            continue;
-        std::error_code remove_ec;
-        if (fs::remove(file.path(), remove_ec))
-            ++removed;
-    }
+    lruClear();
+    auto clearDir = [](const std::string &dir) {
+        std::error_code ec;
+        std::size_t removed = 0;
+        for (const auto &file : fs::directory_iterator(dir, ec)) {
+            if (file.path().extension() != kStoreEntrySuffix)
+                continue;
+            std::error_code remove_ec;
+            if (fs::remove(file.path(), remove_ec))
+                ++removed;
+        }
+        return removed;
+    };
+    std::size_t removed = clearDir(directory_);
+    for (std::size_t shard = 0; shard < kStoreShardCount; ++shard)
+        removed += clearDir(shardPath(shard));
     return removed;
 }
 
 std::size_t
 CampaignStore::invalidateStale()
 {
+    lruClear();
     std::size_t removed = 0;
     for (const StoreEntryInfo &info : scan()) {
         if (info.status == StoreStatus::Hit)

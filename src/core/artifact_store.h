@@ -42,17 +42,42 @@
  *                 pair entry, or phase count + per-phase results +
  *                 combined counters + combined CPI for a phased entry
  *
+ * Directory layout: entries live in kStoreShardCount shard
+ * subdirectories keyed by the top nibble(s) of the fingerprint —
+ * `<store>/shard-<hex>/<16-hex>.slart`.  Each shard has its own mutex
+ * and its own bounded LRU of deserialized pair results, so concurrent
+ * requests against a shared store handle (the `speclens serve` daemon)
+ * only contend when they touch the same shard.  Stores written before
+ * sharding kept every entry in the store root; load() falls back to
+ * that flat path on a shard miss, so pre-shard stores stay warm.  The
+ * SL025 lint rule audits the layout (a misfiled entry is an error, a
+ * legacy root-level entry a warning).
+ *
  * Thread safety: load/save/counters may be called concurrently (the
  * Characterizer's workers do).  Distinct keys touch distinct files;
  * concurrent saves of the same key write identical bytes through
  * unique temp files and an atomic rename, so the last rename wins and
- * every reader sees a complete entry.
+ * every reader sees a complete entry.  I/O counters are lock-free
+ * atomics; only the per-shard LRU takes a (sharded) lock, whose wait
+ * time is exported as the `core.store.shard.wait` timing.
+ *
+ * LRU trust model: the cache holds only results this handle itself
+ * verified from disk (never unverified saves), and every cache hit
+ * revalidates the entry file's size with one stat — a truncated or
+ * resized file drops the cached value and re-reads disk.  A same-size
+ * external rewrite between two loads on one long-lived handle is the
+ * one tamper the cache cannot see; reopening the store (what any other
+ * process does) always re-verifies the bytes.
  */
 
 #ifndef SPECLENS_CORE_ARTIFACT_STORE_H
 #define SPECLENS_CORE_ARTIFACT_STORE_H
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <list>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -73,6 +98,30 @@ constexpr std::uint64_t kStoreEngineVersion = 1;
 
 /** File extension of store entries. */
 constexpr const char *kStoreEntrySuffix = ".slart";
+
+/**
+ * Number of shard subdirectories (and independent locks/LRUs).  A
+ * power of two so the shard index is the fingerprint's top nibble;
+ * part of the on-disk layout contract SL025 lints.
+ */
+constexpr std::size_t kStoreShardCount = 16;
+
+/** Shard subdirectory prefix: `shard-<hex digit>`. */
+constexpr const char *kStoreShardPrefix = "shard-";
+
+/** Default total capacity of the in-memory result LRU (all shards). */
+constexpr std::size_t kStoreDefaultLruCapacity = 256;
+
+/** Shard index of a fingerprint: its top nibble. */
+constexpr std::size_t
+storeShardIndex(std::uint64_t fingerprint)
+{
+    return static_cast<std::size_t>(fingerprint >> 60) &
+           (kStoreShardCount - 1);
+}
+
+/** Shard subdirectory name ("shard-0" ... "shard-f"). */
+std::string storeShardDirName(std::size_t shard);
 
 /**
  * Address and descriptive metadata of one store entry.
@@ -147,20 +196,35 @@ struct StoreCounters
     std::size_t computed = 0;
 
     /**
-     * Orphaned temp files (`*.slart.tmp*`) removed when the store was
-     * opened.  A writer that died between the temp write and the
-     * atomic rename leaves one behind; it never shadows an entry (the
-     * suffix excludes it from lookup and scan) but would otherwise
+     * Orphaned temp files (`*.slart.tmp*` and half-written
+     * `run-manifest.json.tmp*`) removed when the store was opened.  A
+     * writer that died between the temp write and the atomic rename
+     * leaves one behind; it never shadows an entry (the suffix
+     * excludes it from lookup and scan) but would otherwise
      * accumulate silently.  Counted into the `rejected=` figure of the
      * session summary so interrupted runs are visible.
      */
     std::size_t orphaned_temp = 0;
+
+    /**
+     * Hits served from the in-memory LRU without re-reading and
+     * re-deserializing the entry file (a subset of `hits`).
+     */
+    std::size_t lru_hits = 0;
+
+    /** Cached results dropped to keep the LRU within capacity. */
+    std::size_t lru_evictions = 0;
 };
 
 /** Verified description of one on-disk entry (see CampaignStore::scan). */
 struct StoreEntryInfo
 {
-    std::string filename;  //!< Entry file name within the store.
+    /**
+     * Entry path relative to the store root: `shard-<x>/<hex>.slart`
+     * for a sharded entry, a bare file name for a pre-shard
+     * root-level entry.
+     */
+    std::string filename;
     std::uint64_t file_bytes = 0;
 
     /**
@@ -193,8 +257,9 @@ struct StoreEntryInfo
 /**
  * A directory of persisted simulation results.
  *
- * Opening a store creates the directory if needed and sweeps any
- * orphaned temp files an interrupted writer left behind (counted in
+ * Opening a store creates the directory (and its shard
+ * subdirectories) if needed and sweeps any orphaned temp files an
+ * interrupted writer left behind (counted in
  * counters().orphaned_temp).  All I/O failures
  * degrade soft: load() reports Miss/Corrupt and save() returns false,
  * so a read-only or vanished directory never takes an analysis down —
@@ -203,10 +268,31 @@ struct StoreEntryInfo
 class CampaignStore
 {
   public:
-    /** Open (creating if necessary) the store at @p directory. */
-    explicit CampaignStore(std::string directory);
+    /**
+     * Open (creating if necessary) the store at @p directory.
+     * @p lru_capacity bounds the total in-memory result cache across
+     * all shards (0 disables caching).
+     */
+    explicit CampaignStore(std::string directory,
+                           std::size_t lru_capacity =
+                               kStoreDefaultLruCapacity);
+
+    CampaignStore(const CampaignStore &) = delete;
+    CampaignStore &operator=(const CampaignStore &) = delete;
 
     const std::string &directory() const { return directory_; }
+
+    /** Number of shard subdirectories (fixed layout constant). */
+    static constexpr std::size_t shardCount() { return kStoreShardCount; }
+
+    /** Absolute path of shard @p shard's subdirectory. */
+    std::string shardPath(std::size_t shard) const;
+
+    /** Total in-memory LRU capacity across all shards. */
+    std::size_t lruCapacity() const { return lru_capacity_; }
+
+    /** Results currently held by the in-memory LRU (all shards). */
+    std::size_t lruSize() const;
 
     /**
      * Load the entry for @p key into @p out.  Returns Hit on success;
@@ -240,13 +326,15 @@ class CampaignStore
     /** Lifetime I/O counters of this handle. */
     StoreCounters counters() const;
 
-    /** Number of entry files currently on disk. */
+    /** Number of entry files currently on disk (root + all shards). */
     std::size_t entryCount() const;
 
     /**
      * Read and verify every entry in the store: magic, engine version,
      * checksum, payload shape, and file-name/header fingerprint
-     * agreement.  Results are sorted by file name for stable output.
+     * agreement.  Walks the store root (pre-shard entries) and every
+     * shard subdirectory; results are sorted by relative path for
+     * stable output.
      */
     std::vector<StoreEntryInfo> scan() const;
 
@@ -259,10 +347,34 @@ class CampaignStore
      */
     std::size_t invalidateStale();
 
-    /** Entry file path for @p key (diagnostics and tests). */
+    /** Sharded entry file path for @p key (diagnostics and tests). */
     std::string entryPath(const StoreKey &key) const;
 
+    /**
+     * Pre-shard flat path of @p key (`<store>/<hex>.slart`): where a
+     * store written before sharding keeps the entry.  load() falls
+     * back to it on a shard miss.
+     */
+    std::string legacyEntryPath(const StoreKey &key) const;
+
   private:
+    /** One shard: its own lock and its slice of the result LRU. */
+    struct Shard
+    {
+        /** Most-recently-used first. */
+        struct CachedResult
+        {
+            std::uint64_t fingerprint = 0;
+            uarch::SimulationResult result;
+            std::string path;            //!< File the bytes came from.
+            std::uint64_t file_bytes = 0; //!< Size at verification time.
+        };
+
+        mutable std::mutex mutex;
+        std::list<CachedResult> lru;
+        std::map<std::uint64_t, std::list<CachedResult>::iterator> index;
+    };
+
     /**
      * Remove temp files a crashed writer left behind (constructor).
      * Returns the number removed.
@@ -275,10 +387,47 @@ class CampaignStore
     /** Temp-file + atomic-rename write of one serialized entry. */
     bool writeEntry(const std::string &bytes, const std::string &path);
 
-    std::string directory_;
+    /**
+     * Acquire @p shard's mutex, recording the contended wait time into
+     * the `core.store.shard.wait` timing (0 when uncontended).
+     */
+    std::unique_lock<std::mutex> lockShard(const Shard &shard) const;
 
-    mutable std::mutex counters_mutex_;
-    StoreCounters counters_;
+    /**
+     * Serve @p key from the shard LRU if present and the backing file
+     * still has the size recorded at verification time.
+     */
+    bool lruLookup(Shard &shard, const StoreKey &key,
+                   uarch::SimulationResult &out);
+
+    /** Cache a disk-verified result; evicts past capacity. */
+    void lruInsert(Shard &shard, std::uint64_t fingerprint,
+                   const uarch::SimulationResult &result,
+                   const std::string &path, std::uint64_t file_bytes);
+
+    /** Drop @p fingerprint from its shard's LRU (entry rewritten). */
+    void lruErase(std::uint64_t fingerprint);
+
+    /** Drop every cached result (invalidate paths). */
+    void lruClear();
+
+    std::string directory_;
+    std::size_t lru_capacity_;
+
+    mutable std::array<Shard, kStoreShardCount> shards_;
+    std::atomic<std::size_t> lru_size_{0};
+
+    // Lock-free I/O counters (materialized by counters()).
+    std::atomic<std::size_t> hits_{0};
+    std::atomic<std::size_t> misses_{0};
+    std::atomic<std::size_t> corrupt_{0};
+    std::atomic<std::size_t> stale_version_{0};
+    std::atomic<std::size_t> fingerprint_mismatch_{0};
+    std::atomic<std::size_t> saves_{0};
+    std::atomic<std::size_t> computed_{0};
+    std::atomic<std::size_t> orphaned_temp_{0};
+    std::atomic<std::size_t> lru_hits_{0};
+    std::atomic<std::size_t> lru_evictions_{0};
 };
 
 /**

@@ -112,6 +112,84 @@ Characterizer::obtainResult(const suites::BenchmarkInfo &benchmark,
     return result;
 }
 
+const uarch::SimulationResult &
+Characterizer::ensureResult(const suites::BenchmarkInfo &benchmark,
+                            std::size_t machine_index)
+{
+    static obs::Counter &memo_hits =
+        obs::Registry::global().counter("core.characterize.memo_hits");
+    static obs::Counter &dedup_shared =
+        obs::Registry::global().counter("core.characterize.dedup_shared");
+
+    CacheKey key{benchmark.profile.name, machine_index};
+    {
+        std::lock_guard<std::mutex> lock(cache_mutex_);
+        auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            memo_hits.add();
+            return it->second;
+        }
+    }
+
+    // Claim leadership of the pair, or join an in-flight measurement.
+    std::promise<const uarch::SimulationResult *> promise;
+    std::shared_future<const uarch::SimulationResult *> shared;
+    bool leader = false;
+    {
+        std::lock_guard<std::mutex> lock(inflight_mutex_);
+        auto it = inflight_.find(key);
+        if (it != inflight_.end()) {
+            shared = it->second;
+        } else {
+            // The previous leader may have finished (cache insert,
+            // then inflight erase) between our two lookups.
+            {
+                std::lock_guard<std::mutex> cache_lock(cache_mutex_);
+                auto hit = cache_.find(key);
+                if (hit != cache_.end()) {
+                    memo_hits.add();
+                    return hit->second;
+                }
+            }
+            shared = promise.get_future().share();
+            inflight_.emplace(key, shared);
+            leader = true;
+        }
+    }
+
+    if (!leader) {
+        dedup_shared.add();
+        return *shared.get(); // rethrows the leader's exception
+    }
+
+    try {
+        uarch::SimulationResult result =
+            obtainResult(benchmark, machine_index);
+        const uarch::SimulationResult *stable = nullptr;
+        {
+            std::lock_guard<std::mutex> lock(cache_mutex_);
+            stable =
+                &cache_.emplace(std::move(key), std::move(result))
+                     .first->second;
+        }
+        {
+            std::lock_guard<std::mutex> lock(inflight_mutex_);
+            inflight_.erase(
+                CacheKey{benchmark.profile.name, machine_index});
+        }
+        promise.set_value(stable);
+        return *stable;
+    } catch (...) {
+        {
+            std::lock_guard<std::mutex> lock(inflight_mutex_);
+            inflight_.erase(
+                CacheKey{benchmark.profile.name, machine_index});
+        }
+        promise.set_exception(std::current_exception());
+        throw;
+    }
+}
+
 void
 Characterizer::prepare(
     const std::vector<suites::BenchmarkInfo> &benchmarks,
@@ -151,15 +229,22 @@ Characterizer::prepare(
     }
 #endif
 
+    // ensureResult() memoises and dedups against concurrent callers,
+    // so the fan-out body is a bare call whether it runs on the shared
+    // pool (ServiceContext) or on prepare()'s own transient threads.
+    if (pool_) {
+        for (const auto &pair : missing) {
+            pool_->submit([this, pair] {
+                ensureResult(*pair.first, pair.second);
+            });
+        }
+        pool_->wait();
+        return;
+    }
     parallelFor(missing.size(), jobs == 0 ? config_.jobs : jobs,
                 [&](std::size_t i) {
                     const auto &[benchmark, mi] = missing[i];
-                    uarch::SimulationResult result =
-                        obtainResult(*benchmark, mi);
-                    std::lock_guard<std::mutex> lock(cache_mutex_);
-                    cache_.emplace(
-                        CacheKey{benchmark->profile.name, mi},
-                        std::move(result));
+                    ensureResult(*benchmark, mi);
                 });
 }
 
@@ -179,29 +264,11 @@ Characterizer::simulation(const suites::BenchmarkInfo &benchmark,
 {
     if (machine_index >= machines_.size())
         throw std::out_of_range("Characterizer: machine index");
-
-    static obs::Counter &memo_hits =
-        obs::Registry::global().counter("core.characterize.memo_hits");
-
-    CacheKey key{benchmark.profile.name, machine_index};
-    {
-        std::lock_guard<std::mutex> lock(cache_mutex_);
-        auto it = cache_.find(key);
-        if (it != cache_.end()) {
-            memo_hits.add();
-            return it->second;
-        }
-    }
-
-    // Obtain outside the lock so concurrent misses on different
-    // pairs proceed in parallel.  Two threads racing on the same pair
-    // duplicate the (deterministic, identical) work; emplace keeps the
-    // first insert, so the returned reference is stable either way.
-    uarch::SimulationResult result =
-        obtainResult(benchmark, machine_index);
-    std::lock_guard<std::mutex> lock(cache_mutex_);
-    return cache_.emplace(std::move(key), std::move(result))
-        .first->second;
+    // ensureResult() runs the measurement outside any lock (concurrent
+    // misses on different pairs proceed in parallel) and dedups racers
+    // on the same pair through the in-flight future map, so the work
+    // happens exactly once.
+    return ensureResult(benchmark, machine_index);
 }
 
 MetricVector

@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <future>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -37,6 +38,8 @@
 
 namespace speclens {
 namespace core {
+
+class ThreadPool;
 
 /** Measurement-campaign parameters. */
 struct CharacterizationConfig
@@ -114,6 +117,20 @@ class Characterizer
 
     /** The attached store; null when none. */
     CampaignStore *store() const { return store_.get(); }
+
+    /**
+     * Attach a shared worker pool.  prepare() then fans missing pairs
+     * out as pool tasks instead of spawning its own threads, so
+     * concurrent campaigns against one ServiceContext share a single
+     * bounded set of workers.  The pool must outlive this instance
+     * (the ServiceContext owns both).  Null detaches.
+     *
+     * Caveat: ThreadPool::wait() drains the whole queue, so a
+     * prepare() may also wait out tasks a concurrent prepare()
+     * submitted — a latency (never correctness) cost.  Must not be
+     * called from a task running on the same pool.
+     */
+    void setWorkerPool(ThreadPool *pool) { pool_ = pool; }
 
     /**
      * Number of actual simulations this instance ran (store hits and
@@ -213,9 +230,21 @@ class Characterizer
     obtainResult(const suites::BenchmarkInfo &benchmark,
                  std::size_t machine_index);
 
+    /**
+     * Memoised result for one pair, computed at most once across all
+     * concurrent callers: the first thread to claim a missing pair
+     * becomes its leader (store lookup / simulation / persist); racers
+     * block on a shared future and reuse the leader's result.  The
+     * returned reference is stable (std::map node).
+     */
+    const uarch::SimulationResult &
+    ensureResult(const suites::BenchmarkInfo &benchmark,
+                 std::size_t machine_index);
+
     std::vector<uarch::MachineConfig> machines_;
     CharacterizationConfig config_;
     std::shared_ptr<CampaignStore> store_;
+    ThreadPool *pool_ = nullptr;
     std::atomic<std::size_t> simulations_run_{0};
 
     /**
@@ -227,6 +256,17 @@ class Characterizer
      */
     mutable std::mutex cache_mutex_;
     std::map<CacheKey, uarch::SimulationResult> cache_;
+
+    /**
+     * In-flight dedup map: one shared future per pair currently being
+     * measured.  Entries point into cache_ once fulfilled and are
+     * erased by the leader, so the map only ever holds the (few)
+     * pairs actively simulating.  Never held together with
+     * cache_mutex_.
+     */
+    std::mutex inflight_mutex_;
+    std::map<CacheKey, std::shared_future<const uarch::SimulationResult *>>
+        inflight_;
 };
 
 } // namespace core

@@ -2161,6 +2161,117 @@ class StorePhasedConsistencyRule final : public RuleBase
     }
 };
 
+class StoreShardLayoutRule final : public RuleBase
+{
+  public:
+    std::string code() const override { return "SL025"; }
+    std::string name() const override { return "store-shard-layout"; }
+    std::string
+    description() const override
+    {
+        return "every store entry sits in the shard its fingerprint "
+               "names; flat root entries are legacy";
+    }
+
+    void
+    run(const LintContext &context,
+        std::vector<Diagnostic> &out) const override
+    {
+        if (context.store_dir.empty()) {
+            emit(out, Severity::Info, "store",
+                 "shard-layout check skipped (no --store directory "
+                 "given)");
+            return;
+        }
+        namespace fs = std::filesystem;
+        std::error_code ec;
+        std::size_t well_placed = 0, legacy = 0, misfiled = 0;
+        for (const fs::directory_entry &entry :
+             fs::directory_iterator(context.store_dir, ec)) {
+            std::string name = entry.path().filename().string();
+            if (entry.is_regular_file() && isEntryName(name)) {
+                // Pre-shard flat layout: load() still finds these
+                // through the root fallback, so this is a warning,
+                // not an error.
+                ++legacy;
+                emit(out, Severity::Warning, "store/" + name,
+                     "entry uses the pre-shard flat layout",
+                     "re-run the campaign with --store to rewrite it "
+                     "into its fingerprint shard");
+                continue;
+            }
+            if (!entry.is_directory() ||
+                name.rfind(core::kStoreShardPrefix, 0) != 0)
+                continue;
+            for (const fs::directory_entry &file :
+                 fs::directory_iterator(entry.path(), ec)) {
+                std::string filename =
+                    file.path().filename().string();
+                if (!file.is_regular_file() ||
+                    !isEntryName(filename))
+                    continue;
+                const std::string loc =
+                    "store/" + name + "/" + filename;
+                std::uint64_t fingerprint = 0;
+                if (!parseHex16(filename.substr(0, 16),
+                                fingerprint)) {
+                    error(out, loc,
+                          "entry filename is not a 16-hex "
+                          "fingerprint");
+                    continue;
+                }
+                std::string expected = core::storeShardDirName(
+                    core::storeShardIndex(fingerprint));
+                if (name != expected) {
+                    ++misfiled;
+                    error(out, loc,
+                          "entry is filed in " + name +
+                              " but its fingerprint belongs in " +
+                              expected,
+                          "loads resolve entries by fingerprint "
+                          "shard, so a misfiled entry is unreachable "
+                          "and silently recomputed; move or delete "
+                          "it");
+                } else {
+                    ++well_placed;
+                }
+            }
+        }
+        emit(out, Severity::Info, "store",
+             std::to_string(well_placed) +
+                 " entries correctly sharded, " +
+                 std::to_string(legacy) + " legacy flat, " +
+                 std::to_string(misfiled) + " misfiled");
+    }
+
+  private:
+    static bool
+    isEntryName(const std::string &name)
+    {
+        return name.size() == 22 &&
+               name.compare(16, 6, ".slart") == 0;
+    }
+
+    static bool
+    parseHex16(const std::string &text, std::uint64_t &value)
+    {
+        if (text.size() != 16)
+            return false;
+        value = 0;
+        for (char c : text) {
+            std::uint64_t digit;
+            if (c >= '0' && c <= '9')
+                digit = static_cast<std::uint64_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                digit = static_cast<std::uint64_t>(c - 'a') + 10;
+            else
+                return false;
+            value = (value << 4) | digit;
+        }
+        return true;
+    }
+};
+
 } // namespace
 
 std::vector<const suites::BenchmarkInfo *>
@@ -2216,6 +2327,7 @@ defaultRules()
     rules.push_back(std::make_unique<ManifestSchemaRule>());
     rules.push_back(std::make_unique<ManifestStoreRule>());
     rules.push_back(std::make_unique<StorePhasedConsistencyRule>());
+    rules.push_back(std::make_unique<StoreShardLayoutRule>());
     return rules;
 }
 

@@ -30,6 +30,7 @@
  * | SL022 | manifest-schema    | run-manifest.json carries the v1 schema |
  * | SL023 | manifest-store     | manifest totals match the store on disk |
  * | SL024 | store-phased       | phased entries combine exactly          |
+ * | SL025 | store-shard-layout | entries sit in their fingerprint shard  |
  */
 
 #ifndef SPECLENS_LINT_RULES_H

@@ -6,7 +6,12 @@
 #include "manifest.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
+#include <functional>
+#include <string>
+#include <system_error>
+#include <thread>
 
 #include "export.h"
 
@@ -114,12 +119,34 @@ renderManifest(const Manifest &manifest)
 bool
 writeManifest(const std::string &path, const Manifest &manifest)
 {
+    // Temp file + atomic rename, the artifact store's idiom: a reader
+    // (or a SIGINT arriving mid-write) never observes a half-written
+    // manifest — either the previous one survives or the new one is
+    // complete.  Orphaned `run-manifest.json.tmp*` files a killed
+    // process leaves behind are swept when the store is next opened.
     std::string rendered = renderManifest(manifest);
-    std::ofstream file(path, std::ios::binary | std::ios::trunc);
-    if (file)
-        file.write(rendered.data(),
-                   static_cast<std::streamsize>(rendered.size()));
-    if (!file) {
+    std::string temp =
+        path + ".tmp" +
+        std::to_string(
+            std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    {
+        std::ofstream file(temp, std::ios::binary | std::ios::trunc);
+        if (file)
+            file.write(rendered.data(),
+                       static_cast<std::streamsize>(rendered.size()));
+        if (!file) {
+            std::fprintf(
+                stderr,
+                "[speclens-obs] warning: cannot write manifest to "
+                "%s\n",
+                path.c_str());
+            return false;
+        }
+    }
+    std::error_code ec;
+    std::filesystem::rename(temp, path, ec);
+    if (ec) {
+        std::filesystem::remove(temp, ec);
         std::fprintf(stderr,
                      "[speclens-obs] warning: cannot write manifest to "
                      "%s\n",

@@ -1,0 +1,463 @@
+/**
+ * @file
+ * Wire-protocol implementation: flat-JSON codec and frame I/O.
+ */
+
+#include "protocol.h"
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <map>
+
+namespace speclens {
+namespace serve {
+
+namespace {
+
+// ----- Flat JSON parsing ----------------------------------------------
+//
+// The protocol needs no general JSON library: requests and responses
+// are single-level objects whose values are strings, unsigned
+// integers, booleans or arrays of strings.  The parser below accepts
+// exactly that grammar (with arbitrary whitespace) and rejects
+// everything else, which doubles as input validation for the server.
+
+/** One parsed value. */
+struct JsonValue
+{
+    enum class Kind { String, Number, Bool, Array } kind = Kind::String;
+    std::string str;
+    std::uint64_t num = 0;
+    bool flag = false;
+    std::vector<std::string> items;
+};
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    /** Parse the whole payload as one flat object. */
+    bool parseObject(std::map<std::string, JsonValue> &fields)
+    {
+        skipSpace();
+        if (!consume('{'))
+            return false;
+        skipSpace();
+        if (consume('}'))
+            return atEnd();
+        while (true) {
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipSpace();
+            if (!consume(':'))
+                return false;
+            JsonValue value;
+            if (!parseValue(value))
+                return false;
+            fields[key] = std::move(value);
+            skipSpace();
+            if (consume(',')) {
+                skipSpace();
+                continue;
+            }
+            if (consume('}'))
+                return atEnd();
+            return false;
+        }
+    }
+
+  private:
+    void skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool atEnd()
+    {
+        skipSpace();
+        return pos_ == text_.size();
+    }
+
+    bool parseHex4(unsigned &out)
+    {
+        out = 0;
+        for (int i = 0; i < 4; ++i) {
+            if (pos_ >= text_.size())
+                return false;
+            char c = text_[pos_++];
+            unsigned digit;
+            if (c >= '0' && c <= '9')
+                digit = static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                digit = static_cast<unsigned>(c - 'a') + 10;
+            else if (c >= 'A' && c <= 'F')
+                digit = static_cast<unsigned>(c - 'A') + 10;
+            else
+                return false;
+            out = (out << 4) | digit;
+        }
+        return true;
+    }
+
+    bool parseString(std::string &out)
+    {
+        skipSpace();
+        if (!consume('"'))
+            return false;
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (pos_ >= text_.size())
+                return false;
+            char esc = text_[pos_++];
+            switch (esc) {
+            case '"': out.push_back('"'); break;
+            case '\\': out.push_back('\\'); break;
+            case '/': out.push_back('/'); break;
+            case 'n': out.push_back('\n'); break;
+            case 't': out.push_back('\t'); break;
+            case 'r': out.push_back('\r'); break;
+            case 'b': out.push_back('\b'); break;
+            case 'f': out.push_back('\f'); break;
+            case 'u': {
+                unsigned code;
+                if (!parseHex4(code) || code > 0xff)
+                    return false; // encoder only emits \u00XX
+                out.push_back(static_cast<char>(code));
+                break;
+            }
+            default: return false;
+            }
+        }
+        return false; // unterminated
+    }
+
+    bool parseValue(JsonValue &value)
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return false;
+        char c = text_[pos_];
+        if (c == '"') {
+            value.kind = JsonValue::Kind::String;
+            return parseString(value.str);
+        }
+        if (c == '[') {
+            ++pos_;
+            value.kind = JsonValue::Kind::Array;
+            skipSpace();
+            if (consume(']'))
+                return true;
+            while (true) {
+                std::string item;
+                if (!parseString(item))
+                    return false;
+                value.items.push_back(std::move(item));
+                skipSpace();
+                if (consume(',')) {
+                    skipSpace();
+                    continue;
+                }
+                return consume(']');
+            }
+        }
+        if (c == 't' || c == 'f') {
+            const char *word = c == 't' ? "true" : "false";
+            for (const char *p = word; *p; ++p)
+                if (pos_ >= text_.size() || text_[pos_++] != *p)
+                    return false;
+            value.kind = JsonValue::Kind::Bool;
+            value.flag = c == 't';
+            return true;
+        }
+        if (c >= '0' && c <= '9') {
+            value.kind = JsonValue::Kind::Number;
+            value.num = 0;
+            while (pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9') {
+                std::uint64_t digit =
+                    static_cast<std::uint64_t>(text_[pos_] - '0');
+                if (value.num > (UINT64_MAX - digit) / 10)
+                    return false; // overflow
+                value.num = value.num * 10 + digit;
+                ++pos_;
+            }
+            return true;
+        }
+        return false;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+// ----- Socket helpers --------------------------------------------------
+
+/** recv() exactly @p count bytes; 0 = clean EOF at offset 0. */
+FrameStatus
+recvAll(int fd, void *buffer, std::size_t count)
+{
+    char *out = static_cast<char *>(buffer);
+    std::size_t done = 0;
+    while (done < count) {
+        ssize_t n = ::recv(fd, out + done, count - done, 0);
+        if (n == 0)
+            return done == 0 ? FrameStatus::Eof : FrameStatus::Error;
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return FrameStatus::Error;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return FrameStatus::Ok;
+}
+
+/** send() all of @p count bytes (MSG_NOSIGNAL: no SIGPIPE). */
+bool
+sendAll(int fd, const void *buffer, std::size_t count)
+{
+    const char *in = static_cast<const char *>(buffer);
+    std::size_t done = 0;
+    while (done < count) {
+        ssize_t n = ::send(fd, in + done, count - done, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        done += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+std::string
+opName(Op op)
+{
+    switch (op) {
+    case Op::Characterize: return "characterize";
+    case Op::Subset: return "subset";
+    case Op::Sensitivity: return "sensitivity";
+    case Op::Stats: return "stats";
+    case Op::Shutdown: return "shutdown";
+    }
+    return "stats";
+}
+
+bool
+opFromName(const std::string &name, Op &op)
+{
+    if (name == "characterize")
+        op = Op::Characterize;
+    else if (name == "subset")
+        op = Op::Subset;
+    else if (name == "sensitivity")
+        op = Op::Sensitivity;
+    else if (name == "stats")
+        op = Op::Stats;
+    else if (name == "shutdown")
+        op = Op::Shutdown;
+    else
+        return false;
+    return true;
+}
+
+std::string
+jsonQuote(const std::string &text)
+{
+    std::string out = "\"";
+    for (char c : text) {
+        unsigned char u = static_cast<unsigned char>(c);
+        if (c == '"')
+            out += "\\\"";
+        else if (c == '\\')
+            out += "\\\\";
+        else if (u < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x", u);
+            out += buffer;
+        } else {
+            out.push_back(c);
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+encodeRequest(const Request &request)
+{
+    std::string out = "{\"op\": " + jsonQuote(opName(request.op));
+    if (!request.benchmarks.empty()) {
+        out += ", \"benchmarks\": [";
+        const char *sep = "";
+        for (const std::string &name : request.benchmarks) {
+            out += sep;
+            out += jsonQuote(name);
+            sep = ", ";
+        }
+        out += "]";
+    }
+    if (!request.category.empty())
+        out += ", \"category\": " + jsonQuote(request.category);
+    if (request.op == Op::Subset)
+        out += ", \"k\": " + std::to_string(request.k);
+    if (!request.metric.empty())
+        out += ", \"metric\": " + jsonQuote(request.metric);
+    out += "}";
+    return out;
+}
+
+std::string
+encodeResponse(const Response &response)
+{
+    return std::string("{\"ok\": ") +
+           (response.ok ? "true" : "false") +
+           ", \"output\": " + jsonQuote(response.output) +
+           ", \"error\": " + jsonQuote(response.error) + "}";
+}
+
+bool
+decodeRequest(const std::string &payload, Request &request,
+              std::string &error)
+{
+    std::map<std::string, JsonValue> fields;
+    Parser parser(payload);
+    if (!parser.parseObject(fields)) {
+        error = "malformed request frame";
+        return false;
+    }
+    auto op = fields.find("op");
+    if (op == fields.end() ||
+        op->second.kind != JsonValue::Kind::String ||
+        !opFromName(op->second.str, request.op)) {
+        error = "unknown op";
+        return false;
+    }
+    auto benchmarks = fields.find("benchmarks");
+    if (benchmarks != fields.end()) {
+        if (benchmarks->second.kind != JsonValue::Kind::Array) {
+            error = "benchmarks must be an array of strings";
+            return false;
+        }
+        request.benchmarks = std::move(benchmarks->second.items);
+    }
+    auto category = fields.find("category");
+    if (category != fields.end()) {
+        if (category->second.kind != JsonValue::Kind::String) {
+            error = "category must be a string";
+            return false;
+        }
+        request.category = std::move(category->second.str);
+    }
+    auto k = fields.find("k");
+    if (k != fields.end()) {
+        if (k->second.kind != JsonValue::Kind::Number) {
+            error = "k must be an unsigned integer";
+            return false;
+        }
+        request.k = static_cast<std::size_t>(k->second.num);
+    }
+    auto metric = fields.find("metric");
+    if (metric != fields.end()) {
+        if (metric->second.kind != JsonValue::Kind::String) {
+            error = "metric must be a string";
+            return false;
+        }
+        request.metric = std::move(metric->second.str);
+    }
+    return true;
+}
+
+bool
+decodeResponse(const std::string &payload, Response &response,
+               std::string &error)
+{
+    std::map<std::string, JsonValue> fields;
+    Parser parser(payload);
+    if (!parser.parseObject(fields)) {
+        error = "malformed response frame";
+        return false;
+    }
+    auto ok = fields.find("ok");
+    if (ok == fields.end() || ok->second.kind != JsonValue::Kind::Bool) {
+        error = "response missing ok";
+        return false;
+    }
+    response.ok = ok->second.flag;
+    auto output = fields.find("output");
+    if (output != fields.end() &&
+        output->second.kind == JsonValue::Kind::String)
+        response.output = std::move(output->second.str);
+    auto err = fields.find("error");
+    if (err != fields.end() &&
+        err->second.kind == JsonValue::Kind::String)
+        response.error = std::move(err->second.str);
+    return true;
+}
+
+FrameStatus
+readFrame(int fd, std::string &payload, std::size_t max_bytes)
+{
+    unsigned char header[4];
+    FrameStatus status = recvAll(fd, header, sizeof(header));
+    if (status != FrameStatus::Ok)
+        return status;
+    std::uint32_t length = (static_cast<std::uint32_t>(header[0]) << 24) |
+                           (static_cast<std::uint32_t>(header[1]) << 16) |
+                           (static_cast<std::uint32_t>(header[2]) << 8) |
+                           static_cast<std::uint32_t>(header[3]);
+    if (length > max_bytes)
+        return FrameStatus::TooLarge;
+    payload.resize(length);
+    if (length == 0)
+        return FrameStatus::Ok;
+    status = recvAll(fd, payload.data(), length);
+    return status == FrameStatus::Ok ? FrameStatus::Ok
+                                     : FrameStatus::Error;
+}
+
+bool
+writeFrame(int fd, const std::string &payload)
+{
+    if (payload.size() > kMaxFrameBytes)
+        return false;
+    std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+    unsigned char header[4] = {
+        static_cast<unsigned char>((length >> 24) & 0xff),
+        static_cast<unsigned char>((length >> 16) & 0xff),
+        static_cast<unsigned char>((length >> 8) & 0xff),
+        static_cast<unsigned char>(length & 0xff),
+    };
+    if (!sendAll(fd, header, sizeof(header)))
+        return false;
+    return sendAll(fd, payload.data(), payload.size());
+}
+
+} // namespace serve
+} // namespace speclens

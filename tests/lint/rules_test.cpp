@@ -684,6 +684,79 @@ TEST(Rules, SL024_StorePhasedConsistency)
     expectFires("SL024", context);
 }
 
+/** The `<16-hex>.slart` basename the store files @p key under. */
+std::string
+entryBaseName(const core::StoreKey &key)
+{
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(key.fingerprint));
+    return std::string(hex) + ".slart";
+}
+
+TEST(Rules, SL025_SkipNoteWithoutStore)
+{
+    std::vector<Diagnostic> found = runRule("SL025", cleanContext());
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0].severity, Severity::Info);
+}
+
+TEST(Rules, SL025_MisfiledEntryIsAnError)
+{
+    TempDir dir("speclens_sl025_test");
+    core::CampaignStore store(dir.path.string());
+    LintContext context = cleanContext();
+    context.store_dir = dir.path.string();
+    uarch::SimulationConfig window;
+    window.instructions = 2'000;
+    window.warmup = 500;
+
+    core::StoreKey key = core::makeStoreKey(
+        context.cpu2017[0].profile, context.machines[0], window);
+    store.save(key, uarch::simulate(context.cpu2017[0].profile,
+                                    context.machines[0], window));
+    EXPECT_EQ(errorCount(runRule("SL025", context)), 0u);
+
+    // File the entry under the next shard over: unreachable by lookup.
+    std::size_t home = core::storeShardIndex(key.fingerprint);
+    std::size_t wrong = (home + 1) % core::CampaignStore::shardCount();
+    std::filesystem::path name = entryBaseName(key);
+    std::filesystem::create_directories(dir.path /
+                                        core::storeShardDirName(wrong));
+    std::filesystem::rename(
+        dir.path / core::storeShardDirName(home) / name,
+        dir.path / core::storeShardDirName(wrong) / name);
+    expectFires("SL025", context);
+}
+
+TEST(Rules, SL025_LegacyFlatEntryIsAWarning)
+{
+    TempDir dir("speclens_sl025_legacy_test");
+    core::CampaignStore store(dir.path.string());
+    LintContext context = cleanContext();
+    context.store_dir = dir.path.string();
+    uarch::SimulationConfig window;
+    window.instructions = 2'000;
+    window.warmup = 500;
+
+    core::StoreKey key = core::makeStoreKey(
+        context.cpu2017[0].profile, context.machines[0], window);
+    store.save(key, uarch::simulate(context.cpu2017[0].profile,
+                                    context.machines[0], window));
+
+    // A pre-shard store kept entries in the root: readable, so only a
+    // warning, never an error.
+    std::filesystem::path name = entryBaseName(key);
+    std::filesystem::rename(
+        dir.path / core::storeShardDirName(
+                       core::storeShardIndex(key.fingerprint)) /
+            name,
+        dir.path / name);
+    std::vector<Diagnostic> found = runRule("SL025", context);
+    EXPECT_EQ(errorCount(found), 0u);
+    EXPECT_GE(countSeverity(found, Severity::Warning), 1u);
+}
+
 } // namespace
 } // namespace lint
 } // namespace speclens

@@ -1,0 +1,534 @@
+/**
+ * @file
+ * Serving-layer tests (ctest label `serve`).
+ *
+ * Covers the shared-core concurrency contracts the daemon is built
+ * on: the sharded store serves parallel mixed read/write traffic with
+ * byte-identical files to a serial run, the in-memory result LRU
+ * stays within its bounds, two concurrent identical queries share
+ * exactly one simulation, the wire protocol round-trips hostile
+ * strings, daemon responses are byte-identical to direct query-op
+ * rendering, a warm store answers queries with zero simulations, and
+ * a graceful drain drops nothing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/artifact_store.h"
+#include "core/characterization.h"
+#include "core/query_ops.h"
+#include "core/service_context.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "suites/machines.h"
+#include "suites/spec2017.h"
+#include "uarch/simulation.h"
+
+using namespace speclens;
+
+namespace {
+
+/** Fresh (pre-cleaned) store directory unique to one test. */
+std::string
+storeDir(const std::string &test)
+{
+    std::filesystem::path dir =
+        std::filesystem::temp_directory_path() /
+        ("speclens_serve_test_" + test);
+    std::filesystem::remove_all(dir);
+    return dir.string();
+}
+
+/** Tiny window so the cross products stay fast. */
+uarch::SimulationConfig
+tinyWindow()
+{
+    uarch::SimulationConfig config;
+    config.instructions = 2'000;
+    config.warmup = 500;
+    return config;
+}
+
+core::ServiceConfig
+tinyServiceConfig(const std::string &store = "")
+{
+    core::ServiceConfig config;
+    config.characterization.instructions = 2'000;
+    config.characterization.warmup = 500;
+    config.store_dir = store;
+    return config;
+}
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+/** The sharded on-disk path of @p key under @p dir. */
+std::string
+shardedPath(const std::string &dir, const core::StoreKey &key)
+{
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(key.fingerprint));
+    return dir + "/" +
+           core::storeShardDirName(
+               core::storeShardIndex(key.fingerprint)) +
+           "/" + hex + ".slart";
+}
+
+/** Start @p server's accept loop on a background thread. */
+std::thread
+serveOnThread(serve::Server &server)
+{
+    return std::thread([&server]() { server.serveForever(); });
+}
+
+} // namespace
+
+// Eight threads hammering one sharded store with mixed save/load
+// traffic must leave exactly the same files on disk as a serial
+// single-threaded campaign over the same pairs.
+TEST(ShardedStore, ParallelMixedTrafficMatchesSerialStoreBytes)
+{
+    const uarch::SimulationConfig window = tinyWindow();
+    const auto &machines = suites::profilingMachines();
+    std::vector<suites::BenchmarkInfo> benchmarks =
+        suites::spec2017();
+    benchmarks.resize(16);
+
+    // Serial reference.
+    const std::string serial_dir = storeDir("parity_serial");
+    {
+        core::CampaignStore store(serial_dir);
+        for (const auto &benchmark : benchmarks)
+            for (const auto &machine : machines)
+                core::storedSimulate(&store, benchmark.profile,
+                                     machine, window);
+    }
+
+    // Parallel: 8 threads interleave saves (fresh simulate) and loads
+    // across all shards.
+    const std::string parallel_dir = storeDir("parity_parallel");
+    {
+        core::CampaignStore store(parallel_dir);
+        std::vector<std::thread> threads;
+        for (std::size_t t = 0; t < 8; ++t) {
+            threads.emplace_back([&, t]() {
+                for (std::size_t i = t; i < benchmarks.size();
+                     i += 8) {
+                    for (const auto &machine : machines)
+                        core::storedSimulate(&store,
+                                             benchmarks[i].profile,
+                                             machine, window);
+                }
+                // Re-load a stride of everyone's entries (read side
+                // of the mixed traffic; misses are fine while other
+                // threads are still writing).
+                for (std::size_t i = 0; i < benchmarks.size(); ++i) {
+                    core::StoreKey key = core::makeStoreKey(
+                        benchmarks[i].profile, machines[t % machines.size()],
+                        window);
+                    uarch::SimulationResult result;
+                    store.load(key, result);
+                }
+            });
+        }
+        for (std::thread &thread : threads)
+            thread.join();
+    }
+
+    std::size_t compared = 0;
+    for (const auto &benchmark : benchmarks)
+        for (const auto &machine : machines) {
+            core::StoreKey key = core::makeStoreKey(
+                benchmark.profile, machine, window);
+            std::string serial_bytes =
+                readFile(shardedPath(serial_dir, key));
+            std::string parallel_bytes =
+                readFile(shardedPath(parallel_dir, key));
+            ASSERT_FALSE(serial_bytes.empty()) << benchmark.name;
+            EXPECT_EQ(serial_bytes, parallel_bytes)
+                << benchmark.name << " on " << machine.name;
+            ++compared;
+        }
+    EXPECT_EQ(compared, benchmarks.size() * machines.size());
+
+    std::filesystem::remove_all(serial_dir);
+    std::filesystem::remove_all(parallel_dir);
+}
+
+// Every entry must land in the shard its fingerprint's top nibble
+// names, and a pre-shard flat-layout entry left in the store root
+// must still load (legacy fallback).
+TEST(ShardedStore, EntriesLandInFingerprintShardAndLegacyRootLoads)
+{
+    const std::string dir = storeDir("layout");
+    const uarch::SimulationConfig window = tinyWindow();
+    const auto &benchmark = suites::spec2017().front();
+    const auto &machine = suites::profilingMachines().front();
+
+    core::StoreKey key =
+        core::makeStoreKey(benchmark.profile, machine, window);
+    {
+        core::CampaignStore store(dir);
+        core::storedSimulate(&store, benchmark.profile, machine,
+                             window);
+        EXPECT_TRUE(std::filesystem::exists(shardedPath(dir, key)));
+
+        // Demote the entry to the pre-shard flat layout.
+        std::filesystem::path flat =
+            std::filesystem::path(dir) /
+            std::filesystem::path(shardedPath(dir, key)).filename();
+        std::filesystem::rename(shardedPath(dir, key), flat);
+    }
+    core::CampaignStore reopened(dir);
+    uarch::SimulationResult result;
+    EXPECT_EQ(reopened.load(key, result), core::StoreStatus::Hit);
+    EXPECT_EQ(reopened.counters().hits, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+// The in-memory result LRU never exceeds its configured capacity, and
+// eviction / hit counters move.
+TEST(ShardedStore, LruStaysBoundedAndCountsHitsAndEvictions)
+{
+    const std::string dir = storeDir("lru");
+    const uarch::SimulationConfig window = tinyWindow();
+    const auto &machines = suites::profilingMachines();
+    std::vector<suites::BenchmarkInfo> benchmarks =
+        suites::spec2017();
+    benchmarks.resize(12);
+
+    const std::size_t capacity = 16;
+    core::CampaignStore store(dir, capacity);
+    EXPECT_EQ(store.lruCapacity(), capacity);
+
+    for (const auto &benchmark : benchmarks)
+        for (const auto &machine : machines)
+            core::storedSimulate(&store, benchmark.profile, machine,
+                                 window);
+    EXPECT_EQ(store.lruSize(), 0u) << "save must not populate the LRU";
+
+    // Load everything twice: first pass fills (and overflows) the
+    // LRU from disk, second pass gets at least some LRU hits.
+    for (int pass = 0; pass < 2; ++pass)
+        for (const auto &benchmark : benchmarks)
+            for (const auto &machine : machines) {
+                core::StoreKey key = core::makeStoreKey(
+                    benchmark.profile, machine, window);
+                uarch::SimulationResult result;
+                ASSERT_EQ(store.load(key, result),
+                          core::StoreStatus::Hit);
+            }
+
+    EXPECT_LE(store.lruSize(), capacity);
+    EXPECT_GT(store.counters().lru_evictions, 0u);
+    // 84 entries > 16 slots: consecutive same-key loads are not in
+    // the access pattern, but per-shard recency means *some* reload
+    // lands in cache; assert on an explicit immediate re-load.
+    core::StoreKey key = core::makeStoreKey(
+        benchmarks.front().profile, machines.front(), window);
+    uarch::SimulationResult result;
+    ASSERT_EQ(store.load(key, result), core::StoreStatus::Hit);
+    std::size_t before = store.counters().lru_hits;
+    ASSERT_EQ(store.load(key, result), core::StoreStatus::Hit);
+    EXPECT_GT(store.counters().lru_hits, before);
+    std::filesystem::remove_all(dir);
+}
+
+// An LRU-cached result whose backing file was truncated after caching
+// must be revalidated against the disk (size check) and recomputed —
+// the cache must never outlive the artifact it mirrors.
+TEST(ShardedStore, LruRevalidatesBackingFileSize)
+{
+    const std::string dir = storeDir("lru_revalidate");
+    const uarch::SimulationConfig window = tinyWindow();
+    const auto &benchmark = suites::spec2017().front();
+    const auto &machine = suites::profilingMachines().front();
+
+    core::CampaignStore store(dir);
+    core::storedSimulate(&store, benchmark.profile, machine, window);
+    core::StoreKey key =
+        core::makeStoreKey(benchmark.profile, machine, window);
+    uarch::SimulationResult result;
+    ASSERT_EQ(store.load(key, result), core::StoreStatus::Hit);
+    ASSERT_EQ(store.lruSize(), 1u);
+
+    std::filesystem::resize_file(shardedPath(dir, key), 20);
+    EXPECT_EQ(store.load(key, result), core::StoreStatus::Corrupt);
+    std::filesystem::remove_all(dir);
+}
+
+// Two concurrent identical queries against one shared Characterizer
+// must run exactly one simulation: one thread simulates, the other
+// blocks on the in-flight future and shares the result.
+TEST(ServiceContext, ConcurrentIdenticalQueriesShareOneSimulation)
+{
+    core::ServiceContext context(tinyServiceConfig());
+    std::vector<uarch::MachineConfig> one_machine = {
+        suites::profilingMachines().front()};
+    core::Characterizer &characterizer =
+        context.characterizerFor(one_machine);
+    const auto &benchmark = suites::spec2017().front();
+
+    std::atomic<int> ready{0};
+    auto race = [&]() {
+        ready.fetch_add(1);
+        while (ready.load() < 2) {
+        } // spin: maximise overlap
+        characterizer.simulation(benchmark, 0);
+    };
+    std::thread a(race), b(race);
+    a.join();
+    b.join();
+    EXPECT_EQ(context.simulationsRun(), 1u);
+}
+
+// The same machine set requested twice must yield the same pooled
+// Characterizer; a different set gets its own.
+TEST(ServiceContext, PoolsCharacterizersByMachineSet)
+{
+    core::ServiceContext context(tinyServiceConfig());
+    core::Characterizer &a =
+        context.characterizerFor(context.profilingMachines());
+    core::Characterizer &b =
+        context.characterizerFor(context.profilingMachines());
+    core::Characterizer &c =
+        context.characterizerFor(context.sensitivityMachines());
+    EXPECT_EQ(&a, &b);
+    EXPECT_NE(&a, &c);
+}
+
+// The registry indexes every shipped suite by CLI-visible name.
+TEST(ServiceContext, RegistryFindsBenchmarksAcrossSuites)
+{
+    core::ServiceContext context(tinyServiceConfig());
+    ASSERT_NE(context.findBenchmark("505.mcf_r"), nullptr);
+    EXPECT_EQ(context.findBenchmark("505.mcf_r")->name, "505.mcf_r");
+    EXPECT_EQ(context.findBenchmark("no-such-benchmark"), nullptr);
+    EXPECT_FALSE(context.cpu2017().empty());
+    EXPECT_FALSE(context.cpu2006().empty());
+}
+
+// Wire protocol: requests and responses round-trip, including strings
+// full of JSON-hostile bytes.
+TEST(Protocol, RequestRoundTripsHostileStrings)
+{
+    serve::Request request;
+    request.op = serve::Op::Characterize;
+    request.benchmarks = {"505.mcf_r", "with \"quotes\"\n\tand\\back",
+                          std::string("nul\x01byte")};
+    serve::Request decoded;
+    std::string error;
+    ASSERT_TRUE(serve::decodeRequest(serve::encodeRequest(request),
+                                     decoded, error))
+        << error;
+    EXPECT_EQ(decoded.op, serve::Op::Characterize);
+    EXPECT_EQ(decoded.benchmarks, request.benchmarks);
+
+    serve::Request subset;
+    subset.op = serve::Op::Subset;
+    subset.category = "rate-int";
+    subset.k = 7;
+    ASSERT_TRUE(serve::decodeRequest(serve::encodeRequest(subset),
+                                     decoded, error));
+    EXPECT_EQ(decoded.op, serve::Op::Subset);
+    EXPECT_EQ(decoded.category, "rate-int");
+    EXPECT_EQ(decoded.k, 7u);
+}
+
+TEST(Protocol, ResponseRoundTripsAndRejectsMalformed)
+{
+    serve::Response response;
+    response.ok = true;
+    response.output = "line one\nline \"two\"\t\\end\n";
+    serve::Response decoded;
+    std::string error;
+    ASSERT_TRUE(serve::decodeResponse(
+        serve::encodeResponse(response), decoded, error));
+    EXPECT_TRUE(decoded.ok);
+    EXPECT_EQ(decoded.output, response.output);
+
+    serve::Request request;
+    EXPECT_FALSE(serve::decodeRequest("not json", request, error));
+    EXPECT_FALSE(serve::decodeRequest("{\"op\": \"nonsense\"}",
+                                      request, error));
+    EXPECT_FALSE(serve::decodeRequest(
+        "{\"op\": \"subset\", \"k\": \"three\"}", request, error));
+    EXPECT_FALSE(
+        serve::decodeRequest("{\"op\": \"stats\"} trailing", request,
+                             error));
+}
+
+// A daemon answer must be byte-identical to direct query-op
+// rendering, from many concurrent clients at once.
+TEST(Serve, ConcurrentClientsGetByteIdenticalAnswers)
+{
+    serve::ServerConfig config;
+    config.service = tinyServiceConfig();
+    serve::Server server(config);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    std::thread accept_thread = serveOnThread(server);
+
+    core::QueryOutcome direct = core::runCharacterizeQuery(
+        *server.context(), {"505.mcf_r"});
+    ASSERT_TRUE(direct.ok);
+
+    std::vector<std::string> outputs(8);
+    std::vector<std::thread> clients;
+    for (std::size_t c = 0; c < outputs.size(); ++c) {
+        clients.emplace_back([&, c]() {
+            serve::Client client;
+            std::string client_error;
+            if (!client.connect("127.0.0.1", server.port(),
+                                &client_error))
+                return;
+            serve::Request request;
+            request.op = serve::Op::Characterize;
+            request.benchmarks = {"505.mcf_r"};
+            serve::Response response;
+            if (client.call(request, &response, &client_error) &&
+                response.ok)
+                outputs[c] = response.output;
+        });
+    }
+    for (std::thread &client : clients)
+        client.join();
+    for (const std::string &output : outputs)
+        EXPECT_EQ(output, direct.output);
+
+    server.requestDrain();
+    accept_thread.join();
+    EXPECT_EQ(server.stats().dropped, 0u);
+}
+
+// A rejected query reports the error without killing the connection.
+TEST(Serve, RejectsUnknownBenchmarkButKeepsServing)
+{
+    serve::ServerConfig config;
+    config.service = tinyServiceConfig();
+    serve::Server server(config);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    std::thread accept_thread = serveOnThread(server);
+
+    serve::Client client;
+    ASSERT_TRUE(client.connect("127.0.0.1", server.port(), &error))
+        << error;
+    serve::Request request;
+    request.op = serve::Op::Characterize;
+    request.benchmarks = {"no-such-benchmark"};
+    serve::Response response;
+    ASSERT_TRUE(client.call(request, &response, &error)) << error;
+    EXPECT_FALSE(response.ok);
+    EXPECT_EQ(response.error, "unknown benchmark: no-such-benchmark");
+
+    // Same connection still answers.
+    request.op = serve::Op::Stats;
+    request.benchmarks.clear();
+    ASSERT_TRUE(client.call(request, &response, &error)) << error;
+    EXPECT_TRUE(response.ok);
+
+    server.requestDrain();
+    accept_thread.join();
+    EXPECT_EQ(server.stats().errors, 1u);
+    EXPECT_EQ(server.stats().dropped, 0u);
+}
+
+// Warm-store acceptance criterion: a second daemon over a populated
+// store answers the same query byte-identically with ZERO simulations.
+TEST(Serve, WarmStoreQueryRunsZeroSimulations)
+{
+    const std::string dir = storeDir("warm");
+    std::string cold_output;
+    {
+        serve::ServerConfig config;
+        config.service = tinyServiceConfig(dir);
+        serve::Server server(config);
+        std::string error;
+        ASSERT_TRUE(server.start(&error)) << error;
+        std::thread accept_thread = serveOnThread(server);
+        serve::Client client;
+        ASSERT_TRUE(
+            client.connect("127.0.0.1", server.port(), &error));
+        serve::Request request;
+        request.op = serve::Op::Characterize;
+        request.benchmarks = {"505.mcf_r"};
+        serve::Response response;
+        ASSERT_TRUE(client.call(request, &response, &error));
+        ASSERT_TRUE(response.ok);
+        cold_output = response.output;
+        EXPECT_GT(server.context()->simulationsRun(), 0u);
+        server.requestDrain();
+        accept_thread.join();
+    }
+    {
+        serve::ServerConfig config;
+        config.service = tinyServiceConfig(dir);
+        serve::Server server(config);
+        std::string error;
+        ASSERT_TRUE(server.start(&error)) << error;
+        std::thread accept_thread = serveOnThread(server);
+        serve::Client client;
+        ASSERT_TRUE(
+            client.connect("127.0.0.1", server.port(), &error));
+        serve::Request request;
+        request.op = serve::Op::Characterize;
+        request.benchmarks = {"505.mcf_r"};
+        serve::Response response;
+        ASSERT_TRUE(client.call(request, &response, &error));
+        ASSERT_TRUE(response.ok);
+        EXPECT_EQ(response.output, cold_output);
+        EXPECT_EQ(server.context()->simulationsRun(), 0u);
+        server.requestDrain();
+        accept_thread.join();
+    }
+    std::filesystem::remove_all(dir);
+}
+
+// The shutdown op answers, then the server drains and returns; idle
+// parked connections are half-closed cleanly, dropping nothing.
+TEST(Serve, ShutdownOpDrainsGracefullyWithIdleConnections)
+{
+    serve::ServerConfig config;
+    config.service = tinyServiceConfig();
+    serve::Server server(config);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    std::thread accept_thread = serveOnThread(server);
+
+    serve::Client idle;
+    ASSERT_TRUE(idle.connect("127.0.0.1", server.port(), &error));
+
+    serve::Client controller;
+    ASSERT_TRUE(controller.connect("127.0.0.1", server.port(),
+                                   &error));
+    serve::Request request;
+    request.op = serve::Op::Shutdown;
+    serve::Response response;
+    ASSERT_TRUE(controller.call(request, &response, &error)) << error;
+    EXPECT_TRUE(response.ok);
+
+    accept_thread.join(); // returns once drained
+    EXPECT_TRUE(server.draining());
+    EXPECT_EQ(server.stats().dropped, 0u);
+
+    // The drained server no longer accepts.
+    serve::Client late;
+    EXPECT_FALSE(late.connect("127.0.0.1", server.port(), &error));
+}

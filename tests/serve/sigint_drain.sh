@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# SIGINT-clean shutdown check for the serve daemon.
+#
+# Starts `speclens serve` on an ephemeral port, interrupts it, and
+# requires: exit status 0, the "[speclens-serve] drained" line on
+# stderr, a run manifest next to the store, and no leftover temp files
+# anywhere in the store tree (the atomic temp+rename write idiom must
+# hold under signals).
+#
+# usage: sigint_drain.sh <path-to-speclens> <store-dir>
+set -u
+
+CLI="$1"
+STORE="$2"
+rm -rf "$STORE"
+OUT=$(mktemp)
+ERR=$(mktemp)
+trap 'rm -f "$OUT" "$ERR"' EXIT
+
+"$CLI" serve --port 0 --instructions 2000 --warmup 500 \
+    --store "$STORE" > "$OUT" 2> "$ERR" &
+PID=$!
+
+for _ in $(seq 1 100); do
+    grep -q listening "$OUT" 2>/dev/null && break
+    sleep 0.1
+done
+if ! grep -q listening "$OUT"; then
+    echo "FAIL: daemon never printed its listening line" >&2
+    kill -9 "$PID" 2>/dev/null
+    exit 1
+fi
+
+kill -INT "$PID"
+wait "$PID"
+STATUS=$?
+if [ "$STATUS" -ne 0 ]; then
+    echo "FAIL: daemon exited $STATUS after SIGINT" >&2
+    exit 1
+fi
+if ! grep -q "speclens-serve.*drained" "$ERR"; then
+    echo "FAIL: no drained summary on stderr" >&2
+    cat "$ERR" >&2
+    exit 1
+fi
+if [ ! -f "$STORE/run-manifest.json" ]; then
+    echo "FAIL: no run manifest written on drain" >&2
+    exit 1
+fi
+LEFTOVER=$(find "$STORE" -name '*.tmp*' | wc -l)
+if [ "$LEFTOVER" -ne 0 ]; then
+    echo "FAIL: $LEFTOVER temp files left in the store" >&2
+    exit 1
+fi
+echo "ok: SIGINT drain clean"

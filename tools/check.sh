@@ -182,4 +182,44 @@ fi
 rm -rf "$STORE_DIR" "$BUILD_DIR/check-metrics.json"
 echo "metrics on: stdout unchanged, metrics exported, manifest valid"
 
+step "serve smoke"
+# The daemon must answer byte-for-byte what the batch CLI prints for
+# the same question, then drain cleanly on the shutdown op; the
+# loadtest must hold response parity across concurrent clients and
+# leave a well-formed JSON artifact.
+SERVE_STORE="$BUILD_DIR/serve-store"
+rm -rf "$SERVE_STORE"
+"$BUILD_DIR"/tools/speclens serve --port 0 --store "$SERVE_STORE" \
+    --instructions 5000 --warmup 1500 \
+    >"$BUILD_DIR/serve.out" 2>"$BUILD_DIR/serve.err" &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+    grep -q listening "$BUILD_DIR/serve.out" 2>/dev/null && break
+    sleep 0.1
+done
+SERVE_PORT="$(sed -n 's/.*port=\([0-9]*\).*/\1/p' "$BUILD_DIR/serve.out")"
+[[ -n "$SERVE_PORT" ]]
+"$BUILD_DIR"/tools/speclens query --port "$SERVE_PORT" \
+    characterize 500.perlbench_r 505.mcf_r \
+    >"$BUILD_DIR/serve-query.out"
+"$BUILD_DIR"/tools/speclens characterize \
+    --instructions 5000 --warmup 1500 500.perlbench_r 505.mcf_r \
+    >"$BUILD_DIR/serve-batch.out"
+cmp "$BUILD_DIR/serve-query.out" "$BUILD_DIR/serve-batch.out"
+"$BUILD_DIR"/tools/speclens query --port "$SERVE_PORT" shutdown \
+    >/dev/null
+wait "$SERVE_PID"
+grep -q drained "$BUILD_DIR/serve.err"
+"$BUILD_DIR"/bench/bench_serve_loadtest --clients 4 --requests 6 \
+    --instructions 5000 --warmup 1500 --store "$SERVE_STORE" \
+    --out "$BUILD_DIR/serve_loadtest.json" \
+    >"$BUILD_DIR/serve-loadtest.out" 2>/dev/null
+grep -q 'parity: identical responses across clients: yes' \
+    "$BUILD_DIR/serve-loadtest.out"
+grep -q '"p99_ns"' "$BUILD_DIR/serve_loadtest.json"
+"$BUILD_DIR"/tools/speclens lint --no-deep --store "$SERVE_STORE" \
+    >/dev/null
+rm -rf "$SERVE_STORE" "$BUILD_DIR/serve_loadtest.json"
+echo "serve: daemon answers byte-identical to batch, drain + parity ok"
+
 step "all checks passed"

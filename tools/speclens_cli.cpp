@@ -30,7 +30,9 @@
  * simulation-backed Table II checks).
  */
 
+#include <atomic>
 #include <cctype>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -47,6 +49,8 @@
 #include "core/csv_export.h"
 #include "core/option_parse.h"
 #include "core/perf_trajectory.h"
+#include "core/query_ops.h"
+#include "core/service_context.h"
 #include "obs/export.h"
 #include "obs/manifest.h"
 #include "core/phase_analysis.h"
@@ -60,6 +64,8 @@
 #include "core/validation.h"
 #include "lint/linter.h"
 #include "lint/rules.h"
+#include "serve/client.h"
+#include "serve/server.h"
 #include "suites/emerging.h"
 #include "suites/input_sets.h"
 #include "suites/machines.h"
@@ -87,6 +93,10 @@ struct CliOptions
     std::uint64_t seed_salt = 0;
     std::string store_dir; //!< Empty = no persistent artifact store.
     std::string bench_dir; //!< BENCH_<pr>.json directory for lint.
+
+    // Serve/query options.
+    std::string host = "127.0.0.1"; //!< Daemon listen/connect address.
+    std::uint16_t port = 0; //!< serve: 0 = ephemeral; query: required.
 
     std::string metrics_path; //!< Empty = no metrics export.
     obs::ExportFormat metrics_format = obs::ExportFormat::Prometheus;
@@ -131,6 +141,15 @@ usage(int code)
         "                                    --store entries\n"
         "  campaign manifest                 validate the run manifest\n"
         "                                    written next to the --store\n"
+        "  serve [--host A] [--port N]       long-running daemon; answers\n"
+        "                                    queries over a loopback TCP\n"
+        "                                    socket (port 0 = ephemeral,\n"
+        "                                    printed on the 'listening'\n"
+        "                                    line; SIGTERM drains)\n"
+        "  query <characterize|subset|sensitivity|stats|shutdown>\n"
+        "        [args] --port N [--host A]  ask a running daemon; output\n"
+        "                                    is byte-identical to the\n"
+        "                                    batch command\n"
         "  bench trajectory [--pr N] [--out FILE]\n"
         "                                    pinned perf campaign; facts\n"
         "                                    to stdout, BENCH_<pr>.json\n"
@@ -232,6 +251,18 @@ parse(int argc, char **argv)
             opts.store_dir = stringFlagValue("--store", argc, argv, i);
         else if (std::strcmp(argv[i], "--bench") == 0)
             opts.bench_dir = stringFlagValue("--bench", argc, argv, i);
+        else if (std::strcmp(argv[i], "--host") == 0)
+            opts.host = stringFlagValue("--host", argc, argv, i);
+        else if (std::strcmp(argv[i], "--port") == 0) {
+            std::uint64_t value =
+                numericFlagValue("--port", argc, argv, i);
+            if (value > 65535) {
+                std::fprintf(stderr,
+                             "error: --port must be <= 65535\n");
+                std::exit(1);
+            }
+            opts.port = static_cast<std::uint16_t>(value);
+        }
         else if (std::strcmp(argv[i], "--metrics") == 0)
             opts.metrics_path =
                 stringFlagValue("--metrics", argc, argv, i);
@@ -356,103 +387,33 @@ cmdCharacterize(const CliOptions &opts)
     if (opts.args.empty())
         usage(1);
     core::AnalysisSession session = makeSession(opts);
-    core::Characterizer &characterizer = session.characterizer();
-
-    std::vector<suites::BenchmarkInfo> selected;
-    for (const std::string &name : opts.args) {
-        const suites::BenchmarkInfo *benchmark = lookup(name);
-        if (!benchmark) {
-            std::fprintf(stderr, "unknown benchmark: %s\n",
-                         name.c_str());
-            return 1;
-        }
-        selected.push_back(*benchmark);
+    core::QueryOutcome outcome =
+        core::runCharacterizeQuery(session.context(), opts.args);
+    if (!outcome.ok) {
+        std::fprintf(stderr, "%s\n", outcome.error.c_str());
+        return 1;
     }
-    // Fan all (benchmark, machine) simulations out before printing.
-    characterizer.prepare(selected);
-
-    for (const suites::BenchmarkInfo &info : selected) {
-        const suites::BenchmarkInfo *benchmark = &info;
-        std::printf("\n%s (%s, %s)\n", benchmark->name.c_str(),
-                    suites::suiteName(benchmark->suite).c_str(),
-                    suites::domainName(benchmark->domain).c_str());
-        core::TextTable table({"Machine", "CPI", "L1D MPKI",
-                               "L1I MPKI", "L3 MPKI", "Br MPKI",
-                               "DTLB MPMI", "Power (W)"});
-        for (std::size_t m = 0;
-             m < characterizer.machines().size(); ++m) {
-            const auto &sim = characterizer.simulation(*benchmark, m);
-            core::MetricVector mv = core::extractMetrics(sim);
-            table.addRow(
-                {characterizer.machines()[m].short_name,
-                 core::TextTable::num(sim.cpi()),
-                 core::TextTable::num(mv.get(core::Metric::L1dMpki), 1),
-                 core::TextTable::num(mv.get(core::Metric::L1iMpki), 1),
-                 core::TextTable::num(mv.get(core::Metric::L3Mpki), 1),
-                 core::TextTable::num(
-                     mv.get(core::Metric::BranchMpki), 1),
-                 core::TextTable::num(mv.get(core::Metric::DtlbMpmi),
-                                      0),
-                 core::TextTable::num(sim.power.total(), 1)});
-        }
-        std::fputs(table.render().c_str(), stdout);
-    }
+    std::fputs(outcome.output.c_str(), stdout);
     return 0;
 }
 
 int
 cmdSubset(const CliOptions &opts)
 {
-    if (opts.args.empty())
+    if (opts.args.empty() || !core::isSubsetCategory(opts.args[0]))
         usage(1);
-    std::vector<suites::BenchmarkInfo> suite;
-    suites::Category category;
-    const std::string &which = opts.args[0];
-    if (which == "speed-int") {
-        suite = suites::spec2017SpeedInt();
-        category = suites::Category::SpeedInt;
-    } else if (which == "rate-int") {
-        suite = suites::spec2017RateInt();
-        category = suites::Category::RateInt;
-    } else if (which == "speed-fp") {
-        suite = suites::spec2017SpeedFp();
-        category = suites::Category::SpeedFp;
-    } else if (which == "rate-fp") {
-        suite = suites::spec2017RateFp();
-        category = suites::Category::RateFp;
-    } else {
-        usage(1);
-    }
     std::size_t k = 3;
     if (opts.args.size() > 1 && !parsePositional("k", opts.args[1], k))
         return 1;
-    if (k < 1 || k > suite.size()) {
-        std::fprintf(stderr, "k must be in [1, %zu]\n", suite.size());
-        return 1;
-    }
 
     core::AnalysisSession session = makeSession(opts);
-    core::Characterizer &characterizer = session.characterizer();
-    core::SimilarityResult sim = core::analyzeSimilarity(
-        characterizer.featureMatrix(suite),
-        suites::benchmarkNames(suite));
-    std::fputs(sim.renderDendrogram().c_str(), stdout);
-
-    core::SubsetResult subset = core::selectSubset(
-        sim, k, core::RepresentativeRule::ShortestLinkage, suite);
-    std::printf("\n%zu-benchmark subset (%.1fx less simulation):\n", k,
-                subset.simulation_time_reduction);
-    for (const std::string &name : subset.representatives)
-        std::printf("  %s\n", name.c_str());
-
-    suites::ScoreDatabase db;
-    core::ValidationResult validation =
-        core::validateSubset(suite, subset.representatives, category,
-                             db);
-    std::printf("score-prediction accuracy: %.1f%% (avg error %.1f%%, "
-                "max %.1f%%)\n",
-                100.0 - validation.avg_error_pct,
-                validation.avg_error_pct, validation.max_error_pct);
+    core::QueryOutcome outcome =
+        core::runSubsetQuery(session.context(), opts.args[0], k);
+    if (!outcome.ok) {
+        std::fprintf(stderr, "%s\n", outcome.error.c_str());
+        return 1;
+    }
+    std::fputs(outcome.output.c_str(), stdout);
     return 0;
 }
 
@@ -511,29 +472,17 @@ cmdCoverage(const CliOptions &opts)
 int
 cmdSensitivity(const CliOptions &opts)
 {
-    if (opts.args.empty())
+    if (opts.args.empty() || !core::isSensitivityMetric(opts.args[0]))
         usage(1);
-    core::Metric metric;
-    if (opts.args[0] == "branch")
-        metric = core::Metric::BranchMpki;
-    else if (opts.args[0] == "l1d")
-        metric = core::Metric::L1dMpki;
-    else if (opts.args[0] == "dtlb")
-        metric = core::Metric::DtlbMpmi;
-    else
-        usage(1);
-
     core::AnalysisSession session =
         makeSession(opts, suites::sensitivityMachines());
-    core::SensitivityReport report = core::classifySensitivity(
-        session.characterizer(), suites::spec2017(), metric);
-    for (core::SensitivityClass cls :
-         {core::SensitivityClass::High, core::SensitivityClass::Medium,
-          core::SensitivityClass::Low}) {
-        std::printf("%s:\n", core::sensitivityClassName(cls).c_str());
-        for (const std::string &name : report.names(cls))
-            std::printf("  %s\n", name.c_str());
+    core::QueryOutcome outcome =
+        core::runSensitivityQuery(session.context(), opts.args[0]);
+    if (!outcome.ok) {
+        std::fprintf(stderr, "%s\n", outcome.error.c_str());
+        return 1;
     }
+    std::fputs(outcome.output.c_str(), stdout);
     return 0;
 }
 
@@ -728,6 +677,9 @@ cmdCampaignInfo(const CliOptions &opts)
     std::fputs(table.render().c_str(), stdout);
     std::printf("%zu entries, %zu healthy, %zu inconsistent\n",
                 entries.size(), healthy, entries.size() - healthy);
+    std::printf("layout: %zu shards, result-lru capacity %zu\n",
+                core::CampaignStore::shardCount(),
+                store.lruCapacity());
     return healthy == entries.size() ? 0 : 1;
 }
 
@@ -811,6 +763,112 @@ cmdCampaign(const CliOptions &opts)
     if (opts.args[0] == "manifest")
         return cmdCampaignManifest(opts);
     usage(1);
+}
+
+// ----- serve / query ---------------------------------------------------
+
+/** The live server, for the signal handlers (null outside cmdServe). */
+std::atomic<serve::Server *> g_server{nullptr};
+
+/** SIGINT/SIGTERM: begin a graceful drain (async-signal-safe). */
+void
+handleDrainSignal(int)
+{
+    serve::Server *server = g_server.load(std::memory_order_acquire);
+    if (server)
+        server->requestDrain();
+}
+
+int
+cmdServe(const CliOptions &opts)
+{
+    serve::ServerConfig config;
+    config.host = opts.host;
+    config.port = opts.port;
+    config.service.characterization.instructions = opts.instructions;
+    config.service.characterization.warmup = opts.warmup;
+    config.service.characterization.seed_salt = opts.seed_salt;
+    config.service.characterization.jobs = opts.jobs;
+    config.service.store_dir = opts.store_dir;
+
+    serve::Server server(config);
+    std::string error;
+    if (!server.start(&error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+    }
+    g_server.store(&server, std::memory_order_release);
+    std::signal(SIGINT, handleDrainSignal);
+    std::signal(SIGTERM, handleDrainSignal);
+
+    // Machine-parseable: scripts read the resolved (ephemeral) port
+    // from this line.  Flush so a pipe reader sees it immediately.
+    std::printf("[speclens-serve] listening host=%s port=%u\n",
+                opts.host.c_str(),
+                static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+
+    server.serveForever();
+    g_server.store(nullptr, std::memory_order_release);
+
+    serve::ServerStats stats = server.stats();
+    std::fprintf(stderr,
+                 "[speclens-serve] drained requests=%zu errors=%zu "
+                 "dropped=%zu\n",
+                 stats.requests, stats.errors, stats.dropped);
+    return 0;
+}
+
+int
+cmdQuery(const CliOptions &opts)
+{
+    if (opts.args.empty())
+        usage(1);
+    serve::Request request;
+    if (!serve::opFromName(opts.args[0], request.op))
+        usage(1);
+    if (opts.port == 0) {
+        std::fprintf(stderr, "error: query requires --port N\n");
+        return 1;
+    }
+    switch (request.op) {
+    case serve::Op::Characterize:
+        request.benchmarks.assign(opts.args.begin() + 1,
+                                  opts.args.end());
+        break;
+    case serve::Op::Subset:
+        if (opts.args.size() > 1)
+            request.category = opts.args[1];
+        if (opts.args.size() > 2 &&
+            !parsePositional("k", opts.args[2], request.k))
+            return 1;
+        break;
+    case serve::Op::Sensitivity:
+        if (opts.args.size() > 1)
+            request.metric = opts.args[1];
+        break;
+    case serve::Op::Stats:
+    case serve::Op::Shutdown:
+        break;
+    }
+
+    serve::Client client;
+    std::string error;
+    if (!client.connect(opts.host, opts.port, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+    }
+    serve::Response response;
+    if (!client.call(request, &response, &error)) {
+        std::fprintf(stderr, "error: %s\n", error.c_str());
+        return 1;
+    }
+    if (!response.ok) {
+        std::fprintf(stderr, "%s\n", response.error.c_str());
+        return 1;
+    }
+    std::fputs(response.output.c_str(), stdout);
+    return 0;
 }
 
 /**
@@ -1263,6 +1321,10 @@ main(int argc, char **argv)
         return cmdSimpoints(opts);
     if (opts.command == "campaign")
         return cmdCampaign(opts);
+    if (opts.command == "serve")
+        return cmdServe(opts);
+    if (opts.command == "query")
+        return cmdQuery(opts);
     if (opts.command == "bench")
         return cmdBench(opts);
     if (opts.command == "audit")
