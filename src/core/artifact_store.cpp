@@ -208,6 +208,15 @@ writeCounters(ByteWriter &out, const uarch::PerfCounters &c)
     out.u64(c.l2tlb_misses);
     out.u64(c.page_walks);
     out.u64(c.branch_mispredictions);
+    out.u64(c.prefetch_fills);
+    out.u64(c.prefetch_useful);
+    out.u64(c.prefetch_evicted_unused);
+    out.u64(c.way_pred_hits);
+    out.u64(c.way_pred_mispredicts);
+    out.u64(c.dram_accesses);
+    out.u64(c.dram_row_hits);
+    out.u64(c.dram_busy_cycles);
+    out.u64(c.dram_budget_cycles);
 }
 
 void
@@ -259,6 +268,15 @@ readCounters(ByteReader &in, uarch::PerfCounters &c)
     c.l2tlb_misses = in.u64();
     c.page_walks = in.u64();
     c.branch_mispredictions = in.u64();
+    c.prefetch_fills = in.u64();
+    c.prefetch_useful = in.u64();
+    c.prefetch_evicted_unused = in.u64();
+    c.way_pred_hits = in.u64();
+    c.way_pred_mispredicts = in.u64();
+    c.dram_accesses = in.u64();
+    c.dram_row_hits = in.u64();
+    c.dram_busy_cycles = in.u64();
+    c.dram_budget_cycles = in.u64();
 }
 
 void

@@ -94,7 +94,7 @@ namespace core {
  * alters what simulate() produces for an unchanged (profile, machine,
  * window) triple — every persisted entry then invalidates at once.
  */
-constexpr std::uint64_t kStoreEngineVersion = 1;
+constexpr std::uint64_t kStoreEngineVersion = 2;
 
 /** File extension of store entries. */
 constexpr const char *kStoreEntrySuffix = ".slart";

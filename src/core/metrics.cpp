@@ -36,6 +36,12 @@ metricName(Metric metric)
       case Metric::DramPower: return "dram_power";
       case Metric::L1dApki: return "l1d_apki";
       case Metric::L1iApki: return "l1i_apki";
+      case Metric::PrefetchCoverage: return "prefetch_coverage";
+      case Metric::PrefetchAccuracy: return "prefetch_accuracy";
+      case Metric::PrefetchTimeliness: return "prefetch_timeliness";
+      case Metric::WayPredAccuracy: return "way_pred_accuracy";
+      case Metric::RowBufferHitRate: return "row_buffer_hit_rate";
+      case Metric::DramBwUtil: return "dram_bw_utilization";
       case Metric::Count: break;
     }
     throw std::invalid_argument("metricName: bad metric");
@@ -68,6 +74,13 @@ extractMetrics(const uarch::SimulationResult &result)
     m.set(Metric::DramPower, result.power.dram_watts);
     m.set(Metric::L1dApki, c.perKilo(c.l1d_accesses));
     m.set(Metric::L1iApki, c.perKilo(c.l1i_accesses));
+    m.set(Metric::PrefetchCoverage, c.prefetchCoverage());
+    m.set(Metric::PrefetchAccuracy, c.prefetchAccuracy());
+    m.set(Metric::PrefetchTimeliness,
+          c.prefetch_fills == 0 ? 0.0 : c.prefetchTimeliness());
+    m.set(Metric::WayPredAccuracy, c.wayPredAccuracy());
+    m.set(Metric::RowBufferHitRate, c.rowBufferHitRate());
+    m.set(Metric::DramBwUtil, c.dramBwUtilization());
     return m;
 }
 
@@ -103,6 +116,11 @@ metricsFor(MetricSelection selection)
                 Metric::PageWalkMpmi};
       case MetricSelection::Power:
         return {Metric::CorePower, Metric::LlcPower, Metric::DramPower};
+      case MetricSelection::MemoryCentric:
+        return {Metric::PrefetchCoverage,  Metric::PrefetchAccuracy,
+                Metric::PrefetchTimeliness, Metric::WayPredAccuracy,
+                Metric::RowBufferHitRate,  Metric::DramBwUtil,
+                Metric::L2dMpki,           Metric::L3Mpki};
     }
     throw std::invalid_argument("metricsFor: bad selection");
 }
@@ -118,6 +136,7 @@ metricSelectionName(MetricSelection selection)
       case MetricSelection::CacheAll: return "cache-all";
       case MetricSelection::Tlb: return "tlb";
       case MetricSelection::Power: return "power";
+      case MetricSelection::MemoryCentric: return "memory-centric";
     }
     throw std::invalid_argument("metricSelectionName: bad selection");
 }

@@ -49,6 +49,14 @@ enum class Metric : std::size_t {
     // Auxiliary (not part of the canonical 20):
     L1dApki,
     L1iApki,
+    // Memory-centric family (prefetcher / way-prediction / DRAM model;
+    // zero on machines that leave those features off):
+    PrefetchCoverage,
+    PrefetchAccuracy,
+    PrefetchTimeliness,
+    WayPredAccuracy,
+    RowBufferHitRate,
+    DramBwUtil,
     Count,
 };
 
@@ -92,6 +100,10 @@ MetricVector extractMetrics(const uarch::SimulationResult &result);
  *  - CacheAll: all cache metrics (Sec. IV-E).
  *  - Tlb: TLB metrics (case studies).
  *  - Power: core/LLC/DRAM power (Fig. 12).
+ *  - MemoryCentric: prefetch coverage/accuracy/timeliness, way-
+ *    prediction accuracy and DRAM row-buffer/bandwidth behaviour
+ *    (the Singh & Awasthi-style memory characterization; only
+ *    meaningful on machine variants with those features enabled).
  */
 enum class MetricSelection {
     Canonical,
@@ -101,6 +113,7 @@ enum class MetricSelection {
     CacheAll,
     Tlb,
     Power,
+    MemoryCentric,
 };
 
 /** Metrics included in a selection, in a fixed order. */

@@ -67,6 +67,15 @@ hashResult(stats::Fingerprinter &fp, const uarch::SimulationResult &r)
     fp.u64(c.l2tlb_misses);
     fp.u64(c.page_walks);
     fp.u64(c.branch_mispredictions);
+    fp.u64(c.prefetch_fills);
+    fp.u64(c.prefetch_useful);
+    fp.u64(c.prefetch_evicted_unused);
+    fp.u64(c.way_pred_hits);
+    fp.u64(c.way_pred_mispredicts);
+    fp.u64(c.dram_accesses);
+    fp.u64(c.dram_row_hits);
+    fp.u64(c.dram_busy_cycles);
+    fp.u64(c.dram_budget_cycles);
     for (double v : r.cpi_stack.components())
         fp.f64(v);
     fp.f64(r.power.core_watts);

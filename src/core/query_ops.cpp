@@ -149,6 +149,54 @@ runCharacterizeQuery(ServiceContext &context,
 }
 
 QueryOutcome
+runMemoryQuery(ServiceContext &context,
+               const std::vector<std::string> &benchmarks)
+{
+    if (benchmarks.empty())
+        return queryError("no benchmarks given");
+    std::vector<suites::BenchmarkInfo> selected;
+    for (const std::string &name : benchmarks) {
+        const suites::BenchmarkInfo *benchmark =
+            context.findBenchmark(name);
+        if (!benchmark)
+            return queryError("unknown benchmark: " + name);
+        selected.push_back(*benchmark);
+    }
+
+    Characterizer &characterizer =
+        context.characterizerFor(context.memoryMachines());
+    characterizer.prepare(selected);
+
+    QueryOutcome outcome;
+    for (const suites::BenchmarkInfo &benchmark : selected) {
+        outcome.output +=
+            "\n" + benchmark.name + " (" +
+            suites::suiteName(benchmark.suite) + ", " +
+            suites::domainName(benchmark.domain) + ") memory-centric\n";
+        TextTable table({"Machine", "Pf cov", "Pf acc", "Pf time",
+                         "WayPred", "RowBuf", "BW util", "L2D MPKI",
+                         "L3 MPKI"});
+        for (std::size_t m = 0; m < characterizer.machines().size();
+             ++m) {
+            const auto &sim = characterizer.simulation(benchmark, m);
+            MetricVector mv = extractMetrics(sim);
+            table.addRow(
+                {characterizer.machines()[m].short_name,
+                 TextTable::num(mv.get(Metric::PrefetchCoverage), 3),
+                 TextTable::num(mv.get(Metric::PrefetchAccuracy), 3),
+                 TextTable::num(mv.get(Metric::PrefetchTimeliness), 3),
+                 TextTable::num(mv.get(Metric::WayPredAccuracy), 3),
+                 TextTable::num(mv.get(Metric::RowBufferHitRate), 3),
+                 TextTable::num(mv.get(Metric::DramBwUtil), 3),
+                 TextTable::num(mv.get(Metric::L2dMpki), 1),
+                 TextTable::num(mv.get(Metric::L3Mpki), 1)});
+        }
+        outcome.output += table.render();
+    }
+    return outcome;
+}
+
+QueryOutcome
 runSubsetQuery(ServiceContext &context, const std::string &category_name,
                std::size_t k)
 {

@@ -71,6 +71,16 @@ QueryOutcome runSubsetQuery(ServiceContext &context,
 QueryOutcome runSensitivityQuery(ServiceContext &context,
                                  const std::string &metric);
 
+/**
+ * Memory-centric characterization of @p benchmarks over the
+ * suites::memoryCentricMachines() variants: per-benchmark tables of
+ * prefetch coverage/accuracy/timeliness, way-prediction accuracy and
+ * DRAM row-buffer/bandwidth behaviour.  Rejects on the first unknown
+ * benchmark name.
+ */
+QueryOutcome runMemoryQuery(ServiceContext &context,
+                            const std::vector<std::string> &benchmarks);
+
 } // namespace core
 } // namespace speclens
 

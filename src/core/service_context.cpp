@@ -38,7 +38,8 @@ ServiceContext::ServiceContext(ServiceConfig config)
       cpu2006_(suites::spec2006()),
       emerging_(suites::emergingBenchmarks()),
       profiling_machines_(suites::profilingMachines()),
-      sensitivity_machines_(suites::sensitivityMachines())
+      sensitivity_machines_(suites::sensitivityMachines()),
+      memory_machines_(suites::memoryCentricMachines())
 {
     // Name index over the snapshots; first-listed suite wins on a
     // (nonexistent today) name collision.  Pointers stay valid: the
@@ -86,6 +87,10 @@ ServiceContext::~ServiceContext()
         {"misses", c.misses},
         {"simulations", c.computed},
         {"saves", c.saves},
+        // Prefetch fills are not demand misses (SL014); exporting the
+        // process-wide total makes that separation artifact-checkable.
+        {"prefetch_fills",
+         obs::Registry::global().counter("uarch.prefetch.fills").value()},
     };
     manifest.rejected = {
         {"corrupt", c.corrupt},

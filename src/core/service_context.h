@@ -124,6 +124,12 @@ class ServiceContext
         return sensitivity_machines_;
     }
 
+    /** The memory-centric machine variants (snapshot). */
+    const std::vector<uarch::MachineConfig> &memoryMachines() const
+    {
+        return memory_machines_;
+    }
+
     // ----- Shared campaign machinery -------------------------------
 
     /**
@@ -190,6 +196,7 @@ class ServiceContext
     std::map<std::string, const suites::BenchmarkInfo *> by_name_;
     std::vector<uarch::MachineConfig> profiling_machines_;
     std::vector<uarch::MachineConfig> sensitivity_machines_;
+    std::vector<uarch::MachineConfig> memory_machines_;
 
     std::shared_ptr<CampaignStore> store_;
 

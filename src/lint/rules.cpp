@@ -1212,13 +1212,16 @@ class DegenerateFeaturesRule final : public RuleBase
         std::vector<std::string> names = characterizer.featureNames();
 
         stats::NormalizeReport report;
+        // Label the columns up front so a degenerate one is reported
+        // as its machine.metric feature name, never a bare index.
+        report.column_labels = names;
         (void)stats::zscore(features, &report);
         for (std::size_t c : report.degenerate_columns) {
-            std::string column =
-                c < names.size() ? names[c] : std::to_string(c);
-            emit(out, Severity::Warning, "features/" + column,
-                 "feature column has zero variance across CPU2017 "
-                 "and is zeroed by normalization",
+            emit(out, Severity::Warning,
+                 "features/" + report.describe(c),
+                 "feature column " + report.describe(c) +
+                     " has zero variance across CPU2017 and is "
+                     "zeroed by normalization",
                  "a counter that never varies usually means a dead "
                  "metric model; recalibrate or drop the metric");
         }
@@ -1661,6 +1664,165 @@ class StoreMetricRangeRule final : public RuleBase
         emit(out, Severity::Info, "store",
              std::to_string(checked) +
                  " pair entries range-checked in " +
+                 context.store_dir);
+    }
+};
+
+class MemoryMetricRangeRule final : public RuleBase
+{
+  public:
+    std::string code() const override { return "SL026"; }
+    std::string name() const override { return "memory-metric-range"; }
+    std::string
+    description() const override
+    {
+        return "stored memory-centric metrics (prefetch, way "
+               "prediction, DRAM) stay in range and satisfy the "
+               "accounting identities";
+    }
+
+    void
+    run(const LintContext &context,
+        std::vector<Diagnostic> &out) const override
+    {
+        if (context.store_dir.empty()) {
+            emit(out, Severity::Info, "store",
+                 "memory metric-range check skipped (no --store "
+                 "directory given)");
+            return;
+        }
+        // Memory-centric entries are usually produced by the variant
+        // suites, not the shipped profiling machines, so resolve names
+        // against both.
+        std::map<std::string, uarch::MachineConfig> machines;
+        for (const uarch::MachineConfig &m : context.machines)
+            machines.emplace(m.name, m);
+        for (uarch::MachineConfig &m : suites::memoryCentricMachines())
+            machines.emplace(m.name, std::move(m));
+        for (uarch::MachineConfig &m : suites::sensitivityMachines())
+            machines.emplace(m.name, std::move(m));
+
+        core::CampaignStore store(context.store_dir);
+        std::size_t checked = 0;
+        for (const core::StoreEntryInfo &info : store.scan()) {
+            if (info.status != core::StoreStatus::Hit ||
+                info.phases != 0)
+                continue;
+            const std::string loc = "store/" + info.filename;
+            uarch::SimulationResult result;
+            if (store.load(keyFromInfo(info), result) !=
+                core::StoreStatus::Hit)
+                continue; // SL018 reports the load failure.
+            const uarch::PerfCounters &c = result.counters;
+
+            const struct
+            {
+                const char *metric;
+                double value;
+            } ratios[] = {
+                {"prefetch_coverage", c.prefetchCoverage()},
+                {"prefetch_accuracy", c.prefetchAccuracy()},
+                {"prefetch_timeliness", c.prefetchTimeliness()},
+                {"way_pred_accuracy", c.wayPredAccuracy()},
+                {"row_buffer_hit_rate", c.rowBufferHitRate()},
+            };
+            for (const auto &r : ratios)
+                if (!inUnit(r.value))
+                    error(out, loc,
+                          std::string(r.metric) + " is " +
+                              num(r.value) + ", outside [0, 1]");
+            double bw = c.dramBwUtilization();
+            if (!(std::isfinite(bw) && bw >= 0.0))
+                error(out, loc,
+                      "dram_bw_utilization is " + num(bw) +
+                          ", not a finite non-negative ratio");
+
+            // The per-slot-bit accounting can never consume or evict
+            // more lines than the prefetcher filled; the remainder is
+            // still resident in L2.
+            if (c.prefetch_useful + c.prefetch_evicted_unused >
+                c.prefetch_fills)
+                error(out, loc,
+                      "prefetch_useful + prefetch_evicted_unused (" +
+                          std::to_string(c.prefetch_useful +
+                                         c.prefetch_evicted_unused) +
+                          ") exceeds prefetch_fills (" +
+                          std::to_string(c.prefetch_fills) + ")");
+            if (c.dram_row_hits > c.dram_accesses)
+                error(out, loc,
+                      "dram_row_hits (" +
+                          std::to_string(c.dram_row_hits) +
+                          ") exceeds dram_accesses (" +
+                          std::to_string(c.dram_accesses) + ")");
+
+            auto machine = machines.find(info.machine);
+            if (machine != machines.end()) {
+                const uarch::MachineConfig &m = machine->second;
+                if (m.caches.l2_prefetch_degree == 0 &&
+                    (c.prefetch_fills != 0 || c.prefetch_useful != 0 ||
+                     c.prefetch_evicted_unused != 0))
+                    error(out, loc,
+                          "machine '" + info.machine +
+                              "' has no prefetcher but the entry "
+                              "carries prefetch counters");
+                bool way_pred_off =
+                    m.caches.l1i.way_prediction ==
+                        uarch::WayPredictionKind::None &&
+                    m.caches.l1d.way_prediction ==
+                        uarch::WayPredictionKind::None &&
+                    m.caches.l2.way_prediction ==
+                        uarch::WayPredictionKind::None &&
+                    (!m.caches.l3 ||
+                     m.caches.l3->way_prediction ==
+                         uarch::WayPredictionKind::None);
+                if (way_pred_off && (c.way_pred_hits != 0 ||
+                                     c.way_pred_mispredicts != 0))
+                    error(out, loc,
+                          "machine '" + info.machine +
+                              "' has no way predictor but the entry "
+                              "carries way-prediction counters");
+                if (!m.caches.dram) {
+                    if (c.dram_accesses != 0 || c.dram_row_hits != 0 ||
+                        c.dram_busy_cycles != 0 ||
+                        c.dram_budget_cycles != 0)
+                        error(out, loc,
+                              "machine '" + info.machine +
+                                  "' has no DRAM model but the entry "
+                                  "carries DRAM counters");
+                } else if (c.dram_row_hits <= c.dram_accesses) {
+                    // The open-page policy's exact cycle identities
+                    // (skipped when the hit bound above already
+                    // fired, since the miss count would underflow).
+                    const uarch::DramConfig &d = *m.caches.dram;
+                    std::uint64_t misses =
+                        c.dram_accesses - c.dram_row_hits;
+                    std::uint64_t busy =
+                        c.dram_row_hits * d.burst_cycles +
+                        misses * (d.activate_cycles + d.burst_cycles);
+                    if (c.dram_busy_cycles != busy)
+                        error(out, loc,
+                              "dram_busy_cycles (" +
+                                  std::to_string(c.dram_busy_cycles) +
+                                  ") breaks the open-page identity "
+                                  "(expected " + std::to_string(busy) +
+                                  ")");
+                    std::uint64_t budget =
+                        c.dram_accesses * d.cycles_per_burst_budget;
+                    if (c.dram_budget_cycles != budget)
+                        error(out, loc,
+                              "dram_budget_cycles (" +
+                                  std::to_string(
+                                      c.dram_budget_cycles) +
+                                  ") is not accesses * "
+                                  "cycles_per_burst_budget (" +
+                                  std::to_string(budget) + ")");
+                }
+            }
+            ++checked;
+        }
+        emit(out, Severity::Info, "store",
+             std::to_string(checked) +
+                 " entries memory-metric-checked in " +
                  context.store_dir);
     }
 };
@@ -2328,6 +2490,7 @@ defaultRules()
     rules.push_back(std::make_unique<ManifestStoreRule>());
     rules.push_back(std::make_unique<StorePhasedConsistencyRule>());
     rules.push_back(std::make_unique<StoreShardLayoutRule>());
+    rules.push_back(std::make_unique<MemoryMetricRangeRule>());
     return rules;
 }
 

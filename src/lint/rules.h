@@ -31,6 +31,7 @@
  * | SL023 | manifest-store     | manifest totals match the store on disk |
  * | SL024 | store-phased       | phased entries combine exactly          |
  * | SL025 | store-shard-layout | entries sit in their fingerprint shard  |
+ * | SL026 | memory-metric-range| stored memory-centric metrics in range  |
  */
 
 #ifndef SPECLENS_LINT_RULES_H

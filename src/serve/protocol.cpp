@@ -261,6 +261,7 @@ opName(Op op)
 {
     switch (op) {
     case Op::Characterize: return "characterize";
+    case Op::Memory: return "memory";
     case Op::Subset: return "subset";
     case Op::Sensitivity: return "sensitivity";
     case Op::Stats: return "stats";
@@ -274,6 +275,8 @@ opFromName(const std::string &name, Op &op)
 {
     if (name == "characterize")
         op = Op::Characterize;
+    else if (name == "memory")
+        op = Op::Memory;
     else if (name == "subset")
         op = Op::Subset;
     else if (name == "sensitivity")

@@ -13,6 +13,7 @@
  * Requests are flat JSON objects:
  *
  *     {"op": "characterize", "benchmarks": ["505.mcf_r", "557.xz_r"]}
+ *     {"op": "memory", "benchmarks": ["505.mcf_r"]}
  *     {"op": "subset", "category": "rate-int", "k": 3}
  *     {"op": "sensitivity", "metric": "branch"}
  *     {"op": "stats"}
@@ -45,6 +46,7 @@ inline constexpr std::size_t kMaxFrameBytes = 16u << 20;
 /** Request operation. */
 enum class Op {
     Characterize, //!< Per-machine metric tables for named benchmarks.
+    Memory,       //!< Memory-centric tables (prefetch/way-pred/DRAM).
     Subset,       //!< Representative subset of a CPU2017 category.
     Sensitivity,  //!< Table IX-style sensitivity classes.
     Stats,        //!< Server / store / dedup counters.
@@ -62,7 +64,7 @@ struct Request
 {
     Op op = Op::Stats;
 
-    /** characterize: benchmark names (registry lookup). */
+    /** characterize / memory: benchmark names (registry lookup). */
     std::vector<std::string> benchmarks;
 
     /** subset: category name (speed-int / rate-int / ...). */

@@ -152,6 +152,9 @@ Server::dispatch(const Request &request)
         outcome = core::runCharacterizeQuery(*context_,
                                              request.benchmarks);
         break;
+    case Op::Memory:
+        outcome = core::runMemoryQuery(*context_, request.benchmarks);
+        break;
     case Op::Subset:
         outcome = core::runSubsetQuery(*context_, request.category,
                                        request.k);

@@ -55,6 +55,15 @@ columnStats(const Matrix &m)
     return out;
 }
 
+std::string
+NormalizeReport::describe(std::size_t column) const
+{
+    if (column < column_labels.size() &&
+        !column_labels[column].empty())
+        return column_labels[column];
+    return "column " + std::to_string(column);
+}
+
 std::vector<std::size_t>
 degenerateColumns(const ColumnStats &stats)
 {

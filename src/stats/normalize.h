@@ -13,6 +13,7 @@
 #ifndef SPECLENS_STATS_NORMALIZE_H
 #define SPECLENS_STATS_NORMALIZE_H
 
+#include <string>
 #include <vector>
 
 #include "matrix.h"
@@ -45,6 +46,21 @@ struct NormalizeReport
 {
     /** Column indices with zero variance (mapped to all-zeros). */
     std::vector<std::size_t> degenerate_columns;
+
+    /**
+     * Optional caller-provided column labels (the characterizer's
+     * `machine.metric` feature names), set before the normalization
+     * call.  zscore()/zscoreWith() never touch them; they exist so
+     * describe() can name a degenerate column for a human instead of
+     * reporting a bare index.
+     */
+    std::vector<std::string> column_labels;
+
+    /**
+     * Human-readable name of @p column: its label when one was
+     * provided, else "column <index>".
+     */
+    std::string describe(std::size_t column) const;
 };
 
 /** Indices of zero-variance columns under @p stats. */

@@ -288,6 +288,41 @@ sensitivityMachines()
     return {all[0], all[3], all[5], all[6]};
 }
 
+std::vector<uarch::MachineConfig>
+memoryCentricMachines()
+{
+    using uarch::PrefetcherKind;
+    using uarch::WayPredictionKind;
+
+    // All variants share the Skylake geometry so every metric delta
+    // between them is attributable to the memory-centric features.
+    auto variant = [](const char *name, const char *short_name,
+                      PrefetcherKind kind, unsigned degree) {
+        MachineConfig m = skylakeI76700();
+        m.name = name;
+        m.short_name = short_name;
+        m.caches.prefetcher = kind;
+        m.caches.l2_prefetch_degree = degree;
+        m.caches.dram = uarch::DramConfig{};
+        m.caches.l1d.way_prediction = WayPredictionKind::Mru;
+        m.caches.l1i.way_prediction = WayPredictionKind::MultiMru;
+        return m;
+    };
+
+    return {
+        // Prefetcher off: the DRAM/way-prediction baseline the three
+        // engines are measured against.
+        variant("Skylake + DRAM model", "skylake-dram",
+                PrefetcherKind::NextLine, 0),
+        variant("Skylake + next-line prefetch", "skylake-nl",
+                PrefetcherKind::NextLine, 4),
+        variant("Skylake + stride prefetch", "skylake-stride",
+                PrefetcherKind::Stride, 4),
+        variant("Skylake + stream prefetch", "skylake-stream",
+                PrefetcherKind::Stream, 4),
+    };
+}
+
 const uarch::MachineConfig &
 machineByShortName(const std::string &name)
 {

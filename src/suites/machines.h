@@ -44,6 +44,16 @@ std::vector<uarch::MachineConfig> powerMachines();
 /** The four machines of the Table IX sensitivity classification. */
 std::vector<uarch::MachineConfig> sensitivityMachines();
 
+/**
+ * Skylake-derived variants for the memory-centric analysis family:
+ * a DRAM-only baseline (prefetcher off) plus one variant per
+ * uarch::PrefetcherKind, each with the DRAM row-buffer model and cache
+ * way prediction enabled.  Distinct short names ("skylake-dram",
+ * "skylake-nl", "skylake-stride", "skylake-stream") keep manifests,
+ * feature-matrix labels and store fingerprints separable.
+ */
+std::vector<uarch::MachineConfig> memoryCentricMachines();
+
 /** Look up a machine by short name ("skylake", "sparc-t4", ...). */
 const uarch::MachineConfig &machineByShortName(const std::string &name);
 

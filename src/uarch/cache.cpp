@@ -24,6 +24,17 @@ replacementPolicyName(ReplacementPolicy policy)
     return "unknown";
 }
 
+std::string
+wayPredictionKindName(WayPredictionKind kind)
+{
+    switch (kind) {
+      case WayPredictionKind::None: return "none";
+      case WayPredictionKind::Mru: return "mru";
+      case WayPredictionKind::MultiMru: return "multi-mru";
+    }
+    return "unknown";
+}
+
 std::uint64_t
 CacheConfig::sets() const
 {
@@ -62,6 +73,7 @@ CacheConfig::hashInto(stats::Fingerprinter &fp) const
     fp.u64(associativity);
     fp.u64(line_bytes);
     fp.u64(static_cast<std::uint64_t>(policy));
+    fp.u64(static_cast<std::uint64_t>(way_prediction));
 }
 
 Cache::Cache(const CacheConfig &config)
@@ -85,6 +97,12 @@ Cache::Cache(const CacheConfig &config)
     plru_.assign(config_.policy == ReplacementPolicy::TreePlru ? num_sets_
                                                                : 0,
                  0);
+    switch (config_.way_prediction) {
+      case WayPredictionKind::None: way_pred_parts_ = 0; break;
+      case WayPredictionKind::Mru: way_pred_parts_ = 1; break;
+      case WayPredictionKind::MultiMru: way_pred_parts_ = 2; break;
+    }
+    way_pred_.assign(num_sets_ * way_pred_parts_, 0);
 }
 
 bool
@@ -110,6 +128,9 @@ Cache::reset()
     hits_ = 0;
     cold_fills_.clear();
     last_index_ = 0;
+    std::fill(way_pred_.begin(), way_pred_.end(), 0u);
+    way_pred_hits_ = 0;
+    way_pred_mispredicts_ = 0;
 }
 
 double

@@ -41,6 +41,24 @@ enum class ReplacementPolicy {
 /** Human-readable policy name. */
 std::string replacementPolicyName(ReplacementPolicy policy);
 
+/**
+ * Way-prediction policy of one cache level.
+ *
+ * A way predictor guesses the hit way before the tag compare finishes;
+ * a correct guess saves the parallel way reads.  The model is purely
+ * statistical — it tracks predictor hit/mispredict counts without
+ * changing hit/miss behaviour — mirroring how MRU-family predictors
+ * are evaluated in the literature.
+ */
+enum class WayPredictionKind : std::uint8_t {
+    None,     //!< No way predictor (the default everywhere).
+    Mru,      //!< One most-recently-used way per set.
+    MultiMru, //!< Two MRU partitions per set, selected by a tag bit.
+};
+
+/** Human-readable way-prediction policy name. */
+std::string wayPredictionKindName(WayPredictionKind kind);
+
 /** Geometry and policy of one cache level. */
 struct CacheConfig
 {
@@ -49,6 +67,7 @@ struct CacheConfig
     std::uint32_t associativity = 8;
     std::uint32_t line_bytes = 64;
     ReplacementPolicy policy = ReplacementPolicy::Lru;
+    WayPredictionKind way_prediction = WayPredictionKind::None;
 
     /** Number of sets implied by the geometry. */
     std::uint64_t sets() const;
@@ -112,6 +131,10 @@ class Cache
             tick_ += count;
             stamps_[last_index_] = tick_;
         }
+        // The preceding access left the predictor entry pointing at
+        // the way it touched, so every repeat predicts correctly.
+        if (way_pred_parts_ != 0)
+            way_pred_hits_ += count;
     }
 
     /**
@@ -137,6 +160,22 @@ class Cache
     double missRatio() const;
 
     const CacheConfig &config() const { return config_; }
+
+    /** Hits whose way the predictor guessed right (0 without one). */
+    std::uint64_t wayPredHits() const { return way_pred_hits_; }
+
+    /** Hits whose way the predictor guessed wrong. */
+    std::uint64_t wayPredMispredicts() const
+    {
+        return way_pred_mispredicts_;
+    }
+
+    /**
+     * Flat index (set * associativity + way) of the line touched by
+     * the most recent access()/coldFill().  The hierarchy's prefetch
+     * accounting keys its per-slot bits on this.
+     */
+    std::size_t lastIndex() const { return last_index_; }
 
   private:
     /**
@@ -206,6 +245,28 @@ class Cache
 
     /** Flat index (set * assoc + way) touched by the last access(). */
     std::size_t last_index_ = 0;
+
+    /**
+     * Way-prediction table: num_sets * way_pred_parts_ entries, each
+     * the way to guess for that (set, partition).  Empty (parts == 0)
+     * when the config disables prediction, which is also the hot-path
+     * gate.  MRU keeps one partition per set; multi-MRU keeps two,
+     * selected by the low tag bit, so interleaved lines stop evicting
+     * each other's prediction.
+     */
+    std::vector<std::uint32_t> way_pred_;
+    std::uint32_t way_pred_parts_ = 0;
+    std::uint64_t way_pred_hits_ = 0;
+    std::uint64_t way_pred_mispredicts_ = 0;
+
+    /** Predictor entry for (set, tag); only valid when parts != 0. */
+    std::uint32_t &
+    wayPredEntry(std::uint64_t set, std::uint64_t tag)
+    {
+        std::size_t part =
+            way_pred_parts_ == 2 ? static_cast<std::size_t>(tag & 1) : 0;
+        return way_pred_[set * way_pred_parts_ + part];
+    }
 
     /**
      * The closed-form prewarm solver (src/uarch/prewarm.{h,cpp})
@@ -358,6 +419,14 @@ Cache::access(std::uint64_t address)
             ++hits_;
             last_index_ = set * assoc + w;
             touch(set, w, /*is_fill=*/false);
+            if (way_pred_parts_ != 0) {
+                std::uint32_t &entry = wayPredEntry(set, tag);
+                if (entry == w)
+                    ++way_pred_hits_;
+                else
+                    ++way_pred_mispredicts_;
+                entry = w;
+            }
             return true;
         }
     }
@@ -379,6 +448,10 @@ Cache::access(std::uint64_t address)
     tags[way] = tag;
     last_index_ = set * assoc + way;
     touch(set, way, /*is_fill=*/true);
+    // A miss is resolved by the full tag scan, so it never verifies a
+    // way prediction; the fill only trains the entry.
+    if (way_pred_parts_ != 0)
+        wayPredEntry(set, tag) = way;
     return false;
 }
 
@@ -418,6 +491,10 @@ Cache::coldFill(std::uint64_t address)
 
     tags_[set * assoc + way] = tag;
     last_index_ = set * assoc + way;
+    // Mirror access()'s fill case so the cold walk leaves the exact
+    // predictor state the general path would have.
+    if (way_pred_parts_ != 0)
+        wayPredEntry(set, tag) = way;
 }
 
 } // namespace uarch

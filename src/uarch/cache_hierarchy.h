@@ -7,17 +7,36 @@
  * The hierarchy tracks instruction-side and data-side miss counts
  * separately at every level because the paper reports L2D and L2I MPKI
  * as distinct metrics (Tables II/III).
+ *
+ * The memory-centric extension hangs off the L2: a pluggable data
+ * prefetcher (next-line, PC-indexed stride, or stream detector) fills
+ * L2/L3 ahead of demand, and an optional DRAM row-buffer model sits
+ * behind the last level.  Prefetch usefulness is tracked with one bit
+ * per L2 slot — set when a prefetch fills the slot, cleared (and
+ * counted) when a demand access consumes it or a later fill evicts it —
+ * so the accounting identity
+ *
+ *     prefetch_fills == prefetch_useful + prefetch_evicted_unused
+ *                       + (bits still set)
+ *
+ * holds exactly at every instruction boundary, for any window length.
+ * The previous design kept prefetched lines in an unordered_set that
+ * was wiped wholesale past 65536 entries, which made coverage and
+ * accuracy drift once the wipe landed and left stale entries when a
+ * prefetched line was evicted and later re-fetched on demand.
  */
 
 #ifndef SPECLENS_UARCH_CACHE_HIERARCHY_H
 #define SPECLENS_UARCH_CACHE_HIERARCHY_H
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_set>
+#include <vector>
 
 #include "uarch/cache.h"
+#include "uarch/dram_model.h"
 
 namespace speclens {
 namespace verify {
@@ -27,6 +46,22 @@ namespace uarch {
 
 /** Level that serviced a request. */
 enum class ServiceLevel : std::uint8_t { L1, L2, L3, Memory };
+
+/**
+ * L2 data-prefetch engine.  Only meaningful when
+ * CacheHierarchyConfig::l2_prefetch_degree is non-zero; with a degree
+ * of zero the prefetcher is off regardless of kind, which keeps the
+ * Table IV machine fingerprints' semantics (calibration folds the
+ * prefetch effect into the workload streaming parameters).
+ */
+enum class PrefetcherKind : std::uint8_t {
+    NextLine, //!< Fill the next N lines after a demand miss.
+    Stride,   //!< PC-indexed stride table with confidence counters.
+    Stream,   //!< Ascending-stream detector over a small window set.
+};
+
+/** Stable lower-case name ("next-line", "stride", "stream"). */
+std::string prefetcherKindName(PrefetcherKind kind);
 
 /** Geometry of the whole hierarchy. */
 struct CacheHierarchyConfig
@@ -40,16 +75,22 @@ struct CacheHierarchyConfig
         CacheConfig{"L3", 8 * 1024 * 1024, 16, 64, ReplacementPolicy::Lru};
 
     /**
-     * Next-line degree of the L2 stream prefetcher: on a demand L2
-     * data miss, this many successor lines are filled into L2 (and L3)
-     * ahead of the stream.  Zero disables prefetching — the default
-     * for the Table IV machine models, whose calibration folds the
-     * prefetch effect into the workload streaming parameters; the
-     * design-space ablations turn it on explicitly.
+     * Aggressiveness of the L2 data prefetcher: how many lines each
+     * trigger (demand miss, confirmed stream, confident stride) pulls
+     * into L2 (and L3) ahead of the stream.  Zero disables prefetching
+     * — the default for the Table IV machine models; the memory-centric
+     * machine variants and design-space ablations turn it on.
      */
     unsigned l2_prefetch_degree = 0;
 
-    /** Feed every level's geometry and the prefetch degree to @p fp. */
+    /** Engine used when l2_prefetch_degree is non-zero. */
+    PrefetcherKind prefetcher = PrefetcherKind::NextLine;
+
+    /** Row-buffer model behind the last level; absent = flat memory. */
+    std::optional<DramConfig> dram;
+
+    /** Feed every level's geometry, the prefetcher and the DRAM model
+     *  to @p fp. */
     void hashInto(stats::Fingerprinter &fp) const;
 };
 
@@ -67,10 +108,14 @@ class CacheHierarchy
     explicit CacheHierarchy(const CacheHierarchyConfig &config);
 
     /**
-     * Perform a data access (load or store; both allocate).
+     * Perform a data access (load or store; both allocate).  @p pc is
+     * the program counter of the memory instruction; the stride
+     * prefetcher indexes its table with it.  The default keeps
+     * pc-less callers (tests, the prewarm walk) valid — they train a
+     * single stride slot, which is still deterministic.
      * @return deepest level that had to service the request.
      */
-    ServiceLevel accessData(std::uint64_t address);
+    ServiceLevel accessData(std::uint64_t address, std::uint64_t pc = 0);
 
     /** Perform an instruction fetch. */
     ServiceLevel accessInstr(std::uint64_t pc);
@@ -118,7 +163,10 @@ class CacheHierarchy
     /**
      * Fill one distinct line of the cold data walk — exactly what
      * accessData() does when every level misses, minus the futile hit
-     * scans.  Only valid under coldFillEligible() at walk start.
+     * scans.  Only valid under coldFillEligible() at walk start.  The
+     * DRAM model is deliberately not touched: analytic prewarm leaves
+     * every row closed, so the cold walk must too for the two paths to
+     * produce identical state (see DESIGN §5h).
      */
     void
     prewarmFillData(std::uint64_t address)
@@ -172,25 +220,129 @@ class CacheHierarchy
     /** True when the hierarchy has a third level. */
     bool hasL3() const { return l3_cache_ != nullptr; }
 
+    /** True when a DRAM row-buffer model sits behind the last level. */
+    bool hasDram() const { return dram_ != nullptr; }
+
+    PrefetcherKind prefetcherKind() const { return prefetcher_kind_; }
+    unsigned prefetchDegree() const { return prefetch_degree_; }
+
     /** Lines brought in by the L2 prefetcher (not demand misses). */
     std::uint64_t prefetchFills() const { return prefetch_fills_; }
+
+    /** Prefetched lines later consumed by a demand data access. */
+    std::uint64_t prefetchUseful() const { return prefetch_useful_; }
+
+    /** Prefetched lines evicted before any demand access used them. */
+    std::uint64_t prefetchEvictedUnused() const
+    {
+        return prefetch_evicted_unused_;
+    }
+
+    /**
+     * Retire every still-unconsumed prefetched line as evicted-unused
+     * and clear its slot bit.  Called at the warmup->measurement
+     * boundary: measured counters are snapshot deltas, so a line
+     * prefetched during warmup must not surface as a measured useful
+     * hit with no measured fill to match — that is exactly the
+     * accounting drift the per-slot bits exist to prevent.  The lines
+     * themselves stay resident; only the attribution is closed out.
+     */
+    void retireUnusedPrefetches();
+
+    /** Way-predictor hits summed over every level. */
+    std::uint64_t
+    wayPredHits() const
+    {
+        return l1i_cache_.wayPredHits() + l1d_cache_.wayPredHits() +
+               l2_cache_.wayPredHits() +
+               (l3_cache_ ? l3_cache_->wayPredHits() : 0);
+    }
+
+    /** Way-predictor mispredictions summed over every level. */
+    std::uint64_t
+    wayPredMispredicts() const
+    {
+        return l1i_cache_.wayPredMispredicts() +
+               l1d_cache_.wayPredMispredicts() +
+               l2_cache_.wayPredMispredicts() +
+               (l3_cache_ ? l3_cache_->wayPredMispredicts() : 0);
+    }
+
+    std::uint64_t dramAccesses() const
+    {
+        return dram_ ? dram_->accesses() : 0;
+    }
+    std::uint64_t dramRowHits() const
+    {
+        return dram_ ? dram_->rowHits() : 0;
+    }
+    std::uint64_t dramBusyCycles() const
+    {
+        return dram_ ? dram_->busyCycles() : 0;
+    }
+    std::uint64_t dramBudgetCycles() const
+    {
+        return dram_ ? dram_->budgetCycles() : 0;
+    }
 
     /** Invalidate everything and zero statistics. */
     void reset();
 
   private:
+    /** One slot of the stride prefetcher's PC-indexed table. */
+    struct StrideEntry
+    {
+        std::uint64_t last_line = 0;
+        std::int64_t delta = 0; //!< Line delta of the tracked stride.
+        std::uint8_t confidence = 0; //!< Saturates at 3; issue at >= 2.
+        std::uint8_t valid = 0;
+    };
+
+    /** One tracked ascending stream of the stream detector. */
+    struct StreamWindow
+    {
+        std::uint64_t last_line = 0; //!< Furthest line fetched so far.
+        std::uint8_t valid = 0;
+    };
+
+    static constexpr std::size_t kStrideEntries = 64;
+    static constexpr std::size_t kStreamWindows = 8;
+    /** A miss within this many lines past a window confirms it. */
+    static constexpr std::uint64_t kStreamConfirmDistance = 4;
+    /** A prefetched-line hit at most this far behind a window's edge
+     *  extends that window. */
+    static constexpr std::uint64_t kStreamHitWindow = 64;
+
     /** Defined inline below; one call per instruction fetch or memory
      *  op, so it must fold into the playback loop. */
     ServiceLevel accessCommon(Cache &l1, SideCounters &l1_stats,
                               SideCounters &l2_side, std::uint64_t address,
-                              bool allow_prefetch);
+                              std::uint64_t pc, bool allow_prefetch);
 
-    /** Confirm-or-extend the stream window on a demand hit of a
-     *  prefetched L2 line (cold path, out of line). */
-    void confirmPrefetchedHit(std::uint64_t address);
+    /** Demand data hit in L2: consume the slot's prefetched bit and
+     *  let the engine confirm/extend (cold path, out of line). */
+    void onL2DemandHit(std::uint64_t address, std::uint64_t pc);
 
-    /** Fill the next-line window after a demand L2 data miss. */
-    void prefetchAfterMiss(std::uint64_t address);
+    /** Demand data miss in L2: account the demand fill's eviction and
+     *  let the engine train and issue (cold path, out of line). */
+    void onL2DemandMiss(std::uint64_t address, std::uint64_t pc);
+
+    /** A demand fill just landed at the L2's lastIndex(): if it
+     *  evicted a line still carrying its prefetched bit, count it. */
+    void noteDemandFill();
+
+    /** Install one prefetch target through L3 (and DRAM) into L2. */
+    void issuePrefetch(std::uint64_t target);
+
+    /** Issue the next-line window after @p address. */
+    void prefetchWindow(std::uint64_t address);
+
+    /** Stride engine: train the @p pc slot and issue when confident. */
+    void trainStrideAndIssue(std::uint64_t address, std::uint64_t pc);
+
+    /** Stream engine reactions. */
+    void streamMiss(std::uint64_t line);
+    void streamPrefetchedHit(std::uint64_t line);
 
     Cache l1i_cache_;
     Cache l1d_cache_;
@@ -204,16 +356,30 @@ class CacheHierarchy
     SideCounters l3_stats_;
 
     unsigned prefetch_degree_ = 0;
+    PrefetcherKind prefetcher_kind_ = PrefetcherKind::NextLine;
     std::uint64_t prefetch_fills_ = 0;
+    std::uint64_t prefetch_useful_ = 0;
+    std::uint64_t prefetch_evicted_unused_ = 0;
 
     /**
-     * Lines brought in by the prefetcher and not yet consumed by a
-     * demand access.  A demand hit on such a line confirms the stream
-     * and triggers the next prefetch window (prefetch-on-prefetched-
-     * hit), which is what lets the prefetcher stay ahead of sustained
-     * streams.
+     * One bit per L2 slot (set-major, same layout as the tag array):
+     * set when a prefetch fills the slot, cleared when a demand access
+     * consumes it (-> prefetch_useful_) or a later fill overwrites it
+     * (-> prefetch_evicted_unused_).  Sized with the L2 and never
+     * reset mid-run, so the fills/useful/evicted identity in the file
+     * comment is exact for any window.  Empty when the prefetcher is
+     * off.
      */
-    std::unordered_set<std::uint64_t> prefetched_lines_;
+    std::vector<std::uint8_t> l2_prefetch_bits_;
+
+    /** Stride table; sized only for PrefetcherKind::Stride. */
+    std::vector<StrideEntry> stride_table_;
+
+    std::array<StreamWindow, kStreamWindows> stream_windows_{};
+    std::size_t stream_next_ = 0; //!< Round-robin allocation cursor.
+
+    /** Row-buffer model behind the last level; null when absent. */
+    std::unique_ptr<DramModel> dram_;
 
     /** Closed-form prewarm writes per-level caches and side counters
      *  directly (see src/uarch/prewarm.h). */
@@ -226,13 +392,13 @@ class CacheHierarchy
 // ---------------------------------------------------------------------
 // Hot-path definitions, in the header so the L1 -> L2 -> L3
 // fallthrough inlines into the playback loop.  Prefetch handling is
-// the exception: it is rare and hash-set heavy, so it stays out of
-// line behind the prefetch_degree_ check.
+// the exception: it is rare and engine-heavy, so it stays out of line
+// behind the prefetch_degree_ check.
 
 inline ServiceLevel
 CacheHierarchy::accessCommon(Cache &l1, SideCounters &l1_stats,
                              SideCounters &l2_side, std::uint64_t address,
-                             bool allow_prefetch)
+                             std::uint64_t pc, bool allow_prefetch)
 {
     ++l1_stats.accesses;
     if (l1.access(address))
@@ -241,16 +407,21 @@ CacheHierarchy::accessCommon(Cache &l1, SideCounters &l1_stats,
 
     ++l2_side.accesses;
     if (l2_cache_.access(address)) {
-        if (allow_prefetch && prefetch_degree_ > 0) {
-            // Consuming a prefetched line confirms the stream: fetch
-            // the next window so the prefetcher stays ahead.
-            confirmPrefetchedHit(address);
-        }
+        if (prefetch_degree_ != 0 && allow_prefetch)
+            onL2DemandHit(address, pc);
         return ServiceLevel::L2;
     }
     ++l2_side.misses;
-    if (allow_prefetch && prefetch_degree_ > 0)
-        prefetchAfterMiss(address);
+    if (prefetch_degree_ != 0) {
+        if (allow_prefetch) {
+            onL2DemandMiss(address, pc);
+        } else {
+            // Instruction-side demand fills do not trigger the data
+            // prefetcher, but they can still evict an unconsumed
+            // prefetched line, which the identity must see.
+            noteDemandFill();
+        }
+    }
 
     if (!l3_cache_) {
         // Two-level machine: an L2 miss goes to memory; the "L3"
@@ -258,6 +429,8 @@ CacheHierarchy::accessCommon(Cache &l1, SideCounters &l1_stats,
         // remains well-defined for the metric set.
         ++l3_stats_.accesses;
         ++l3_stats_.misses;
+        if (dram_)
+            dram_->access(address);
         return ServiceLevel::Memory;
     }
 
@@ -265,13 +438,15 @@ CacheHierarchy::accessCommon(Cache &l1, SideCounters &l1_stats,
     if (l3_cache_->access(address))
         return ServiceLevel::L3;
     ++l3_stats_.misses;
+    if (dram_)
+        dram_->access(address);
     return ServiceLevel::Memory;
 }
 
 inline ServiceLevel
-CacheHierarchy::accessData(std::uint64_t address)
+CacheHierarchy::accessData(std::uint64_t address, std::uint64_t pc)
 {
-    return accessCommon(l1d_cache_, l1d_stats_, l2d_stats_, address,
+    return accessCommon(l1d_cache_, l1d_stats_, l2d_stats_, address, pc,
                         /*allow_prefetch=*/true);
 }
 
@@ -279,7 +454,7 @@ inline ServiceLevel
 CacheHierarchy::accessInstr(std::uint64_t pc)
 {
     // The modelled prefetcher is a data-stream prefetcher.
-    return accessCommon(l1i_cache_, l1i_stats_, l2i_stats_, pc,
+    return accessCommon(l1i_cache_, l1i_stats_, l2i_stats_, pc, pc,
                         /*allow_prefetch=*/false);
 }
 

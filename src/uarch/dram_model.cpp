@@ -1,0 +1,67 @@
+/**
+ * @file
+ * DRAM row-buffer model implementation.
+ */
+
+#include "dram_model.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace speclens {
+namespace uarch {
+
+void
+DramConfig::validate() const
+{
+    if (banks == 0 || !std::has_single_bit(banks))
+        throw std::invalid_argument(
+            "DRAM: bank count not a power of two");
+    if (row_bytes == 0 || !std::has_single_bit(row_bytes))
+        throw std::invalid_argument(
+            "DRAM: row size not a power of two");
+    if (burst_cycles == 0 || activate_cycles == 0 ||
+        cycles_per_burst_budget == 0)
+        throw std::invalid_argument(
+            "DRAM: cycle costs must be positive");
+}
+
+void
+DramConfig::hashInto(stats::Fingerprinter &fp) const
+{
+    fp.tag("dram");
+    fp.u64(banks);
+    fp.u64(row_bytes);
+    fp.u64(burst_cycles);
+    fp.u64(activate_cycles);
+    fp.u64(cycles_per_burst_budget);
+}
+
+DramModel::DramModel(const DramConfig &config)
+    : config_(config),
+      row_shift_(static_cast<std::uint32_t>(std::countr_zero(
+          static_cast<std::uint64_t>(config.row_bytes)))),
+      bank_shift_(static_cast<std::uint32_t>(std::countr_zero(
+          static_cast<std::uint64_t>(config.banks)))),
+      bank_mask_(config.banks - 1)
+{
+    config_.validate();
+    open_row_.assign(config_.banks, 0);
+    row_open_.assign(config_.banks, 0);
+}
+
+void
+DramModel::reset()
+{
+    std::fill(open_row_.begin(), open_row_.end(), 0ull);
+    std::fill(row_open_.begin(), row_open_.end(),
+              static_cast<std::uint8_t>(0));
+    accesses_ = 0;
+    row_hits_ = 0;
+    busy_cycles_ = 0;
+    budget_cycles_ = 0;
+}
+
+} // namespace uarch
+} // namespace speclens

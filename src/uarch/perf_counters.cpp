@@ -36,6 +36,15 @@ PerfCounters::operator+=(const PerfCounters &rhs)
     l2tlb_misses += rhs.l2tlb_misses;
     page_walks += rhs.page_walks;
     branch_mispredictions += rhs.branch_mispredictions;
+    prefetch_fills += rhs.prefetch_fills;
+    prefetch_useful += rhs.prefetch_useful;
+    prefetch_evicted_unused += rhs.prefetch_evicted_unused;
+    way_pred_hits += rhs.way_pred_hits;
+    way_pred_mispredicts += rhs.way_pred_mispredicts;
+    dram_accesses += rhs.dram_accesses;
+    dram_row_hits += rhs.dram_row_hits;
+    dram_busy_cycles += rhs.dram_busy_cycles;
+    dram_budget_cycles += rhs.dram_budget_cycles;
     return *this;
 }
 

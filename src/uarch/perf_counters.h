@@ -54,6 +54,18 @@ struct PerfCounters
     // Branch prediction.
     std::uint64_t branch_mispredictions = 0;
 
+    // Memory-centric model (zero when the feature is off on the
+    // machine: prefetcher disabled, no way prediction, no DRAM model).
+    std::uint64_t prefetch_fills = 0;
+    std::uint64_t prefetch_useful = 0;
+    std::uint64_t prefetch_evicted_unused = 0;
+    std::uint64_t way_pred_hits = 0;
+    std::uint64_t way_pred_mispredicts = 0;
+    std::uint64_t dram_accesses = 0;
+    std::uint64_t dram_row_hits = 0;
+    std::uint64_t dram_busy_cycles = 0;
+    std::uint64_t dram_budget_cycles = 0;
+
     /** events per kilo-instruction. */
     double
     perKilo(std::uint64_t events) const
@@ -95,6 +107,67 @@ struct PerfCounters
     double itlbMpmi() const { return perMillion(itlb_misses); }
     double l2tlbMpmi() const { return perMillion(l2tlb_misses); }
     double pageWalksPerMi() const { return perMillion(page_walks); }
+
+    /** ratio of @p part over @p whole, 0 when the whole is zero. */
+    static double
+    ratio(std::uint64_t part, std::uint64_t whole)
+    {
+        return whole == 0 ? 0.0
+                          : static_cast<double>(part) /
+                                static_cast<double>(whole);
+    }
+
+    /**
+     * Fraction of demand L2 data misses the prefetcher eliminated:
+     * useful prefetches over useful prefetches plus the misses that
+     * still happened.
+     */
+    double
+    prefetchCoverage() const
+    {
+        return ratio(prefetch_useful, prefetch_useful + l2d_misses);
+    }
+
+    /** Fraction of prefetched lines a demand access later used. */
+    double prefetchAccuracy() const
+    {
+        return ratio(prefetch_useful, prefetch_fills);
+    }
+
+    /**
+     * Fraction of prefetched lines that survived until use: 1 minus
+     * the share evicted unconsumed.  1.0 when nothing was prefetched.
+     */
+    double
+    prefetchTimeliness() const
+    {
+        return prefetch_fills == 0
+                   ? 1.0
+                   : 1.0 - ratio(prefetch_evicted_unused, prefetch_fills);
+    }
+
+    /** Way-predictor hit rate over predicted cache hits. */
+    double
+    wayPredAccuracy() const
+    {
+        return ratio(way_pred_hits, way_pred_hits + way_pred_mispredicts);
+    }
+
+    /** DRAM accesses that hit an open row. */
+    double rowBufferHitRate() const
+    {
+        return ratio(dram_row_hits, dram_accesses);
+    }
+
+    /**
+     * Busy cycles over the cycles-per-burst budget.  Deliberately not
+     * clamped: values above 1 mean the access stream demands more
+     * bandwidth than the modelled channel sustains.
+     */
+    double dramBwUtilization() const
+    {
+        return ratio(dram_busy_cycles, dram_budget_cycles);
+    }
 
     double loadFraction() const { return fraction(loads); }
     double storeFraction() const { return fraction(stores); }

@@ -408,9 +408,17 @@ PrewarmSolver::apply(CacheHierarchy &caches, TlbHierarchy &tlbs,
     const std::uint64_t line = trace::kLineBytes;
     const Cache *levels[] = {&caches.l1i_cache_, &caches.l1d_cache_,
                              &caches.l2_cache_, caches.l3_cache_.get()};
-    for (const Cache *level : levels)
-        if (level != nullptr && level->config_.line_bytes != line)
+    for (const Cache *level : levels) {
+        if (level == nullptr)
+            continue;
+        if (level->config_.line_bytes != line)
             return false;
+        // The solver writes tags and stamps analytically but does not
+        // model the way-prediction table that every fill trains
+        // (Cache::coldFill does); a predicting cache takes the walk.
+        if (level->config_.way_prediction != WayPredictionKind::None)
+            return false;
+    }
 
     const std::uint64_t dpage = tlbs.dtlb_.config_.line_bytes;
     const std::uint64_t ipage = tlbs.itlb_.config_.line_bytes;
@@ -645,6 +653,9 @@ PrewarmSolver::appendCacheState(const Cache &cache,
     out.insert(out.end(), cache.cold_fills_.begin(),
                cache.cold_fills_.end());
     out.insert(out.end(), cache.plru_.begin(), cache.plru_.end());
+    out.push_back(cache.way_pred_hits_);
+    out.push_back(cache.way_pred_mispredicts_);
+    out.insert(out.end(), cache.way_pred_.begin(), cache.way_pred_.end());
     for (std::uint64_t i = 0; i < sets * assoc; ++i) {
         std::uint64_t tag = cache.tags_[i];
         out.push_back(tag);
@@ -672,6 +683,32 @@ PrewarmSolver::stateDigest(const CacheHierarchy &caches,
         out.push_back(side->misses);
     }
     out.push_back(caches.prefetch_fills_);
+    out.push_back(caches.prefetch_useful_);
+    out.push_back(caches.prefetch_evicted_unused_);
+    out.insert(out.end(), caches.l2_prefetch_bits_.begin(),
+               caches.l2_prefetch_bits_.end());
+    for (const auto &entry : caches.stride_table_) {
+        out.push_back(entry.last_line);
+        out.push_back(static_cast<std::uint64_t>(entry.delta));
+        out.push_back(entry.confidence);
+        out.push_back(entry.valid);
+    }
+    for (const auto &window : caches.stream_windows_) {
+        out.push_back(window.last_line);
+        out.push_back(window.valid);
+    }
+    out.push_back(caches.stream_next_);
+    if (caches.dram_) {
+        const DramModel &dram = *caches.dram_;
+        out.push_back(dram.accesses());
+        out.push_back(dram.rowHits());
+        out.push_back(dram.busyCycles());
+        out.push_back(dram.budgetCycles());
+        out.insert(out.end(), dram.open_row_.begin(),
+                   dram.open_row_.end());
+        out.insert(out.end(), dram.row_open_.begin(),
+                   dram.row_open_.end());
+    }
     appendCacheState(tlbs.itlb_, out);
     appendCacheState(tlbs.dtlb_, out);
     if (tlbs.l2tlb_)

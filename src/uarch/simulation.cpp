@@ -44,17 +44,34 @@ struct Snapshot
     SideCounters l1d, l1i, l2d, l2i, l3;
     std::uint64_t dtlb_acc, dtlb_miss, itlb_acc, itlb_miss;
     std::uint64_t l2tlb_miss, walks;
+    std::uint64_t pf_fills, pf_useful, pf_evicted;
+    std::uint64_t wp_hits, wp_mispred;
+    std::uint64_t dram_acc, dram_row_hits, dram_busy, dram_budget;
 };
 
 Snapshot
 capture(const CacheHierarchy &caches, const TlbHierarchy &tlbs)
 {
-    return Snapshot{caches.l1d(),       caches.l1i(),
-                    caches.l2d(),       caches.l2i(),
-                    caches.l3(),        tlbs.dtlbAccesses(),
-                    tlbs.dtlbMisses(),  tlbs.itlbAccesses(),
-                    tlbs.itlbMisses(),  tlbs.l2tlbMisses(),
-                    tlbs.pageWalks()};
+    return Snapshot{caches.l1d(),
+                    caches.l1i(),
+                    caches.l2d(),
+                    caches.l2i(),
+                    caches.l3(),
+                    tlbs.dtlbAccesses(),
+                    tlbs.dtlbMisses(),
+                    tlbs.itlbAccesses(),
+                    tlbs.itlbMisses(),
+                    tlbs.l2tlbMisses(),
+                    tlbs.pageWalks(),
+                    caches.prefetchFills(),
+                    caches.prefetchUseful(),
+                    caches.prefetchEvictedUnused(),
+                    caches.wayPredHits(),
+                    caches.wayPredMispredicts(),
+                    caches.dramAccesses(),
+                    caches.dramRowHits(),
+                    caches.dramBusyCycles(),
+                    caches.dramBudgetCycles()};
 }
 
 /** Add the structure-count delta between two snapshots to counters. */
@@ -77,6 +94,15 @@ addDelta(PerfCounters &c, const Snapshot &start, const Snapshot &end)
     c.itlb_misses += end.itlb_miss - start.itlb_miss;
     c.l2tlb_misses += end.l2tlb_miss - start.l2tlb_miss;
     c.page_walks += end.walks - start.walks;
+    c.prefetch_fills += end.pf_fills - start.pf_fills;
+    c.prefetch_useful += end.pf_useful - start.pf_useful;
+    c.prefetch_evicted_unused += end.pf_evicted - start.pf_evicted;
+    c.way_pred_hits += end.wp_hits - start.wp_hits;
+    c.way_pred_mispredicts += end.wp_mispred - start.wp_mispred;
+    c.dram_accesses += end.dram_acc - start.dram_acc;
+    c.dram_row_hits += end.dram_row_hits - start.dram_row_hits;
+    c.dram_busy_cycles += end.dram_busy - start.dram_busy;
+    c.dram_budget_cycles += end.dram_budget - start.dram_budget;
 }
 
 /** One machine's structures plus the per-instruction playback loop. */
@@ -134,6 +160,14 @@ class Playback
      * per 4096-record batch.
      */
     void attachAudit(verify::AuditTrail *trail) { trail_ = trail; }
+
+    /**
+     * Close out prefetch attribution at the warmup->measurement
+     * boundary (see CacheHierarchy::retireUnusedPrefetches): without
+     * this, measured snapshot deltas could show more useful/evicted
+     * prefetches than fills.
+     */
+    void retireUnusedPrefetches() { caches_.retireUnusedPrefetches(); }
 
     /**
      * Run one audit point.  @p post_prewarm selects the stricter
@@ -242,7 +276,7 @@ class Playback
             predictor.update(pc, branch_id, taken);
         }
         if (op == trace::OpClass::Load || op == trace::OpClass::Store) {
-            caches_.accessData(address);
+            caches_.accessData(address, pc);
             tlbs_.accessData(address);
         }
         return mispredicted;
@@ -357,7 +391,7 @@ class Playback
                             caches_.repeatDataHits(drun);
                             drun = 0;
                         }
-                        caches_.accessData(address);
+                        caches_.accessData(address, pc);
                         last_dline = dline;
                     }
                     std::uint64_t dpage = address >> d_page_shift;
@@ -522,8 +556,17 @@ simulateFused(const trace::WorkloadProfile &profile,
 
     SimulationResult result;
     playback.play(generator, config.warmup, nullptr);
+    playback.retireUnusedPrefetches();
     playback.play(generator, config.instructions, &result.counters);
     playback.auditPoint(/*post_prewarm=*/false);
+
+    // Surfaced in the run manifest so the prefetch-vs-demand-miss
+    // separation (lint rule SL014) is checkable from artifacts alone.
+    if (result.counters.prefetch_fills != 0) {
+        static obs::Counter &prefetch_fills =
+            obs::Registry::global().counter("uarch.prefetch.fills");
+        prefetch_fills.add(result.counters.prefetch_fills);
+    }
 
     result.cpi_stack = computeCpiStack(result.counters,
                                        machine.latencies,
@@ -602,6 +645,7 @@ simulateMaterialized(const trace::WorkloadProfile &profile,
 
     SimulationResult result;
     playback.playVector(warmup, nullptr);
+    playback.retireUnusedPrefetches();
     playback.playVector(measured, &result.counters);
     playback.auditPoint(/*post_prewarm=*/false);
 #ifndef SPECLENS_AUDIT_OFF
@@ -637,7 +681,16 @@ bitIdentical(const SimulationResult &a, const SimulationResult &b)
         x.itlb_accesses == y.itlb_accesses &&
         x.itlb_misses == y.itlb_misses &&
         x.l2tlb_misses == y.l2tlb_misses && x.page_walks == y.page_walks &&
-        x.branch_mispredictions == y.branch_mispredictions;
+        x.branch_mispredictions == y.branch_mispredictions &&
+        x.prefetch_fills == y.prefetch_fills &&
+        x.prefetch_useful == y.prefetch_useful &&
+        x.prefetch_evicted_unused == y.prefetch_evicted_unused &&
+        x.way_pred_hits == y.way_pred_hits &&
+        x.way_pred_mispredicts == y.way_pred_mispredicts &&
+        x.dram_accesses == y.dram_accesses &&
+        x.dram_row_hits == y.dram_row_hits &&
+        x.dram_busy_cycles == y.dram_busy_cycles &&
+        x.dram_budget_cycles == y.dram_budget_cycles;
     if (!counters_equal)
         return false;
 
@@ -696,6 +749,7 @@ simulatePhased(const trace::PhasedWorkload &workload,
 
         trace::TraceGenerator generator(effective, config.seed_salt);
         playback.play(generator, share(config.warmup), nullptr);
+        playback.retireUnusedPrefetches();
 
         SimulationResult phase_result;
         playback.play(generator, share(config.instructions),

@@ -122,6 +122,55 @@ StateAuditor::auditCache(const uarch::Cache &cache,
                 std::to_string(cache.hits_) + " hits > " +
                     std::to_string(cache.accesses_) + " accesses");
     }
+
+    // Way-predictor invariants.  The table exists exactly when the
+    // config enables prediction (one partition for MRU, two for
+    // multi-MRU), every trained entry is a legal way, and each
+    // hit/mispredict tally corresponds to one cache hit (misses never
+    // verify a prediction).
+    {
+        std::uint32_t expected_parts =
+            cfg.way_prediction == uarch::WayPredictionKind::None ? 0u
+            : cfg.way_prediction == uarch::WayPredictionKind::Mru ? 1u
+                                                                  : 2u;
+        if (cache.way_pred_parts_ != expected_parts ||
+            cache.way_pred_.size() !=
+                cache.num_sets_ * expected_parts) {
+            em.emit("waypred-shape", "",
+                    std::to_string(cache.way_pred_.size()) +
+                        " entries / " +
+                        std::to_string(cache.way_pred_parts_) +
+                        " partitions for policy " +
+                        uarch::wayPredictionKindName(
+                            cfg.way_prediction));
+        } else {
+            for (std::size_t i = 0; i < cache.way_pred_.size(); ++i) {
+                if (cache.way_pred_[i] >= assoc) {
+                    em.emit("waypred-domain",
+                            "entry " + std::to_string(i),
+                            "predicted way " +
+                                std::to_string(cache.way_pred_[i]) +
+                                " of " + std::to_string(assoc));
+                    if (em.saturated())
+                        return;
+                }
+            }
+        }
+        if (expected_parts == 0 && (cache.way_pred_hits_ != 0 ||
+                                    cache.way_pred_mispredicts_ != 0)) {
+            em.emit("waypred-counters", "",
+                    "prediction counters nonzero with prediction off");
+        }
+        if (cache.way_pred_hits_ + cache.way_pred_mispredicts_ >
+            cache.hits_) {
+            em.emit("waypred-bound", "",
+                    std::to_string(cache.way_pred_hits_ +
+                                   cache.way_pred_mispredicts_) +
+                        " predictions > " +
+                        std::to_string(cache.hits_) + " hits");
+        }
+    }
+
     if (cfg.line_bytes == 0 ||
         !std::has_single_bit(std::uint64_t{cfg.line_bytes})) {
         em.emit("page-alignment", "",
@@ -219,6 +268,197 @@ StateAuditor::auditCaches(const uarch::CacheHierarchy &caches,
     auditCache(caches.l2_cache_, out);
     if (caches.l3_cache_)
         auditCache(*caches.l3_cache_, out);
+    auditPrefetcher(caches, out);
+    if (caches.dram_)
+        auditDram(*caches.dram_, out);
+}
+
+void
+StateAuditor::auditPrefetcher(const uarch::CacheHierarchy &caches,
+                              std::vector<Violation> &out)
+{
+    Emitter em("prefetcher", out);
+    const uarch::Cache &l2 = caches.l2_cache_;
+    const std::size_t slots =
+        l2.num_sets_ * l2.config_.associativity;
+
+    if (caches.prefetch_degree_ == 0) {
+        // Off: no tracking state may exist and no counter may move.
+        if (!caches.l2_prefetch_bits_.empty())
+            em.emit("bit-shape", "",
+                    std::to_string(caches.l2_prefetch_bits_.size()) +
+                        " tracking bits with the prefetcher off");
+        if (caches.prefetch_fills_ != 0 ||
+            caches.prefetch_useful_ != 0 ||
+            caches.prefetch_evicted_unused_ != 0)
+            em.emit("counters-off", "",
+                    "prefetch counters nonzero with the prefetcher "
+                    "off");
+        return;
+    }
+
+    if (caches.l2_prefetch_bits_.size() != slots) {
+        em.emit("bit-shape", "",
+                std::to_string(caches.l2_prefetch_bits_.size()) +
+                    " tracking bits for " + std::to_string(slots) +
+                    " L2 slots");
+        return; // the identity below would read out of bounds
+    }
+
+    std::uint64_t resident = 0;
+    for (std::size_t slot = 0; slot < slots; ++slot) {
+        std::uint8_t bit = caches.l2_prefetch_bits_[slot];
+        if (bit > 1) {
+            em.emit("bit-domain", "slot " + std::to_string(slot),
+                    "tracking bit holds " + std::to_string(bit));
+            if (em.saturated())
+                return;
+            continue;
+        }
+        if (bit == 0)
+            continue;
+        ++resident;
+        // A set bit marks a resident prefetched line; eviction paths
+        // clear or reclassify it, so it can never sit on an invalid
+        // way.
+        if (l2.tags_[slot] == uarch::Cache::kInvalidTag) {
+            em.emit("bit-on-invalid", "slot " + std::to_string(slot),
+                    "tracking bit set on an invalid way");
+            if (em.saturated())
+                return;
+        }
+    }
+
+    // The accounting identity the 65536-entry wipe of the old
+    // unordered_set implementation silently broke: every fill is
+    // consumed, evicted unused, or still resident.
+    if (caches.prefetch_fills_ !=
+        caches.prefetch_useful_ + caches.prefetch_evicted_unused_ +
+            resident) {
+        em.emit("fill-identity", "",
+                std::to_string(caches.prefetch_fills_) + " fills != " +
+                    std::to_string(caches.prefetch_useful_) +
+                    " useful + " +
+                    std::to_string(caches.prefetch_evicted_unused_) +
+                    " evicted + " + std::to_string(resident) +
+                    " resident");
+    }
+
+    // Engine tables exist exactly for the configured kind.
+    const bool is_stride =
+        caches.prefetcher_kind_ == uarch::PrefetcherKind::Stride;
+    if (caches.stride_table_.size() !=
+        (is_stride ? uarch::CacheHierarchy::kStrideEntries : 0u)) {
+        em.emit("stride-shape", "",
+                std::to_string(caches.stride_table_.size()) +
+                    " stride entries for engine " +
+                    uarch::prefetcherKindName(caches.prefetcher_kind_));
+    } else {
+        for (std::size_t i = 0; i < caches.stride_table_.size(); ++i) {
+            const auto &entry = caches.stride_table_[i];
+            if (entry.confidence > 3)
+                em.emit("stride-confidence",
+                        "entry " + std::to_string(i),
+                        "2-bit confidence holds " +
+                            std::to_string(entry.confidence));
+            if (entry.valid > 1)
+                em.emit("stride-valid", "entry " + std::to_string(i),
+                        "valid flag holds " +
+                            std::to_string(entry.valid));
+            if (em.saturated())
+                return;
+        }
+    }
+
+    if (caches.stream_next_ >= uarch::CacheHierarchy::kStreamWindows) {
+        em.emit("stream-ring", "",
+                "allocation cursor " +
+                    std::to_string(caches.stream_next_) + " of " +
+                    std::to_string(
+                        uarch::CacheHierarchy::kStreamWindows) +
+                    " windows");
+    }
+    const bool is_stream =
+        caches.prefetcher_kind_ == uarch::PrefetcherKind::Stream;
+    for (std::size_t i = 0; i < caches.stream_windows_.size(); ++i) {
+        const auto &window = caches.stream_windows_[i];
+        if (window.valid > 1)
+            em.emit("stream-valid", "window " + std::to_string(i),
+                    "valid flag holds " + std::to_string(window.valid));
+        else if (!is_stream && window.valid != 0)
+            em.emit("stream-shape", "window " + std::to_string(i),
+                    "active window for engine " +
+                        uarch::prefetcherKindName(
+                            caches.prefetcher_kind_));
+        if (em.saturated())
+            return;
+    }
+}
+
+void
+StateAuditor::auditDram(const uarch::DramModel &dram,
+                        std::vector<Violation> &out)
+{
+    Emitter em("dram", out);
+    const uarch::DramConfig &cfg = dram.config_;
+
+    if (dram.open_row_.size() != cfg.banks ||
+        dram.row_open_.size() != cfg.banks) {
+        em.emit("bank-shape", "",
+                std::to_string(dram.open_row_.size()) + " rows / " +
+                    std::to_string(dram.row_open_.size()) +
+                    " flags for " + std::to_string(cfg.banks) +
+                    " banks");
+        return;
+    }
+
+    // Rows are (addr >> row_shift) >> bank_shift, so an open row above
+    // this bound cannot be produced by any 64-bit address.
+    const std::uint64_t max_row =
+        (~0ull >> dram.row_shift_) >> dram.bank_shift_;
+    for (std::size_t bank = 0; bank < cfg.banks; ++bank) {
+        if (dram.row_open_[bank] > 1) {
+            em.emit("flag-domain", "bank " + std::to_string(bank),
+                    "open flag holds " +
+                        std::to_string(dram.row_open_[bank]));
+        } else if (dram.row_open_[bank] == 1 &&
+                   dram.open_row_[bank] > max_row) {
+            em.emit("row-domain", "bank " + std::to_string(bank),
+                    "open row " +
+                        std::to_string(dram.open_row_[bank]) +
+                        " past the address space");
+        }
+        if (em.saturated())
+            return;
+    }
+
+    if (dram.row_hits_ > dram.accesses_) {
+        em.emit("hit-bound", "",
+                std::to_string(dram.row_hits_) + " row hits > " +
+                    std::to_string(dram.accesses_) + " accesses");
+    }
+
+    // Open-page policy cycle identities: every access costs exactly a
+    // burst (row hit) or an activate plus a burst (row miss), and the
+    // budget grants a fixed allowance per access.
+    std::uint64_t misses = dram.accesses_ - dram.row_hits_;
+    std::uint64_t expected_busy =
+        dram.row_hits_ * cfg.burst_cycles +
+        misses * (cfg.activate_cycles + cfg.burst_cycles);
+    if (dram.row_hits_ <= dram.accesses_ &&
+        dram.busy_cycles_ != expected_busy) {
+        em.emit("busy-identity", "",
+                std::to_string(dram.busy_cycles_) +
+                    " busy cycles, expected " +
+                    std::to_string(expected_busy));
+    }
+    if (dram.budget_cycles_ !=
+        dram.accesses_ * cfg.cycles_per_burst_budget) {
+        em.emit("budget-identity", "",
+                std::to_string(dram.budget_cycles_) +
+                    " budget cycles for " +
+                    std::to_string(dram.accesses_) + " accesses");
+    }
 }
 
 void
@@ -584,6 +824,67 @@ uarch::Cache &
 StateAuditor::dtlbForTest(uarch::TlbHierarchy &tlbs)
 {
     return tlbs.dtlb_;
+}
+
+void
+StateAuditor::pokePrefetchBitForTest(uarch::CacheHierarchy &caches,
+                                     std::size_t slot,
+                                     std::uint8_t value)
+{
+    caches.l2_prefetch_bits_[slot] = value;
+}
+
+void
+StateAuditor::pokePrefetchFillsForTest(uarch::CacheHierarchy &caches,
+                                       std::uint64_t fills)
+{
+    caches.prefetch_fills_ = fills;
+}
+
+void
+StateAuditor::pokeStrideConfidenceForTest(uarch::CacheHierarchy &caches,
+                                          std::size_t entry,
+                                          std::uint8_t confidence)
+{
+    caches.stride_table_[entry].confidence = confidence;
+}
+
+void
+StateAuditor::pokeStreamNextForTest(uarch::CacheHierarchy &caches,
+                                    std::size_t next)
+{
+    caches.stream_next_ = next;
+}
+
+void
+StateAuditor::pokeWayPredEntryForTest(uarch::Cache &cache,
+                                      std::size_t index,
+                                      std::uint32_t way)
+{
+    cache.way_pred_[index] = way;
+}
+
+void
+StateAuditor::pokeWayPredHitsForTest(uarch::Cache &cache,
+                                     std::uint64_t hits)
+{
+    cache.way_pred_hits_ = hits;
+}
+
+void
+StateAuditor::pokeDramOpenRowForTest(uarch::CacheHierarchy &caches,
+                                     std::size_t bank,
+                                     std::uint64_t row)
+{
+    caches.dram_->open_row_[bank] = row;
+    caches.dram_->row_open_[bank] = 1;
+}
+
+void
+StateAuditor::pokeDramBusyForTest(uarch::CacheHierarchy &caches,
+                                  std::uint64_t busy_cycles)
+{
+    caches.dram_->busy_cycles_ = busy_cycles;
 }
 
 void

@@ -10,11 +10,23 @@
  *              ways form a suffix, LRU/FIFO stamps in [1, tick] and
  *              unique per set, tree-PLRU node word in domain,
  *              fill-counter bounds, hits <= accesses
+ *   way pred   table shape matches the configured kind (one partition
+ *              for MRU, two for multi-MRU, none when off), every
+ *              predicted way inside the associativity, and the
+ *              hit+mispredict total bounded by the cache's hits
  *   TLB        power-of-two page size, L2 reach covers the L1s,
  *              page_walks == l2tlb misses <= itlb+dtlb misses,
  *              plus the cache invariants on each level
  *   predictor  saturating-counter range, history-register width,
  *              table-index domain (size == mask+1) for all six kinds
+ *   prefetcher per-slot bit domain, bits only on valid L2 ways, the
+ *              accounting identity fills == useful + evicted +
+ *              resident bits, stride-table shape/confidence range and
+ *              stream-window ring bounds for the configured engine
+ *   DRAM       bank-state vector shapes, open-row flags boolean, open
+ *              rows inside the address-derived row domain, row hits
+ *              bounded by accesses, and the exact busy/budget cycle
+ *              identities of the open-page policy
  *   prewarm    the survivor set is a legal end-state: per-set valid
  *              count matches the fill counter and LRU/FIFO stamps
  *              are cyclically increasing from the oldest way
@@ -50,9 +62,25 @@ class StateAuditor {
     static void auditCache(const uarch::Cache &cache,
                            std::vector<Violation> &out);
 
-    /** Audit every level of a cache hierarchy. */
+    /**
+     * Audit every level of a cache hierarchy, the prefetcher
+     * accounting (when a prefetcher is configured) and the DRAM bank
+     * state (when the hierarchy has a DRAM model).
+     */
     static void auditCaches(const uarch::CacheHierarchy &caches,
                             std::vector<Violation> &out);
+
+    /**
+     * Audit the prefetcher state: bit domain, bits only on valid L2
+     * ways, the fills == useful + evicted + resident identity, and
+     * the engine table shapes (stride confidence, stream ring).
+     */
+    static void auditPrefetcher(const uarch::CacheHierarchy &caches,
+                                std::vector<Violation> &out);
+
+    /** Audit the DRAM bank/row state and cycle identities. */
+    static void auditDram(const uarch::DramModel &dram,
+                          std::vector<Violation> &out);
 
     /** Audit TLB geometry, walk counters and the per-level caches. */
     static void auditTlbs(const uarch::TlbHierarchy &tlbs,
@@ -98,6 +126,27 @@ class StateAuditor {
                                      std::uint64_t walks);
     static uarch::Cache &l1dForTest(uarch::CacheHierarchy &caches);
     static uarch::Cache &dtlbForTest(uarch::TlbHierarchy &tlbs);
+
+    static void pokePrefetchBitForTest(uarch::CacheHierarchy &caches,
+                                       std::size_t slot,
+                                       std::uint8_t value);
+    static void pokePrefetchFillsForTest(uarch::CacheHierarchy &caches,
+                                         std::uint64_t fills);
+    static void pokeStrideConfidenceForTest(uarch::CacheHierarchy &caches,
+                                            std::size_t entry,
+                                            std::uint8_t confidence);
+    static void pokeStreamNextForTest(uarch::CacheHierarchy &caches,
+                                      std::size_t next);
+    static void pokeWayPredEntryForTest(uarch::Cache &cache,
+                                        std::size_t index,
+                                        std::uint32_t way);
+    static void pokeWayPredHitsForTest(uarch::Cache &cache,
+                                       std::uint64_t hits);
+    static void pokeDramOpenRowForTest(uarch::CacheHierarchy &caches,
+                                       std::size_t bank,
+                                       std::uint64_t row);
+    static void pokeDramBusyForTest(uarch::CacheHierarchy &caches,
+                                    std::uint64_t busy_cycles);
 
     static void pokeBimodalCounterForTest(uarch::BimodalPredictor &predictor,
                                           std::size_t index,

@@ -137,6 +137,36 @@ TEST(CharacterizerParallelTest, FeatureMatrixBitIdenticalAcrossJobCounts)
     EXPECT_TRUE(byteIdentical(jobs1, jobs8));
 }
 
+// The old unordered_set prefetch tracker made the memory-centric
+// counters depend on traversal order once its wipe threshold landed;
+// the per-slot bits must stay bit-identical for any job count.
+TEST(CharacterizerParallelTest, PrefetchCountersBitIdenticalAcrossJobCounts)
+{
+    std::vector<suites::BenchmarkInfo> suite = smallSuite(4);
+    auto countersFor = [&suite](std::size_t jobs) {
+        Characterizer characterizer(suites::memoryCentricMachines(),
+                                    smallConfig(jobs));
+        characterizer.prepare(suite);
+        std::vector<std::uint64_t> out;
+        for (const suites::BenchmarkInfo &b : suite)
+            for (std::size_t m = 0; m < characterizer.machines().size();
+                 ++m) {
+                const uarch::PerfCounters &c =
+                    characterizer.simulation(b, m).counters;
+                out.insert(out.end(),
+                           {c.prefetch_fills, c.prefetch_useful,
+                            c.prefetch_evicted_unused, c.way_pred_hits,
+                            c.way_pred_mispredicts, c.dram_accesses,
+                            c.dram_row_hits, c.dram_busy_cycles,
+                            c.dram_budget_cycles});
+            }
+        return out;
+    };
+    std::vector<std::uint64_t> jobs1 = countersFor(1);
+    EXPECT_EQ(jobs1, countersFor(2));
+    EXPECT_EQ(jobs1, countersFor(6));
+}
+
 TEST(CharacterizerParallelTest, PrepareFillsCacheAndMatchesOnDemand)
 {
     std::vector<suites::BenchmarkInfo> suite = smallSuite(4);

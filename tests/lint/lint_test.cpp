@@ -43,10 +43,10 @@ TEST(Severity, CountSeverity)
     EXPECT_EQ(countSeverity(diagnostics, Severity::Info), 0u);
 }
 
-TEST(RuleBattery, TwentyFiveRulesWithUniqueOrderedCodes)
+TEST(RuleBattery, TwentySixRulesWithUniqueOrderedCodes)
 {
     auto rules = defaultRules();
-    ASSERT_EQ(rules.size(), 25u);
+    ASSERT_EQ(rules.size(), 26u);
     std::set<std::string> codes;
     for (std::size_t i = 0; i < rules.size(); ++i) {
         const Rule &rule = *rules[i];
@@ -165,7 +165,7 @@ TEST(CleanSuite, ShippedDataHasZeroFindings)
     LintContext context = shippedContext();
     context.deep = false;
     LintReport report = Linter().run(context);
-    ASSERT_EQ(report.rules_run, 25u);
+    ASSERT_EQ(report.rules_run, 26u);
     for (const Diagnostic &d : report.diagnostics)
         EXPECT_EQ(d.severity, Severity::Info)
             << d.code << " " << d.location << ": " << d.message;

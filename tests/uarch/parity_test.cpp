@@ -90,6 +90,32 @@ TEST(StreamingParity, FullWindowSpotChecks)
         expectParity(mcf, machine, config);
 }
 
+// The memory-centric machine variants light up every prefetcher
+// engine plus the way predictors and the DRAM model; the
+// run-collapsing fast paths must stay exact with all of them live.
+// Between them the four variants cover each PrefetcherKind (including
+// off) on every shipped workload.
+TEST(StreamingParity, MemoryCentricAllEnginesAllWorkloads)
+{
+    uarch::SimulationConfig config = tinyWindow();
+    for (const suites::BenchmarkInfo &b : suites::spec2017())
+        for (const uarch::MachineConfig &machine :
+             suites::memoryCentricMachines())
+            expectParity(b, machine, config);
+}
+
+// One full-size window per engine so prefetch trains that only form
+// over long streams cross many batch boundaries.
+TEST(StreamingParity, MemoryCentricFullWindowSpotChecks)
+{
+    uarch::SimulationConfig config; // default window, prewarm on
+    const suites::BenchmarkInfo &lbm =
+        suites::spec2017Benchmark("519.lbm_r");
+    for (const uarch::MachineConfig &machine :
+         suites::memoryCentricMachines())
+        expectParity(lbm, machine, config);
+}
+
 // Seed salt and disabled prewarm feed different streams through the
 // same collapsing logic; parity must not depend on either.
 TEST(StreamingParity, SaltedAndUnwarmedWindows)

@@ -79,6 +79,79 @@ TEST(PrefetcherTest, DoesNotHelpRandomAccess)
     EXPECT_NEAR(with_ratio, without_ratio, 0.05);
 }
 
+TEST(PrefetcherTest, AccountingIdentityHoldsPastTheOldWipeThreshold)
+{
+    // Regression: the first implementation tracked prefetched lines in
+    // an unordered_set that was wiped wholesale once it held 65536
+    // entries.  Past the wipe, demand hits on prefetched lines were no
+    // longer counted useful and evictions of prefetched lines were no
+    // longer counted at all, so fills - useful - evicted drifted
+    // without bound.  With the per-slot bits, that difference is
+    // exactly the number of prefetched lines still resident in L2 and
+    // can never exceed the L2 slot count.
+    CacheHierarchy hierarchy(smallHierarchy(4));
+    for (std::uint64_t addr = 0; addr < (130'000ull * 64); addr += 64)
+        hierarchy.accessData(addr);
+    ASSERT_GT(hierarchy.prefetchFills(), 65'536u);
+    std::uint64_t accounted =
+        hierarchy.prefetchUseful() + hierarchy.prefetchEvictedUnused();
+    ASSERT_LE(accounted, hierarchy.prefetchFills());
+    // smallHierarchy's L2 is 16 KiB of 64-byte lines: 256 slots.
+    EXPECT_LE(hierarchy.prefetchFills() - accounted, 256u);
+}
+
+TEST(PrefetcherTest, BoundaryRetireClosesTheAccountingExactly)
+{
+    // simulate() retires unconsumed prefetches at the warmup ->
+    // measurement boundary so measured snapshot deltas never show more
+    // useful + evicted than fills.  After the retire the identity is
+    // exact: every fill has been consumed, overwritten, or retired.
+    CacheHierarchy hierarchy(smallHierarchy(4));
+    for (std::uint64_t addr = 0; addr < (10'000ull * 64); addr += 64)
+        hierarchy.accessData(addr);
+    ASSERT_GT(hierarchy.prefetchFills(), 0u);
+    hierarchy.retireUnusedPrefetches();
+    EXPECT_EQ(hierarchy.prefetchFills(),
+              hierarchy.prefetchUseful() +
+                  hierarchy.prefetchEvictedUnused());
+    // Retiring twice is a no-op: the bits are already clear.
+    std::uint64_t evicted = hierarchy.prefetchEvictedUnused();
+    hierarchy.retireUnusedPrefetches();
+    EXPECT_EQ(hierarchy.prefetchEvictedUnused(), evicted);
+}
+
+TEST(PrefetcherTest, StrideEngineCoversConstantStrides)
+{
+    // A fixed 3-line stride from one PC: next-line prefetching fetches
+    // the wrong successors, the stride engine locks on.
+    auto strided = [](PrefetcherKind kind) {
+        CacheHierarchyConfig config = smallHierarchy(2);
+        config.prefetcher = kind;
+        CacheHierarchy hierarchy(config);
+        for (std::uint64_t i = 0; i < 20'000; ++i)
+            hierarchy.accessData(i * 3 * 64, /*pc=*/0x401000);
+        return hierarchy.prefetchUseful();
+    };
+    EXPECT_GT(strided(PrefetcherKind::Stride),
+              strided(PrefetcherKind::NextLine) * 2);
+}
+
+TEST(PrefetcherTest, StreamEngineConfirmsAscendingStreams)
+{
+    CacheHierarchyConfig config = smallHierarchy(4);
+    config.prefetcher = PrefetcherKind::Stream;
+    CacheHierarchy hierarchy(config);
+    for (std::uint64_t addr = 0; addr < (50'000ull * 64); addr += 64)
+        hierarchy.accessData(addr);
+    // The detector needs one window allocation plus one confirming
+    // miss, then runs ahead of the stream.
+    EXPECT_GT(hierarchy.prefetchUseful(),
+              hierarchy.prefetchFills() / 2);
+    std::uint64_t accounted =
+        hierarchy.prefetchUseful() + hierarchy.prefetchEvictedUnused();
+    EXPECT_LE(hierarchy.prefetchFills() - accounted, 256u);
+}
+
 TEST(PrefetcherTest, InstructionSideUnaffected)
 {
     CacheHierarchy hierarchy(smallHierarchy(4));

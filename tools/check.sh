@@ -144,6 +144,26 @@ grep -q 'simulations=0 ' "$BUILD_DIR/store-warm.err"
     >/dev/null
 echo "warm run: zero simulations, stdout byte-identical"
 
+step "memory-centric model reuse"
+# The memory-centric family (prefetch engines, way prediction, DRAM
+# model) must round-trip the store like every other campaign: a warm
+# repeat executes zero simulations and prints byte-identical stdout.
+MEM_STORE="$BUILD_DIR/memory-store"
+rm -rf "$MEM_STORE"
+"$BUILD_DIR"/bench/table_memory_centric --store "$MEM_STORE" \
+    --instructions 20000 --warmup 5000 \
+    >"$BUILD_DIR/memory-cold.out" 2>"$BUILD_DIR/memory-cold.err"
+"$BUILD_DIR"/bench/table_memory_centric --store "$MEM_STORE" \
+    --instructions 20000 --warmup 5000 \
+    >"$BUILD_DIR/memory-warm.out" 2>"$BUILD_DIR/memory-warm.err"
+cmp "$BUILD_DIR/memory-cold.out" "$BUILD_DIR/memory-warm.out"
+grep -q 'simulations=0 ' "$BUILD_DIR/memory-warm.err"
+# SL026 range-checks the stored memory-centric metrics.
+"$BUILD_DIR"/tools/speclens lint --no-deep --store "$MEM_STORE" \
+    >/dev/null
+rm -rf "$MEM_STORE"
+echo "memory-centric: warm zero simulations, stdout byte-identical"
+
 step "bench trajectory (small window)"
 # The perf-trajectory runner re-proves fused-vs-materialized parity and
 # warm-store reuse itself (nonzero exit when either fails); the stdout
@@ -206,6 +226,13 @@ SERVE_PORT="$(sed -n 's/.*port=\([0-9]*\).*/\1/p' "$BUILD_DIR/serve.out")"
     --instructions 5000 --warmup 1500 500.perlbench_r 505.mcf_r \
     >"$BUILD_DIR/serve-batch.out"
 cmp "$BUILD_DIR/serve-query.out" "$BUILD_DIR/serve-batch.out"
+"$BUILD_DIR"/tools/speclens query --port "$SERVE_PORT" \
+    memory 519.lbm_r \
+    >"$BUILD_DIR/serve-memory.out"
+"$BUILD_DIR"/tools/speclens memory \
+    --instructions 5000 --warmup 1500 519.lbm_r \
+    >"$BUILD_DIR/memory-batch.out"
+cmp "$BUILD_DIR/serve-memory.out" "$BUILD_DIR/memory-batch.out"
 "$BUILD_DIR"/tools/speclens query --port "$SERVE_PORT" shutdown \
     >/dev/null
 wait "$SERVE_PID"

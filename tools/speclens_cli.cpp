@@ -121,6 +121,10 @@ usage(int code)
         "  list [cpu2017|cpu2006|emerging]   list benchmarks\n"
         "  machines                          list machine models\n"
         "  characterize <bench>...           metric report\n"
+        "  memory <bench>...                 memory-centric report\n"
+        "                                    (prefetch coverage/accuracy/\n"
+        "                                    timeliness, way prediction,\n"
+        "                                    DRAM row-buffer + bandwidth)\n"
         "  subset <speed-int|rate-int|speed-fp|rate-fp> [k]\n"
         "                                    representative subset\n"
         "  inputs <int|fp>                   representative inputs\n"
@@ -146,7 +150,8 @@ usage(int code)
         "                                    socket (port 0 = ephemeral,\n"
         "                                    printed on the 'listening'\n"
         "                                    line; SIGTERM drains)\n"
-        "  query <characterize|subset|sensitivity|stats|shutdown>\n"
+        "  query <characterize|memory|subset|sensitivity|stats|\n"
+        "         shutdown>\n"
         "        [args] --port N [--host A]  ask a running daemon; output\n"
         "                                    is byte-identical to the\n"
         "                                    batch command\n"
@@ -389,6 +394,23 @@ cmdCharacterize(const CliOptions &opts)
     core::AnalysisSession session = makeSession(opts);
     core::QueryOutcome outcome =
         core::runCharacterizeQuery(session.context(), opts.args);
+    if (!outcome.ok) {
+        std::fprintf(stderr, "%s\n", outcome.error.c_str());
+        return 1;
+    }
+    std::fputs(outcome.output.c_str(), stdout);
+    return 0;
+}
+
+int
+cmdMemory(const CliOptions &opts)
+{
+    if (opts.args.empty())
+        usage(1);
+    core::AnalysisSession session =
+        makeSession(opts, suites::memoryCentricMachines());
+    core::QueryOutcome outcome =
+        core::runMemoryQuery(session.context(), opts.args);
     if (!outcome.ok) {
         std::fprintf(stderr, "%s\n", outcome.error.c_str());
         return 1;
@@ -833,6 +855,7 @@ cmdQuery(const CliOptions &opts)
     }
     switch (request.op) {
     case serve::Op::Characterize:
+    case serve::Op::Memory:
         request.benchmarks.assign(opts.args.begin() + 1,
                                   opts.args.end());
         break;
@@ -1104,7 +1127,10 @@ hashResultForAudit(stats::Fingerprinter &fp,
           c.l2i_accesses, c.l2i_misses, c.l3_accesses, c.l3_misses,
           c.dtlb_accesses, c.dtlb_misses, c.itlb_accesses,
           c.itlb_misses, c.l2tlb_misses, c.page_walks,
-          c.branch_mispredictions})
+          c.branch_mispredictions, c.prefetch_fills, c.prefetch_useful,
+          c.prefetch_evicted_unused, c.way_pred_hits,
+          c.way_pred_mispredicts, c.dram_accesses, c.dram_row_hits,
+          c.dram_busy_cycles, c.dram_budget_cycles})
         fp.u64(v);
     for (double v : r.cpi_stack.components())
         fp.f64(v);
@@ -1305,6 +1331,8 @@ main(int argc, char **argv)
         return cmdMachines();
     if (opts.command == "characterize")
         return cmdCharacterize(opts);
+    if (opts.command == "memory")
+        return cmdMemory(opts);
     if (opts.command == "subset")
         return cmdSubset(opts);
     if (opts.command == "inputs")
